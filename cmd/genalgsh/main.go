@@ -1,0 +1,205 @@
+// Command genalgsh is the shell of the Genomics Algebra: it boots a
+// Unifying Database from the synthetic repositories, then evaluates BiQL
+// queries, extended-SQL statements, or raw algebra terms.
+//
+// Usage:
+//
+//	genalgsh [-records N] [-noisy] [-lang biql|sql|term] [-user NAME] QUERY...
+//	genalgsh -catalog        # list sorts, operations, and tables
+//
+// Examples:
+//
+//	genalgsh 'FIND genes SHOW id, protein TOP 3'
+//	genalgsh -lang sql 'SELECT id FROM fragments WHERE contains(fragment, ''ACGTACGT'')'
+//	genalgsh -lang term -gene SYN000000 'translate(splice(transcribe(g)))'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"genalg/internal/biql"
+	"genalg/internal/core"
+	"genalg/internal/etl"
+	"genalg/internal/gdt"
+	"genalg/internal/genops"
+	"genalg/internal/ontology"
+	"genalg/internal/sources"
+	"genalg/internal/warehouse"
+)
+
+func main() {
+	records := flag.Int("records", 60, "records per synthetic repository")
+	noisy := flag.Bool("noisy", true, "inject errors into the second repository")
+	lang := flag.String("lang", "biql", "query language: biql, sql, or term")
+	user := flag.String("user", "biologist", "user name for space enforcement")
+	geneID := flag.String("gene", "", "gene accession bound to variable g for -lang term")
+	catalog := flag.Bool("catalog", false, "print sorts, operations, and tables, then exit")
+	flag.Parse()
+
+	if err := run(*records, *noisy, *lang, *user, *geneID, *catalog, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "genalgsh:", err)
+		os.Exit(1)
+	}
+}
+
+func run(records int, noisy bool, lang, user, geneID string, catalog bool, queries []string) error {
+	w, err := warehouse.Open(4096, etl.NewWrapper(ontology.Standard()))
+	if err != nil {
+		return err
+	}
+	rate := 0.0
+	if noisy {
+		rate = 0.35
+	}
+	repos := []*sources.Repo{
+		sources.NewRepo("genbank1", sources.FormatGenBank, sources.CapNonQueryable,
+			sources.Generate(1, sources.GenOptions{N: records})),
+		sources.NewRepo("embl1", sources.FormatFASTA, sources.CapQueryable,
+			sources.Generate(1, sources.GenOptions{N: records, ErrorRate: rate})),
+	}
+	stats, err := w.InitialLoad(repos)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d entities from %d observations (%d duplicates removed, %d conflicts retained)\n\n",
+		stats.Entities, stats.Observations, stats.Duplicates, stats.Conflicts)
+
+	if catalog {
+		printCatalog(w)
+		return nil
+	}
+	if len(queries) == 0 {
+		return repl(w, lang, user, geneID)
+	}
+	for _, q := range queries {
+		if err := runOne(w, lang, user, geneID, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// repl reads one query per line from stdin until EOF. Lines starting with
+// "\" switch settings: \lang biql|sql|term, \user NAME, \catalog.
+func repl(w *warehouse.Warehouse, lang, user, geneID string) error {
+	fmt.Printf("genalgsh interactive mode (lang=%s user=%s); one query per line, \\q quits\n", lang, user)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Printf("%s> ", lang)
+		if !sc.Scan() {
+			fmt.Println()
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || line == `\quit`:
+			return nil
+		case line == `\catalog`:
+			printCatalog(w)
+			continue
+		case strings.HasPrefix(line, `\lang `):
+			next := strings.TrimSpace(strings.TrimPrefix(line, `\lang `))
+			switch next {
+			case "biql", "sql", "term":
+				lang = next
+				fmt.Println("language:", lang)
+			default:
+				fmt.Println("unknown language (biql, sql, term)")
+			}
+			continue
+		case strings.HasPrefix(line, `\user `):
+			user = strings.TrimSpace(strings.TrimPrefix(line, `\user `))
+			fmt.Println("user:", user)
+			continue
+		case strings.HasPrefix(line, `\gene `):
+			geneID = strings.TrimSpace(strings.TrimPrefix(line, `\gene `))
+			fmt.Println("gene binding:", geneID)
+			continue
+		}
+		if err := runOne(w, lang, user, geneID, line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func printCatalog(w *warehouse.Warehouse) {
+	fmt.Println("sorts:")
+	for _, s := range w.Kernel.Sig.Sorts() {
+		fmt.Printf("  %s\n", s)
+	}
+	fmt.Println("\noperations:")
+	for _, op := range w.Kernel.Sig.Ops() {
+		fmt.Printf("  %-60s %s\n", op.String(), op.Doc)
+	}
+	fmt.Println("\npublic tables:")
+	for _, t := range warehouse.PublicTables() {
+		tbl, _ := w.DB.Table(t)
+		fmt.Printf("  %-16s %d rows\n", t, tbl.RowCount())
+	}
+}
+
+func runOne(w *warehouse.Warehouse, lang, user, geneID, query string) error {
+	switch lang {
+	case "biql":
+		q, err := biql.Parse(query)
+		if err != nil {
+			return err
+		}
+		sql, err := q.ToSQL()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- BiQL: %s\n-- SQL:  %s\n", query, sql)
+		r, err := w.Query(user, sql)
+		if err != nil {
+			return err
+		}
+		fmt.Println(biql.Render(q, r.Cols, r.Rows))
+	case "sql":
+		r, err := w.Query(user, query)
+		if err != nil {
+			return err
+		}
+		if r.Plan != "" {
+			fmt.Printf("-- plan:\n%s", r.Plan)
+		}
+		q := &biql.Query{Format: biql.FormatTable}
+		fmt.Println(biql.Render(q, r.Cols, r.Rows))
+	case "term":
+		if geneID == "" {
+			return fmt.Errorf("-lang term needs -gene ACCESSION to bind variable g")
+		}
+		r, err := w.Query(user, fmt.Sprintf("SELECT gene FROM genes WHERE id = '%s'", geneID))
+		if err != nil {
+			return err
+		}
+		if len(r.Rows) == 0 {
+			return fmt.Errorf("no gene %s in the warehouse", geneID)
+		}
+		g := r.Rows[0][0].(gdt.Gene)
+		term, err := core.ParseTerm(w.Kernel.Sig, query, map[string]core.Sort{"g": genops.SortGene})
+		if err != nil {
+			return err
+		}
+		v, err := w.Kernel.Alg.Eval(term, core.Env{"g": g})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s : %s\n", term, term.Sort())
+		if gv, ok := v.(gdt.Value); ok {
+			fmt.Print(gdt.Describe(gv))
+		} else {
+			fmt.Printf("= %v\n", v)
+		}
+	default:
+		return fmt.Errorf("unknown language %q", lang)
+	}
+	return nil
+}

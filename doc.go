@@ -1,0 +1,6 @@
+// Package genalg is the root of the Genomics Algebra reproduction (Hammer &
+// Schneider, CIDR 2003). The implementation lives under internal/ (see
+// DESIGN.md for the full inventory); this root package exists to host the
+// per-experiment benchmark suite in bench_test.go, which regenerates every
+// table and figure of the paper's evaluation (see EXPERIMENTS.md).
+package genalg

@@ -1,0 +1,102 @@
+// Centraldogma demonstrates the paper's flagship composition
+// translate(splice(transcribe(g))) three ways: as direct library calls with
+// uncertainty-tracked isoforms, as an evaluated algebra term, and as a SQL
+// query over stored genes — all three yielding the same protein.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"genalg/internal/adapter"
+	"genalg/internal/core"
+	"genalg/internal/db"
+	"genalg/internal/gdt"
+	"genalg/internal/genalgxml"
+	"genalg/internal/genops"
+	"genalg/internal/seq"
+	"genalg/internal/sqlang"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildGene() gdt.Gene {
+	// A 3-exon gene: the introns interrupt the coding sequence
+	// ATG AAA CCC GGG TTT TAA -> protein MKPGF.
+	genomic := "ATGAAA" + "GTCCCTAG" + "CCCGGG" + "GTTTTTAG" + "TTTTAA"
+	return gdt.Gene{
+		ID: "G1", Symbol: "DEMO1", Organism: "Synthetica demonstrans",
+		Seq: seq.MustNucSeq(seq.AlphaDNA, genomic),
+		Exons: []gdt.Interval{
+			{Start: 0, End: 6}, {Start: 14, End: 20}, {Start: 28, End: 34},
+		},
+	}
+}
+
+func run() error {
+	g := buildGene()
+	fmt.Println("gene:", g)
+
+	// --- 1. Library calls with uncertainty (Section 4.3) ---
+	prot, err := genops.CentralDogma(g)
+	if err != nil {
+		return err
+	}
+	p := prot.MustValue()
+	fmt.Printf("\ncanonical protein: %s (confidence %.2f)\n", p.Seq, prot.Confidence())
+	for _, alt := range prot.Alternatives() {
+		fmt.Printf("  isoform alternative: %s (confidence %.2f, %s)\n",
+			alt.Value.Seq, alt.Confidence, alt.Provenance)
+	}
+
+	// --- 2. The same pipeline as an algebra term ---
+	kernel := genops.NewKernel()
+	term, err := core.ParseTerm(kernel.Sig, "translate(splice(transcribe(g)))",
+		map[string]core.Sort{"g": genops.SortGene})
+	if err != nil {
+		return err
+	}
+	v, err := kernel.Alg.Eval(term, core.Env{"g": g})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nterm %s : %s\n= %v\n", term, term.Sort(), v)
+
+	// --- 3. The same pipeline inside SQL over a stored gene ---
+	engine, err := db.OpenMemory(512)
+	if err != nil {
+		return err
+	}
+	if err := adapter.Install(engine, kernel); err != nil {
+		return err
+	}
+	sqlEngine := sqlang.NewEngine(engine)
+	if _, err := sqlEngine.Exec(`CREATE TABLE genes (id string, g gene)`); err != nil {
+		return err
+	}
+	if _, err := sqlEngine.Exec(fmt.Sprintf(
+		`INSERT INTO genes VALUES ('G1', gene('G1', 'DEMO1', 'Synthetica demonstrans', '%s', '%s'))`,
+		g.Seq.String(), adapter.FormatExonSpec(g.Exons))); err != nil {
+		return err
+	}
+	r, err := sqlEngine.Exec(`SELECT id, proteinseq(translate(splice(transcribe(g)))), proteinweight(translate(splice(transcribe(g)))) FROM genes`)
+	if err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		fmt.Printf("\nSQL: gene %v -> protein %v (%.1f Da)\n", row[0], row[1], row[2])
+	}
+
+	// --- Bonus: export everything as GenAlgXML (Section 6.4) ---
+	doc := genalgxml.Document{Values: []gdt.Value{g, p}}
+	data, err := genalgxml.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nGenAlgXML export (%d bytes):\n%s", len(data), data)
+	return nil
+}

@@ -1,0 +1,114 @@
+// Mediator_vs_warehouse contrasts the paper's Figure 1 (query-driven
+// mediation) with Figure 3 (Unifying Database): the same search workload
+// runs against both architectures over the same remote sources, reporting
+// latency, remote traffic, and result quality (the mediator surfaces raw
+// conflicts; the warehouse reconciles them).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"genalg/internal/etl"
+	"genalg/internal/mediator"
+	"genalg/internal/ontology"
+	"genalg/internal/sources"
+	"genalg/internal/warehouse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+const (
+	nRecords = 150
+	latency  = 2 * time.Millisecond
+)
+
+func mkRepos() []*sources.Repo {
+	return []*sources.Repo{
+		sources.NewRepo("genbank1", sources.FormatCSV, sources.CapQueryable,
+			sources.Generate(7, sources.GenOptions{N: nRecords})),
+		sources.NewRepo("embl1", sources.FormatFASTA, sources.CapQueryable,
+			sources.Generate(7, sources.GenOptions{N: nRecords, ErrorRate: 0.5})),
+		sources.NewRepo("ddbj-dump", sources.FormatGenBank, sources.CapNonQueryable,
+			sources.Generate(7, sources.GenOptions{N: nRecords})),
+	}
+}
+
+func run() error {
+	pattern := sources.Generate(7, sources.GenOptions{N: nRecords})[5].Sequence[30:50]
+	fmt.Printf("workload: repeated search for %q over 3 sources (latency %v each)\n\n", pattern, latency)
+
+	// ---- Figure 1: query-driven mediation ----
+	var medSrcs []mediator.Source
+	for _, r := range mkRepos() {
+		medSrcs = append(medSrcs, sources.NewRemote(r, latency, 0))
+	}
+	med := mediator.New(medSrcs...)
+	start := time.Now()
+	var rows []mediator.ResultRow
+	const nQueries = 8
+	for i := 0; i < nQueries; i++ {
+		var err error
+		rows, err = med.FindContaining(pattern)
+		if err != nil {
+			return err
+		}
+	}
+	medElapsed := time.Since(start)
+	st := med.Stats()
+	fmt.Println("Figure 1 (mediator):")
+	fmt.Printf("  %d queries in %v (%v/query)\n", nQueries, medElapsed.Round(time.Millisecond),
+		(medElapsed / nQueries).Round(time.Millisecond))
+	fmt.Printf("  remote calls: %d, snapshot bytes shipped: %d\n", st.RemoteCalls, st.SnapshotBytes)
+	fmt.Printf("  last result: %d rows (duplicates across sources NOT merged)\n", len(rows))
+	if conflicts := mediator.Conflicts(rows); len(conflicts) > 0 {
+		fmt.Printf("  unreconciled conflicts surfaced to the user: %v\n", conflicts)
+	}
+
+	// ---- Figure 3: Unifying Database ----
+	w, err := warehouse.Open(8192, etl.NewWrapper(ontology.Standard()))
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	repos := mkRepos()
+	for _, r := range repos {
+		// The load pays each source's snapshot transfer once.
+		_ = sources.NewRemote(r, latency, 0).Snapshot()
+	}
+	stats, err := w.InitialLoad(repos)
+	if err != nil {
+		return err
+	}
+	loadTime := time.Since(start)
+	start = time.Now()
+	var whRows int
+	for i := 0; i < nQueries; i++ {
+		r, err := w.Query("biologist",
+			fmt.Sprintf(`SELECT id, source, confidence FROM fragments WHERE contains(fragment, '%s')`, pattern))
+		if err != nil {
+			return err
+		}
+		whRows = len(r.Rows)
+	}
+	queryTime := time.Since(start)
+	fmt.Println("\nFigure 3 (warehouse):")
+	fmt.Printf("  one-time load: %v (%d entities, %d conflicts reconciled with alternatives kept)\n",
+		loadTime.Round(time.Millisecond), stats.Entities, stats.Conflicts)
+	fmt.Printf("  %d queries in %v (%v/query)\n", nQueries, queryTime.Round(time.Millisecond),
+		(queryTime / nQueries).Round(time.Microsecond))
+	fmt.Printf("  last result: %d rows (one reconciled row per entity)\n", whRows)
+
+	total := loadTime + queryTime
+	fmt.Printf("\ncontrast: mediator %v vs warehouse %v including load — %.1fx\n",
+		medElapsed.Round(time.Millisecond), total.Round(time.Millisecond),
+		float64(medElapsed)/float64(total))
+	fmt.Println("shape: the mediator re-pays source latency per query; the warehouse amortizes it at load time,")
+	fmt.Println("matching the paper's argument for the data-warehousing pillar (Sections 3 and 5).")
+	return nil
+}

@@ -1,0 +1,78 @@
+// Quickstart: build GDT values, evaluate Genomics Algebra terms, and run
+// the paper's Section 6.3 query against an embedded engine — the shortest
+// path through the public surface of this repository.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"genalg/internal/adapter"
+	"genalg/internal/core"
+	"genalg/internal/db"
+	"genalg/internal/gdt"
+	"genalg/internal/genops"
+	"genalg/internal/sqlang"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. GDT values are plain Go values with compact packed forms.
+	fragment, err := gdt.NewDNA("frag1", "TTATTGCCATAGGCCATTGAAACCC")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fragment: %v  gc=%.2f  packed=%d bytes\n",
+		fragment, fragment.Seq.GCContent(), len(fragment.Pack()))
+
+	// 2. The kernel algebra evaluates sort-checked terms over them.
+	kernel := genops.NewKernel()
+	term, err := core.ParseTerm(kernel.Sig, `contains(f, "ATTGCCATA")`,
+		map[string]core.Sort{"f": genops.SortDNA})
+	if err != nil {
+		return err
+	}
+	v, err := kernel.Alg.Eval(term, core.Env{"f": fragment})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("term %s : %s = %v\n", term, term.Sort(), v)
+
+	// 3. The same algebra plugs into the extensible DBMS as opaque UDTs
+	//    plus external functions, so the paper's example query runs as SQL.
+	engine, err := db.OpenMemory(512)
+	if err != nil {
+		return err
+	}
+	if err := adapter.Install(engine, kernel); err != nil {
+		return err
+	}
+	sqlEngine := sqlang.NewEngine(engine)
+	stmts := []string{
+		`CREATE TABLE DNAFragments (id string NOT NULL, fragment dna)`,
+		`INSERT INTO DNAFragments VALUES
+			('frag1', dna('frag1', 'TTATTGCCATAGGCCATTGAAACCC')),
+			('frag2', dna('frag2', 'GGGGGGGGGGGGGGGGGGGGGGGGG')),
+			('frag3', dna('frag3', 'ACGTATTGCCATAACGTACGTACGT'))`,
+	}
+	for _, s := range stmts {
+		if _, err := sqlEngine.Exec(s); err != nil {
+			return err
+		}
+	}
+	// The paper's Section 6.3 query, verbatim in spirit:
+	r, err := sqlEngine.Exec(`SELECT id FROM DNAFragments WHERE contains(fragment, 'ATTGCCATA')`)
+	if err != nil {
+		return err
+	}
+	fmt.Println("fragments containing ATTGCCATA:")
+	for _, row := range r.Rows {
+		fmt.Printf("  %v\n", row[0])
+	}
+	return nil
+}

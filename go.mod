@@ -1,0 +1,3 @@
+module genalg
+
+go 1.22

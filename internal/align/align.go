@@ -1,0 +1,324 @@
+// Package align implements the sequence-alignment substrate referenced by
+// the paper: global (Needleman-Wunsch) and local (Smith-Waterman) alignment,
+// banded variants, and a BLAST-like seed-and-extend heuristic search. The
+// paper's "resembles" operator (Section 6.3) and the mediator baseline's
+// similarity-search wrapper (Section 3) are built on this package.
+package align
+
+import (
+	"fmt"
+	"strings"
+
+	"genalg/internal/seq"
+)
+
+// Scoring defines the affine-free alignment scoring scheme: match and
+// mismatch scores, and a linear gap penalty (negative).
+type Scoring struct {
+	Match    int
+	Mismatch int
+	Gap      int
+}
+
+// DefaultScoring is the scheme used by the algebra's resembles operator:
+// +2 match, -1 mismatch, -2 gap.
+var DefaultScoring = Scoring{Match: 2, Mismatch: -1, Gap: -2}
+
+func (s Scoring) validate() error {
+	if s.Match <= 0 {
+		return fmt.Errorf("align: match score must be positive, got %d", s.Match)
+	}
+	if s.Gap >= 0 {
+		return fmt.Errorf("align: gap penalty must be negative, got %d", s.Gap)
+	}
+	return nil
+}
+
+// Op is one step of an alignment trace.
+type Op byte
+
+// Alignment trace operations.
+const (
+	OpMatch    Op = 'M' // aligned pair, equal bases
+	OpMismatch Op = 'X' // aligned pair, differing bases
+	OpInsA     Op = 'I' // gap in b (consume from a)
+	OpInsB     Op = 'D' // gap in a (consume from b)
+)
+
+// Result is an alignment outcome: its score, the aligned spans, and the
+// edit trace.
+type Result struct {
+	Score int
+	// AStart/AEnd and BStart/BEnd delimit the aligned regions (half-open).
+	// For global alignment these span the full sequences.
+	AStart, AEnd int
+	BStart, BEnd int
+	Trace        []Op
+}
+
+// Identity returns the fraction of trace positions that are exact matches,
+// or 0 for an empty trace.
+func (r Result) Identity() float64 {
+	if len(r.Trace) == 0 {
+		return 0
+	}
+	m := 0
+	for _, op := range r.Trace {
+		if op == OpMatch {
+			m++
+		}
+	}
+	return float64(m) / float64(len(r.Trace))
+}
+
+// Pretty renders a 3-line alignment view for debugging and shell output.
+func (r Result) Pretty(a, b seq.NucSeq) string {
+	var la, mid, lb strings.Builder
+	i, j := r.AStart, r.BStart
+	for _, op := range r.Trace {
+		switch op {
+		case OpMatch, OpMismatch:
+			la.WriteByte(a.Alphabet().Letter(a.At(i)))
+			lb.WriteByte(b.Alphabet().Letter(b.At(j)))
+			if op == OpMatch {
+				mid.WriteByte('|')
+			} else {
+				mid.WriteByte('.')
+			}
+			i, j = i+1, j+1
+		case OpInsA:
+			la.WriteByte(a.Alphabet().Letter(a.At(i)))
+			lb.WriteByte('-')
+			mid.WriteByte(' ')
+			i++
+		case OpInsB:
+			la.WriteByte('-')
+			lb.WriteByte(b.Alphabet().Letter(b.At(j)))
+			mid.WriteByte(' ')
+			j++
+		}
+	}
+	return la.String() + "\n" + mid.String() + "\n" + lb.String()
+}
+
+// Global computes the Needleman-Wunsch global alignment of a and b.
+func Global(a, b seq.NucSeq, sc Scoring) (Result, error) {
+	if err := sc.validate(); err != nil {
+		return Result{}, err
+	}
+	n, m := a.Len(), b.Len()
+	// dp[i][j]: best score aligning a[:i] with b[:j].
+	dp := makeMatrix(n+1, m+1)
+	back := makeByteMatrix(n+1, m+1)
+	for i := 1; i <= n; i++ {
+		dp[i][0] = dp[i-1][0] + sc.Gap
+		back[i][0] = byte(OpInsA)
+	}
+	for j := 1; j <= m; j++ {
+		dp[0][j] = dp[0][j-1] + sc.Gap
+		back[0][j] = byte(OpInsB)
+	}
+	for i := 1; i <= n; i++ {
+		ai := a.At(i - 1)
+		for j := 1; j <= m; j++ {
+			sub := sc.Mismatch
+			op := OpMismatch
+			if ai == b.At(j-1) {
+				sub = sc.Match
+				op = OpMatch
+			}
+			best := dp[i-1][j-1] + sub
+			bestOp := op
+			if v := dp[i-1][j] + sc.Gap; v > best {
+				best, bestOp = v, OpInsA
+			}
+			if v := dp[i][j-1] + sc.Gap; v > best {
+				best, bestOp = v, OpInsB
+			}
+			dp[i][j] = best
+			back[i][j] = byte(bestOp)
+		}
+	}
+	trace := traceback(back, n, m, func(i, j int) bool { return i == 0 && j == 0 })
+	return Result{Score: dp[n][m], AStart: 0, AEnd: n, BStart: 0, BEnd: m, Trace: trace}, nil
+}
+
+// Local computes the Smith-Waterman local alignment of a and b, returning
+// the best-scoring local region. The empty alignment scores 0.
+func Local(a, b seq.NucSeq, sc Scoring) (Result, error) {
+	if err := sc.validate(); err != nil {
+		return Result{}, err
+	}
+	n, m := a.Len(), b.Len()
+	dp := makeMatrix(n+1, m+1)
+	back := makeByteMatrix(n+1, m+1)
+	bestI, bestJ, bestScore := 0, 0, 0
+	for i := 1; i <= n; i++ {
+		ai := a.At(i - 1)
+		for j := 1; j <= m; j++ {
+			sub := sc.Mismatch
+			op := OpMismatch
+			if ai == b.At(j-1) {
+				sub = sc.Match
+				op = OpMatch
+			}
+			best := dp[i-1][j-1] + sub
+			bestOp := op
+			if v := dp[i-1][j] + sc.Gap; v > best {
+				best, bestOp = v, OpInsA
+			}
+			if v := dp[i][j-1] + sc.Gap; v > best {
+				best, bestOp = v, OpInsB
+			}
+			if best < 0 {
+				best, bestOp = 0, 0
+			}
+			dp[i][j] = best
+			back[i][j] = byte(bestOp)
+			if best > bestScore {
+				bestScore, bestI, bestJ = best, i, j
+			}
+		}
+	}
+	if bestScore == 0 {
+		return Result{}, nil
+	}
+	// Trace back until a zero cell.
+	trace := traceback(back, bestI, bestJ, func(i, j int) bool { return dp[i][j] == 0 })
+	// Recompute start coordinates from the trace.
+	ai, bj := bestI, bestJ
+	for _, op := range trace {
+		switch op {
+		case OpMatch, OpMismatch:
+			ai, bj = ai-1, bj-1
+		case OpInsA:
+			ai--
+		case OpInsB:
+			bj--
+		}
+	}
+	// trace is already in forward order; recomputed ai/bj went backwards.
+	return Result{Score: bestScore, AStart: ai, AEnd: bestI, BStart: bj, BEnd: bestJ, Trace: trace}, nil
+}
+
+// GlobalBanded computes a banded Needleman-Wunsch alignment restricted to
+// |i-j| <= band. It returns an error if the band cannot connect the two
+// corners (band smaller than the length difference).
+func GlobalBanded(a, b seq.NucSeq, sc Scoring, band int) (Result, error) {
+	if err := sc.validate(); err != nil {
+		return Result{}, err
+	}
+	n, m := a.Len(), b.Len()
+	diff := n - m
+	if diff < 0 {
+		diff = -diff
+	}
+	if band < diff {
+		return Result{}, fmt.Errorf("align: band %d narrower than length difference %d", band, diff)
+	}
+	const ninf = -1 << 30
+	dp := makeMatrix(n+1, m+1)
+	back := makeByteMatrix(n+1, m+1)
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= m; j++ {
+			dp[i][j] = ninf
+		}
+	}
+	dp[0][0] = 0
+	for i := 1; i <= n && i <= band; i++ {
+		dp[i][0] = dp[i-1][0] + sc.Gap
+		back[i][0] = byte(OpInsA)
+	}
+	for j := 1; j <= m && j <= band; j++ {
+		dp[0][j] = dp[0][j-1] + sc.Gap
+		back[0][j] = byte(OpInsB)
+	}
+	for i := 1; i <= n; i++ {
+		lo, hi := i-band, i+band
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > m {
+			hi = m
+		}
+		ai := a.At(i - 1)
+		for j := lo; j <= hi; j++ {
+			sub := sc.Mismatch
+			op := OpMismatch
+			if ai == b.At(j-1) {
+				sub = sc.Match
+				op = OpMatch
+			}
+			best := ninf
+			var bestOp Op
+			if dp[i-1][j-1] > ninf {
+				best, bestOp = dp[i-1][j-1]+sub, op
+			}
+			if dp[i-1][j] > ninf {
+				if v := dp[i-1][j] + sc.Gap; v > best {
+					best, bestOp = v, OpInsA
+				}
+			}
+			if dp[i][j-1] > ninf {
+				if v := dp[i][j-1] + sc.Gap; v > best {
+					best, bestOp = v, OpInsB
+				}
+			}
+			dp[i][j] = best
+			back[i][j] = byte(bestOp)
+		}
+	}
+	if dp[n][m] <= ninf {
+		return Result{}, fmt.Errorf("align: band %d does not connect corners", band)
+	}
+	trace := traceback(back, n, m, func(i, j int) bool { return i == 0 && j == 0 })
+	return Result{Score: dp[n][m], AStart: 0, AEnd: n, BStart: 0, BEnd: m, Trace: trace}, nil
+}
+
+func makeMatrix(n, m int) [][]int {
+	flat := make([]int, n*m)
+	rows := make([][]int, n)
+	for i := range rows {
+		rows[i], flat = flat[:m], flat[m:]
+	}
+	return rows
+}
+
+func makeByteMatrix(n, m int) [][]byte {
+	flat := make([]byte, n*m)
+	rows := make([][]byte, n)
+	for i := range rows {
+		rows[i], flat = flat[:m], flat[m:]
+	}
+	return rows
+}
+
+// traceback walks the backpointer matrix from (i,j) until stop(i,j),
+// returning the trace in forward order.
+func traceback(back [][]byte, i, j int, stop func(i, j int) bool) []Op {
+	var rev []Op
+	for !stop(i, j) {
+		op := Op(back[i][j])
+		rev = append(rev, op)
+		switch op {
+		case OpMatch, OpMismatch:
+			i, j = i-1, j-1
+		case OpInsA:
+			i--
+		case OpInsB:
+			j--
+		default:
+			// Defensive: a zero backpointer outside the stop region would
+			// loop forever; treat as stop.
+			return reverseOps(rev)
+		}
+	}
+	return reverseOps(rev)
+}
+
+func reverseOps(ops []Op) []Op {
+	for l, r := 0, len(ops)-1; l < r; l, r = l+1, r-1 {
+		ops[l], ops[r] = ops[r], ops[l]
+	}
+	return ops
+}

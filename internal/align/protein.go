@@ -1,0 +1,141 @@
+package align
+
+import (
+	"fmt"
+
+	"genalg/internal/seq"
+)
+
+// SubstMatrix scores amino-acid pairs. Indexed [a][b] over the 21 codes
+// (20 amino acids + Stop).
+type SubstMatrix [21][21]int
+
+// Blosum-like substitution matrix: a compact approximation grouping amino
+// acids by physicochemical class (hydrophobic, polar, acidic, basic,
+// aromatic, special). Identity scores +5 (+7 for rare W/C), same-class
+// substitutions +1, cross-class -2, anything with Stop -6. The exact BLOSUM62
+// values are not required for shape-level experiments; class structure is
+// what drives local-alignment behaviour.
+var Blosumish = buildBlosumish()
+
+func buildBlosumish() SubstMatrix {
+	classes := map[seq.AminoAcid]int{
+		seq.Ala: 0, seq.Val: 0, seq.Leu: 0, seq.Ile: 0, seq.Met: 0, // hydrophobic
+		seq.Ser: 1, seq.Thr: 1, seq.Asn: 1, seq.Gln: 1, // polar
+		seq.Asp: 2, seq.Glu: 2, // acidic
+		seq.Lys: 3, seq.Arg: 3, seq.His: 3, // basic
+		seq.Phe: 4, seq.Tyr: 4, seq.Trp: 4, // aromatic
+		seq.Gly: 5, seq.Pro: 5, seq.Cys: 6, // special
+	}
+	var m SubstMatrix
+	for a := seq.AminoAcid(0); a < 21; a++ {
+		for b := seq.AminoAcid(0); b < 21; b++ {
+			switch {
+			case a == seq.Stop || b == seq.Stop:
+				m[a][b] = -6
+			case a == b:
+				if a == seq.Trp || a == seq.Cys {
+					m[a][b] = 7
+				} else {
+					m[a][b] = 5
+				}
+			case classes[a] == classes[b]:
+				m[a][b] = 1
+			default:
+				m[a][b] = -2
+			}
+		}
+	}
+	return m
+}
+
+// ProtResult is a protein local-alignment outcome.
+type ProtResult struct {
+	Score        int
+	AStart, AEnd int
+	BStart, BEnd int
+	Trace        []Op
+}
+
+// Identity returns the exact-match fraction of the trace.
+func (r ProtResult) Identity() float64 {
+	if len(r.Trace) == 0 {
+		return 0
+	}
+	m := 0
+	for _, op := range r.Trace {
+		if op == OpMatch {
+			m++
+		}
+	}
+	return float64(m) / float64(len(r.Trace))
+}
+
+// ProtLocal computes the Smith-Waterman local alignment of two proteins
+// under the substitution matrix with linear gap penalty gap (negative).
+func ProtLocal(a, b seq.ProtSeq, m *SubstMatrix, gap int) (ProtResult, error) {
+	if gap >= 0 {
+		return ProtResult{}, fmt.Errorf("align: gap penalty must be negative, got %d", gap)
+	}
+	if m == nil {
+		m = &Blosumish
+	}
+	n, mm := a.Len(), b.Len()
+	dp := makeMatrix(n+1, mm+1)
+	back := makeByteMatrix(n+1, mm+1)
+	bestI, bestJ, bestScore := 0, 0, 0
+	for i := 1; i <= n; i++ {
+		ai := a.At(i - 1)
+		for j := 1; j <= mm; j++ {
+			bj := b.At(j - 1)
+			sub := m[ai][bj]
+			op := OpMismatch
+			if ai == bj {
+				op = OpMatch
+			}
+			best := dp[i-1][j-1] + sub
+			bestOp := op
+			if v := dp[i-1][j] + gap; v > best {
+				best, bestOp = v, OpInsA
+			}
+			if v := dp[i][j-1] + gap; v > best {
+				best, bestOp = v, OpInsB
+			}
+			if best < 0 {
+				best, bestOp = 0, 0
+			}
+			dp[i][j] = best
+			back[i][j] = byte(bestOp)
+			if best > bestScore {
+				bestScore, bestI, bestJ = best, i, j
+			}
+		}
+	}
+	if bestScore == 0 {
+		return ProtResult{}, nil
+	}
+	trace := traceback(back, bestI, bestJ, func(i, j int) bool { return dp[i][j] == 0 })
+	ai, bj := bestI, bestJ
+	for _, op := range trace {
+		switch op {
+		case OpMatch, OpMismatch:
+			ai, bj = ai-1, bj-1
+		case OpInsA:
+			ai--
+		case OpInsB:
+			bj--
+		}
+	}
+	return ProtResult{Score: bestScore, AStart: ai, AEnd: bestI, BStart: bj, BEnd: bestJ, Trace: trace}, nil
+}
+
+// ProtResembles reports whether two proteins share a local alignment of at
+// least minScore under the default matrix and gap -4. It backs the
+// algebra's presembles operator.
+func ProtResembles(a, b seq.ProtSeq, minScore int) (bool, error) {
+	r, err := ProtLocal(a, b, &Blosumish, -4)
+	if err != nil {
+		return false, err
+	}
+	return r.Score >= minScore, nil
+}

@@ -1,0 +1,413 @@
+// Package biql implements the biological query language of the paper's
+// Section 6.4: a biologist-facing surface ("Biologists frequently dislike
+// SQL ... the issue is here to design such a biological query language
+// based on the biologists' needs. A query formulated in this query language
+// will then be mapped to the extended SQL of the Unifying Database.").
+//
+// Grammar (case-insensitive keywords):
+//
+//	query   := FIND entity [WHERE cond (AND cond)*] [SHOW field (, field)*]
+//	           [TOP n] [AS format]
+//	        |  COUNT entity [WHERE cond (AND cond)*]
+//	entity  := FRAGMENTS | GENES
+//	cond    := field IS "value"
+//	        |  field AT LEAST number | field AT MOST number
+//	        |  SEQUENCE CONTAINS "ACGT..."
+//	        |  SEQUENCE RESEMBLES "ACGT..." SCORE n
+//	        |  PROTEIN CONTAINS impossible — proteins derive via SHOW
+//	field   := ID | ORGANISM | DESCRIPTION | SOURCE | QUALITY | CONFIDENCE
+//	        |  LENGTH | GC | PROTEIN (genes only: the translated product)
+//	format  := TABLE | FASTA
+//
+// Every BiQL query compiles to one extended-SQL statement over the
+// Unifying Database's public schema, with Genomics Algebra operations
+// (contains, resembles, gccontent, length, translate∘splice∘transcribe)
+// appearing in the SELECT and WHERE clauses.
+package biql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OutputFormat selects the result rendering (the paper's "graphical output
+// description language", realized textually).
+type OutputFormat uint8
+
+// Output formats.
+const (
+	FormatTable OutputFormat = iota
+	FormatFASTA
+)
+
+// Query is a parsed BiQL query.
+type Query struct {
+	// Count is true for COUNT queries.
+	Count bool
+	// Entity is "fragments" or "genes".
+	Entity string
+	// Conds are the WHERE conditions in order.
+	Conds []Cond
+	// Fields are the SHOW fields (default: id).
+	Fields []string
+	// Top limits results; 0 = unlimited.
+	Top int
+	// Format is the output rendering.
+	Format OutputFormat
+}
+
+// Cond is one condition.
+type Cond struct {
+	// Field is the tested field ("sequence" for CONTAINS/RESEMBLES).
+	Field string
+	// Op is "is", "atleast", "atmost", "contains", "resembles".
+	Op string
+	// StrVal holds the string operand (IS value, CONTAINS pattern,
+	// RESEMBLES letters).
+	StrVal string
+	// NumVal holds the numeric operand (AT LEAST/AT MOST, RESEMBLES SCORE).
+	NumVal float64
+}
+
+// seqColumn returns the opaque sequence column of the entity's table.
+func seqColumn(entity string) string {
+	if entity == "genes" {
+		return "gene"
+	}
+	return "fragment"
+}
+
+var scalarFields = map[string]bool{
+	"id": true, "organism": true, "description": true, "source": true,
+	"quality": true, "confidence": true, "version": true, "nsources": true,
+}
+
+// Parse parses a BiQL query.
+func Parse(input string) (*Query, error) {
+	toks := tokenize(input)
+	p := &bparser{toks: toks}
+	q := &Query{Format: FormatTable}
+	switch {
+	case p.accept("FIND"):
+	case p.accept("COUNT"):
+		q.Count = true
+	default:
+		return nil, fmt.Errorf("biql: query must start with FIND or COUNT")
+	}
+	ent := strings.ToLower(p.next())
+	switch ent {
+	case "fragments", "genes":
+		q.Entity = ent
+	case "":
+		return nil, fmt.Errorf("biql: missing entity (FRAGMENTS or GENES)")
+	default:
+		return nil, fmt.Errorf("biql: unknown entity %q (want FRAGMENTS or GENES)", ent)
+	}
+	if p.accept("WHERE") {
+		for {
+			c, err := p.parseCond(q.Entity)
+			if err != nil {
+				return nil, err
+			}
+			q.Conds = append(q.Conds, c)
+			if !p.accept("AND") {
+				break
+			}
+		}
+	}
+	if p.accept("SHOW") {
+		if q.Count {
+			return nil, fmt.Errorf("biql: COUNT queries cannot SHOW fields")
+		}
+		for {
+			f := strings.ToLower(p.next())
+			if f == "" {
+				return nil, fmt.Errorf("biql: missing field after SHOW")
+			}
+			if !validShowField(q.Entity, f) {
+				return nil, fmt.Errorf("biql: unknown field %q for %s", f, q.Entity)
+			}
+			q.Fields = append(q.Fields, f)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.accept("TOP") {
+		n, err := strconv.Atoi(p.next())
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("biql: TOP needs a positive count")
+		}
+		q.Top = n
+	}
+	if p.accept("AS") {
+		switch strings.ToUpper(p.next()) {
+		case "TABLE":
+			q.Format = FormatTable
+		case "FASTA":
+			q.Format = FormatFASTA
+		default:
+			return nil, fmt.Errorf("biql: AS expects TABLE or FASTA")
+		}
+	}
+	if tok := p.next(); tok != "" {
+		return nil, fmt.Errorf("biql: unexpected %q", tok)
+	}
+	if len(q.Fields) == 0 {
+		q.Fields = []string{"id"}
+	}
+	return q, nil
+}
+
+func validShowField(entity, f string) bool {
+	if scalarFields[f] {
+		return true
+	}
+	switch f {
+	case "length", "gc", "sequence":
+		return true
+	case "protein":
+		return entity == "genes"
+	}
+	return false
+}
+
+func (p *bparser) parseCond(entity string) (Cond, error) {
+	field := strings.ToLower(p.next())
+	if field == "" {
+		return Cond{}, fmt.Errorf("biql: missing condition field")
+	}
+	switch {
+	case field == "sequence":
+		switch {
+		case p.accept("CONTAINS"):
+			pat, ok := p.nextString()
+			if !ok {
+				return Cond{}, fmt.Errorf("biql: CONTAINS needs a quoted pattern")
+			}
+			return Cond{Field: "sequence", Op: "contains", StrVal: pat}, nil
+		case p.accept("RESEMBLES"):
+			pat, ok := p.nextString()
+			if !ok {
+				return Cond{}, fmt.Errorf("biql: RESEMBLES needs a quoted sequence")
+			}
+			if !p.accept("SCORE") {
+				return Cond{}, fmt.Errorf("biql: RESEMBLES needs SCORE n")
+			}
+			n, err := strconv.ParseFloat(p.next(), 64)
+			if err != nil {
+				return Cond{}, fmt.Errorf("biql: bad SCORE value")
+			}
+			return Cond{Field: "sequence", Op: "resembles", StrVal: pat, NumVal: n}, nil
+		}
+		return Cond{}, fmt.Errorf("biql: SEQUENCE supports CONTAINS or RESEMBLES")
+	case scalarFields[field] || field == "length" || field == "gc":
+		switch {
+		case p.accept("IS"):
+			if s, ok := p.nextString(); ok {
+				return Cond{Field: field, Op: "is", StrVal: s}, nil
+			}
+			n, err := strconv.ParseFloat(p.next(), 64)
+			if err != nil {
+				return Cond{}, fmt.Errorf("biql: IS needs a quoted value or number")
+			}
+			return Cond{Field: field, Op: "isnum", NumVal: n}, nil
+		case p.accept("AT"):
+			switch {
+			case p.accept("LEAST"):
+				n, err := strconv.ParseFloat(p.next(), 64)
+				if err != nil {
+					return Cond{}, fmt.Errorf("biql: AT LEAST needs a number")
+				}
+				return Cond{Field: field, Op: "atleast", NumVal: n}, nil
+			case p.accept("MOST"):
+				n, err := strconv.ParseFloat(p.next(), 64)
+				if err != nil {
+					return Cond{}, fmt.Errorf("biql: AT MOST needs a number")
+				}
+				return Cond{Field: field, Op: "atmost", NumVal: n}, nil
+			}
+			return Cond{}, fmt.Errorf("biql: AT must be followed by LEAST or MOST")
+		}
+		return Cond{}, fmt.Errorf("biql: field %s supports IS, AT LEAST, AT MOST", field)
+	}
+	return Cond{}, fmt.Errorf("biql: unknown field %q", field)
+}
+
+// ToSQL compiles the query to the extended SQL of the Unifying Database.
+func (q *Query) ToSQL() (string, error) {
+	table := q.Entity // table names match entity names
+	col := seqColumn(q.Entity)
+	fieldExpr := func(f string) (string, error) {
+		switch f {
+		case "length":
+			return fmt.Sprintf("length(%s)", col), nil
+		case "gc":
+			if q.Entity == "genes" {
+				return "gccontent(geneseq(gene))", nil
+			}
+			return "gccontent(fragment)", nil
+		case "sequence":
+			if q.Entity == "genes" {
+				return "geneseq(gene)", nil
+			}
+			return "fragment", nil
+		case "protein":
+			return "proteinseq(translate(splice(transcribe(gene))))", nil
+		default:
+			if !scalarFields[f] {
+				return "", fmt.Errorf("biql: unknown field %q", f)
+			}
+			return f, nil
+		}
+	}
+
+	var sel []string
+	if q.Count {
+		sel = []string{"COUNT(*)"}
+	} else {
+		for _, f := range q.Fields {
+			e, err := fieldExpr(f)
+			if err != nil {
+				return "", err
+			}
+			if e != f {
+				e = fmt.Sprintf("%s AS %s", e, f)
+			}
+			sel = append(sel, e)
+		}
+	}
+
+	var conds []string
+	for _, c := range q.Conds {
+		switch c.Op {
+		case "contains":
+			if q.Entity == "genes" {
+				conds = append(conds, fmt.Sprintf("contains(geneseq(gene), '%s')", escapeSQL(c.StrVal)))
+			} else {
+				conds = append(conds, fmt.Sprintf("contains(fragment, '%s')", escapeSQL(c.StrVal)))
+			}
+		case "resembles":
+			arg := "fragment"
+			if q.Entity == "genes" {
+				arg = "geneseq(gene)"
+			}
+			conds = append(conds, fmt.Sprintf("resembles(%s, dna('query', '%s'), %d)", arg, escapeSQL(c.StrVal), int(c.NumVal)))
+		case "is":
+			e, err := fieldExpr(c.Field)
+			if err != nil {
+				return "", err
+			}
+			conds = append(conds, fmt.Sprintf("%s = '%s'", e, escapeSQL(c.StrVal)))
+		case "isnum":
+			e, err := fieldExpr(c.Field)
+			if err != nil {
+				return "", err
+			}
+			conds = append(conds, fmt.Sprintf("%s = %v", e, c.NumVal))
+		case "atleast", "atmost":
+			e, err := fieldExpr(c.Field)
+			if err != nil {
+				return "", err
+			}
+			op := ">="
+			if c.Op == "atmost" {
+				op = "<="
+			}
+			conds = append(conds, fmt.Sprintf("%s %s %v", e, op, c.NumVal))
+		default:
+			return "", fmt.Errorf("biql: unknown condition op %q", c.Op)
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "SELECT %s FROM %s", strings.Join(sel, ", "), table)
+	if len(conds) > 0 {
+		fmt.Fprintf(&sb, " WHERE %s", strings.Join(conds, " AND "))
+	}
+	if !q.Count {
+		sb.WriteString(" ORDER BY id")
+	}
+	if q.Top > 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", q.Top)
+	}
+	return sb.String(), nil
+}
+
+func escapeSQL(s string) string { return strings.ReplaceAll(s, "'", "''") }
+
+// ---- tokenizer ----
+
+type bparser struct {
+	toks []btok
+	pos  int
+}
+
+type btok struct {
+	text     string
+	isString bool
+}
+
+func tokenize(input string) []btok {
+	var out []btok
+	i := 0
+	for i < len(input) {
+		ch := input[i]
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			i++
+		case ch == '"' || ch == '\'':
+			quote := ch
+			i++
+			var sb strings.Builder
+			for i < len(input) && input[i] != quote {
+				sb.WriteByte(input[i])
+				i++
+			}
+			i++ // closing quote (or EOF)
+			out = append(out, btok{text: sb.String(), isString: true})
+		case ch == ',':
+			out = append(out, btok{text: ","})
+			i++
+		default:
+			start := i
+			for i < len(input) && input[i] != ' ' && input[i] != '\t' &&
+				input[i] != '\n' && input[i] != '\r' && input[i] != ',' {
+				i++
+			}
+			out = append(out, btok{text: input[start:i]})
+		}
+	}
+	return out
+}
+
+// accept consumes the next token if it equals kw case-insensitively.
+func (p *bparser) accept(kw string) bool {
+	if p.pos < len(p.toks) && !p.toks[p.pos].isString &&
+		strings.EqualFold(p.toks[p.pos].text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// next consumes and returns the next token text ("" at end).
+func (p *bparser) next() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t.text
+}
+
+// nextString consumes the next token if it is a quoted string.
+func (p *bparser) nextString() (string, bool) {
+	if p.pos < len(p.toks) && p.toks[p.pos].isString {
+		s := p.toks[p.pos].text
+		p.pos++
+		return s, true
+	}
+	return "", false
+}

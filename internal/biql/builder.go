@@ -1,0 +1,109 @@
+package biql
+
+import "fmt"
+
+// Builder assembles a BiQL query programmatically. It is the textual
+// counterpart of the paper's Section 6.4 "visual language for the graphical
+// specification of queries": a GUI composes a query structurally (pick an
+// entity, add conditions, choose output fields) and the result "is then
+// evaluated and translated into a textual SQL representation" — here via
+// Build().ToSQL().
+//
+// The zero Builder is not usable; start with Find or Count.
+type Builder struct {
+	q    Query
+	errs []error
+}
+
+// Find starts a FIND query over "fragments" or "genes".
+func Find(entity string) *Builder {
+	b := &Builder{q: Query{Entity: entity, Format: FormatTable}}
+	b.checkEntity(entity)
+	return b
+}
+
+// Count starts a COUNT query.
+func Count(entity string) *Builder {
+	b := &Builder{q: Query{Entity: entity, Count: true, Format: FormatTable}}
+	b.checkEntity(entity)
+	return b
+}
+
+func (b *Builder) checkEntity(entity string) {
+	if entity != "fragments" && entity != "genes" {
+		b.errs = append(b.errs, fmt.Errorf("biql: unknown entity %q", entity))
+	}
+}
+
+// WhereIs adds `field IS value`.
+func (b *Builder) WhereIs(field, value string) *Builder {
+	b.q.Conds = append(b.q.Conds, Cond{Field: field, Op: "is", StrVal: value})
+	return b
+}
+
+// WhereAtLeast adds `field AT LEAST n`.
+func (b *Builder) WhereAtLeast(field string, n float64) *Builder {
+	b.q.Conds = append(b.q.Conds, Cond{Field: field, Op: "atleast", NumVal: n})
+	return b
+}
+
+// WhereAtMost adds `field AT MOST n`.
+func (b *Builder) WhereAtMost(field string, n float64) *Builder {
+	b.q.Conds = append(b.q.Conds, Cond{Field: field, Op: "atmost", NumVal: n})
+	return b
+}
+
+// WhereContains adds `SEQUENCE CONTAINS pattern`.
+func (b *Builder) WhereContains(pattern string) *Builder {
+	b.q.Conds = append(b.q.Conds, Cond{Field: "sequence", Op: "contains", StrVal: pattern})
+	return b
+}
+
+// WhereResembles adds `SEQUENCE RESEMBLES letters SCORE minScore`.
+func (b *Builder) WhereResembles(letters string, minScore int) *Builder {
+	b.q.Conds = append(b.q.Conds, Cond{Field: "sequence", Op: "resembles", StrVal: letters, NumVal: float64(minScore)})
+	return b
+}
+
+// Show sets the output fields.
+func (b *Builder) Show(fields ...string) *Builder {
+	if b.q.Count {
+		b.errs = append(b.errs, fmt.Errorf("biql: COUNT queries cannot SHOW fields"))
+		return b
+	}
+	for _, f := range fields {
+		if !validShowField(b.q.Entity, f) {
+			b.errs = append(b.errs, fmt.Errorf("biql: unknown field %q for %s", f, b.q.Entity))
+		}
+	}
+	b.q.Fields = fields
+	return b
+}
+
+// Top limits the result count.
+func (b *Builder) Top(n int) *Builder {
+	if n < 1 {
+		b.errs = append(b.errs, fmt.Errorf("biql: TOP needs a positive count"))
+		return b
+	}
+	b.q.Top = n
+	return b
+}
+
+// AsFASTA selects FASTA output rendering.
+func (b *Builder) AsFASTA() *Builder {
+	b.q.Format = FormatFASTA
+	return b
+}
+
+// Build finalizes the query, reporting any accumulated errors.
+func (b *Builder) Build() (*Query, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	q := b.q
+	if len(q.Fields) == 0 && !q.Count {
+		q.Fields = []string{"id"}
+	}
+	return &q, nil
+}

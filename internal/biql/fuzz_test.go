@@ -1,0 +1,27 @@
+package biql
+
+import "testing"
+
+// FuzzParse asserts the BiQL parser never panics and that every accepted
+// query compiles to SQL.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`FIND fragments WHERE sequence CONTAINS "ATTGCCATA" SHOW id, length TOP 5`,
+		`FIND genes WHERE organism IS "x" AND gc AT MOST 0.5 SHOW id, protein AS FASTA`,
+		`COUNT genes WHERE quality AT LEAST 0.9`,
+		`FIND fragments WHERE sequence RESEMBLES "ACGT" SCORE 10`,
+		`FIND`, `COUNT fragments SHOW`, `"`, `FIND genes TOP -1`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if _, err := q.ToSQL(); err != nil {
+			t.Fatalf("accepted query failed to compile: %v", err)
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package biql
+
+import (
+	"fmt"
+	"strings"
+
+	"genalg/internal/db"
+	"genalg/internal/gdt"
+)
+
+// Render formats a result per the query's output description (Section 6.4:
+// a textual realization of the "graphical output description language").
+func Render(q *Query, cols []string, rows []db.Row) string {
+	switch q.Format {
+	case FormatFASTA:
+		return renderFASTA(cols, rows)
+	default:
+		return renderTable(cols, rows)
+	}
+}
+
+func cellString(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case float64:
+		return fmt.Sprintf("%.4g", x)
+	case gdt.Value:
+		return x.String()
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// renderTable draws an aligned text table.
+func renderTable(cols []string, rows []db.Row) string {
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(rows))
+	for ri, row := range rows {
+		cells[ri] = make([]string, len(cols))
+		for ci := range cols {
+			var s string
+			if ci < len(row) {
+				s = cellString(row[ci])
+			}
+			if len(s) > 48 {
+				s = s[:45] + "..."
+			}
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(v)
+			for p := len(v); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(cols)
+	sep := make([]string, len(cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	fmt.Fprintf(&sb, "(%d rows)\n", len(rows))
+	return sb.String()
+}
+
+// renderFASTA emits one FASTA entry per row: the first sequence-like column
+// becomes the body, the remaining columns join into the header.
+func renderFASTA(cols []string, rows []db.Row) string {
+	var sb strings.Builder
+	for _, row := range rows {
+		seqText := ""
+		var headerParts []string
+		for ci, c := range cols {
+			if ci >= len(row) {
+				continue
+			}
+			switch v := row[ci].(type) {
+			case gdt.DNA:
+				if seqText == "" {
+					seqText = v.Seq.String()
+					continue
+				}
+			case gdt.Gene:
+				if seqText == "" {
+					seqText = v.Seq.String()
+					continue
+				}
+			case string:
+				// A SHOW protein or SHOW sequence column arrives as a string
+				// of letters; treat long letter-only strings as the body.
+				if seqText == "" && len(v) >= 10 && isSeqLike(v) && (c == "sequence" || c == "protein") {
+					seqText = v
+					continue
+				}
+			}
+			headerParts = append(headerParts, fmt.Sprintf("%s=%s", c, cellString(row[ci])))
+		}
+		fmt.Fprintf(&sb, ">%s\n", strings.Join(headerParts, " "))
+		for off := 0; off < len(seqText); off += 70 {
+			end := off + 70
+			if end > len(seqText) {
+				end = len(seqText)
+			}
+			sb.WriteString(seqText[off:end])
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func isSeqLike(s string) bool {
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if !(ch >= 'A' && ch <= 'Z' || ch == '*') {
+			return false
+		}
+	}
+	return true
+}

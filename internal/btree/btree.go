@@ -1,0 +1,265 @@
+// Package btree implements an in-memory B+tree over byte-string keys with
+// uint64 payloads, used by the Unifying Database as its ordered secondary
+// index structure (paper Section 6.5). Duplicate keys are supported; the
+// (key, value) pair is the unit of uniqueness.
+package btree
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// degree is the maximum number of keys per node; nodes split when they
+// exceed it.
+const degree = 64
+
+// Tree is a B+tree. The zero value is not usable; call New.
+type Tree struct {
+	root *node
+	size int
+}
+
+// node is a B+tree node. Interior nodes store (key, val) separator pairs:
+// child i holds entries strictly less than separator i and greater than or
+// equal to separator i-1 under the (key, val) order. Carrying the value in
+// the separator keeps duplicate keys that span leaves fully ordered.
+type node struct {
+	leaf     bool
+	keys     [][]byte
+	vals     []uint64
+	children []*node // interior only, len = len(keys)+1
+	next     *node   // leaf chain for range scans
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of stored (key, value) pairs.
+func (t *Tree) Len() int { return t.size }
+
+// cmp orders entries by key then value, making duplicates well-ordered.
+func cmp(k1 []byte, v1 uint64, k2 []byte, v2 uint64) int {
+	if c := bytes.Compare(k1, k2); c != 0 {
+		return c
+	}
+	switch {
+	case v1 < v2:
+		return -1
+	case v1 > v2:
+		return 1
+	}
+	return 0
+}
+
+// childIndex returns the child to descend into for (key, val): the first
+// child whose separator exceeds the pair.
+func (n *node) childIndex(key []byte, val uint64) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmp(key, val, n.keys[mid], n.vals[mid]) >= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// leafIndex returns the position of the first entry >= (key, val).
+func (n *node) leafIndex(key []byte, val uint64) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmp(n.keys[mid], n.vals[mid], key, val) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// findLeaf descends to the leaf that would contain (key, val).
+func (t *Tree) findLeaf(key []byte, val uint64) *node {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.childIndex(key, val)]
+	}
+	return n
+}
+
+// Insert adds the (key, value) pair. Inserting an existing pair is a no-op
+// returning false; new pairs return true.
+func (t *Tree) Insert(key []byte, val uint64) bool {
+	k := make([]byte, len(key))
+	copy(k, key)
+	newChild, sepKey, sepVal, inserted := t.insert(t.root, k, val)
+	if newChild != nil {
+		t.root = &node{
+			keys:     [][]byte{sepKey},
+			vals:     []uint64{sepVal},
+			children: []*node{t.root, newChild},
+		}
+	}
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+// insert returns a new right sibling and separator pair when the node
+// splits.
+func (t *Tree) insert(n *node, key []byte, val uint64) (*node, []byte, uint64, bool) {
+	if n.leaf {
+		i := n.leafIndex(key, val)
+		if i < len(n.keys) && cmp(n.keys[i], n.vals[i], key, val) == 0 {
+			return nil, nil, 0, false
+		}
+		n.keys = append(n.keys, nil)
+		n.vals = append(n.vals, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.vals[i+1:], n.vals[i:])
+		n.keys[i] = key
+		n.vals[i] = val
+		if len(n.keys) <= degree {
+			return nil, nil, 0, true
+		}
+		mid := len(n.keys) / 2
+		right := &node{leaf: true, next: n.next}
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.vals = append(right.vals, n.vals[mid:]...)
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		n.next = right
+		return right, right.keys[0], right.vals[0], true
+	}
+	ci := n.childIndex(key, val)
+	newChild, sepKey, sepVal, inserted := t.insert(n.children[ci], key, val)
+	if newChild == nil {
+		return nil, nil, 0, inserted
+	}
+	n.keys = append(n.keys, nil)
+	n.vals = append(n.vals, 0)
+	n.children = append(n.children, nil)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	copy(n.vals[ci+1:], n.vals[ci:])
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.keys[ci] = sepKey
+	n.vals[ci] = sepVal
+	n.children[ci+1] = newChild
+	if len(n.keys) <= degree {
+		return nil, nil, 0, inserted
+	}
+	// Split interior node: the middle separator moves up.
+	mid := len(n.keys) / 2
+	upKey, upVal := n.keys[mid], n.vals[mid]
+	right := &node{}
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.vals = append(right.vals, n.vals[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid:mid]
+	n.vals = n.vals[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return right, upKey, upVal, inserted
+}
+
+// Delete removes the (key, value) pair, reporting whether it was present.
+// Underflowed nodes are tolerated (no rebalancing): deletions are rare in
+// the warehouse workload and lookups remain correct because separators only
+// guide descent.
+func (t *Tree) Delete(key []byte, val uint64) bool {
+	leaf := t.findLeaf(key, val)
+	i := leaf.leafIndex(key, val)
+	if i >= len(leaf.keys) || cmp(leaf.keys[i], leaf.vals[i], key, val) != 0 {
+		return false
+	}
+	leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+	leaf.vals = append(leaf.vals[:i], leaf.vals[i+1:]...)
+	t.size--
+	return true
+}
+
+// Search returns all values stored under key, in ascending value order.
+func (t *Tree) Search(key []byte) []uint64 {
+	var out []uint64
+	t.Range(key, key, func(k []byte, v uint64) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Range calls fn for every pair with lo <= key <= hi in (key, value) order.
+// A nil hi means unbounded above; a nil lo starts at the smallest key.
+// Returning false stops iteration.
+func (t *Tree) Range(lo, hi []byte, fn func(key []byte, val uint64) bool) {
+	n := t.root
+	for !n.leaf {
+		if lo == nil {
+			n = n.children[0]
+		} else {
+			n = n.children[n.childIndex(lo, 0)]
+		}
+	}
+	i := 0
+	if lo != nil {
+		i = n.leafIndex(lo, 0)
+	}
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if hi != nil && bytes.Compare(n.keys[i], hi) > 0 {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// Min returns the smallest key, or nil for an empty tree.
+func (t *Tree) Min() []byte {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for n != nil && len(n.keys) == 0 {
+		n = n.next
+	}
+	if n == nil {
+		return nil
+	}
+	return n.keys[0]
+}
+
+// Validate checks structural invariants; it is used by property tests.
+func (t *Tree) Validate() error {
+	count := 0
+	var prevKey []byte
+	var prevVal uint64
+	first := true
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for n != nil {
+		for i := range n.keys {
+			if !first && cmp(prevKey, prevVal, n.keys[i], n.vals[i]) >= 0 {
+				return fmt.Errorf("btree: order violation at key %q", n.keys[i])
+			}
+			prevKey, prevVal = n.keys[i], n.vals[i]
+			first = false
+			count++
+		}
+		n = n.next
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: leaf chain has %d entries, size says %d", count, t.size)
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertSearchBasic(t *testing.T) {
+	tr := New()
+	if !tr.Insert([]byte("gene1"), 10) {
+		t.Error("first insert reported duplicate")
+	}
+	if tr.Insert([]byte("gene1"), 10) {
+		t.Error("duplicate pair inserted")
+	}
+	tr.Insert([]byte("gene1"), 20) // same key, different value: allowed
+	tr.Insert([]byte("gene2"), 30)
+	if got := tr.Search([]byte("gene1")); len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Errorf("Search(gene1) = %v", got)
+	}
+	if got := tr.Search([]byte("nosuch")); len(got) != 0 {
+		t.Errorf("Search(nosuch) = %v", got)
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestInsertKeyAliasing(t *testing.T) {
+	tr := New()
+	key := []byte("mutable")
+	tr.Insert(key, 1)
+	key[0] = 'X' // caller mutates its buffer
+	if got := tr.Search([]byte("mutable")); len(got) != 1 {
+		t.Error("tree aliased the caller's key buffer")
+	}
+}
+
+func TestManyInsertsOrdered(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Insert([]byte(fmt.Sprintf("key%06d", i)), uint64(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Range over a window.
+	var got []uint64
+	tr.Range([]byte("key001000"), []byte("key001009"), func(k []byte, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 || got[0] != 1000 || got[9] != 1009 {
+		t.Errorf("window = %v", got)
+	}
+}
+
+func TestRandomOrderInserts(t *testing.T) {
+	tr := New()
+	r := rand.New(rand.NewSource(42))
+	perm := r.Perm(3000)
+	for _, i := range perm {
+		tr.Insert([]byte(fmt.Sprintf("k%05d", i)), uint64(i))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Min(); string(got) != "k00000" {
+		t.Errorf("Min = %q", got)
+	}
+	// Every key findable.
+	for i := 0; i < 3000; i += 117 {
+		if got := tr.Search([]byte(fmt.Sprintf("k%05d", i))); len(got) != 1 || got[0] != uint64(i) {
+			t.Errorf("Search(k%05d) = %v", i, got)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert([]byte(fmt.Sprintf("k%04d", i)), uint64(i))
+	}
+	for i := 0; i < 1000; i += 2 {
+		if !tr.Delete([]byte(fmt.Sprintf("k%04d", i)), uint64(i)) {
+			t.Fatalf("Delete(k%04d) reported absent", i)
+		}
+	}
+	if tr.Delete([]byte("k0000"), 0) {
+		t.Error("double delete succeeded")
+	}
+	if tr.Delete([]byte("k0001"), 999) {
+		t.Error("delete with wrong value succeeded")
+	}
+	if tr.Len() != 500 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		got := tr.Search([]byte(fmt.Sprintf("k%04d", i)))
+		wantLen := i % 2 // even deleted
+		if len(got) != wantLen {
+			t.Errorf("Search(k%04d) = %v, want %d hits", i, got, wantLen)
+		}
+	}
+}
+
+func TestRangeUnbounded(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert([]byte(fmt.Sprintf("%03d", i)), uint64(i))
+	}
+	var all []uint64
+	tr.Range(nil, nil, func(k []byte, v uint64) bool {
+		all = append(all, v)
+		return true
+	})
+	if len(all) != 100 {
+		t.Fatalf("full range = %d entries", len(all))
+	}
+	if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i] < all[j] }) {
+		t.Error("full range unordered")
+	}
+	// Early stop.
+	cnt := 0
+	tr.Range(nil, nil, func(k []byte, v uint64) bool {
+		cnt++
+		return cnt < 5
+	})
+	if cnt != 5 {
+		t.Errorf("early stop = %d", cnt)
+	}
+	// Lower-bounded only.
+	var tail []uint64
+	tr.Range([]byte("095"), nil, func(k []byte, v uint64) bool {
+		tail = append(tail, v)
+		return true
+	})
+	if len(tail) != 5 {
+		t.Errorf("tail = %v", tail)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Min() != nil {
+		t.Error("Min of empty tree")
+	}
+	if got := tr.Search([]byte("x")); len(got) != 0 {
+		t.Error("Search of empty tree")
+	}
+	if tr.Delete([]byte("x"), 0) {
+		t.Error("Delete on empty tree succeeded")
+	}
+	tr.Range(nil, nil, func(k []byte, v uint64) bool {
+		t.Error("Range on empty tree called fn")
+		return false
+	})
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuplicateKeysManyValues(t *testing.T) {
+	tr := New()
+	for v := uint64(0); v < 300; v++ {
+		tr.Insert([]byte("samekey"), v)
+	}
+	got := tr.Search([]byte("samekey"))
+	if len(got) != 300 {
+		t.Fatalf("duplicates = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatal("duplicate values unordered")
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tree contents always match a reference map under random
+// insert/delete sequences.
+func TestTreeMatchesReferenceProperty(t *testing.T) {
+	type op struct {
+		Key uint8
+		Val uint8
+		Del bool
+	}
+	f := func(ops []op) bool {
+		tr := New()
+		ref := map[[2]uint8]bool{}
+		for _, o := range ops {
+			k := []byte{o.Key}
+			if o.Del {
+				want := ref[[2]uint8{o.Key, o.Val}]
+				got := tr.Delete(k, uint64(o.Val))
+				if got != want {
+					return false
+				}
+				delete(ref, [2]uint8{o.Key, o.Val})
+			} else {
+				want := !ref[[2]uint8{o.Key, o.Val}]
+				got := tr.Insert(k, uint64(o.Val))
+				if got != want {
+					return false
+				}
+				ref[[2]uint8{o.Key, o.Val}] = true
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert([]byte(fmt.Sprintf("key%09d", i)), uint64(i))
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		tr.Insert([]byte(fmt.Sprintf("key%09d", i)), uint64(i))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Search([]byte(fmt.Sprintf("key%09d", i%100000)))
+	}
+}

@@ -1,0 +1,120 @@
+package capability
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRequirementsComplete(t *testing.T) {
+	reqs := Requirements()
+	if len(reqs) != 15 {
+		t.Fatalf("requirements = %d, want 15", len(reqs))
+	}
+	for i, r := range reqs {
+		want := "C" + itoa(i+1)
+		if r.ID != want {
+			t.Errorf("req %d id = %s, want %s", i, r.ID, want)
+		}
+		if r.Title == "" {
+			t.Errorf("req %s untitled", r.ID)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}
+
+func TestSurveyedSystemsCoverAllCells(t *testing.T) {
+	for _, s := range Surveyed() {
+		for _, r := range Requirements() {
+			if _, ok := s.Cells[r.ID]; !ok {
+				t.Errorf("%s missing cell %s", s.Name, r.ID)
+			}
+		}
+		if len(s.Cells) != 15 {
+			t.Errorf("%s has %d cells", s.Name, len(s.Cells))
+		}
+	}
+}
+
+func TestPaperShapeHolds(t *testing.T) {
+	// The qualitative shape of Table 1: no surveyed system supports C9,
+	// C12, or C14; GUS is the only one with archival (C15); GenAlg claims
+	// all fifteen.
+	m := BuildMatrix()
+	for _, s := range m.Systems {
+		if s.Name == "GenAlg+UDB" {
+			continue
+		}
+		for _, id := range []string{"C9", "C12", "C14"} {
+			if s.Cells[id].Level != None {
+				t.Errorf("%s claims %s; the paper says no surveyed system supports it", s.Name, id)
+			}
+		}
+		if id := "C15"; s.Name != "GUS" && s.Cells[id].Level != None {
+			t.Errorf("%s claims archival", s.Name)
+		}
+	}
+	// Ranking: GenAlg > GUS > mediators, per the paper's argument.
+	genalg, _ := m.Score("GenAlg+UDB")
+	gus, _ := m.Score("GUS")
+	srs, _ := m.Score("SRS")
+	if !(genalg > gus && gus > srs) {
+		t.Errorf("score order wrong: genalg=%d gus=%d srs=%d", genalg, gus, srs)
+	}
+	if genalg != 30 {
+		t.Errorf("GenAlg score = %d, want 30 (full support)", genalg)
+	}
+	if _, err := m.Score("nosuch"); err == nil {
+		t.Error("unknown system scored")
+	}
+}
+
+func TestRenderShowsAllColumns(t *testing.T) {
+	m := BuildMatrix()
+	out := m.Render()
+	for _, name := range m.Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("render missing column %s", name)
+		}
+	}
+	for _, r := range Requirements() {
+		if !strings.Contains(out, r.ID) {
+			t.Errorf("render missing row %s", r.ID)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 17 { // header + separator + 15 rows
+		t.Errorf("render lines = %d", len(lines))
+	}
+}
+
+// TestGenAlgColumnIsValidated is the heart of experiment T1: every cell of
+// the GenAlg column is regenerated from a live feature exercise.
+func TestGenAlgColumnIsValidated(t *testing.T) {
+	failed, errs := Validate(NewChecks())
+	for i, id := range failed {
+		t.Errorf("claim %s not backed by working code: %v", id, errs[i])
+	}
+}
+
+func TestValidateDetectsMissingAndFailingChecks(t *testing.T) {
+	checks := NewChecks()
+	delete(checks, "C9")
+	checks["C15"] = func() error { return errString("forced failure") }
+	failed, errs := Validate(checks)
+	if len(failed) != 2 || len(errs) != 2 {
+		t.Fatalf("failed = %v", failed)
+	}
+	if failed[0] != "C15" && failed[1] != "C15" {
+		t.Errorf("forced failure not reported: %v", failed)
+	}
+}
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// miniSig builds the paper's running example signature:
+//
+//	sorts  string, integer, char
+//	ops    concat: string x string -> string
+//	       getchar: string x integer -> char
+func miniSig(t testing.TB) (*Signature, *Algebra) {
+	sig := NewSignature()
+	sig.AddSort("char")
+	alg := NewAlgebra(sig)
+	alg.SetCarrier("char", func(v any) bool { _, ok := v.(byte); return ok })
+	alg.MustRegister(OpSig{Name: "concat", Args: []Sort{SortString, SortString}, Result: SortString},
+		func(args []any) (any, error) { return args[0].(string) + args[1].(string), nil })
+	alg.MustRegister(OpSig{Name: "getchar", Args: []Sort{SortString, SortInt}, Result: "char"},
+		func(args []any) (any, error) {
+			s, i := args[0].(string), args[1].(int64)
+			if i < 0 || int(i) >= len(s) {
+				return nil, errors.New("index out of range")
+			}
+			return s[i], nil
+		})
+	return sig, alg
+}
+
+func TestPaperExampleTerm(t *testing.T) {
+	// The paper's example: getchar(concat("Genomics", "Algebra"), 10).
+	sig, alg := miniSig(t)
+	term, err := ParseTerm(sig, `getchar(concat("Genomics", "Algebra"), 10)`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Sort() != "char" {
+		t.Errorf("term sort = %q, want char", term.Sort())
+	}
+	v, err := alg.Eval(term, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "GenomicsAlgebra"[10] == 'g'
+	if v.(byte) != 'g' {
+		t.Errorf("eval = %q, want 'g'", v)
+	}
+}
+
+func TestSignatureSortRegistry(t *testing.T) {
+	sig := NewSignature()
+	if !sig.HasSort(SortBool) || !sig.HasSort(SortString) {
+		t.Error("builtin sorts missing")
+	}
+	sig.AddSort("gene", "protein")
+	if !sig.HasSort("gene") {
+		t.Error("AddSort failed")
+	}
+	sorts := sig.Sorts()
+	for i := 1; i < len(sorts); i++ {
+		if sorts[i-1] >= sorts[i] {
+			t.Errorf("Sorts not ordered: %v", sorts)
+		}
+	}
+}
+
+func TestAddOpValidation(t *testing.T) {
+	sig := NewSignature()
+	if err := sig.AddOp(OpSig{Name: "f", Args: []Sort{"nosuch"}, Result: SortBool}); err == nil {
+		t.Error("unknown arg sort accepted")
+	}
+	if err := sig.AddOp(OpSig{Name: "f", Result: "nosuch"}); err == nil {
+		t.Error("unknown result sort accepted")
+	}
+	if err := sig.AddOp(OpSig{Result: SortBool}); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestOverloadResolution(t *testing.T) {
+	sig := NewSignature()
+	sig.AddSort("dna", "rna")
+	sig.MustAddOp(OpSig{Name: "length", Args: []Sort{"dna"}, Result: SortInt})
+	sig.MustAddOp(OpSig{Name: "length", Args: []Sort{"rna"}, Result: SortInt})
+	if _, ok := sig.Resolve("length", []Sort{"dna"}); !ok {
+		t.Error("dna overload not found")
+	}
+	if _, ok := sig.Resolve("length", []Sort{SortString}); ok {
+		t.Error("phantom overload resolved")
+	}
+	if got := len(sig.Overloads("length")); got != 2 {
+		t.Errorf("Overloads = %d, want 2", got)
+	}
+}
+
+func TestOpReplacement(t *testing.T) {
+	sig := NewSignature()
+	alg := NewAlgebra(sig)
+	op := OpSig{Name: "f", Args: []Sort{SortInt}, Result: SortInt}
+	alg.MustRegister(op, func(args []any) (any, error) { return args[0].(int64) + 1, nil })
+	term := MustApply(sig, "f", Const(SortInt, int64(1)))
+	if v, _ := alg.Eval(term, nil); v.(int64) != 2 {
+		t.Fatalf("first impl = %v", v)
+	}
+	// Swap the implementation without changing the interface (paper §4.2).
+	alg.MustRegister(op, func(args []any) (any, error) { return args[0].(int64) * 10, nil })
+	if v, _ := alg.Eval(term, nil); v.(int64) != 10 {
+		t.Errorf("replaced impl = %v", v)
+	}
+	if got := len(sig.Overloads("f")); got != 1 {
+		t.Errorf("replacement duplicated overload: %d", got)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	sig, _ := miniSig(t)
+	if _, err := Apply(sig, "nosuch", Const(SortInt, int64(1))); err == nil || !strings.Contains(err.Error(), "unknown operator") {
+		t.Errorf("unknown op error = %v", err)
+	}
+	_, err := Apply(sig, "concat", Const(SortInt, int64(1)), Const(SortInt, int64(2)))
+	if err == nil || !strings.Contains(err.Error(), "no overload") {
+		t.Errorf("bad args error = %v", err)
+	}
+	// Error message lists available overloads.
+	if !strings.Contains(err.Error(), "concat: string x string -> string") {
+		t.Errorf("error lacks overload listing: %v", err)
+	}
+	if _, err := Apply(sig, "concat", nil, nil); err == nil {
+		t.Error("nil argument accepted")
+	}
+}
+
+func TestVariablesAndEnv(t *testing.T) {
+	sig, alg := miniSig(t)
+	term, err := ParseTerm(sig, `concat(x, "!")`, map[string]Sort{"x": SortString})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vars := term.Vars(); len(vars) != 1 || vars[0] != "x" {
+		t.Errorf("Vars = %v", vars)
+	}
+	v, err := alg.Eval(term, Env{"x": "hi"})
+	if err != nil || v.(string) != "hi!" {
+		t.Errorf("eval = %v, %v", v, err)
+	}
+	// Unbound variable fails with a useful error.
+	_, err = alg.Eval(term, Env{})
+	var ee *EvalError
+	if !errors.As(err, &ee) || !strings.Contains(err.Error(), "unbound variable") {
+		t.Errorf("unbound var error = %v", err)
+	}
+}
+
+func TestCarrierChecking(t *testing.T) {
+	sig := NewSignature()
+	alg := NewAlgebra(sig)
+	// A buggy operator returning the wrong Go type must be caught.
+	alg.MustRegister(OpSig{Name: "bad", Args: nil, Result: SortInt},
+		func(args []any) (any, error) { return "not an int", nil })
+	term := MustApply(sig, "bad")
+	if _, err := alg.Eval(term, nil); err == nil || !strings.Contains(err.Error(), "carrier") {
+		t.Errorf("carrier violation not caught: %v", err)
+	}
+}
+
+func TestEvalErrorPropagation(t *testing.T) {
+	sig, alg := miniSig(t)
+	term := MustApply(sig, "getchar", Const(SortString, "ab"), Const(SortInt, int64(99)))
+	_, err := alg.Eval(term, nil)
+	if err == nil || !strings.Contains(err.Error(), "index out of range") {
+		t.Errorf("err = %v", err)
+	}
+	// The failing term is named in the error.
+	if !strings.Contains(err.Error(), "getchar") {
+		t.Errorf("error lacks term context: %v", err)
+	}
+}
+
+func TestEvalNilAndMissingImpl(t *testing.T) {
+	sig, alg := miniSig(t)
+	if _, err := alg.Eval(nil, nil); err == nil {
+		t.Error("nil term accepted")
+	}
+	// Operator in signature but without implementation.
+	sig.MustAddOp(OpSig{Name: "ghost", Args: nil, Result: SortBool})
+	term := MustApply(sig, "ghost")
+	if _, err := alg.Eval(term, nil); err == nil || !strings.Contains(err.Error(), "no implementation") {
+		t.Errorf("ghost op error = %v", err)
+	}
+}
+
+func TestTermStringAndDepth(t *testing.T) {
+	sig, _ := miniSig(t)
+	term := MustApply(sig, "getchar",
+		MustApply(sig, "concat", Const(SortString, "a"), Var(SortString, "y")),
+		Const(SortInt, int64(0)))
+	if s := term.String(); s != "getchar(concat(a, y), 0)" {
+		t.Errorf("String = %q", s)
+	}
+	if d := term.Depth(); d != 2 {
+		t.Errorf("Depth = %d, want 2", d)
+	}
+	if d := Const(SortInt, int64(1)).Depth(); d != 0 {
+		t.Errorf("const depth = %d", d)
+	}
+}
+
+func TestCallFastPath(t *testing.T) {
+	_, alg := miniSig(t)
+	v, err := alg.Call("concat", []Sort{SortString, SortString}, []any{"a", "b"})
+	if err != nil || v.(string) != "ab" {
+		t.Errorf("Call = %v, %v", v, err)
+	}
+	if _, err := alg.Call("concat", []Sort{SortInt}, []any{int64(1)}); err == nil {
+		t.Error("Call with bad sorts succeeded")
+	}
+	if _, err := alg.Call("nosuch", nil, nil); err == nil {
+		t.Error("Call of unknown op succeeded")
+	}
+}
+
+func TestParserLiterals(t *testing.T) {
+	sig := NewSignature()
+	cases := []struct {
+		in   string
+		sort Sort
+		val  any
+	}{
+		{`"hi"`, SortString, "hi"},
+		{`"es\"caped"`, SortString, `es"caped`},
+		{`42`, SortInt, int64(42)},
+		{`-7`, SortInt, int64(-7)},
+		{`3.25`, SortFloat, 3.25},
+		{`true`, SortBool, true},
+		{`false`, SortBool, false},
+	}
+	for _, c := range cases {
+		term, err := ParseTerm(sig, c.in, nil)
+		if err != nil {
+			t.Errorf("ParseTerm(%q): %v", c.in, err)
+			continue
+		}
+		if term.Sort() != c.sort || !term.IsConst() {
+			t.Errorf("ParseTerm(%q) sort = %v", c.in, term.Sort())
+		}
+		alg := NewAlgebra(sig)
+		v, err := alg.Eval(term, nil)
+		if err != nil || v != c.val {
+			t.Errorf("ParseTerm(%q) eval = %v (%v)", c.in, v, err)
+		}
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	sig, _ := miniSig(t)
+	cases := []string{
+		``, `(`, `concat("a"`, `concat("a",)`, `concat "a"`, `"unterminated`,
+		`concat("a","b") extra`, `unknownvar`, `f(@)`, `1.2.3`,
+	}
+	for _, c := range cases {
+		if _, err := ParseTerm(sig, c, nil); err == nil {
+			t.Errorf("ParseTerm(%q) succeeded", c)
+		}
+	}
+}
+
+func TestParserZeroArgCall(t *testing.T) {
+	sig := NewSignature()
+	alg := NewAlgebra(sig)
+	alg.MustRegister(OpSig{Name: "pi", Args: nil, Result: SortFloat},
+		func(args []any) (any, error) { return 3.14159, nil })
+	term, err := ParseTerm(sig, `pi()`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := alg.Eval(term, nil)
+	if err != nil || v.(float64) != 3.14159 {
+		t.Errorf("pi() = %v, %v", v, err)
+	}
+}
+
+func TestConcurrentRegistrationAndEval(t *testing.T) {
+	sig := NewSignature()
+	alg := NewAlgebra(sig)
+	alg.MustRegister(OpSig{Name: "id", Args: []Sort{SortInt}, Result: SortInt},
+		func(args []any) (any, error) { return args[0], nil })
+	term := MustApply(sig, "id", Const(SortInt, int64(5)))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			alg.MustRegister(OpSig{Name: "id", Args: []Sort{SortInt}, Result: SortInt},
+				func(args []any) (any, error) { return args[0], nil })
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		if _, err := alg.Eval(term, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+}
+
+func BenchmarkTermEval(b *testing.B) {
+	sig, alg := miniSig(b)
+	term := MustApply(sig, "getchar",
+		MustApply(sig, "concat", Const(SortString, "Genomics"), Const(SortString, "Algebra")),
+		Const(SortInt, int64(10)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.Eval(term, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseTerm(b *testing.B) {
+	sig, _ := miniSig(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseTerm(sig, `getchar(concat("Genomics", "Algebra"), 10)`, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package core
+
+import "testing"
+
+// FuzzParseTerm asserts the term parser never panics and accepted terms are
+// well-sorted.
+func FuzzParseTerm(f *testing.F) {
+	seeds := []string{
+		`getchar(concat("Genomics", "Algebra"), 10)`,
+		`concat(x, "!")`,
+		`f(g(h(1)), -2.5, true, "s")`,
+		`pi()`, `(`, `f(`, `"unterminated`, `1.2.3`, `f(,)`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		sig := NewSignature()
+		sig.AddSort("char")
+		sig.MustAddOp(OpSig{Name: "concat", Args: []Sort{SortString, SortString}, Result: SortString})
+		sig.MustAddOp(OpSig{Name: "getchar", Args: []Sort{SortString, SortInt}, Result: "char"})
+		sig.MustAddOp(OpSig{Name: "pi", Result: SortFloat})
+		term, err := ParseTerm(sig, input, map[string]Sort{"x": SortString})
+		if err != nil {
+			return
+		}
+		if term.Sort() == "" {
+			t.Fatal("accepted term has empty sort")
+		}
+		_ = term.String()
+		_ = term.Vars()
+		_ = term.Depth()
+	})
+}

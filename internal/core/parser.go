@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseTerm parses the functional term notation used throughout the paper,
+// e.g.
+//
+//	translate(splice(transcribe(g)))
+//	getchar(concat("Genomics", "Algebra"), 10)
+//
+// Identifiers that are not operator applications are resolved as variables
+// whose sorts are supplied in varSorts. Integer, float, and double-quoted
+// string literals become constants of the builtin sorts. Operator overloads
+// are resolved from the argument sorts, so parsing performs full static
+// sort checking.
+func ParseTerm(sig *Signature, input string, varSorts map[string]Sort) (*Term, error) {
+	p := &termParser{sig: sig, in: input, vars: varSorts}
+	t, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("core: trailing input at offset %d: %q", p.pos, p.in[p.pos:])
+	}
+	return t, nil
+}
+
+type termParser struct {
+	sig  *Signature
+	in   string
+	pos  int
+	vars map[string]Sort
+}
+
+func (p *termParser) skipSpace() {
+	for p.pos < len(p.in) && unicode.IsSpace(rune(p.in[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *termParser) parseExpr() (*Term, error) {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return nil, fmt.Errorf("core: unexpected end of term at offset %d", p.pos)
+	}
+	ch := p.in[p.pos]
+	switch {
+	case ch == '"':
+		return p.parseString()
+	case ch == '-' || ch >= '0' && ch <= '9':
+		return p.parseNumber()
+	case isIdentStart(ch):
+		return p.parseIdentOrCall()
+	}
+	return nil, fmt.Errorf("core: unexpected character %q at offset %d", ch, p.pos)
+}
+
+func (p *termParser) parseString() (*Term, error) {
+	start := p.pos
+	p.pos++ // opening quote
+	var sb strings.Builder
+	for p.pos < len(p.in) {
+		ch := p.in[p.pos]
+		if ch == '\\' && p.pos+1 < len(p.in) {
+			p.pos++
+			sb.WriteByte(p.in[p.pos])
+			p.pos++
+			continue
+		}
+		if ch == '"' {
+			p.pos++
+			return Const(SortString, sb.String()), nil
+		}
+		sb.WriteByte(ch)
+		p.pos++
+	}
+	return nil, fmt.Errorf("core: unterminated string starting at offset %d", start)
+}
+
+func (p *termParser) parseNumber() (*Term, error) {
+	start := p.pos
+	if p.in[p.pos] == '-' {
+		p.pos++
+	}
+	isFloat := false
+	for p.pos < len(p.in) {
+		ch := p.in[p.pos]
+		if ch >= '0' && ch <= '9' {
+			p.pos++
+			continue
+		}
+		if ch == '.' && !isFloat {
+			isFloat = true
+			p.pos++
+			continue
+		}
+		break
+	}
+	text := p.in[start:p.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad float literal %q at offset %d", text, start)
+		}
+		return Const(SortFloat, f), nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("core: bad integer literal %q at offset %d", text, start)
+	}
+	return Const(SortInt, n), nil
+}
+
+func isIdentStart(ch byte) bool {
+	return ch == '_' || ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z'
+}
+
+func isIdentChar(ch byte) bool {
+	return isIdentStart(ch) || ch >= '0' && ch <= '9'
+}
+
+func (p *termParser) parseIdentOrCall() (*Term, error) {
+	start := p.pos
+	for p.pos < len(p.in) && isIdentChar(p.in[p.pos]) {
+		p.pos++
+	}
+	name := p.in[start:p.pos]
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != '(' {
+		// Variable or keyword constant.
+		switch name {
+		case "true":
+			return Const(SortBool, true), nil
+		case "false":
+			return Const(SortBool, false), nil
+		}
+		sort, ok := p.vars[name]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown variable %q at offset %d (no sort binding supplied)", name, start)
+		}
+		return Var(sort, name), nil
+	}
+	// Operator application.
+	p.pos++ // '('
+	var args []*Term
+	p.skipSpace()
+	if p.pos < len(p.in) && p.in[p.pos] == ')' {
+		p.pos++
+	} else {
+		for {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, arg)
+			p.skipSpace()
+			if p.pos >= len(p.in) {
+				return nil, fmt.Errorf("core: unterminated argument list for %q", name)
+			}
+			if p.in[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			if p.in[p.pos] == ')' {
+				p.pos++
+				break
+			}
+			return nil, fmt.Errorf("core: expected ',' or ')' at offset %d, found %q", p.pos, p.in[p.pos])
+		}
+	}
+	return Apply(p.sig, name, args...)
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is a sort-checked term over a signature: either a constant carrying a
+// value, a named variable, or an operator application. Terms are immutable
+// once built.
+type Term struct {
+	sort Sort
+	// exactly one of the following is set
+	op       *OpSig
+	args     []*Term
+	value    any    // for constants
+	varName  string // for variables
+	isConst  bool
+	isVar    bool
+	describe string // cached String
+}
+
+// Sort returns the result sort of the term (the paper: "the sort of a term
+// is the result sort of its outermost operator").
+func (t *Term) Sort() Sort { return t.sort }
+
+// IsConst reports whether the term is a constant.
+func (t *Term) IsConst() bool { return t.isConst }
+
+// IsVar reports whether the term is a variable.
+func (t *Term) IsVar() bool { return t.isVar }
+
+// VarName returns the variable name for variable terms.
+func (t *Term) VarName() string { return t.varName }
+
+// Op returns the outermost operator for application terms, or nil.
+func (t *Term) Op() *OpSig { return t.op }
+
+// Args returns the argument terms for application terms.
+func (t *Term) Args() []*Term { return t.args }
+
+// Const builds a constant term of the given sort holding value v.
+func Const(sort Sort, v any) *Term {
+	return &Term{sort: sort, value: v, isConst: true}
+}
+
+// Var builds a variable term of the given sort. Variables are bound at
+// evaluation time through an Env.
+func Var(sort Sort, name string) *Term {
+	return &Term{sort: sort, varName: name, isVar: true}
+}
+
+// Apply builds an application term, resolving the operator against sig and
+// statically checking argument sorts. This is the algebra's term
+// constructor: Apply(sig, "translate", mrnaTerm) yields a term of sort
+// protein.
+func Apply(sig *Signature, name string, args ...*Term) (*Term, error) {
+	argSorts := make([]Sort, len(args))
+	for i, a := range args {
+		if a == nil {
+			return nil, fmt.Errorf("core: %s: argument %d is nil", name, i)
+		}
+		argSorts[i] = a.Sort()
+	}
+	op, ok := sig.Resolve(name, argSorts)
+	if !ok {
+		// Produce a helpful message listing available overloads.
+		var avail []string
+		for _, o := range sig.Overloads(name) {
+			avail = append(avail, o.String())
+		}
+		if len(avail) == 0 {
+			return nil, fmt.Errorf("core: unknown operator %q", name)
+		}
+		return nil, fmt.Errorf("core: no overload of %q accepts (%s); have: %s",
+			name, joinSorts(argSorts), strings.Join(avail, "; "))
+	}
+	opCopy := op
+	return &Term{sort: op.Result, op: &opCopy, args: args}, nil
+}
+
+// MustApply is Apply that panics on error.
+func MustApply(sig *Signature, name string, args ...*Term) *Term {
+	t, err := Apply(sig, name, args...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func joinSorts(ss []Sort) string {
+	parts := make([]string, len(ss))
+	for i, s := range ss {
+		parts[i] = string(s)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// String renders the term in functional notation, e.g.
+// translate(splice(transcribe(g))).
+func (t *Term) String() string {
+	if t.describe != "" {
+		return t.describe
+	}
+	switch {
+	case t.isConst:
+		t.describe = fmt.Sprintf("%v", t.value)
+	case t.isVar:
+		t.describe = t.varName
+	default:
+		parts := make([]string, len(t.args))
+		for i, a := range t.args {
+			parts[i] = a.String()
+		}
+		t.describe = fmt.Sprintf("%s(%s)", t.op.Name, strings.Join(parts, ", "))
+	}
+	return t.describe
+}
+
+// Vars returns the distinct variable names appearing in the term, in
+// first-occurrence order.
+func (t *Term) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(*Term)
+	walk = func(x *Term) {
+		switch {
+		case x.isVar:
+			if !seen[x.varName] {
+				seen[x.varName] = true
+				out = append(out, x.varName)
+			}
+		case !x.isConst:
+			for _, a := range x.args {
+				walk(a)
+			}
+		}
+	}
+	walk(t)
+	return out
+}
+
+// Depth returns the operator-application nesting depth (constants and
+// variables have depth 0).
+func (t *Term) Depth() int {
+	if t.isConst || t.isVar {
+		return 0
+	}
+	max := 0
+	for _, a := range t.args {
+		if d := a.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}

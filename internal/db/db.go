@@ -1,0 +1,145 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"genalg/internal/btree"
+	"genalg/internal/kmeridx"
+	"genalg/internal/storage"
+)
+
+// DB is an engine instance: a catalog of tables over a shared buffer pool,
+// a UDT registry, and an external-function registry. Create one with Open
+// (file-backed) or OpenMemory.
+type DB struct {
+	pool  *storage.BufferPool
+	pager storage.Pager
+	UDTs  *UDTRegistry
+	Funcs *FuncRegistry
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// OpenMemory creates an ephemeral in-memory engine; poolPages bounds the
+// buffer pool (a few hundred pages suffices for tests).
+func OpenMemory(poolPages int) (*DB, error) {
+	pager := storage.NewMemPager()
+	pool, err := storage.NewBufferPool(pager, poolPages)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{
+		pool:   pool,
+		pager:  pager,
+		UDTs:   NewUDTRegistry(),
+		Funcs:  NewFuncRegistry(),
+		tables: make(map[string]*Table),
+	}, nil
+}
+
+// Open creates or opens a file-backed engine at path. Note: the catalog is
+// currently in-memory; reopening a file requires re-creating tables and
+// reattaching heaps via CreateTableAt (used by the warehouse's manifest).
+func Open(path string, poolPages int) (*DB, error) {
+	pager, err := storage.OpenFilePager(path)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := storage.NewBufferPool(pager, poolPages)
+	if err != nil {
+		pager.Close()
+		return nil, err
+	}
+	return &DB{
+		pool:   pool,
+		pager:  pager,
+		UDTs:   NewUDTRegistry(),
+		Funcs:  NewFuncRegistry(),
+		tables: make(map[string]*Table),
+	}, nil
+}
+
+// Close flushes and closes the engine.
+func (d *DB) Close() error {
+	if err := d.pool.FlushAll(); err != nil {
+		return err
+	}
+	return d.pager.Close()
+}
+
+// Flush writes all dirty pages back.
+func (d *DB) Flush() error { return d.pool.FlushAll() }
+
+// CreateTable registers a new empty table with the given schema.
+func (d *DB) CreateTable(s Schema) (*Table, error) {
+	if s.Table == "" {
+		return nil, fmt.Errorf("db: table needs a name")
+	}
+	if len(s.Columns) == 0 {
+		return nil, fmt.Errorf("db: table %s needs at least one column", s.Table)
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return nil, fmt.Errorf("db: table %s has an unnamed column", s.Table)
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("db: table %s has duplicate column %q", s.Table, c.Name)
+		}
+		seen[c.Name] = true
+		if c.Type == TOpaque {
+			if _, ok := d.UDTs.Get(c.UDTName); !ok {
+				return nil, fmt.Errorf("db: table %s column %s references unregistered UDT %q", s.Table, c.Name, c.UDTName)
+			}
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, exists := d.tables[s.Table]; exists {
+		return nil, fmt.Errorf("db: table %s already exists", s.Table)
+	}
+	t := &Table{
+		schema: s,
+		reg:    d.UDTs,
+		heap:   storage.NewHeapFile(d.pool),
+		btrees: make(map[string]*btree.Tree),
+		kmers:  make(map[string]*kmeridx.Index),
+	}
+	d.tables[s.Table] = t
+	return t, nil
+}
+
+// DropTable removes a table from the catalog. Its pages are orphaned (space
+// reclamation is a vacuum concern).
+func (d *DB) DropTable(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, exists := d.tables[name]; !exists {
+		return fmt.Errorf("db: table %s does not exist", name)
+	}
+	delete(d.tables, name)
+	return nil
+}
+
+// Table returns the named table.
+func (d *DB) Table(name string) (*Table, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.tables[name]
+	return t, ok
+}
+
+// Tables lists table names in lexical order.
+func (d *DB) Tables() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,128 @@
+package db
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"genalg/internal/storage"
+)
+
+// The engine's catalog (table schemas, heap page lists, index definitions)
+// lives in memory; Save serializes it to a manifest file next to the page
+// file so a file-backed database can be reopened with Restore. Secondary
+// indexes are rebuilt by backfill on restore (they are memory-resident by
+// design; the heap is the durable truth).
+
+type tableManifest struct {
+	Schema      Schema           `json:"schema"`
+	Pages       []storage.PageID `json:"pages"`
+	BTreeCols   []string         `json:"btree_cols"`
+	GenomicCols []genomicCol     `json:"genomic_cols"`
+}
+
+type genomicCol struct {
+	Col string `json:"col"`
+	K   int    `json:"k"`
+}
+
+type manifest struct {
+	Version int             `json:"version"`
+	Tables  []tableManifest `json:"tables"`
+}
+
+// snapshotManifest captures the catalog under each table's lock.
+func (d *DB) snapshotManifest() manifest {
+	d.mu.RLock()
+	names := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	tables := make([]*Table, 0, len(names))
+	for _, n := range names {
+		tables = append(tables, d.tables[n])
+	}
+	d.mu.RUnlock()
+
+	m := manifest{Version: 1}
+	for _, t := range tables {
+		t.mu.RLock()
+		tm := tableManifest{
+			Schema: t.Schema(),
+			Pages:  t.heap.Pages(),
+		}
+		for col := range t.btrees {
+			tm.BTreeCols = append(tm.BTreeCols, col)
+		}
+		sort.Strings(tm.BTreeCols)
+		for col, ix := range t.kmers {
+			tm.GenomicCols = append(tm.GenomicCols, genomicCol{Col: col, K: ix.K()})
+		}
+		sort.Slice(tm.GenomicCols, func(i, j int) bool { return tm.GenomicCols[i].Col < tm.GenomicCols[j].Col })
+		t.mu.RUnlock()
+		m.Tables = append(m.Tables, tm)
+	}
+	return m
+}
+
+// Save flushes all pages and writes the catalog manifest to manifestPath.
+func (d *DB) Save(manifestPath string) error {
+	if err := d.Flush(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(d.snapshotManifest(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("db: encoding manifest: %w", err)
+	}
+	tmp := manifestPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("db: writing manifest: %w", err)
+	}
+	return os.Rename(tmp, manifestPath)
+}
+
+// Restore rebuilds the catalog of a freshly opened file-backed engine from
+// a manifest written by Save. The caller must have registered every UDT the
+// schemas reference before calling Restore. Secondary indexes are rebuilt
+// by backfill.
+func (d *DB) Restore(manifestPath string) error {
+	data, err := os.ReadFile(manifestPath)
+	if err != nil {
+		return fmt.Errorf("db: reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("db: decoding manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return fmt.Errorf("db: unsupported manifest version %d", m.Version)
+	}
+	for _, tm := range m.Tables {
+		t, err := d.CreateTable(tm.Schema)
+		if err != nil {
+			return err
+		}
+		t.mu.Lock()
+		t.heap = storage.Reattach(d.pool, tm.Pages)
+		rows, err := t.heap.Count()
+		if err != nil {
+			t.mu.Unlock()
+			return fmt.Errorf("db: counting rows of %s: %w", tm.Schema.Table, err)
+		}
+		t.rows = rows
+		t.mu.Unlock()
+		for _, col := range tm.BTreeCols {
+			if err := t.CreateBTreeIndex(col); err != nil {
+				return fmt.Errorf("db: rebuilding index %s.%s: %w", tm.Schema.Table, col, err)
+			}
+		}
+		for _, g := range tm.GenomicCols {
+			if err := t.CreateGenomicIndex(g.Col, g.K); err != nil {
+				return fmt.Errorf("db: rebuilding genomic index %s.%s: %w", tm.Schema.Table, g.Col, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+// Package etl implements the Extract-Transform-Load component of the
+// Unifying Database (paper Section 5.1): source monitors covering every
+// cell of Figure 2's change-detection grid, wrappers that lift source
+// records into GDT values, and the warehouse integrator that merges related
+// data and reconciles inconsistencies while preserving alternatives (C8,
+// C9).
+package etl
+
+import (
+	"fmt"
+
+	"genalg/internal/sources"
+)
+
+// Delta is the paper's required delta representation: it is uniquely
+// attributable to a data item, carries the a-priori and a-posteriori data,
+// and a timestamp for when the update became effective (Section 5.2,
+// "Change detection").
+type Delta struct {
+	// Source names the repository the delta came from.
+	Source string
+	// Kind is insert/update/delete.
+	Kind sources.MutationKind
+	// ID is the data item the delta belongs to.
+	ID string
+	// Before is the a-priori record (nil for inserts).
+	Before *sources.Record
+	// After is the a-posteriori record (nil for deletes).
+	After *sources.Record
+	// Tick is the logical detection timestamp assigned by the monitor.
+	Tick int64
+}
+
+// String implements fmt.Stringer.
+func (d Delta) String() string {
+	return fmt.Sprintf("delta[%s %s %s @%d]", d.Source, d.Kind, d.ID, d.Tick)
+}
+
+// Detector is a source monitor: each Poll returns the deltas that occurred
+// since the previous Poll. Implementations cover the Figure-2 grid cells.
+type Detector interface {
+	// Name identifies the monitor (source name + technique).
+	Name() string
+	// Technique names the Figure-2 change-detection technique.
+	Technique() string
+	// Poll returns new deltas.
+	Poll() ([]Delta, error)
+}
+
+// Snapshotter is the minimal source interface snapshot-based detectors
+// need; both *sources.Repo and *sources.Remote satisfy it.
+type Snapshotter interface {
+	Name() string
+	Format() sources.Format
+	Snapshot() string
+}
+
+// recordMap keys records by ID.
+func recordMap(recs []sources.Record) map[string]sources.Record {
+	m := make(map[string]sources.Record, len(recs))
+	for _, r := range recs {
+		m[r.ID] = r
+	}
+	return m
+}
+
+// diffRecordMaps computes keyed snapshot differentials: the deltas turning
+// old into new.
+func diffRecordMaps(source string, tick int64, old, new map[string]sources.Record) []Delta {
+	var out []Delta
+	for id, n := range new {
+		o, existed := old[id]
+		if !existed {
+			nc := n
+			out = append(out, Delta{Source: source, Kind: sources.MutInsert, ID: id, After: &nc, Tick: tick})
+			continue
+		}
+		if !o.Equal(n) || o.Version != n.Version {
+			oc, nc := o, n
+			out = append(out, Delta{Source: source, Kind: sources.MutUpdate, ID: id, Before: &oc, After: &nc, Tick: tick})
+		}
+	}
+	for id, o := range old {
+		if _, still := new[id]; !still {
+			oc := o
+			out = append(out, Delta{Source: source, Kind: sources.MutDelete, ID: id, Before: &oc, Tick: tick})
+		}
+	}
+	sortDeltas(out)
+	return out
+}
+
+func sortDeltas(ds []Delta) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].ID < ds[j-1].ID; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}

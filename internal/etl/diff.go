@@ -1,0 +1,157 @@
+package etl
+
+import "strings"
+
+// LineDiff computes the line-level difference between two texts using the
+// longest-common-subsequence approach the paper attributes to the UNIX diff
+// command (Section 5.2: "In the case of flat files, one can use the longest
+// common subsequence approach"). The implementation is Myers' O(ND) greedy
+// algorithm over line hashes, which is near-linear when the edit distance
+// is small — exactly the repository-update workload.
+//
+// The result reports, for each line of a and b, whether it is common or
+// changed.
+type LineDiff struct {
+	ALines []string
+	BLines []string
+	// AKept[i] is true when a's line i is part of the LCS; similarly BKept.
+	AKept []bool
+	BKept []bool
+}
+
+// Diff computes the line diff of two texts.
+func Diff(a, b string) LineDiff {
+	al := splitLines(a)
+	bl := splitLines(b)
+	d := LineDiff{
+		ALines: al, BLines: bl,
+		AKept: make([]bool, len(al)),
+		BKept: make([]bool, len(bl)),
+	}
+	// Trim common prefix/suffix first; Myers on the middle.
+	lo := 0
+	for lo < len(al) && lo < len(bl) && al[lo] == bl[lo] {
+		d.AKept[lo] = true
+		d.BKept[lo] = true
+		lo++
+	}
+	ahi, bhi := len(al), len(bl)
+	for ahi > lo && bhi > lo && al[ahi-1] == bl[bhi-1] {
+		ahi--
+		bhi--
+		d.AKept[ahi] = true
+		d.BKept[bhi] = true
+	}
+	myersCommon(al[lo:ahi], bl[lo:bhi], func(ai, bi int) {
+		d.AKept[lo+ai] = true
+		d.BKept[lo+bi] = true
+	})
+	return d
+}
+
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(s, "\n"), "\n")
+}
+
+// myersCommon runs Myers' greedy LCS over the two string slices, invoking
+// keep for every matched (ai, bi) pair.
+func myersCommon(a, b []string, keep func(ai, bi int)) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return
+	}
+	max := n + m
+	// v[k] = furthest x on diagonal k; offset by max.
+	v := make([]int, 2*max+1)
+	// trace[d] snapshots only the active band v[-d..d] (index k+d), keeping
+	// memory and copy cost O(D^2) instead of O(D*(N+M)).
+	var trace [][]int
+	var dFound = -1
+outer:
+	for d := 0; d <= max; d++ {
+		snapshot := make([]int, 2*d+1)
+		for k := -d; k <= d; k++ {
+			snapshot[k+d] = v[max+k]
+		}
+		trace = append(trace, snapshot)
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[max+k-1] < v[max+k+1]) {
+				x = v[max+k+1]
+			} else {
+				x = v[max+k-1] + 1
+			}
+			y := x - k
+			for x < n && y < m && a[x] == b[y] {
+				x++
+				y++
+			}
+			v[max+k] = x
+			if x >= n && y >= m {
+				dFound = d
+				break outer
+			}
+		}
+	}
+	if dFound < 0 {
+		return
+	}
+	// Backtrack from (n, m).
+	x, y := n, m
+	for d := dFound; d > 0; d-- {
+		vPrev := trace[d]
+		k := x - y
+		var prevK int
+		if k == -d || (k != d && vPrev[k-1+d] < vPrev[k+1+d]) {
+			prevK = k + 1
+		} else {
+			prevK = k - 1
+		}
+		prevX := vPrev[prevK+d]
+		prevY := prevX - prevK
+		// Snake: diagonal moves after the edit.
+		for x > prevX && y > prevY {
+			x--
+			y--
+			keep(x, y)
+		}
+		// The edit step itself.
+		x, y = prevX, prevY
+	}
+	// Leading snake at d=0.
+	for x > 0 && y > 0 {
+		x--
+		y--
+		keep(x, y)
+	}
+}
+
+// ChangedA returns the indices of a's lines not in the LCS.
+func (d LineDiff) ChangedA() []int {
+	var out []int
+	for i, kept := range d.AKept {
+		if !kept {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ChangedB returns the indices of b's lines not in the LCS.
+func (d LineDiff) ChangedB() []int {
+	var out []int
+	for i, kept := range d.BKept {
+		if !kept {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// EditDistance returns the number of line insertions plus deletions.
+func (d LineDiff) EditDistance() int {
+	return len(d.ChangedA()) + len(d.ChangedB())
+}

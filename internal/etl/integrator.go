@@ -1,0 +1,114 @@
+package etl
+
+import (
+	"sort"
+
+	"genalg/internal/gdt"
+	"genalg/internal/uncertain"
+)
+
+// Integrated is the integrator's output for one entity: the reconciled GDT
+// value with uncertainty, provenance across sources, and the scalar
+// metadata of the winning observation.
+type Integrated struct {
+	ID string
+	// Value carries the reconciled GDT with confidence and retained
+	// conflicting alternatives (requirement C9).
+	Value uncertain.Val[gdt.Value]
+	// TermID is the ontology classification (sources must agree; on
+	// disagreement the higher-confidence observation wins).
+	TermID string
+	// Sources lists contributing repositories.
+	Sources []string
+	// Organism/Description/Version/Quality come from the winning
+	// observation.
+	Organism    string
+	Description string
+	Version     int
+	Quality     float64
+}
+
+// IntegrationStats summarizes a reconciliation pass, reported by etlrun and
+// the E7 experiment.
+type IntegrationStats struct {
+	// Entities is the number of distinct IDs.
+	Entities int
+	// Duplicates is the count of redundant identical observations removed.
+	Duplicates int
+	// Conflicts is the number of entities where sources disagreed.
+	Conflicts int
+	// Observations is the total input entry count.
+	Observations int
+}
+
+// Integrate merges entries from multiple sources by entity key (the
+// paper's "warehouse integrator": duplicate removal plus reconciliation).
+// Identical observations reinforce confidence; conflicting ones keep the
+// higher-quality value as primary and the others as alternatives.
+func Integrate(entries []Entry) ([]Integrated, IntegrationStats) {
+	stats := IntegrationStats{Observations: len(entries)}
+	byID := map[string][]Entry{}
+	var order []string
+	for _, e := range entries {
+		if _, seen := byID[e.ID]; !seen {
+			order = append(order, e.ID)
+		}
+		byID[e.ID] = append(byID[e.ID], e)
+	}
+	sort.Strings(order)
+	out := make([]Integrated, 0, len(order))
+	for _, id := range order {
+		obs := byID[id]
+		ig := reconcile(id, obs, &stats)
+		out = append(out, ig)
+	}
+	stats.Entities = len(out)
+	return out, stats
+}
+
+func reconcile(id string, obs []Entry, stats *IntegrationStats) Integrated {
+	// Order observations deterministically: by quality descending, then
+	// source name, so the primary choice is stable.
+	sorted := make([]Entry, len(obs))
+	copy(sorted, obs)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Quality != sorted[j].Quality {
+			return sorted[i].Quality > sorted[j].Quality
+		}
+		return sorted[i].Source < sorted[j].Source
+	})
+	primary := sorted[0]
+	val := uncertain.New[gdt.Value](primary.Value, primary.Quality).WithProvenance(primary.Source)
+	conflict := false
+	for _, e := range sorted[1:] {
+		if gdt.Equal(e.Value, primary.Value) {
+			// Duplicate observation: reinforce confidence, drop the copy.
+			stats.Duplicates++
+			val = uncertain.Combine(val,
+				uncertain.New[gdt.Value](e.Value, e.Quality).WithProvenance(e.Source),
+				gdt.Equal)
+			continue
+		}
+		conflict = true
+		val = val.WithAlternative(uncertain.Alternative[gdt.Value]{
+			Value: e.Value, Confidence: e.Quality, Provenance: e.Source,
+		})
+	}
+	if conflict {
+		stats.Conflicts++
+	}
+	srcSet := map[string]bool{}
+	var srcs []string
+	for _, e := range sorted {
+		if !srcSet[e.Source] {
+			srcSet[e.Source] = true
+			srcs = append(srcs, e.Source)
+		}
+	}
+	sort.Strings(srcs)
+	return Integrated{
+		ID: id, Value: val, TermID: primary.TermID, Sources: srcs,
+		Organism: primary.Organism, Description: primary.Description,
+		Version: primary.Version, Quality: primary.Quality,
+	}
+}

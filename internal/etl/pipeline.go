@@ -1,0 +1,89 @@
+package etl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PollAll polls every detector concurrently and returns the merged deltas,
+// ordered by (source, ID) for deterministic application. One failing
+// detector fails the round (partial application would leave the warehouse
+// inconsistent across sources); the error names the detector.
+func PollAll(detectors []Detector) ([]Delta, error) {
+	type result struct {
+		idx    int
+		deltas []Delta
+		err    error
+	}
+	results := make([]result, len(detectors))
+	var wg sync.WaitGroup
+	for i, det := range detectors {
+		wg.Add(1)
+		go func(i int, det Detector) {
+			defer wg.Done()
+			ds, err := det.Poll()
+			if err != nil {
+				err = fmt.Errorf("etl: polling %s: %w", det.Name(), err)
+			}
+			results[i] = result{idx: i, deltas: ds, err: err}
+		}(i, det)
+	}
+	wg.Wait()
+	var out []Delta
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, r.deltas...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// Pipeline ties a detector set to a sink (typically the warehouse's
+// ApplyDeltas), providing the paper's continuous ETL loop as an on-demand
+// "round" operation so callers control pacing (the polling-frequency
+// trade-off of Section 5.2).
+type Pipeline struct {
+	detectors []Detector
+	sink      func([]Delta) error
+
+	mu     sync.Mutex
+	rounds int
+	total  int
+}
+
+// NewPipeline builds a pipeline over detectors feeding sink.
+func NewPipeline(detectors []Detector, sink func([]Delta) error) *Pipeline {
+	return &Pipeline{detectors: detectors, sink: sink}
+}
+
+// Round performs one detect-and-apply cycle, returning the number of deltas
+// applied.
+func (p *Pipeline) Round() (int, error) {
+	deltas, err := PollAll(p.detectors)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.sink(deltas); err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	p.rounds++
+	p.total += len(deltas)
+	p.mu.Unlock()
+	return len(deltas), nil
+}
+
+// Stats returns rounds run and total deltas applied.
+func (p *Pipeline) Stats() (rounds, totalDeltas int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rounds, p.total
+}

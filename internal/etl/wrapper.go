@@ -1,0 +1,111 @@
+package etl
+
+import (
+	"fmt"
+
+	"genalg/internal/adapter"
+	"genalg/internal/gdt"
+	"genalg/internal/ontology"
+	"genalg/internal/seq"
+	"genalg/internal/sources"
+)
+
+// Entry is a wrapped record: the GDT value plus warehouse-relevant
+// metadata. The wrapper is the paper's "sources wrapper" step: "extracting
+// relevant new or changed data from the sources and restructuring the data
+// into the corresponding types provided by the Genomics Algebra".
+type Entry struct {
+	// ID is the accession.
+	ID string
+	// TermID is the canonical ontology term the entry was classified as.
+	TermID string
+	// Value is the GDT value (gdt.DNA or gdt.Gene in the synthetic corpus).
+	Value gdt.Value
+	// Source names the originating repository; Version/Quality mirror the
+	// record.
+	Source  string
+	Version int
+	Quality float64
+	// Organism and Description carry searchable scalars.
+	Organism    string
+	Description string
+}
+
+// Wrapper lifts source records into GDT-typed entries, resolving type
+// labels through the ontology (Section 4.1) in the source's naming context.
+type Wrapper struct {
+	ont *ontology.Ontology
+}
+
+// NewWrapper builds a wrapper over the given ontology (usually
+// ontology.Standard()).
+func NewWrapper(ont *ontology.Ontology) *Wrapper {
+	return &Wrapper{ont: ont}
+}
+
+// classify returns the ontology term for a record: records with exon
+// structure are genes, others raw DNA fragments. The label is resolved in
+// the source's context so repository-specific synonyms (GenBank "locus",
+// ACeDB "cds") land on the same canonical terms.
+func (w *Wrapper) classify(rec sources.Record, sourceCtx string) (ontology.Term, error) {
+	label := "sequence" // GenBank's name for a raw entry
+	if rec.ExonSpec != "" {
+		label = "locus"
+	}
+	// Try the source context first, then the canonical names.
+	if term, err := w.ont.Resolve(label, sourceCtx); err == nil {
+		return term, nil
+	}
+	canonical := "dna"
+	if rec.ExonSpec != "" {
+		canonical = "gene"
+	}
+	return w.ont.Resolve(canonical, "")
+}
+
+// Wrap converts one record.
+func (w *Wrapper) Wrap(rec sources.Record, source string) (Entry, error) {
+	term, err := w.classify(rec, "genbank")
+	if err != nil {
+		return Entry{}, fmt.Errorf("etl: classifying %s: %w", rec.ID, err)
+	}
+	ns, err := seq.NewNucSeq(seq.AlphaDNA, rec.Sequence)
+	if err != nil {
+		return Entry{}, fmt.Errorf("etl: wrapping %s: %w", rec.ID, err)
+	}
+	e := Entry{
+		ID: rec.ID, TermID: term.ID, Source: source,
+		Version: rec.Version, Quality: rec.Quality,
+		Organism: rec.Organism, Description: rec.Description,
+	}
+	if rec.ExonSpec != "" {
+		exons, err := adapter.ParseExonSpec(rec.ExonSpec)
+		if err != nil {
+			return Entry{}, fmt.Errorf("etl: wrapping %s: %w", rec.ID, err)
+		}
+		g := gdt.Gene{ID: rec.ID, Symbol: rec.ID, Organism: rec.Organism, Seq: ns, Exons: exons}
+		if err := g.Validate(); err != nil {
+			return Entry{}, fmt.Errorf("etl: wrapping %s: %w", rec.ID, err)
+		}
+		e.Value = g
+		return e, nil
+	}
+	e.Value = gdt.DNA{ID: rec.ID, Seq: ns}
+	return e, nil
+}
+
+// WrapAll converts a batch, collecting per-record failures rather than
+// aborting (noisy repositories are the norm, problem B10).
+func (w *Wrapper) WrapAll(recs []sources.Record, source string) ([]Entry, []error) {
+	var out []Entry
+	var errs []error
+	for _, rec := range recs {
+		e, err := w.Wrap(rec, source)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		out = append(out, e)
+	}
+	return out, errs
+}

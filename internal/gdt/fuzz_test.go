@@ -1,0 +1,28 @@
+package gdt
+
+import "testing"
+
+// FuzzUnpack asserts the GDT decoder never panics on arbitrary buffers and
+// that anything it accepts re-packs canonically.
+func FuzzUnpack(f *testing.F) {
+	f.Add(MustDNA("d", "ACGTACGT").Pack())
+	f.Add(sampleGene().Pack())
+	f.Add(Protein{ID: "p", GeneID: "g"}.Pack())
+	f.Add(Annotation{ID: "a", TargetID: "t", Text: "x"}.Pack())
+	f.Add([]byte{})
+	f.Add([]byte{255, 0, 1})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		v, err := Unpack(buf)
+		if err != nil {
+			return
+		}
+		buf2 := v.Pack()
+		v2, err := Unpack(buf2)
+		if err != nil {
+			t.Fatalf("re-unpack of canonical form failed: %v", err)
+		}
+		if !Equal(v, v2) {
+			t.Fatal("canonical re-pack not idempotent")
+		}
+	})
+}

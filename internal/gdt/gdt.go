@@ -1,0 +1,219 @@
+// Package gdt defines the Genomic Data Types (GDTs) of the Genomics Algebra
+// (paper Section 4): Nucleotide, DNA, RNA, PrimaryTranscript, MRNA, Protein,
+// Gene, Chromosome, Genome, and Annotation.
+//
+// Every GDT value serializes to a single flat byte buffer via Pack, and any
+// packed buffer deserializes via Unpack. This is the paper's Section 4.3
+// representation requirement: GDT values are "embedded into compact storage
+// areas which can be efficiently transferred between main memory and disk",
+// making them directly usable as opaque user-defined types inside the
+// Unifying Database (Section 6.2).
+package gdt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"genalg/internal/seq"
+)
+
+// Kind identifies a genomic data type. Kind values are stable and appear as
+// the first byte of every packed GDT buffer.
+type Kind uint8
+
+// The GDT kinds.
+const (
+	KindInvalid Kind = iota
+	KindNucleotide
+	KindDNA
+	KindRNA
+	KindPrimaryTranscript
+	KindMRNA
+	KindProtein
+	KindGene
+	KindChromosome
+	KindGenome
+	KindAnnotation
+)
+
+var kindNames = map[Kind]string{
+	KindNucleotide:        "nucleotide",
+	KindDNA:               "dna",
+	KindRNA:               "rna",
+	KindPrimaryTranscript: "primarytranscript",
+	KindMRNA:              "mrna",
+	KindProtein:           "protein",
+	KindGene:              "gene",
+	KindChromosome:        "chromosome",
+	KindGenome:            "genome",
+	KindAnnotation:        "annotation",
+}
+
+// String returns the lower-case sort name used throughout the algebra.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// KindByName resolves a sort name back to its Kind.
+func KindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return k, true
+		}
+	}
+	return KindInvalid, false
+}
+
+// Value is a genomic data type value: it knows its Kind, serializes to a
+// flat buffer, and renders as text.
+type Value interface {
+	Kind() Kind
+	Pack() []byte
+	String() string
+}
+
+// Unpack deserializes any packed GDT buffer by dispatching on the leading
+// Kind byte.
+func Unpack(buf []byte) (Value, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("gdt: empty buffer")
+	}
+	switch Kind(buf[0]) {
+	case KindNucleotide:
+		return unpackNucleotide(buf)
+	case KindDNA:
+		return unpackDNA(buf)
+	case KindRNA:
+		return unpackRNA(buf)
+	case KindPrimaryTranscript:
+		return unpackPrimaryTranscript(buf)
+	case KindMRNA:
+		return unpackMRNA(buf)
+	case KindProtein:
+		return unpackProtein(buf)
+	case KindGene:
+		return unpackGene(buf)
+	case KindChromosome:
+		return unpackChromosome(buf)
+	case KindGenome:
+		return unpackGenome(buf)
+	case KindAnnotation:
+		return unpackAnnotation(buf)
+	}
+	return nil, fmt.Errorf("gdt: unknown kind byte %d", buf[0])
+}
+
+// ---- flat binary encoding helpers ----
+//
+// The encoding is length-prefixed little-endian throughout: strings and byte
+// blobs are a uvarint length followed by the bytes; fixed integers are
+// uvarints. A packed value is the Kind byte followed by its fields in
+// declaration order.
+
+type encoder struct{ buf []byte }
+
+func newEncoder(k Kind) *encoder { return &encoder{buf: []byte{byte(k)}} }
+
+func (e *encoder) uvarint(v uint64) *encoder {
+	e.buf = binary.AppendUvarint(e.buf, v)
+	return e
+}
+
+func (e *encoder) bytes(b []byte) *encoder {
+	e.uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+	return e
+}
+
+func (e *encoder) str(s string) *encoder { return e.bytes([]byte(s)) }
+
+func (e *encoder) float(f float64) *encoder {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(floatBits(f)))
+	return e
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func newDecoder(buf []byte, want Kind) *decoder {
+	d := &decoder{buf: buf}
+	if len(buf) < 1 || Kind(buf[0]) != want {
+		d.err = fmt.Errorf("gdt: buffer is not a packed %v", want)
+		return d
+	}
+	d.pos = 1
+	return d
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.err = fmt.Errorf("gdt: truncated uvarint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.buf)-d.pos) < n {
+		d.err = fmt.Errorf("gdt: truncated blob of %d bytes at offset %d", n, d.pos)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.pos:d.pos+int(n)])
+	d.pos += int(n)
+	return out
+}
+
+func (d *decoder) str() string { return string(d.bytes()) }
+
+func (d *decoder) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf)-d.pos < 8 {
+		d.err = fmt.Errorf("gdt: truncated float at offset %d", d.pos)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return floatFromBits(v)
+}
+
+func (d *decoder) nucseq() seq.NucSeq {
+	b := d.bytes()
+	if d.err != nil {
+		return seq.NucSeq{}
+	}
+	ns, err := seq.UnpackNucSeq(b)
+	if err != nil {
+		d.err = err
+	}
+	return ns
+}
+
+func (d *decoder) protseq() seq.ProtSeq {
+	b := d.bytes()
+	if d.err != nil {
+		return seq.ProtSeq{}
+	}
+	ps, err := seq.UnpackProtSeq(b)
+	if err != nil {
+		d.err = err
+	}
+	return ps
+}

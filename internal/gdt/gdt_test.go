@@ -1,0 +1,231 @@
+package gdt
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"genalg/internal/seq"
+)
+
+func sampleGene() Gene {
+	return Gene{
+		ID:       "G001",
+		Symbol:   "TP53",
+		Organism: "synthetica",
+		Seq:      seq.MustNucSeq(seq.AlphaDNA, "ATGAAACCCGGGTTTACGTACGTTAG"),
+		Exons:    []Interval{{0, 9}, {15, 26}},
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := KindNucleotide; k <= KindAnnotation; k++ {
+		name := k.String()
+		if strings.Contains(name, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		back, ok := KindByName(name)
+		if !ok || back != k {
+			t.Errorf("KindByName(%q) = %v,%v", name, back, ok)
+		}
+	}
+	if _, ok := KindByName("nope"); ok {
+		t.Error("KindByName accepted unknown name")
+	}
+	if !strings.Contains(Kind(99).String(), "kind(99)") {
+		t.Error("unknown kind String")
+	}
+}
+
+func TestPackUnpackEveryKind(t *testing.T) {
+	dna := MustDNA("D1", "ACGTACGT")
+	values := []Value{
+		Nucleotide{Base: seq.G},
+		dna,
+		RNA{ID: "R1", Seq: seq.MustNucSeq(seq.AlphaRNA, "ACGUACGU")},
+		sampleGene(),
+		PrimaryTranscript{GeneID: "G001", Seq: seq.MustNucSeq(seq.AlphaRNA, "AUGAAACCC"), Exons: []Interval{{0, 9}}},
+		MRNA{GeneID: "G001", Isoform: 2, Seq: seq.MustNucSeq(seq.AlphaRNA, "AUGAAA")},
+		Protein{ID: "P1", GeneID: "G001", Seq: seq.MustProtSeq("MKV")},
+		Chromosome{ID: "C1", Name: "chr1", Seq: seq.MustNucSeq(seq.AlphaDNA, "ACGT"),
+			Loci: []GeneLocus{{GeneID: "G001", Span: Interval{0, 4}, Reverse: true}}},
+		Genome{ID: "GN1", Organism: "synthetica", ChromosomeIDs: []string{"C1", "C2"}},
+		Annotation{ID: "A1", TargetID: "G001", Span: Interval{3, 9}, Author: "user1", Text: "promoter?", UnixTime: 1000000},
+	}
+	for _, v := range values {
+		buf := v.Pack()
+		if Kind(buf[0]) != v.Kind() {
+			t.Errorf("%v: kind byte = %d", v.Kind(), buf[0])
+		}
+		got, err := Unpack(buf)
+		if err != nil {
+			t.Fatalf("%v: Unpack: %v", v.Kind(), err)
+		}
+		if !Equal(v, got) {
+			t.Errorf("%v: round-trip mismatch:\n  in:  %v\n  out: %v", v.Kind(), v, got)
+		}
+	}
+}
+
+func TestUnpackRejectsCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0},
+		{255},
+		{byte(KindGene)},                       // no fields
+		{byte(KindDNA), 5, 'a', 'b'},           // truncated string
+		{byte(KindProtein), 0, 0, 200, 1, 2},   // truncated seq blob
+		{byte(KindAnnotation), 1, 'x', 1, 'y'}, // truncated tail
+	}
+	for i, c := range cases {
+		if _, err := Unpack(c); err == nil {
+			t.Errorf("case %d: Unpack accepted corrupt buffer %v", i, c)
+		}
+	}
+}
+
+func TestUnpackWrongKind(t *testing.T) {
+	buf := sampleGene().Pack()
+	if _, err := unpackDNA(buf); err == nil {
+		t.Error("unpackDNA accepted a gene buffer")
+	}
+}
+
+func TestGeneValidate(t *testing.T) {
+	g := sampleGene()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid gene rejected: %v", err)
+	}
+	bad := g
+	bad.Exons = []Interval{{0, 100}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-bounds exon accepted")
+	}
+	bad = g
+	bad.Exons = []Interval{{5, 10}, {8, 12}}
+	if err := bad.Validate(); err == nil {
+		t.Error("overlapping exons accepted")
+	}
+	bad = g
+	bad.Exons = []Interval{{10, 5}}
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted exon accepted")
+	}
+}
+
+func TestIntervalOps(t *testing.T) {
+	a := Interval{2, 5}
+	if a.Len() != 3 || !a.Valid() {
+		t.Errorf("interval basics: %+v", a)
+	}
+	if !(Interval{-1, 2}).Valid() == false {
+		t.Error("negative start valid")
+	}
+	cases := []struct {
+		b    Interval
+		want bool
+	}{
+		{Interval{0, 2}, false}, {Interval{0, 3}, true}, {Interval{4, 9}, true},
+		{Interval{5, 9}, false}, {Interval{2, 5}, true},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("Overlaps(%+v, %+v) = %v, want %v", a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	g1, g2 := sampleGene(), sampleGene()
+	if !Equal(g1, g2) {
+		t.Error("identical genes unequal")
+	}
+	g2.Symbol = "BRCA1"
+	if Equal(g1, g2) {
+		t.Error("different genes equal")
+	}
+	if Equal(g1, MustDNA("D", "ACGT")) {
+		t.Error("cross-kind equal")
+	}
+	if !Equal(nil, nil) {
+		t.Error("nil != nil")
+	}
+	if Equal(g1, nil) {
+		t.Error("value == nil")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := Describe(sampleGene())
+	if !strings.Contains(d, "exon 0") || !strings.Contains(d, "exon 1") {
+		t.Errorf("Describe(gene) = %q", d)
+	}
+	d = Describe(MustDNA("D1", "GGGG"))
+	if !strings.Contains(d, "gc=1.000") {
+		t.Errorf("Describe(dna) = %q", d)
+	}
+	d = Describe(Chromosome{ID: "c", Name: "chr1", Loci: []GeneLocus{{GeneID: "g"}}})
+	if !strings.Contains(d, "locus g") {
+		t.Errorf("Describe(chromosome) = %q", d)
+	}
+}
+
+func TestAnnotationStringTruncates(t *testing.T) {
+	a := Annotation{ID: "A", TargetID: "T", Text: strings.Repeat("x", 100)}
+	if s := a.String(); len(s) > 80 || !strings.Contains(s, "...") {
+		t.Errorf("Annotation.String = %q", s)
+	}
+}
+
+// Property: packing is canonical — any two structurally equal values produce
+// identical bytes, and unpack(pack(v)) == v for generated genes.
+func TestGenePackCanonicalProperty(t *testing.T) {
+	f := func(id, symbol string, rawSeq []byte, exonSeed uint8) bool {
+		bases := make([]seq.Base, len(rawSeq))
+		for i, b := range rawSeq {
+			bases[i] = seq.Base(b & 3)
+		}
+		g := Gene{ID: id, Symbol: symbol, Organism: "org", Seq: seq.FromBases(seq.AlphaDNA, bases)}
+		// Build a valid exon layout deterministically from exonSeed.
+		step := int(exonSeed%7) + 2
+		for start := 0; start+step <= g.Seq.Len(); start += 2 * step {
+			g.Exons = append(g.Exons, Interval{start, start + step})
+		}
+		buf1 := g.Pack()
+		got, err := Unpack(buf1)
+		if err != nil {
+			return false
+		}
+		buf2 := got.Pack()
+		if len(buf1) != len(buf2) {
+			return false
+		}
+		for i := range buf1 {
+			if buf1[i] != buf2[i] {
+				return false
+			}
+		}
+		return Equal(g, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGenePack(b *testing.B) {
+	g := sampleGene()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Pack()
+	}
+}
+
+func BenchmarkGeneUnpack(b *testing.B) {
+	buf := sampleGene().Pack()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unpack(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

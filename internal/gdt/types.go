@@ -1,0 +1,438 @@
+package gdt
+
+import (
+	"fmt"
+	"strings"
+
+	"genalg/internal/seq"
+)
+
+// Nucleotide is the GDT for a single base.
+type Nucleotide struct {
+	Base seq.Base
+}
+
+// Kind implements Value.
+func (Nucleotide) Kind() Kind { return KindNucleotide }
+
+// Pack implements Value.
+func (n Nucleotide) Pack() []byte {
+	return newEncoder(KindNucleotide).uvarint(uint64(n.Base & 3)).buf
+}
+
+func unpackNucleotide(buf []byte) (Nucleotide, error) {
+	d := newDecoder(buf, KindNucleotide)
+	b := d.uvarint()
+	return Nucleotide{Base: seq.Base(b & 3)}, d.err
+}
+
+// String implements Value.
+func (n Nucleotide) String() string { return string(seq.AlphaDNA.Letter(n.Base)) }
+
+// DNA is the GDT for a raw DNA sequence, optionally carrying a repository
+// accession identifier.
+type DNA struct {
+	ID  string
+	Seq seq.NucSeq
+}
+
+// NewDNA builds a DNA value from a letter string.
+func NewDNA(id, letters string) (DNA, error) {
+	ns, err := seq.NewNucSeq(seq.AlphaDNA, letters)
+	if err != nil {
+		return DNA{}, err
+	}
+	return DNA{ID: id, Seq: ns}, nil
+}
+
+// MustDNA is NewDNA that panics on error.
+func MustDNA(id, letters string) DNA {
+	d, err := NewDNA(id, letters)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Kind implements Value.
+func (DNA) Kind() Kind { return KindDNA }
+
+// Pack implements Value.
+func (d DNA) Pack() []byte {
+	return newEncoder(KindDNA).str(d.ID).bytes(d.Seq.Pack()).buf
+}
+
+func unpackDNA(buf []byte) (DNA, error) {
+	d := newDecoder(buf, KindDNA)
+	out := DNA{ID: d.str()}
+	out.Seq = d.nucseq()
+	return out, d.err
+}
+
+// String implements Value.
+func (d DNA) String() string { return fmt.Sprintf("dna[%s len=%d]", d.ID, d.Seq.Len()) }
+
+// RNA is the GDT for a raw RNA sequence.
+type RNA struct {
+	ID  string
+	Seq seq.NucSeq
+}
+
+// Kind implements Value.
+func (RNA) Kind() Kind { return KindRNA }
+
+// Pack implements Value.
+func (r RNA) Pack() []byte {
+	return newEncoder(KindRNA).str(r.ID).bytes(r.Seq.Pack()).buf
+}
+
+func unpackRNA(buf []byte) (RNA, error) {
+	d := newDecoder(buf, KindRNA)
+	out := RNA{ID: d.str()}
+	out.Seq = d.nucseq()
+	return out, d.err
+}
+
+// String implements Value.
+func (r RNA) String() string { return fmt.Sprintf("rna[%s len=%d]", r.ID, r.Seq.Len()) }
+
+// Interval is a half-open [Start,End) span in sequence coordinates, used for
+// exon layouts and annotations.
+type Interval struct {
+	Start int
+	End   int
+}
+
+// Len returns the interval length.
+func (iv Interval) Len() int { return iv.End - iv.Start }
+
+// Valid reports whether the interval is well-formed and non-negative.
+func (iv Interval) Valid() bool { return iv.Start >= 0 && iv.End >= iv.Start }
+
+// Overlaps reports whether two intervals share any position.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start < other.End && other.Start < iv.End
+}
+
+// Gene is the GDT for a gene: its genomic DNA span together with the exon
+// layout used by the splice operation. Exons are in gene-local coordinates,
+// strictly increasing and non-overlapping.
+type Gene struct {
+	ID       string
+	Symbol   string // biologist-facing gene symbol, e.g. "TP53"
+	Organism string
+	Seq      seq.NucSeq // gene-local genomic sequence (already strand-corrected)
+	Exons    []Interval
+}
+
+// Kind implements Value.
+func (Gene) Kind() Kind { return KindGene }
+
+// Validate checks the structural invariants of the gene.
+func (g Gene) Validate() error {
+	prevEnd := 0
+	for i, e := range g.Exons {
+		if !e.Valid() || e.End > g.Seq.Len() {
+			return fmt.Errorf("gdt: gene %s exon %d out of bounds: %+v (seq len %d)", g.ID, i, e, g.Seq.Len())
+		}
+		if e.Start < prevEnd {
+			return fmt.Errorf("gdt: gene %s exon %d overlaps or disorders previous (start %d < prev end %d)", g.ID, i, e.Start, prevEnd)
+		}
+		prevEnd = e.End
+	}
+	return nil
+}
+
+// Pack implements Value.
+func (g Gene) Pack() []byte {
+	e := newEncoder(KindGene).str(g.ID).str(g.Symbol).str(g.Organism).bytes(g.Seq.Pack())
+	e.uvarint(uint64(len(g.Exons)))
+	for _, ex := range g.Exons {
+		e.uvarint(uint64(ex.Start)).uvarint(uint64(ex.End))
+	}
+	return e.buf
+}
+
+func unpackGene(buf []byte) (Gene, error) {
+	d := newDecoder(buf, KindGene)
+	out := Gene{ID: d.str(), Symbol: d.str(), Organism: d.str()}
+	out.Seq = d.nucseq()
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(buf)) {
+		return Gene{}, fmt.Errorf("gdt: gene exon count %d exceeds buffer", n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		out.Exons = append(out.Exons, Interval{Start: int(d.uvarint()), End: int(d.uvarint())})
+	}
+	return out, d.err
+}
+
+// String implements Value.
+func (g Gene) String() string {
+	return fmt.Sprintf("gene[%s %s len=%d exons=%d]", g.ID, g.Symbol, g.Seq.Len(), len(g.Exons))
+}
+
+// PrimaryTranscript is the GDT for a pre-mRNA: the full transcribed region
+// (introns included) with the exon layout inherited from its gene.
+type PrimaryTranscript struct {
+	GeneID string
+	Seq    seq.NucSeq // RNA alphabet
+	Exons  []Interval
+}
+
+// Kind implements Value.
+func (PrimaryTranscript) Kind() Kind { return KindPrimaryTranscript }
+
+// Pack implements Value.
+func (p PrimaryTranscript) Pack() []byte {
+	e := newEncoder(KindPrimaryTranscript).str(p.GeneID).bytes(p.Seq.Pack())
+	e.uvarint(uint64(len(p.Exons)))
+	for _, ex := range p.Exons {
+		e.uvarint(uint64(ex.Start)).uvarint(uint64(ex.End))
+	}
+	return e.buf
+}
+
+func unpackPrimaryTranscript(buf []byte) (PrimaryTranscript, error) {
+	d := newDecoder(buf, KindPrimaryTranscript)
+	out := PrimaryTranscript{GeneID: d.str()}
+	out.Seq = d.nucseq()
+	n := d.uvarint()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		out.Exons = append(out.Exons, Interval{Start: int(d.uvarint()), End: int(d.uvarint())})
+	}
+	return out, d.err
+}
+
+// String implements Value.
+func (p PrimaryTranscript) String() string {
+	return fmt.Sprintf("primarytranscript[gene=%s len=%d]", p.GeneID, p.Seq.Len())
+}
+
+// MRNA is the GDT for a mature messenger RNA (introns removed).
+type MRNA struct {
+	GeneID  string
+	Isoform int // 0 = canonical isoform; alternatives number upward
+	Seq     seq.NucSeq
+}
+
+// Kind implements Value.
+func (MRNA) Kind() Kind { return KindMRNA }
+
+// Pack implements Value.
+func (m MRNA) Pack() []byte {
+	return newEncoder(KindMRNA).str(m.GeneID).uvarint(uint64(m.Isoform)).bytes(m.Seq.Pack()).buf
+}
+
+func unpackMRNA(buf []byte) (MRNA, error) {
+	d := newDecoder(buf, KindMRNA)
+	out := MRNA{GeneID: d.str(), Isoform: int(d.uvarint())}
+	out.Seq = d.nucseq()
+	return out, d.err
+}
+
+// String implements Value.
+func (m MRNA) String() string {
+	return fmt.Sprintf("mrna[gene=%s isoform=%d len=%d]", m.GeneID, m.Isoform, m.Seq.Len())
+}
+
+// Protein is the GDT for a protein sequence.
+type Protein struct {
+	ID     string
+	GeneID string
+	Seq    seq.ProtSeq
+}
+
+// Kind implements Value.
+func (Protein) Kind() Kind { return KindProtein }
+
+// Pack implements Value.
+func (p Protein) Pack() []byte {
+	return newEncoder(KindProtein).str(p.ID).str(p.GeneID).bytes(p.Seq.Pack()).buf
+}
+
+func unpackProtein(buf []byte) (Protein, error) {
+	d := newDecoder(buf, KindProtein)
+	out := Protein{ID: d.str(), GeneID: d.str()}
+	out.Seq = d.protseq()
+	return out, d.err
+}
+
+// String implements Value.
+func (p Protein) String() string {
+	return fmt.Sprintf("protein[%s gene=%s len=%d]", p.ID, p.GeneID, p.Seq.Len())
+}
+
+// GeneLocus places a gene on a chromosome.
+type GeneLocus struct {
+	GeneID string
+	Span   Interval
+	// Reverse is true when the gene lies on the reverse strand.
+	Reverse bool
+}
+
+// Chromosome is the GDT for a chromosome: its full sequence plus the loci of
+// the genes placed on it.
+type Chromosome struct {
+	ID   string
+	Name string // e.g. "chr1"
+	Seq  seq.NucSeq
+	Loci []GeneLocus
+}
+
+// Kind implements Value.
+func (Chromosome) Kind() Kind { return KindChromosome }
+
+// Pack implements Value.
+func (c Chromosome) Pack() []byte {
+	e := newEncoder(KindChromosome).str(c.ID).str(c.Name).bytes(c.Seq.Pack())
+	e.uvarint(uint64(len(c.Loci)))
+	for _, l := range c.Loci {
+		e.str(l.GeneID).uvarint(uint64(l.Span.Start)).uvarint(uint64(l.Span.End))
+		rev := uint64(0)
+		if l.Reverse {
+			rev = 1
+		}
+		e.uvarint(rev)
+	}
+	return e.buf
+}
+
+func unpackChromosome(buf []byte) (Chromosome, error) {
+	d := newDecoder(buf, KindChromosome)
+	out := Chromosome{ID: d.str(), Name: d.str()}
+	out.Seq = d.nucseq()
+	n := d.uvarint()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		l := GeneLocus{GeneID: d.str()}
+		l.Span = Interval{Start: int(d.uvarint()), End: int(d.uvarint())}
+		l.Reverse = d.uvarint() == 1
+		out.Loci = append(out.Loci, l)
+	}
+	return out, d.err
+}
+
+// String implements Value.
+func (c Chromosome) String() string {
+	return fmt.Sprintf("chromosome[%s %s len=%d genes=%d]", c.ID, c.Name, c.Seq.Len(), len(c.Loci))
+}
+
+// Genome is the GDT for a whole genome: an organism with its chromosomes
+// (referenced by ID, as chromosomes are stored as their own values).
+type Genome struct {
+	ID            string
+	Organism      string
+	ChromosomeIDs []string
+}
+
+// Kind implements Value.
+func (Genome) Kind() Kind { return KindGenome }
+
+// Pack implements Value.
+func (g Genome) Pack() []byte {
+	e := newEncoder(KindGenome).str(g.ID).str(g.Organism).uvarint(uint64(len(g.ChromosomeIDs)))
+	for _, id := range g.ChromosomeIDs {
+		e.str(id)
+	}
+	return e.buf
+}
+
+func unpackGenome(buf []byte) (Genome, error) {
+	d := newDecoder(buf, KindGenome)
+	out := Genome{ID: d.str(), Organism: d.str()}
+	n := d.uvarint()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		out.ChromosomeIDs = append(out.ChromosomeIDs, d.str())
+	}
+	return out, d.err
+}
+
+// String implements Value.
+func (g Genome) String() string {
+	return fmt.Sprintf("genome[%s %s chromosomes=%d]", g.ID, g.Organism, len(g.ChromosomeIDs))
+}
+
+// Annotation is the GDT for user- or curator-attached metadata on a region
+// of another GDT value (requirement C11/C13: annotations and self-generated
+// data are first-class).
+type Annotation struct {
+	ID       string
+	TargetID string // ID of the annotated value
+	Span     Interval
+	Author   string
+	Text     string
+	// UnixTime is the annotation creation time in seconds; kept as a plain
+	// integer so packed values remain deterministic.
+	UnixTime int64
+}
+
+// Kind implements Value.
+func (Annotation) Kind() Kind { return KindAnnotation }
+
+// Pack implements Value.
+func (a Annotation) Pack() []byte {
+	return newEncoder(KindAnnotation).
+		str(a.ID).str(a.TargetID).
+		uvarint(uint64(a.Span.Start)).uvarint(uint64(a.Span.End)).
+		str(a.Author).str(a.Text).uvarint(uint64(a.UnixTime)).buf
+}
+
+func unpackAnnotation(buf []byte) (Annotation, error) {
+	d := newDecoder(buf, KindAnnotation)
+	out := Annotation{ID: d.str(), TargetID: d.str()}
+	out.Span = Interval{Start: int(d.uvarint()), End: int(d.uvarint())}
+	out.Author = d.str()
+	out.Text = d.str()
+	out.UnixTime = int64(d.uvarint())
+	return out, d.err
+}
+
+// String implements Value.
+func (a Annotation) String() string {
+	txt := a.Text
+	if len(txt) > 24 {
+		txt = txt[:21] + "..."
+	}
+	return fmt.Sprintf("annotation[%s on %s %d..%d %q]", a.ID, a.TargetID, a.Span.Start, a.Span.End, txt)
+}
+
+// Equal compares two GDT values structurally via their packed forms. Packing
+// is canonical, so byte equality is value equality.
+func Equal(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	pa, pb := a.Pack(), b.Pack()
+	if len(pa) != len(pb) {
+		return false
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Describe renders a multi-line human-readable description of a value, used
+// by the shell's output formatter.
+func Describe(v Value) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", v.Kind(), v.String())
+	switch t := v.(type) {
+	case DNA:
+		fmt.Fprintf(&sb, "  gc=%.3f\n", t.Seq.GCContent())
+	case Gene:
+		for i, e := range t.Exons {
+			fmt.Fprintf(&sb, "  exon %d: [%d,%d)\n", i, e.Start, e.End)
+		}
+	case Chromosome:
+		for _, l := range t.Loci {
+			fmt.Fprintf(&sb, "  locus %s: [%d,%d) rev=%v\n", l.GeneID, l.Span.Start, l.Span.End, l.Reverse)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,27 @@
+package genalgxml
+
+import "testing"
+
+// FuzzUnmarshal asserts the GenAlgXML decoder never panics and round-trips
+// whatever it accepts.
+func FuzzUnmarshal(f *testing.F) {
+	if data, err := Marshal(sampleDoc()); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`<genalgxml><dna id="x"><sequence>ACGT</sequence></dna></genalgxml>`))
+	f.Add([]byte(`<genalgxml>`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out, err := Marshal(doc)
+		if err != nil {
+			return // values without an XML mapping cannot re-marshal
+		}
+		if _, err := Unmarshal(out); err != nil {
+			t.Fatalf("re-unmarshal of marshalled doc failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,284 @@
+// Package genalgxml implements GenAlgXML, the paper's Section 6.4 XML
+// application: "a standardized input/output facility for genomic data"
+// representing the high-level objects of the Genomics Algebra (unlike the
+// low-level GEML/RiboML formats the paper finds inappropriate).
+//
+// A document holds any mix of GDT values; each value element carries the
+// sort name as its tag.
+package genalgxml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"genalg/internal/gdt"
+	"genalg/internal/seq"
+)
+
+// Document is a GenAlgXML file: a list of GDT values.
+type Document struct {
+	Values []gdt.Value
+}
+
+// xml wire structs
+
+type xmlDoc struct {
+	XMLName xml.Name      `xml:"genalgxml"`
+	Version string        `xml:"version,attr"`
+	Items   []xmlAnyValue `xml:",any"`
+}
+
+type xmlAnyValue struct {
+	XMLName xml.Name
+	Attrs   []xml.Attr `xml:",any,attr"`
+	Inner   []byte     `xml:",innerxml"`
+}
+
+type xmlDNA struct {
+	XMLName  xml.Name `xml:"dna"`
+	ID       string   `xml:"id,attr"`
+	Sequence string   `xml:"sequence"`
+}
+
+type xmlRNA struct {
+	XMLName  xml.Name `xml:"rna"`
+	ID       string   `xml:"id,attr"`
+	Sequence string   `xml:"sequence"`
+}
+
+type xmlExon struct {
+	Start int `xml:"start,attr"`
+	End   int `xml:"end,attr"`
+}
+
+type xmlGene struct {
+	XMLName  xml.Name  `xml:"gene"`
+	ID       string    `xml:"id,attr"`
+	Symbol   string    `xml:"symbol,attr"`
+	Organism string    `xml:"organism,attr"`
+	Sequence string    `xml:"sequence"`
+	Exons    []xmlExon `xml:"exons>exon"`
+}
+
+type xmlProtein struct {
+	XMLName  xml.Name `xml:"protein"`
+	ID       string   `xml:"id,attr"`
+	GeneID   string   `xml:"gene,attr"`
+	Sequence string   `xml:"sequence"`
+}
+
+type xmlMRNA struct {
+	XMLName  xml.Name `xml:"mrna"`
+	GeneID   string   `xml:"gene,attr"`
+	Isoform  int      `xml:"isoform,attr"`
+	Sequence string   `xml:"sequence"`
+}
+
+type xmlPrimaryTranscript struct {
+	XMLName  xml.Name  `xml:"primarytranscript"`
+	GeneID   string    `xml:"gene,attr"`
+	Sequence string    `xml:"sequence"`
+	Exons    []xmlExon `xml:"exons>exon"`
+}
+
+type xmlAnnotation struct {
+	XMLName  xml.Name `xml:"annotation"`
+	ID       string   `xml:"id,attr"`
+	TargetID string   `xml:"target,attr"`
+	Start    int      `xml:"start,attr"`
+	End      int      `xml:"end,attr"`
+	Author   string   `xml:"author,attr"`
+	UnixTime int64    `xml:"time,attr"`
+	Text     string   `xml:",chardata"`
+}
+
+// Marshal renders a document.
+func Marshal(doc Document) ([]byte, error) {
+	var sb strings.Builder
+	sb.WriteString(xml.Header)
+	sb.WriteString(`<genalgxml version="1.0">` + "\n")
+	enc := xml.NewEncoder(&sb)
+	enc.Indent("  ", "  ")
+	for _, v := range doc.Values {
+		wire, err := toWire(v)
+		if err != nil {
+			return nil, err
+		}
+		if err := enc.Encode(wire); err != nil {
+			return nil, fmt.Errorf("genalgxml: encoding %v: %w", v.Kind(), err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	sb.WriteString("\n</genalgxml>\n")
+	return []byte(sb.String()), nil
+}
+
+func toWire(v gdt.Value) (any, error) {
+	switch x := v.(type) {
+	case gdt.DNA:
+		return xmlDNA{ID: x.ID, Sequence: x.Seq.String()}, nil
+	case gdt.RNA:
+		return xmlRNA{ID: x.ID, Sequence: x.Seq.String()}, nil
+	case gdt.Gene:
+		g := xmlGene{ID: x.ID, Symbol: x.Symbol, Organism: x.Organism, Sequence: x.Seq.String()}
+		for _, e := range x.Exons {
+			g.Exons = append(g.Exons, xmlExon{Start: e.Start, End: e.End})
+		}
+		return g, nil
+	case gdt.Protein:
+		return xmlProtein{ID: x.ID, GeneID: x.GeneID, Sequence: x.Seq.String()}, nil
+	case gdt.MRNA:
+		return xmlMRNA{GeneID: x.GeneID, Isoform: x.Isoform, Sequence: x.Seq.String()}, nil
+	case gdt.PrimaryTranscript:
+		p := xmlPrimaryTranscript{GeneID: x.GeneID, Sequence: x.Seq.String()}
+		for _, e := range x.Exons {
+			p.Exons = append(p.Exons, xmlExon{Start: e.Start, End: e.End})
+		}
+		return p, nil
+	case gdt.Annotation:
+		return xmlAnnotation{
+			ID: x.ID, TargetID: x.TargetID, Start: x.Span.Start, End: x.Span.End,
+			Author: x.Author, UnixTime: x.UnixTime, Text: x.Text,
+		}, nil
+	}
+	return nil, fmt.Errorf("genalgxml: kind %v has no XML mapping", v.Kind())
+}
+
+// Unmarshal parses a GenAlgXML document.
+func Unmarshal(data []byte) (Document, error) {
+	var wire xmlDoc
+	if err := xml.Unmarshal(data, &wire); err != nil {
+		return Document{}, fmt.Errorf("genalgxml: %w", err)
+	}
+	var doc Document
+	for _, item := range wire.Items {
+		v, err := fromWire(item)
+		if err != nil {
+			return Document{}, err
+		}
+		doc.Values = append(doc.Values, v)
+	}
+	return doc, nil
+}
+
+func fromWire(item xmlAnyValue) (gdt.Value, error) {
+	// Re-serialize the element so the typed decoder can run.
+	raw := rebuild(item)
+	switch item.XMLName.Local {
+	case "dna":
+		var x xmlDNA
+		if err := xml.Unmarshal(raw, &x); err != nil {
+			return nil, err
+		}
+		return gdt.NewDNA(x.ID, x.Sequence)
+	case "rna":
+		var x xmlRNA
+		if err := xml.Unmarshal(raw, &x); err != nil {
+			return nil, err
+		}
+		ns, err := seq.NewNucSeq(seq.AlphaRNA, x.Sequence)
+		if err != nil {
+			return nil, err
+		}
+		return gdt.RNA{ID: x.ID, Seq: ns}, nil
+	case "gene":
+		var x xmlGene
+		if err := xml.Unmarshal(raw, &x); err != nil {
+			return nil, err
+		}
+		ns, err := seq.NewNucSeq(seq.AlphaDNA, x.Sequence)
+		if err != nil {
+			return nil, err
+		}
+		g := gdt.Gene{ID: x.ID, Symbol: x.Symbol, Organism: x.Organism, Seq: ns}
+		for _, e := range x.Exons {
+			g.Exons = append(g.Exons, gdt.Interval{Start: e.Start, End: e.End})
+		}
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		return g, nil
+	case "protein":
+		var x xmlProtein
+		if err := xml.Unmarshal(raw, &x); err != nil {
+			return nil, err
+		}
+		ps, err := seq.NewProtSeq(x.Sequence)
+		if err != nil {
+			return nil, err
+		}
+		return gdt.Protein{ID: x.ID, GeneID: x.GeneID, Seq: ps}, nil
+	case "mrna":
+		var x xmlMRNA
+		if err := xml.Unmarshal(raw, &x); err != nil {
+			return nil, err
+		}
+		ns, err := seq.NewNucSeq(seq.AlphaRNA, x.Sequence)
+		if err != nil {
+			return nil, err
+		}
+		return gdt.MRNA{GeneID: x.GeneID, Isoform: x.Isoform, Seq: ns}, nil
+	case "primarytranscript":
+		var x xmlPrimaryTranscript
+		if err := xml.Unmarshal(raw, &x); err != nil {
+			return nil, err
+		}
+		ns, err := seq.NewNucSeq(seq.AlphaRNA, x.Sequence)
+		if err != nil {
+			return nil, err
+		}
+		p := gdt.PrimaryTranscript{GeneID: x.GeneID, Seq: ns}
+		for _, e := range x.Exons {
+			p.Exons = append(p.Exons, gdt.Interval{Start: e.Start, End: e.End})
+		}
+		return p, nil
+	case "annotation":
+		var x xmlAnnotation
+		if err := xml.Unmarshal(raw, &x); err != nil {
+			return nil, err
+		}
+		return gdt.Annotation{
+			ID: x.ID, TargetID: x.TargetID,
+			Span:   gdt.Interval{Start: x.Start, End: x.End},
+			Author: x.Author, UnixTime: x.UnixTime, Text: strings.TrimSpace(x.Text),
+		}, nil
+	}
+	return nil, fmt.Errorf("genalgxml: unknown element <%s>", item.XMLName.Local)
+}
+
+// rebuild reassembles an element's raw XML from the captured parts.
+func rebuild(item xmlAnyValue) []byte {
+	var sb strings.Builder
+	sb.WriteByte('<')
+	sb.WriteString(item.XMLName.Local)
+	for _, a := range item.Attrs {
+		fmt.Fprintf(&sb, ` %s=%q`, a.Name.Local, a.Value)
+	}
+	sb.WriteByte('>')
+	sb.Write(item.Inner)
+	fmt.Fprintf(&sb, "</%s>", item.XMLName.Local)
+	return []byte(sb.String())
+}
+
+// Write marshals doc to w.
+func Write(w io.Writer, doc Document) error {
+	data, err := Marshal(doc)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// Read parses a document from r.
+func Read(r io.Reader) (Document, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return Document{}, err
+	}
+	return Unmarshal(data)
+}

@@ -1,0 +1,119 @@
+package genalgxml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"genalg/internal/gdt"
+	"genalg/internal/seq"
+)
+
+func sampleDoc() Document {
+	return Document{Values: []gdt.Value{
+		gdt.MustDNA("D1", "ACGTACGT"),
+		gdt.RNA{ID: "R1", Seq: seq.MustNucSeq(seq.AlphaRNA, "ACGUACGU")},
+		gdt.Gene{
+			ID: "G1", Symbol: "TST1", Organism: "synthetica",
+			Seq:   seq.MustNucSeq(seq.AlphaDNA, "ATGAAACCCGGGTTT"),
+			Exons: []gdt.Interval{{Start: 0, End: 6}, {Start: 9, End: 15}},
+		},
+		gdt.Protein{ID: "P1", GeneID: "G1", Seq: seq.MustProtSeq("MKPGF")},
+		gdt.MRNA{GeneID: "G1", Isoform: 1, Seq: seq.MustNucSeq(seq.AlphaRNA, "AUGAAA")},
+		gdt.PrimaryTranscript{GeneID: "G1", Seq: seq.MustNucSeq(seq.AlphaRNA, "AUGAAACCC"),
+			Exons: []gdt.Interval{{Start: 0, End: 9}}},
+		gdt.Annotation{ID: "A1", TargetID: "G1", Span: gdt.Interval{Start: 2, End: 8},
+			Author: "alice", Text: "binding site?", UnixTime: 1234},
+	}}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	doc := sampleDoc()
+	data, err := Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<genalgxml") {
+		t.Error("missing root element")
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Values) != len(doc.Values) {
+		t.Fatalf("values = %d, want %d", len(got.Values), len(doc.Values))
+	}
+	for i, want := range doc.Values {
+		if !gdt.Equal(got.Values[i], want) {
+			t.Errorf("value %d (%v) round-trip mismatch:\n in:  %v\n out: %v",
+				i, want.Kind(), want, got.Values[i])
+		}
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleDoc()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Values) != 7 {
+		t.Errorf("values = %d", len(got.Values))
+	}
+}
+
+func TestUnmarshalRejectsBadDocuments(t *testing.T) {
+	cases := []string{
+		``,
+		`<notgenalg/>`,
+		`<genalgxml><unknown id="x"/></genalgxml>`,
+		`<genalgxml><dna id="x"><sequence>NNN</sequence></dna></genalgxml>`,
+		`<genalgxml><gene id="g"><sequence>ACGT</sequence><exons><exon start="0" end="99"/></exons></gene></genalgxml>`,
+		`<genalgxml><protein id="p"><sequence>MKB</sequence></protein></genalgxml>`,
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal([]byte(c)); err == nil {
+			t.Errorf("case %d: bad document accepted", i)
+		}
+	}
+}
+
+func TestMarshalRejectsUnmappedKind(t *testing.T) {
+	// Genome has no XML mapping (referenced by chromosome IDs only).
+	_, err := Marshal(Document{Values: []gdt.Value{gdt.Genome{ID: "g"}}})
+	if err == nil {
+		t.Error("genome marshalled without mapping")
+	}
+}
+
+func TestAnnotationTextPreserved(t *testing.T) {
+	doc := Document{Values: []gdt.Value{
+		gdt.Annotation{ID: "A", TargetID: "T", Text: "has <angle> & special chars"},
+	}}
+	data, err := Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := got.Values[0].(gdt.Annotation)
+	if ann.Text != "has <angle> & special chars" {
+		t.Errorf("text = %q", ann.Text)
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	data, err := Marshal(Document{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil || len(got.Values) != 0 {
+		t.Errorf("empty doc = %v, %v", got, err)
+	}
+}

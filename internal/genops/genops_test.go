@@ -1,0 +1,535 @@
+package genops
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"genalg/internal/core"
+	"genalg/internal/gdt"
+	"genalg/internal/seq"
+)
+
+// testGene builds a 3-exon gene whose canonical mRNA is
+// AUG AAA CCC GGG UUU UAA (start, K, P, G, F, stop -> protein "MKPGF").
+// Introns ("GTAAGT...AG"-free toy introns) separate the exons.
+func testGene() gdt.Gene {
+	// exon1: ATGAAA  intron1: GTCCCTAG  exon2: CCCGGG  intron2: GTTTTTAG  exon3: TTTTAA
+	s := "ATGAAA" + "GTCCCTAG" + "CCCGGG" + "GTTTTTAG" + "TTTTAA"
+	return gdt.Gene{
+		ID: "G1", Symbol: "TST1", Organism: "synthetica",
+		Seq: seq.MustNucSeq(seq.AlphaDNA, s),
+		Exons: []gdt.Interval{
+			{Start: 0, End: 6},
+			{Start: 14, End: 20},
+			{Start: 28, End: 34},
+		},
+	}
+}
+
+func TestTranscribe(t *testing.T) {
+	g := testGene()
+	pt, err := Transcribe(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.GeneID != "G1" {
+		t.Errorf("GeneID = %q", pt.GeneID)
+	}
+	if pt.Seq.Alphabet() != seq.AlphaRNA {
+		t.Error("primary transcript is not RNA")
+	}
+	if pt.Seq.Len() != g.Seq.Len() {
+		t.Errorf("transcript length %d != gene length %d", pt.Seq.Len(), g.Seq.Len())
+	}
+	if !strings.HasPrefix(pt.Seq.String(), "AUGAAA") {
+		t.Errorf("transcript = %q", pt.Seq.String())
+	}
+	if len(pt.Exons) != 3 {
+		t.Errorf("exon layout lost: %v", pt.Exons)
+	}
+}
+
+func TestTranscribeRejectsInvalidGene(t *testing.T) {
+	g := testGene()
+	g.Exons = []gdt.Interval{{Start: 0, End: 1000}}
+	if _, err := Transcribe(g); err == nil {
+		t.Error("invalid gene transcribed")
+	}
+}
+
+func TestSpliceCanonical(t *testing.T) {
+	pt, err := Transcribe(testGene())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := SpliceCanonical(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Seq.String(); got != "AUGAAACCCGGGUUUUAA" {
+		t.Errorf("canonical mRNA = %q", got)
+	}
+	if m.Isoform != 0 {
+		t.Errorf("canonical isoform = %d", m.Isoform)
+	}
+}
+
+func TestSpliceUncertainty(t *testing.T) {
+	pt, _ := Transcribe(testGene())
+	v, err := Splice(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Confidence() != SpliceConfidence {
+		t.Errorf("canonical confidence = %v", v.Confidence())
+	}
+	alts := v.Alternatives()
+	if len(alts) != 1 { // 3 exons -> 1 internal exon to skip
+		t.Fatalf("alternatives = %d, want 1", len(alts))
+	}
+	// The exon-2-skipped isoform: AUGAAA + UUUUAA.
+	if got := alts[0].Value.Seq.String(); got != "AUGAAAUUUUAA" {
+		t.Errorf("alt isoform = %q", got)
+	}
+	if math.Abs(alts[0].Confidence-(1-SpliceConfidence)) > 1e-12 {
+		t.Errorf("alt confidence = %v", alts[0].Confidence)
+	}
+	// Confidence mass sums to 1.
+	total := v.Confidence()
+	for _, a := range alts {
+		total += a.Confidence
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("confidence mass = %v", total)
+	}
+}
+
+func TestSpliceManyExonsAlternativeCount(t *testing.T) {
+	// 5 exons -> 3 skippable internal exons.
+	s := strings.Repeat("ATGAAACCC", 5)
+	g := gdt.Gene{ID: "G5", Seq: seq.MustNucSeq(seq.AlphaDNA, s)}
+	for i := 0; i < 5; i++ {
+		g.Exons = append(g.Exons, gdt.Interval{Start: i * 9, End: i*9 + 6})
+	}
+	pt, err := Transcribe(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Splice(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(v.Alternatives()); got != 3 {
+		t.Errorf("alternatives = %d, want 3", got)
+	}
+}
+
+func TestSpliceRequiresExons(t *testing.T) {
+	pt := gdt.PrimaryTranscript{GeneID: "X", Seq: seq.MustNucSeq(seq.AlphaRNA, "AUG")}
+	if _, err := Splice(pt); err == nil {
+		t.Error("splice without exon layout succeeded")
+	}
+	pt.Exons = []gdt.Interval{{Start: 0, End: 99}}
+	if _, err := Splice(pt); err == nil {
+		t.Error("splice with out-of-bounds exon succeeded")
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	m := gdt.MRNA{GeneID: "G1", Seq: seq.MustNucSeq(seq.AlphaRNA, "AUGAAACCCGGGUUUUAA")}
+	p, err := Translate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Seq.String(); got != "MKPGF" {
+		t.Errorf("protein = %q, want MKPGF", got)
+	}
+	if p.GeneID != "G1" || p.ID != "G1.p0" {
+		t.Errorf("protein identity = %+v", p)
+	}
+}
+
+func TestTranslateFindsInternalStart(t *testing.T) {
+	// 5' UTR before the AUG.
+	m := gdt.MRNA{GeneID: "G", Seq: seq.MustNucSeq(seq.AlphaRNA, "CCUUAUGAAAUAA")}
+	p, err := Translate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Seq.String(); got != "MK" {
+		t.Errorf("protein = %q, want MK", got)
+	}
+}
+
+func TestTranslateNoStart(t *testing.T) {
+	m := gdt.MRNA{GeneID: "G", Seq: seq.MustNucSeq(seq.AlphaRNA, "CCCGGGUUU")}
+	if _, err := Translate(m); err == nil {
+		t.Error("translate without start codon succeeded")
+	}
+}
+
+func TestCentralDogma(t *testing.T) {
+	v, err := CentralDogma(testGene())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := v.MustValue()
+	if got := p.Seq.String(); got != "MKPGF" {
+		t.Errorf("canonical protein = %q", got)
+	}
+	if v.Confidence() != SpliceConfidence {
+		t.Errorf("confidence = %v", v.Confidence())
+	}
+	// The exon-skip isoform AUGAAAUUUUAA translates to MKF.
+	alts := v.Alternatives()
+	if len(alts) != 1 || alts[0].Value.Seq.String() != "MKF" {
+		t.Errorf("alt proteins = %+v", alts)
+	}
+}
+
+func TestDecodeRejectsShortORF(t *testing.T) {
+	// 18-base ORF is below the 30-base conventional floor.
+	d := gdt.MustDNA("D1", "CCC"+"ATGAAACCCGGGTTTTGA"+"CC")
+	if _, err := Decode(d); err == nil {
+		t.Error("decode accepted an ORF shorter than the floor")
+	}
+}
+
+func TestDecodeLongORF(t *testing.T) {
+	// Build an ORF of 12 codons: ATG + 10 AAA + TAA = 36 bases.
+	orf := "ATG" + strings.Repeat("AAA", 10) + "TAA"
+	d := gdt.MustDNA("D2", "CCCC"+orf+"GGGG")
+	p, err := Decode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Seq.String(); got != "M"+strings.Repeat("K", 10) {
+		t.Errorf("decoded protein = %q", got)
+	}
+}
+
+func TestDecodeReverseStrandORF(t *testing.T) {
+	orf := "ATG" + strings.Repeat("GGG", 10) + "TAG"
+	fwd := seq.MustNucSeq(seq.AlphaDNA, "CC"+orf+"AA").ReverseComplement()
+	d := gdt.DNA{ID: "rev", Seq: fwd}
+	p, err := Decode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Seq.String(); got != "M"+strings.Repeat("G", 10) {
+		t.Errorf("decoded reverse protein = %q", got)
+	}
+}
+
+func TestDecodeNoORF(t *testing.T) {
+	if _, err := Decode(gdt.MustDNA("D3", "CCCCCCCC")); err == nil {
+		t.Error("decode of ORF-free fragment succeeded")
+	}
+}
+
+func TestContains(t *testing.T) {
+	d := gdt.MustDNA("D", "AAATTGCCATAGGG")
+	ok, err := Contains(d, "ATTGCCATA")
+	if err != nil || !ok {
+		t.Errorf("Contains = %v, %v", ok, err)
+	}
+	ok, err = Contains(d, "GGGGGG")
+	if err != nil || ok {
+		t.Errorf("Contains negative = %v, %v", ok, err)
+	}
+	if _, err := Contains(d, "AXG"); err == nil {
+		t.Error("bad pattern accepted")
+	}
+}
+
+func TestMotifFindAndRestrictionSites(t *testing.T) {
+	d := gdt.MustDNA("D", "GAATTCAAGAATTC")
+	i, err := MotifFind(d, "GAATTC")
+	if err != nil || i != 0 {
+		t.Errorf("MotifFind = %d, %v", i, err)
+	}
+	i, err = MotifFind(d, "TTTT")
+	if err != nil || i != -1 {
+		t.Errorf("MotifFind missing = %d, %v", i, err)
+	}
+	n, err := RestrictionSites(d, "GAATTC")
+	if err != nil || n != 2 {
+		t.Errorf("RestrictionSites = %d, %v", n, err)
+	}
+	// Overlapping occurrences counted non-overlapping.
+	d2 := gdt.MustDNA("D2", "AAAA")
+	n, err = RestrictionSites(d2, "AA")
+	if err != nil || n != 2 {
+		t.Errorf("non-overlap count = %d, %v", n, err)
+	}
+	if _, err := RestrictionSites(d, ""); err == nil {
+		t.Error("empty pattern accepted")
+	}
+}
+
+func TestExtractGene(t *testing.T) {
+	chrom := gdt.Chromosome{
+		ID: "C1", Name: "chr1",
+		Seq: seq.MustNucSeq(seq.AlphaDNA, "AAAATGCCCTTTT"),
+	}
+	g, err := ExtractGene(chrom, gdt.GeneLocus{GeneID: "gX", Span: gdt.Interval{Start: 3, End: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Seq.String() != "ATGCCCT" {
+		t.Errorf("extracted = %q", g.Seq.String())
+	}
+	// Reverse strand.
+	g, err = ExtractGene(chrom, gdt.GeneLocus{GeneID: "gY", Span: gdt.Interval{Start: 3, End: 10}, Reverse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Seq.String() != "AGGGCAT" {
+		t.Errorf("reverse extracted = %q", g.Seq.String())
+	}
+	if _, err := ExtractGene(chrom, gdt.GeneLocus{GeneID: "gZ", Span: gdt.Interval{Start: 5, End: 999}}); err == nil {
+		t.Error("out-of-bounds locus accepted")
+	}
+}
+
+func TestKernelPaperTerm(t *testing.T) {
+	k := NewKernel()
+	term, err := core.ParseTerm(k.Sig, "translate(splice(transcribe(g)))",
+		map[string]core.Sort{"g": SortGene})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Sort() != SortProtein {
+		t.Errorf("term sort = %v", term.Sort())
+	}
+	v, err := k.Alg.Eval(term, core.Env{"g": testGene()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := v.(gdt.Protein)
+	if p.Seq.String() != "MKPGF" {
+		t.Errorf("evaluated protein = %q", p.Seq.String())
+	}
+}
+
+func TestKernelContainsTerm(t *testing.T) {
+	k := NewKernel()
+	term, err := core.ParseTerm(k.Sig, `contains(fragment, "ATTGCCATA")`,
+		map[string]core.Sort{"fragment": SortDNA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := k.Alg.Eval(term, core.Env{"fragment": gdt.MustDNA("f", "TTATTGCCATAGG")})
+	if err != nil || v != true {
+		t.Errorf("contains term = %v, %v", v, err)
+	}
+}
+
+func TestKernelOverloadedLength(t *testing.T) {
+	k := NewKernel()
+	cases := []struct {
+		env  core.Env
+		sort core.Sort
+		want int64
+	}{
+		{core.Env{"x": gdt.MustDNA("d", "ACGT")}, SortDNA, 4},
+		{core.Env{"x": gdt.Protein{Seq: seq.MustProtSeq("MKV")}}, SortProtein, 3},
+		{core.Env{"x": testGene()}, SortGene, 34},
+	}
+	for _, c := range cases {
+		term, err := core.ParseTerm(k.Sig, "length(x)", map[string]core.Sort{"x": c.sort})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := k.Alg.Eval(term, c.env)
+		if err != nil || v.(int64) != c.want {
+			t.Errorf("length over %v = %v, %v (want %d)", c.sort, v, err, c.want)
+		}
+	}
+}
+
+func TestKernelExtensibility(t *testing.T) {
+	k := NewKernel()
+	// A user registers a new operation at runtime (C14).
+	k.Alg.MustRegister(core.OpSig{Name: "atcontent", Args: []core.Sort{SortDNA}, Result: core.SortFloat},
+		func(args []any) (any, error) { return 1 - args[0].(gdt.DNA).Seq.GCContent(), nil })
+	term, err := core.ParseTerm(k.Sig, "atcontent(d)", map[string]core.Sort{"d": SortDNA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := k.Alg.Eval(term, core.Env{"d": gdt.MustDNA("d", "ATAT")})
+	if err != nil || v.(float64) != 1 {
+		t.Errorf("atcontent = %v, %v", v, err)
+	}
+}
+
+func TestKernelOpsHaveDocs(t *testing.T) {
+	k := NewKernel()
+	for _, op := range k.Sig.Ops() {
+		if op.Doc == "" {
+			t.Errorf("operator %s lacks documentation", op)
+		}
+	}
+	if got := len(k.Sig.Ops()); got < 20 {
+		t.Errorf("kernel registers %d ops, want >= 20", got)
+	}
+}
+
+func TestSortOfValue(t *testing.T) {
+	if s := SortOfValue(gdt.MustDNA("d", "A")); s != SortDNA {
+		t.Errorf("SortOfValue(dna) = %v", s)
+	}
+	if s := SortOfValue(testGene()); s != SortGene {
+		t.Errorf("SortOfValue(gene) = %v", s)
+	}
+}
+
+func BenchmarkCentralDogmaDirect(b *testing.B) {
+	g := testGene()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CentralDogma(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCentralDogmaTerm(b *testing.B) {
+	k := NewKernel()
+	term := core.MustApply(k.Sig, "translate",
+		core.MustApply(k.Sig, "splice",
+			core.MustApply(k.Sig, "transcribe", core.Var(SortGene, "g"))))
+	env := core.Env{"g": testGene()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Alg.Eval(term, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestKernelPresembles(t *testing.T) {
+	k := NewKernel()
+	term, err := core.ParseTerm(k.Sig, "presembles(a, b, 40)",
+		map[string]core.Sort{"a": SortProtein, "b": SortProtein})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := gdt.Protein{ID: "p1", Seq: seq.MustProtSeq("MKVLWAALLVTFLAG")}
+	p2 := gdt.Protein{ID: "p2", Seq: seq.MustProtSeq("MKVLWAALLVTFLAG")}
+	p3 := gdt.Protein{ID: "p3", Seq: seq.MustProtSeq("GGGGGGGG")}
+	v, err := k.Alg.Eval(term, core.Env{"a": p1, "b": p2})
+	if err != nil || v != true {
+		t.Errorf("identical presembles = %v, %v", v, err)
+	}
+	v, err = k.Alg.Eval(term, core.Env{"a": p1, "b": p3})
+	if err != nil || v != false {
+		t.Errorf("dissimilar presembles = %v, %v", v, err)
+	}
+}
+
+// TestKernelAllOpsThroughTerms drives every registered operation through a
+// parsed term, covering the registered closures end-to-end.
+func TestKernelAllOpsThroughTerms(t *testing.T) {
+	k := NewKernel()
+	g := testGene()
+	d := gdt.MustDNA("d", "ATGAAACCCGGGTTTACGTACGT")
+	r := gdt.RNA{ID: "r", Seq: seq.MustNucSeq(seq.AlphaRNA, "AUGAAACCC")}
+	m := gdt.MRNA{GeneID: "g", Seq: seq.MustNucSeq(seq.AlphaRNA, "AUGAAAUAA")}
+	p := gdt.Protein{ID: "p", Seq: seq.MustProtSeq("MKV")}
+	n := gdt.Nucleotide{Base: seq.A}
+	chrom := gdt.Chromosome{
+		ID: "c", Name: "chr1",
+		Seq:  seq.MustNucSeq(seq.AlphaDNA, "TTTTATGAAATTTT"),
+		Loci: []gdt.GeneLocus{{GeneID: "gX", Span: gdt.Interval{Start: 4, End: 10}}},
+	}
+	genome := gdt.Genome{ID: "gn", Organism: "org", ChromosomeIDs: []string{"c"}}
+	vars := map[string]core.Sort{
+		"g": SortGene, "d": SortDNA, "r": SortRNA, "m": SortMRNA,
+		"p": SortProtein, "n": SortNucleotide, "c": SortChromosome, "gn": SortGenome,
+	}
+	env := core.Env{"g": g, "d": d, "r": r, "m": m, "p": p, "n": n, "c": chrom, "gn": genome}
+	cases := []struct {
+		term string
+		want any // nil = only assert success
+	}{
+		{`reversecomplement(d)`, nil},
+		{`gccontent(d)`, nil},
+		{`length(d)`, int64(23)},
+		{`length(r)`, int64(9)},
+		{`length(m)`, int64(9)},
+		{`length(p)`, int64(3)},
+		{`length(g)`, int64(34)},
+		{`length(c)`, int64(14)},
+		{`contains(d, "ATGAAA")`, true},
+		{`resembles(d, d, 10)`, true},
+		{`presembles(p, p, 10)`, true},
+		{`subsequence(d, 0, 3)`, nil},
+		{`complement(n)`, gdt.Nucleotide{Base: seq.T}},
+		{`motiffind(d, "CCC")`, int64(6)},
+		{`restrictionsites(d, "ACGT")`, int64(2)},
+		{`orfcount(d, 6)`, nil},
+		{`geneseq(g)`, nil},
+		{`symbol(g)`, "TST1"},
+		{`exoncount(g)`, int64(3)},
+		{`proteinweight(p)`, nil},
+		{`proteinseq(p)`, "MKV"},
+		{`locuscount(c)`, int64(1)},
+		{`extractgene(c, "gX")`, nil},
+		{`chromosomecount(gn)`, int64(1)},
+		{`organism(gn)`, "org"},
+		{`translate(m)`, nil},
+		{`decode(reversecomplement(d))`, nil},
+	}
+	for _, c := range cases {
+		term, err := core.ParseTerm(k.Sig, c.term, vars)
+		if err != nil {
+			t.Errorf("ParseTerm(%s): %v", c.term, err)
+			continue
+		}
+		v, err := k.Alg.Eval(term, env)
+		if err != nil {
+			// decode may legitimately fail on short fragments; the term
+			// exercise is what matters for coverage of the closure.
+			if strings.Contains(c.term, "decode") {
+				continue
+			}
+			t.Errorf("Eval(%s): %v", c.term, err)
+			continue
+		}
+		if c.want != nil {
+			if gv, ok := c.want.(gdt.Value); ok {
+				if !gdt.Equal(gv, v.(gdt.Value)) {
+					t.Errorf("Eval(%s) = %v, want %v", c.term, v, c.want)
+				}
+			} else if v != c.want {
+				t.Errorf("Eval(%s) = %v, want %v", c.term, v, c.want)
+			}
+		}
+	}
+}
+
+func TestKernelOpErrorPaths(t *testing.T) {
+	k := NewKernel()
+	d := gdt.MustDNA("d", "ACGT")
+	chrom := gdt.Chromosome{ID: "c", Seq: seq.MustNucSeq(seq.AlphaDNA, "ACGT")}
+	cases := []struct {
+		term string
+		env  core.Env
+		vars map[string]core.Sort
+	}{
+		{`subsequence(d, 2, 99)`, core.Env{"d": d}, map[string]core.Sort{"d": SortDNA}},
+		{`contains(d, "NNN")`, core.Env{"d": d}, map[string]core.Sort{"d": SortDNA}},
+		{`extractgene(c, "nosuch")`, core.Env{"c": chrom}, map[string]core.Sort{"c": SortChromosome}},
+	}
+	for _, c := range cases {
+		term, err := core.ParseTerm(k.Sig, c.term, c.vars)
+		if err != nil {
+			t.Fatalf("ParseTerm(%s): %v", c.term, err)
+		}
+		if _, err := k.Alg.Eval(term, c.env); err == nil {
+			t.Errorf("Eval(%s) succeeded, want error", c.term)
+		}
+	}
+}

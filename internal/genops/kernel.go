@@ -1,0 +1,209 @@
+package genops
+
+import (
+	"fmt"
+
+	"genalg/internal/align"
+	"genalg/internal/core"
+	"genalg/internal/gdt"
+	"genalg/internal/seq"
+)
+
+// Genomic sorts registered by the kernel, mirroring gdt kinds.
+const (
+	SortNucleotide        core.Sort = "nucleotide"
+	SortDNA               core.Sort = "dna"
+	SortRNA               core.Sort = "rna"
+	SortPrimaryTranscript core.Sort = "primarytranscript"
+	SortMRNA              core.Sort = "mrna"
+	SortProtein           core.Sort = "protein"
+	SortGene              core.Sort = "gene"
+	SortChromosome        core.Sort = "chromosome"
+	SortGenome            core.Sort = "genome"
+	SortAnnotation        core.Sort = "annotation"
+)
+
+// Kernel is the kernel algebra of the paper (Section 4.2): the genomic
+// signature plus its implementing algebra, usable stand-alone as a software
+// library or plugged into the Unifying Database through the adapter.
+type Kernel struct {
+	Sig *core.Signature
+	Alg *core.Algebra
+}
+
+// NewKernel builds the genomic kernel algebra with all sorts and operations
+// registered. The kernel is extensible afterwards: callers may register
+// additional sorts and operations at any time (requirements C13/C14).
+func NewKernel() *Kernel {
+	sig := core.NewSignature()
+	sig.AddSort(SortNucleotide, SortDNA, SortRNA, SortPrimaryTranscript,
+		SortMRNA, SortProtein, SortGene, SortChromosome, SortGenome, SortAnnotation)
+	alg := core.NewAlgebra(sig)
+	k := &Kernel{Sig: sig, Alg: alg}
+	k.registerCarriers()
+	k.registerOps()
+	return k
+}
+
+func kindCarrier[T gdt.Value]() core.CarrierCheck {
+	return func(v any) bool { _, ok := v.(T); return ok }
+}
+
+func (k *Kernel) registerCarriers() {
+	k.Alg.SetCarrier(SortNucleotide, kindCarrier[gdt.Nucleotide]())
+	k.Alg.SetCarrier(SortDNA, kindCarrier[gdt.DNA]())
+	k.Alg.SetCarrier(SortRNA, kindCarrier[gdt.RNA]())
+	k.Alg.SetCarrier(SortPrimaryTranscript, kindCarrier[gdt.PrimaryTranscript]())
+	k.Alg.SetCarrier(SortMRNA, kindCarrier[gdt.MRNA]())
+	k.Alg.SetCarrier(SortProtein, kindCarrier[gdt.Protein]())
+	k.Alg.SetCarrier(SortGene, kindCarrier[gdt.Gene]())
+	k.Alg.SetCarrier(SortChromosome, kindCarrier[gdt.Chromosome]())
+	k.Alg.SetCarrier(SortGenome, kindCarrier[gdt.Genome]())
+	k.Alg.SetCarrier(SortAnnotation, kindCarrier[gdt.Annotation]())
+}
+
+func (k *Kernel) registerOps() {
+	reg := k.Alg.MustRegister
+
+	// The paper's mini algebra (Section 4.2).
+	reg(core.OpSig{Name: "transcribe", Args: []core.Sort{SortGene}, Result: SortPrimaryTranscript,
+		Doc: "primary transcript of a gene"},
+		func(args []any) (any, error) { return Transcribe(args[0].(gdt.Gene)) })
+	reg(core.OpSig{Name: "splice", Args: []core.Sort{SortPrimaryTranscript}, Result: SortMRNA,
+		Doc: "canonical mature mRNA of a primary transcript (see Splice for isoform uncertainty)"},
+		func(args []any) (any, error) { return SpliceCanonical(args[0].(gdt.PrimaryTranscript)) })
+	reg(core.OpSig{Name: "translate", Args: []core.Sort{SortMRNA}, Result: SortProtein,
+		Doc: "protein encoded by an mRNA"},
+		func(args []any) (any, error) { return Translate(args[0].(gdt.MRNA)) })
+	reg(core.OpSig{Name: "decode", Args: []core.Sort{SortDNA}, Result: SortProtein,
+		Doc: "protein of the longest ORF in a DNA fragment", Cost: 4},
+		func(args []any) (any, error) { return Decode(args[0].(gdt.DNA)) })
+
+	// Sequence accessors and derived quantities.
+	reg(core.OpSig{Name: "reversecomplement", Args: []core.Sort{SortDNA}, Result: SortDNA,
+		Doc: "reverse complement of a DNA fragment"},
+		func(args []any) (any, error) {
+			d := args[0].(gdt.DNA)
+			return gdt.DNA{ID: d.ID + ".rc", Seq: d.Seq.ReverseComplement()}, nil
+		})
+	reg(core.OpSig{Name: "gccontent", Args: []core.Sort{SortDNA}, Result: core.SortFloat,
+		Doc: "GC fraction of a DNA fragment"},
+		func(args []any) (any, error) { return args[0].(gdt.DNA).Seq.GCContent(), nil })
+	reg(core.OpSig{Name: "length", Args: []core.Sort{SortDNA}, Result: core.SortInt,
+		Doc: "length in bases"},
+		func(args []any) (any, error) { return int64(args[0].(gdt.DNA).Seq.Len()), nil })
+	reg(core.OpSig{Name: "length", Args: []core.Sort{SortRNA}, Result: core.SortInt,
+		Doc: "length in bases"},
+		func(args []any) (any, error) { return int64(args[0].(gdt.RNA).Seq.Len()), nil })
+	reg(core.OpSig{Name: "length", Args: []core.Sort{SortMRNA}, Result: core.SortInt,
+		Doc: "length in bases"},
+		func(args []any) (any, error) { return int64(args[0].(gdt.MRNA).Seq.Len()), nil })
+	reg(core.OpSig{Name: "length", Args: []core.Sort{SortProtein}, Result: core.SortInt,
+		Doc: "length in residues"},
+		func(args []any) (any, error) { return int64(args[0].(gdt.Protein).Seq.Len()), nil })
+	reg(core.OpSig{Name: "length", Args: []core.Sort{SortGene}, Result: core.SortInt,
+		Doc: "gene length in bases"},
+		func(args []any) (any, error) { return int64(args[0].(gdt.Gene).Seq.Len()), nil })
+
+	// Predicates (selectivities feed the planner, paper Section 6.5).
+	reg(core.OpSig{Name: "contains", Args: []core.Sort{SortDNA, core.SortString}, Result: core.SortBool,
+		Doc: "true if the fragment contains the nucleotide pattern", Selectivity: 0.05, Cost: 2},
+		func(args []any) (any, error) { return Contains(args[0].(gdt.DNA), args[1].(string)) })
+	reg(core.OpSig{Name: "resembles", Args: []core.Sort{SortDNA, SortDNA, core.SortInt}, Result: core.SortBool,
+		Doc:         "true if two fragments share a local alignment scoring at least the threshold",
+		Selectivity: 0.02, Cost: 50},
+		func(args []any) (any, error) {
+			return align.Resembles(args[0].(gdt.DNA).Seq, args[1].(gdt.DNA).Seq, int(args[2].(int64)))
+		})
+	reg(core.OpSig{Name: "presembles", Args: []core.Sort{SortProtein, SortProtein, core.SortInt}, Result: core.SortBool,
+		Doc:         "true if two proteins share a substitution-matrix local alignment scoring at least the threshold",
+		Selectivity: 0.02, Cost: 50},
+		func(args []any) (any, error) {
+			return align.ProtResembles(args[0].(gdt.Protein).Seq, args[1].(gdt.Protein).Seq, int(args[2].(int64)))
+		})
+
+	// Structure accessors.
+	reg(core.OpSig{Name: "subsequence", Args: []core.Sort{SortDNA, core.SortInt, core.SortInt}, Result: SortDNA,
+		Doc: "subsequence [lo,hi) of a fragment"},
+		func(args []any) (any, error) {
+			d := args[0].(gdt.DNA)
+			lo, hi := int(args[1].(int64)), int(args[2].(int64))
+			if lo < 0 || hi > d.Seq.Len() || lo > hi {
+				return nil, fmt.Errorf("genops: subsequence [%d,%d) out of range [0,%d]", lo, hi, d.Seq.Len())
+			}
+			return gdt.DNA{ID: fmt.Sprintf("%s[%d:%d]", d.ID, lo, hi), Seq: d.Seq.Slice(lo, hi)}, nil
+		})
+	reg(core.OpSig{Name: "complement", Args: []core.Sort{SortNucleotide}, Result: SortNucleotide,
+		Doc: "Watson-Crick complement of a nucleotide"},
+		func(args []any) (any, error) {
+			return gdt.Nucleotide{Base: args[0].(gdt.Nucleotide).Base.Complement()}, nil
+		})
+	reg(core.OpSig{Name: "motiffind", Args: []core.Sort{SortDNA, core.SortString}, Result: core.SortInt,
+		Doc: "first index of the pattern, or -1", Cost: 2},
+		func(args []any) (any, error) {
+			i, err := MotifFind(args[0].(gdt.DNA), args[1].(string))
+			return int64(i), err
+		})
+	reg(core.OpSig{Name: "restrictionsites", Args: []core.Sort{SortDNA, core.SortString}, Result: core.SortInt,
+		Doc: "count of non-overlapping recognition-site occurrences", Cost: 2},
+		func(args []any) (any, error) {
+			n, err := RestrictionSites(args[0].(gdt.DNA), args[1].(string))
+			return int64(n), err
+		})
+	reg(core.OpSig{Name: "orfcount", Args: []core.Sort{SortDNA, core.SortInt}, Result: core.SortInt,
+		Doc: "number of ORFs of at least the given length on either strand", Cost: 3},
+		func(args []any) (any, error) {
+			return int64(len(seq.FindORFs(args[0].(gdt.DNA).Seq, int(args[1].(int64))))), nil
+		})
+
+	// GDT projections used by the query layer.
+	reg(core.OpSig{Name: "geneseq", Args: []core.Sort{SortGene}, Result: SortDNA,
+		Doc: "genomic DNA of a gene"},
+		func(args []any) (any, error) {
+			g := args[0].(gdt.Gene)
+			return gdt.DNA{ID: g.ID, Seq: g.Seq}, nil
+		})
+	reg(core.OpSig{Name: "symbol", Args: []core.Sort{SortGene}, Result: core.SortString,
+		Doc: "gene symbol"},
+		func(args []any) (any, error) { return args[0].(gdt.Gene).Symbol, nil })
+	reg(core.OpSig{Name: "exoncount", Args: []core.Sort{SortGene}, Result: core.SortInt,
+		Doc: "number of exons"},
+		func(args []any) (any, error) { return int64(len(args[0].(gdt.Gene).Exons)), nil })
+	reg(core.OpSig{Name: "proteinweight", Args: []core.Sort{SortProtein}, Result: core.SortFloat,
+		Doc: "approximate molecular weight in daltons"},
+		func(args []any) (any, error) { return args[0].(gdt.Protein).Seq.MolecularWeight(), nil })
+	reg(core.OpSig{Name: "proteinseq", Args: []core.Sort{SortProtein}, Result: core.SortString,
+		Doc: "single-letter residue string"},
+		func(args []any) (any, error) { return args[0].(gdt.Protein).Seq.String(), nil })
+
+	// Chromosome- and genome-level operations.
+	reg(core.OpSig{Name: "length", Args: []core.Sort{SortChromosome}, Result: core.SortInt,
+		Doc: "chromosome length in bases"},
+		func(args []any) (any, error) { return int64(args[0].(gdt.Chromosome).Seq.Len()), nil })
+	reg(core.OpSig{Name: "locuscount", Args: []core.Sort{SortChromosome}, Result: core.SortInt,
+		Doc: "number of gene loci on the chromosome"},
+		func(args []any) (any, error) { return int64(len(args[0].(gdt.Chromosome).Loci)), nil })
+	reg(core.OpSig{Name: "extractgene", Args: []core.Sort{SortChromosome, core.SortString}, Result: SortGene,
+		Doc: "cut the named gene locus out of the chromosome (strand-corrected)", Cost: 2},
+		func(args []any) (any, error) {
+			c := args[0].(gdt.Chromosome)
+			id := args[1].(string)
+			for _, l := range c.Loci {
+				if l.GeneID == id {
+					return ExtractGene(c, l)
+				}
+			}
+			return nil, fmt.Errorf("genops: chromosome %s has no locus %q", c.ID, id)
+		})
+	reg(core.OpSig{Name: "chromosomecount", Args: []core.Sort{SortGenome}, Result: core.SortInt,
+		Doc: "number of chromosomes in the genome"},
+		func(args []any) (any, error) { return int64(len(args[0].(gdt.Genome).ChromosomeIDs)), nil })
+	reg(core.OpSig{Name: "organism", Args: []core.Sort{SortGenome}, Result: core.SortString,
+		Doc: "genome organism name"},
+		func(args []any) (any, error) { return args[0].(gdt.Genome).Organism, nil })
+}
+
+// SortOfValue maps a GDT value to its algebra sort.
+func SortOfValue(v gdt.Value) core.Sort {
+	return core.Sort(v.Kind().String())
+}

@@ -1,0 +1,259 @@
+// Package genops implements the genomic operations of the Genomics Algebra
+// (paper Section 4.2) over the GDTs of package gdt, and registers them —
+// together with the genomic sorts — into a core.Signature/core.Algebra pair
+// called the kernel algebra.
+//
+// The paper's central example is directly expressible here: for a gene g,
+// the term translate(splice(transcribe(g))) evaluates to the protein
+// determined by g. Splicing carries the paper's Section 4.3 uncertainty:
+// its operational semantics is unknown, so Splice returns the canonical
+// isoform with a confidence below 1 and retains alternative isoforms.
+package genops
+
+import (
+	"fmt"
+
+	"genalg/internal/gdt"
+	"genalg/internal/seq"
+	"genalg/internal/uncertain"
+)
+
+// SpliceConfidence is the confidence assigned to the canonical isoform by
+// Splice, reflecting that splicing's operational semantics is approximated
+// (paper Section 4.3: "we cannot determine its operational semantics in the
+// form of an algorithm").
+const SpliceConfidence = 0.85
+
+// Transcribe produces the primary transcript of a gene: the RNA copy of the
+// full gene sequence (exon layout carried along). This is the algebra's
+// transcribe: gene -> primarytranscript.
+func Transcribe(g gdt.Gene) (gdt.PrimaryTranscript, error) {
+	if err := g.Validate(); err != nil {
+		return gdt.PrimaryTranscript{}, fmt.Errorf("genops: transcribe: %w", err)
+	}
+	exons := make([]gdt.Interval, len(g.Exons))
+	copy(exons, g.Exons)
+	return gdt.PrimaryTranscript{
+		GeneID: g.ID,
+		Seq:    g.Seq.ToRNA(),
+		Exons:  exons,
+	}, nil
+}
+
+// spliceExons concatenates the given exon intervals of pt's sequence.
+func spliceExons(pt gdt.PrimaryTranscript, exons []gdt.Interval) (seq.NucSeq, error) {
+	out := seq.NucSeq{}.ToRNA()
+	for i, e := range exons {
+		if !e.Valid() || e.End > pt.Seq.Len() {
+			return seq.NucSeq{}, fmt.Errorf("genops: splice: exon %d out of bounds: %+v", i, e)
+		}
+		var err error
+		out, err = out.Append(pt.Seq.Slice(e.Start, e.End))
+		if err != nil {
+			return seq.NucSeq{}, err
+		}
+	}
+	return out, nil
+}
+
+// Splice removes introns from a primary transcript, yielding the canonical
+// mature mRNA with confidence SpliceConfidence, plus alternative exon-
+// skipping isoforms as uncertain alternatives (requirement C9: access to
+// all alternatives must be preserved).
+//
+// Alternative isoform model: for each internal exon i (not first, not
+// last), the isoform that skips exon i is generated. The alternatives split
+// the residual probability mass evenly.
+func Splice(pt gdt.PrimaryTranscript) (uncertain.Val[gdt.MRNA], error) {
+	if len(pt.Exons) == 0 {
+		return uncertain.Absent[gdt.MRNA](), fmt.Errorf("genops: splice: transcript of gene %s has no exon layout", pt.GeneID)
+	}
+	canonicalSeq, err := spliceExons(pt, pt.Exons)
+	if err != nil {
+		return uncertain.Absent[gdt.MRNA](), err
+	}
+	canonical := gdt.MRNA{GeneID: pt.GeneID, Isoform: 0, Seq: canonicalSeq}
+	val := uncertain.New(canonical, SpliceConfidence).WithProvenance("splice:" + pt.GeneID)
+
+	// Exon-skipping alternatives.
+	if len(pt.Exons) > 2 {
+		nAlts := len(pt.Exons) - 2
+		altConf := (1 - SpliceConfidence) / float64(nAlts)
+		isoform := 1
+		for skip := 1; skip < len(pt.Exons)-1; skip++ {
+			kept := make([]gdt.Interval, 0, len(pt.Exons)-1)
+			kept = append(kept, pt.Exons[:skip]...)
+			kept = append(kept, pt.Exons[skip+1:]...)
+			altSeq, err := spliceExons(pt, kept)
+			if err != nil {
+				return uncertain.Absent[gdt.MRNA](), err
+			}
+			val = val.WithAlternative(uncertain.Alternative[gdt.MRNA]{
+				Value:      gdt.MRNA{GeneID: pt.GeneID, Isoform: isoform, Seq: altSeq},
+				Confidence: altConf,
+				Provenance: fmt.Sprintf("splice:%s:skip-exon-%d", pt.GeneID, skip),
+			})
+			isoform++
+		}
+	}
+	return val, nil
+}
+
+// SpliceCanonical returns only the canonical isoform, for callers (such as
+// the algebra operator, whose signature is splice: primarytranscript ->
+// mrna) that need a plain value. The uncertainty-aware API is Splice.
+func SpliceCanonical(pt gdt.PrimaryTranscript) (gdt.MRNA, error) {
+	v, err := Splice(pt)
+	if err != nil {
+		return gdt.MRNA{}, err
+	}
+	return v.MustValue(), nil
+}
+
+// Translate scans the mRNA for the first AUG and translates to the first
+// stop codon (exclusive), yielding the protein. This is the algebra's
+// translate: mrna -> protein.
+func Translate(m gdt.MRNA) (gdt.Protein, error) {
+	start := findStart(m.Seq)
+	if start < 0 {
+		return gdt.Protein{}, fmt.Errorf("genops: translate: mRNA of gene %s has no start codon", m.GeneID)
+	}
+	ps := seq.Translate(m.Seq.Slice(start, m.Seq.Len()), 0, true)
+	return gdt.Protein{
+		ID:     fmt.Sprintf("%s.p%d", m.GeneID, m.Isoform),
+		GeneID: m.GeneID,
+		Seq:    ps,
+	}, nil
+}
+
+func findStart(rna seq.NucSeq) int {
+	for i := 0; i+3 <= rna.Len(); i++ {
+		if seq.MakeCodon(rna.At(i), rna.At(i+1), rna.At(i+2)).IsStart() {
+			return i
+		}
+	}
+	return -1
+}
+
+// Decode is the algebra's decode: dna -> protein operation: it finds the
+// longest open reading frame on either strand of the fragment and
+// translates it. It errors when no ORF of at least minORFLen bases exists.
+func Decode(d gdt.DNA) (gdt.Protein, error) {
+	const minORFLen = 30 // 10 codons, a conventional floor
+	orfs := seq.FindORFs(d.Seq, minORFLen)
+	if len(orfs) == 0 {
+		return gdt.Protein{}, fmt.Errorf("genops: decode: no ORF of >=%d bases in %s", minORFLen, d.ID)
+	}
+	best := orfs[0]
+	for _, o := range orfs[1:] {
+		if o.Len() > best.Len() {
+			best = o
+		}
+	}
+	strand := d.Seq
+	lo, hi := best.Start, best.End
+	if best.Reverse {
+		strand = d.Seq.ReverseComplement()
+		lo, hi = d.Seq.Len()-best.End, d.Seq.Len()-best.Start
+	}
+	coding := strand.Slice(lo, hi).ToRNA()
+	ps := seq.Translate(coding, 0, true)
+	return gdt.Protein{ID: d.ID + ".decoded", GeneID: d.ID, Seq: ps}, nil
+}
+
+// CentralDogma composes the paper's example term
+// translate(splice(transcribe(g))) with uncertainty propagation: every
+// isoform produced by splice is translated, and the result carries the
+// isoform confidences through.
+func CentralDogma(g gdt.Gene) (uncertain.Val[gdt.Protein], error) {
+	pt, err := Transcribe(g)
+	if err != nil {
+		return uncertain.Absent[gdt.Protein](), err
+	}
+	mv, err := Splice(pt)
+	if err != nil {
+		return uncertain.Absent[gdt.Protein](), err
+	}
+	// Translate primary and every alternative; isoforms whose translation
+	// fails (no start codon) are dropped from the alternatives.
+	prim, err := Translate(mv.MustValue())
+	if err != nil {
+		return uncertain.Absent[gdt.Protein](), err
+	}
+	out := uncertain.New(prim, mv.Confidence()).WithProvenance("centraldogma:" + g.ID)
+	for _, alt := range mv.Alternatives() {
+		p, err := Translate(alt.Value)
+		if err != nil {
+			continue
+		}
+		out = out.WithAlternative(uncertain.Alternative[gdt.Protein]{
+			Value: p, Confidence: alt.Confidence, Provenance: alt.Provenance,
+		})
+	}
+	return out, nil
+}
+
+// Contains reports whether the DNA fragment contains the given nucleotide
+// pattern (the paper's Section 6.3 example predicate).
+func Contains(d gdt.DNA, pattern string) (bool, error) {
+	pat, err := seq.NewNucSeq(seq.AlphaDNA, pattern)
+	if err != nil {
+		return false, fmt.Errorf("genops: contains: %w", err)
+	}
+	return d.Seq.Contains(pat), nil
+}
+
+// MotifFind returns the first index of pattern in the fragment, or -1.
+func MotifFind(d gdt.DNA, pattern string) (int, error) {
+	pat, err := seq.NewNucSeq(seq.AlphaDNA, pattern)
+	if err != nil {
+		return -1, fmt.Errorf("genops: motiffind: %w", err)
+	}
+	return d.Seq.IndexOf(pat), nil
+}
+
+// RestrictionSites counts non-overlapping occurrences of a recognition
+// pattern (e.g. GAATTC for EcoRI) in the fragment.
+func RestrictionSites(d gdt.DNA, pattern string) (int, error) {
+	pat, err := seq.NewNucSeq(seq.AlphaDNA, pattern)
+	if err != nil {
+		return 0, fmt.Errorf("genops: restrictionsites: %w", err)
+	}
+	if pat.Len() == 0 {
+		return 0, fmt.Errorf("genops: restrictionsites: empty pattern")
+	}
+	count := 0
+	rest := d.Seq
+	offset := 0
+	for {
+		i := rest.IndexOf(pat)
+		if i < 0 {
+			return count, nil
+		}
+		count++
+		offset += i + pat.Len()
+		if offset >= d.Seq.Len() {
+			return count, nil
+		}
+		rest = d.Seq.Slice(offset, d.Seq.Len())
+	}
+}
+
+// ExtractGene cuts a gene out of a chromosome at the given locus,
+// strand-correcting reverse-strand genes. The returned gene has a single
+// exon covering its full span; finer exon structure comes from annotation
+// sources.
+func ExtractGene(c gdt.Chromosome, locus gdt.GeneLocus) (gdt.Gene, error) {
+	if !locus.Span.Valid() || locus.Span.End > c.Seq.Len() {
+		return gdt.Gene{}, fmt.Errorf("genops: extractgene: locus %+v out of chromosome %s bounds", locus, c.ID)
+	}
+	s := c.Seq.Slice(locus.Span.Start, locus.Span.End)
+	if locus.Reverse {
+		s = s.ReverseComplement()
+	}
+	return gdt.Gene{
+		ID:    locus.GeneID,
+		Seq:   s,
+		Exons: []gdt.Interval{{Start: 0, End: s.Len()}},
+	}, nil
+}

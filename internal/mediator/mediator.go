@@ -1,0 +1,199 @@
+// Package mediator implements the query-driven integration baseline of the
+// paper's Figure 1 and Section 3: per-source wrappers under an integration
+// system that decomposes each user query, ships it to the (remote) sources,
+// and combines results at query time. True to the systems the paper
+// surveys (SRS, K2/Kleisli, DiscoveryLink, TAMBIS), the mediator performs
+// *no reconciliation*: overlapping sources yield duplicate and possibly
+// conflicting results, which the caller must sort out (Table 1, row C8).
+package mediator
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"genalg/internal/sources"
+)
+
+// Source is the remote-access surface the mediator drives. Both
+// *sources.Remote and (for no-latency tests) *sources.Repo satisfy it.
+type Source interface {
+	Name() string
+	Format() sources.Format
+	Capability() sources.Capability
+	Snapshot() string
+	Query(id string) (sources.Record, error)
+	QueryContains(pattern string) ([]string, error)
+}
+
+// ResultRow is one mediator answer: a record with its source attribution.
+// The same accession may appear once per source holding it.
+type ResultRow struct {
+	Source string
+	Record sources.Record
+}
+
+// Stats accounts the mediator's per-query remote work.
+type Stats struct {
+	RemoteCalls   int
+	SnapshotBytes int
+	Elapsed       time.Duration
+}
+
+// Mediator is the integration system of Figure 1.
+type Mediator struct {
+	srcs []Source
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New creates a mediator over the given sources.
+func New(srcs ...Source) *Mediator {
+	return &Mediator{srcs: srcs}
+}
+
+// Stats returns accumulated counters.
+func (m *Mediator) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+func (m *Mediator) addStats(calls, snapshotBytes int, d time.Duration) {
+	m.mu.Lock()
+	m.stats.RemoteCalls += calls
+	m.stats.SnapshotBytes += snapshotBytes
+	m.stats.Elapsed += d
+	m.mu.Unlock()
+}
+
+// FindContaining answers the paper's Section 6.3 example query through the
+// query-driven path: each queryable source runs the search server-side;
+// non-queryable sources force the wrapper to pull the full dump and filter
+// locally. Results are combined without reconciliation, ordered by
+// (accession, source).
+func (m *Mediator) FindContaining(pattern string) ([]ResultRow, error) {
+	start := time.Now()
+	var out []ResultRow
+	for _, s := range m.srcs {
+		rows, calls, snapBytes, err := m.findInSource(s, pattern)
+		m.addStats(calls, snapBytes, 0)
+		if err != nil {
+			return nil, fmt.Errorf("mediator: source %s: %w", s.Name(), err)
+		}
+		out = append(out, rows...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Record.ID != out[j].Record.ID {
+			return out[i].Record.ID < out[j].Record.ID
+		}
+		return out[i].Source < out[j].Source
+	})
+	m.addStats(0, 0, time.Since(start))
+	return out, nil
+}
+
+func (m *Mediator) findInSource(s Source, pattern string) (rows []ResultRow, calls, snapBytes int, err error) {
+	if s.Capability() == sources.CapNonQueryable {
+		// Wrapper fallback: pull the dump, parse, filter locally.
+		text := s.Snapshot()
+		calls++
+		snapBytes += len(text)
+		recs, err := sources.Parse(s.Format(), text)
+		if err != nil {
+			return nil, calls, snapBytes, err
+		}
+		for _, rec := range recs {
+			if containsSeq(rec.Sequence, pattern) {
+				rows = append(rows, ResultRow{Source: s.Name(), Record: rec})
+			}
+		}
+		return rows, calls, snapBytes, nil
+	}
+	ids, err := s.QueryContains(pattern)
+	calls++
+	if err != nil {
+		return nil, calls, snapBytes, err
+	}
+	for _, id := range ids {
+		rec, err := s.Query(id)
+		calls++
+		if err != nil {
+			return nil, calls, snapBytes, err
+		}
+		rows = append(rows, ResultRow{Source: s.Name(), Record: rec})
+	}
+	return rows, calls, snapBytes, nil
+}
+
+func containsSeq(haystack, needle string) bool {
+	if len(needle) == 0 {
+		return true
+	}
+outer:
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		for j := 0; j < len(needle); j++ {
+			if haystack[i+j] != needle[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Get fetches a record by accession from every source that holds it. The
+// caller sees all (possibly conflicting) versions — the paper's problem C8
+// made tangible.
+func (m *Mediator) Get(id string) ([]ResultRow, error) {
+	start := time.Now()
+	var out []ResultRow
+	for _, s := range m.srcs {
+		if s.Capability() == sources.CapNonQueryable {
+			text := s.Snapshot()
+			m.addStats(1, len(text), 0)
+			recs, err := sources.Parse(s.Format(), text)
+			if err != nil {
+				return nil, fmt.Errorf("mediator: source %s: %w", s.Name(), err)
+			}
+			for _, rec := range recs {
+				if rec.ID == id {
+					out = append(out, ResultRow{Source: s.Name(), Record: rec})
+				}
+			}
+			continue
+		}
+		rec, err := s.Query(id)
+		m.addStats(1, 0, 0)
+		if err != nil {
+			continue // absent in this source
+		}
+		out = append(out, ResultRow{Source: s.Name(), Record: rec})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	m.addStats(0, 0, time.Since(start))
+	return out, nil
+}
+
+// Conflicts inspects a multi-source result set and reports accessions whose
+// copies disagree — demonstrating that the query-driven approach surfaces
+// inconsistencies without resolving them.
+func Conflicts(rows []ResultRow) []string {
+	byID := map[string][]sources.Record{}
+	for _, r := range rows {
+		byID[r.Record.ID] = append(byID[r.Record.ID], r.Record)
+	}
+	var out []string
+	for id, recs := range byID {
+		for i := 1; i < len(recs); i++ {
+			if !recs[i].Equal(recs[0]) {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

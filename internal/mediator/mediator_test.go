@@ -1,0 +1,134 @@
+package mediator
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"genalg/internal/sources"
+)
+
+// repoSet builds one queryable and one non-queryable source with the same
+// underlying biology, one of them noisy.
+func repoSet(noisy bool) []Source {
+	rate := 0.0
+	if noisy {
+		rate = 1.0
+	}
+	q := sources.NewRepo("srcQ", sources.FormatCSV, sources.CapQueryable,
+		sources.Generate(500, sources.GenOptions{N: 20}))
+	nq := sources.NewRepo("srcNQ", sources.FormatGenBank, sources.CapNonQueryable,
+		sources.Generate(500, sources.GenOptions{N: 20, ErrorRate: rate}))
+	return []Source{q, nq}
+}
+
+func TestFindContainingBothPaths(t *testing.T) {
+	srcs := repoSet(false)
+	m := New(srcs...)
+	// A pattern from record 2 must be found in both sources (same content).
+	rec := sources.Generate(500, sources.GenOptions{N: 20})[2]
+	pattern := rec.Sequence[50:80]
+	rows, err := m.FindContaining(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSource := map[string]int{}
+	found := false
+	for _, r := range rows {
+		perSource[r.Source]++
+		if r.Record.ID == rec.ID {
+			found = true
+		}
+		if !strings.Contains(r.Record.Sequence, pattern) {
+			t.Errorf("false positive from %s: %s", r.Source, r.Record.ID)
+		}
+	}
+	if !found {
+		t.Errorf("target record missing: %v", rows)
+	}
+	// Both the queryable (server-side) and non-queryable (dump+filter)
+	// paths produced results.
+	if perSource["srcQ"] == 0 || perSource["srcNQ"] == 0 {
+		t.Errorf("per-source hits = %v", perSource)
+	}
+	// The dump path transferred snapshot bytes; the query path did not.
+	st := m.Stats()
+	if st.SnapshotBytes == 0 {
+		t.Error("non-queryable path transferred no snapshot bytes")
+	}
+	if st.RemoteCalls < 2 {
+		t.Errorf("remote calls = %d", st.RemoteCalls)
+	}
+}
+
+func TestNoReconciliation(t *testing.T) {
+	// Noisy second source: the mediator must return BOTH versions without
+	// merging them (faithful to the query-driven systems of Table 1).
+	m := New(repoSet(true)...)
+	rows, err := m.Get("SYN000004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (one per source)", len(rows))
+	}
+	if rows[0].Record.Equal(rows[1].Record) {
+		t.Error("noisy copies identical; error injection broken?")
+	}
+	conflicts := Conflicts(rows)
+	if len(conflicts) != 1 || conflicts[0] != "SYN000004" {
+		t.Errorf("Conflicts = %v", conflicts)
+	}
+}
+
+func TestConflictsCleanSet(t *testing.T) {
+	m := New(repoSet(false)...)
+	rows, err := m.Get("SYN000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Conflicts(rows); len(got) != 0 {
+		t.Errorf("clean set reported conflicts: %v", got)
+	}
+}
+
+func TestGetMissingRecord(t *testing.T) {
+	m := New(repoSet(false)...)
+	rows, err := m.Get("NOSUCH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestRemoteLatencyAccumulates(t *testing.T) {
+	q := sources.NewRepo("srcQ", sources.FormatCSV, sources.CapQueryable,
+		sources.Generate(500, sources.GenOptions{N: 10}))
+	remote := sources.NewRemote(q, time.Millisecond, 0)
+	m := New(remote)
+	start := time.Now()
+	if _, err := m.FindContaining("ACGTACGT"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Error("latency not paid")
+	}
+	if remote.RemoteStats().Calls == 0 {
+		t.Error("remote calls not counted")
+	}
+}
+
+func BenchmarkMediatorFindContaining(b *testing.B) {
+	q := sources.NewRepo("srcQ", sources.FormatCSV, sources.CapQueryable,
+		sources.Generate(500, sources.GenOptions{N: 100}))
+	remote := sources.NewRemote(q, 200*time.Microsecond, 0)
+	m := New(remote)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.FindContaining("ACGTACG"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

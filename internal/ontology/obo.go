@@ -1,0 +1,239 @@
+package ontology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The paper (Section 4.1) notes that "besides developing such a genomic
+// ontology, a challenge is to devise an appropriate formalism for its
+// unique specification". This file provides that formalism: a textual,
+// OBO-flavoured stanza format that serializes an Ontology losslessly.
+//
+//	[Term]
+//	id: GA:0004
+//	name: gene
+//	def: "a heritable unit of genomic sequence with exon structure"
+//	algebra_sort: gene
+//	synonym: "locus" context="genbank"
+//	is_a: GA:0003
+//	relationship: part_of GA:0008
+//	relationship: derives_from GA:0002
+
+var relNames = map[Relation]string{
+	IsA:         "is_a",
+	PartOf:      "part_of",
+	DerivesFrom: "derives_from",
+}
+
+func relByName(name string) (Relation, bool) {
+	for r, n := range relNames {
+		if n == name {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// WriteOBO serializes the ontology, one stanza per term ordered by ID.
+func (o *Ontology) WriteOBO(w io.Writer) error {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+
+	// Synonyms grouped by term.
+	type syn struct{ label, context string }
+	synsByTerm := map[string][]syn{}
+	for label, entries := range o.synonyms {
+		for _, e := range entries {
+			// The canonical name registers itself as a synonym; skip it.
+			if t := o.terms[e.termID]; normalize(t.Name) == label && e.context == "" {
+				continue
+			}
+			synsByTerm[e.termID] = append(synsByTerm[e.termID], syn{label: label, context: e.context})
+		}
+	}
+	ids := make([]string, 0, len(o.terms))
+	for id := range o.terms {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "format-version: 1.0\nontology: genalg\n")
+	for _, id := range ids {
+		t := o.terms[id]
+		fmt.Fprintf(bw, "\n[Term]\nid: %s\nname: %s\n", t.ID, t.Name)
+		if t.Definition != "" {
+			fmt.Fprintf(bw, "def: %s\n", strconv.Quote(t.Definition))
+		}
+		if t.AlgebraSort != "" {
+			fmt.Fprintf(bw, "algebra_sort: %s\n", t.AlgebraSort)
+		}
+		syns := synsByTerm[id]
+		sort.Slice(syns, func(i, j int) bool {
+			if syns[i].label != syns[j].label {
+				return syns[i].label < syns[j].label
+			}
+			return syns[i].context < syns[j].context
+		})
+		for _, s := range syns {
+			if s.context != "" {
+				fmt.Fprintf(bw, "synonym: %s context=%s\n", strconv.Quote(s.label), strconv.Quote(s.context))
+			} else {
+				fmt.Fprintf(bw, "synonym: %s\n", strconv.Quote(s.label))
+			}
+		}
+		edges := make([]edge, len(o.edges[id]))
+		copy(edges, o.edges[id])
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].rel != edges[j].rel {
+				return edges[i].rel < edges[j].rel
+			}
+			return edges[i].to < edges[j].to
+		})
+		for _, e := range edges {
+			if e.rel == IsA {
+				fmt.Fprintf(bw, "is_a: %s\n", e.to)
+			} else {
+				fmt.Fprintf(bw, "relationship: %s %s\n", relNames[e.rel], e.to)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseOBO reads an ontology written by WriteOBO. Relations referencing
+// terms defined later in the file resolve after all stanzas load.
+func ParseOBO(r io.Reader) (*Ontology, error) {
+	o := New()
+	type pendingSyn struct{ termID, label, context string }
+	type pendingRel struct {
+		from string
+		rel  Relation
+		to   string
+	}
+	var syns []pendingSyn
+	var rels []pendingRel
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cur *Term
+	lineNo := 0
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if err := o.AddTerm(*cur); err != nil {
+			return err
+		}
+		cur = nil
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "format-version:") || strings.HasPrefix(line, "ontology:"):
+			continue
+		case line == "[Term]":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			cur = &Term{}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("ontology: obo line %d: attribute outside [Term]", lineNo)
+		}
+		key, val, found := strings.Cut(line, ": ")
+		if !found {
+			return nil, fmt.Errorf("ontology: obo line %d: malformed line %q", lineNo, line)
+		}
+		switch key {
+		case "id":
+			cur.ID = val
+		case "name":
+			cur.Name = val
+		case "def":
+			def, err := strconv.Unquote(val)
+			if err != nil {
+				return nil, fmt.Errorf("ontology: obo line %d: bad def", lineNo)
+			}
+			cur.Definition = def
+		case "algebra_sort":
+			cur.AlgebraSort = val
+		case "synonym":
+			label, rest, err := readQuoted(val)
+			if err != nil {
+				return nil, fmt.Errorf("ontology: obo line %d: %v", lineNo, err)
+			}
+			context := ""
+			rest = strings.TrimSpace(rest)
+			if rest != "" {
+				cval, ok := strings.CutPrefix(rest, "context=")
+				if !ok {
+					return nil, fmt.Errorf("ontology: obo line %d: unexpected synonym suffix %q", lineNo, rest)
+				}
+				context, err = strconv.Unquote(cval)
+				if err != nil {
+					return nil, fmt.Errorf("ontology: obo line %d: bad context", lineNo)
+				}
+			}
+			syns = append(syns, pendingSyn{termID: cur.ID, label: label, context: context})
+		case "is_a":
+			rels = append(rels, pendingRel{from: cur.ID, rel: IsA, to: val})
+		case "relationship":
+			relName, to, ok := strings.Cut(val, " ")
+			if !ok {
+				return nil, fmt.Errorf("ontology: obo line %d: malformed relationship", lineNo)
+			}
+			rel, known := relByName(relName)
+			if !known {
+				return nil, fmt.Errorf("ontology: obo line %d: unknown relation %q", lineNo, relName)
+			}
+			rels = append(rels, pendingRel{from: cur.ID, rel: rel, to: to})
+		default:
+			return nil, fmt.Errorf("ontology: obo line %d: unknown key %q", lineNo, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	for _, s := range syns {
+		if err := o.AddSynonym(s.termID, s.label, s.context); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range rels {
+		if err := o.Relate(r.from, r.rel, r.to); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+// readQuoted consumes a leading Go-quoted string from s, returning it and
+// the remainder.
+func readQuoted(s string) (string, string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) == 0 || s[0] != '"' {
+		return "", "", fmt.Errorf("expected quoted string in %q", s)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] == '"' && s[i-1] != '\\' {
+			q, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("bad quoted string %q", s[:i+1])
+			}
+			return q, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string in %q", s)
+}

@@ -1,0 +1,326 @@
+// Package ontology implements the controlled vocabulary of the paper's
+// Section 4.1: a set of canonical terms with synonyms, homonym contexts,
+// and is-a/part-of relations, plus the mapping of ontology entities and
+// functions onto the sorts and operators of the Genomics Algebra.
+//
+// The paper's problem statement drives the design: repositories use
+// terminological variants (synonyms, aliases), and the same word can carry
+// different meanings in different biological contexts (homonyms). The
+// ontology resolves repository-specific labels to canonical terms; homonyms
+// are disambiguated by context, and — per the paper — when one term carries
+// conflicting meanings, "the only solution is to coin a new, appropriate,
+// and unique term for each context".
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Relation is a typed edge between ontology terms.
+type Relation uint8
+
+// Relation kinds follow the Gene Ontology convention.
+const (
+	IsA Relation = iota
+	PartOf
+	DerivesFrom
+)
+
+// String implements fmt.Stringer.
+func (r Relation) String() string {
+	switch r {
+	case IsA:
+		return "is-a"
+	case PartOf:
+		return "part-of"
+	case DerivesFrom:
+		return "derives-from"
+	}
+	return fmt.Sprintf("relation(%d)", uint8(r))
+}
+
+// Term is a canonical ontology term.
+type Term struct {
+	// ID is the unique canonical identifier, e.g. "GA:0001".
+	ID string
+	// Name is the canonical name, e.g. "gene".
+	Name string
+	// Definition is the human-readable definition.
+	Definition string
+	// AlgebraSort names the Genomics Algebra sort the term maps to, empty
+	// if the term has no direct data-type counterpart.
+	AlgebraSort string
+}
+
+// edge is a typed relation instance.
+type edge struct {
+	rel Relation
+	to  string // target term ID
+}
+
+// Ontology is a thread-safe term registry with synonym resolution and
+// relation queries. The zero value is not usable; call New or Standard.
+type Ontology struct {
+	mu    sync.RWMutex
+	terms map[string]Term // by ID
+	// synonyms maps a normalized label to candidate term IDs. More than one
+	// candidate means the label is a homonym needing context.
+	synonyms map[string][]synonymEntry
+	edges    map[string][]edge
+}
+
+type synonymEntry struct {
+	termID string
+	// context disambiguates homonyms; empty matches any context.
+	context string
+}
+
+// New returns an empty ontology.
+func New() *Ontology {
+	return &Ontology{
+		terms:    make(map[string]Term),
+		synonyms: make(map[string][]synonymEntry),
+		edges:    make(map[string][]edge),
+	}
+}
+
+func normalize(label string) string {
+	return strings.ToLower(strings.TrimSpace(label))
+}
+
+// AddTerm registers a canonical term; its Name becomes a synonym of itself.
+// Re-adding an existing ID is an error (canonical IDs are immutable).
+func (o *Ontology) AddTerm(t Term) error {
+	if t.ID == "" || t.Name == "" {
+		return fmt.Errorf("ontology: term must have ID and Name: %+v", t)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, exists := o.terms[t.ID]; exists {
+		return fmt.Errorf("ontology: duplicate term ID %q", t.ID)
+	}
+	o.terms[t.ID] = t
+	o.synonyms[normalize(t.Name)] = append(o.synonyms[normalize(t.Name)], synonymEntry{termID: t.ID})
+	return nil
+}
+
+// AddSynonym registers label as a synonym of the term, optionally scoped to
+// a context (for homonyms). An empty context matches any lookup context.
+func (o *Ontology) AddSynonym(termID, label, context string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.terms[termID]; !ok {
+		return fmt.Errorf("ontology: synonym for unknown term %q", termID)
+	}
+	key := normalize(label)
+	for _, e := range o.synonyms[key] {
+		if e.termID == termID && e.context == context {
+			return nil // idempotent
+		}
+	}
+	o.synonyms[key] = append(o.synonyms[key], synonymEntry{termID: termID, context: context})
+	return nil
+}
+
+// Relate adds a typed relation from one term to another.
+func (o *Ontology) Relate(fromID string, rel Relation, toID string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.terms[fromID]; !ok {
+		return fmt.Errorf("ontology: relation from unknown term %q", fromID)
+	}
+	if _, ok := o.terms[toID]; !ok {
+		return fmt.Errorf("ontology: relation to unknown term %q", toID)
+	}
+	o.edges[fromID] = append(o.edges[fromID], edge{rel: rel, to: toID})
+	return nil
+}
+
+// Term returns the term with the given canonical ID.
+func (o *Ontology) Term(id string) (Term, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	t, ok := o.terms[id]
+	return t, ok
+}
+
+// AmbiguousError reports a homonym lookup that context failed to
+// disambiguate; Candidates lists the competing term IDs.
+type AmbiguousError struct {
+	Label      string
+	Context    string
+	Candidates []string
+}
+
+func (e *AmbiguousError) Error() string {
+	return fmt.Sprintf("ontology: label %q is ambiguous in context %q: candidates %v",
+		e.Label, e.Context, e.Candidates)
+}
+
+// Resolve maps a repository-specific label to its canonical term. Context
+// (e.g. the source repository name or a domain tag) disambiguates homonyms:
+// a context-scoped synonym beats context-free ones. Unknown labels return
+// ok=false; irreducibly ambiguous labels return *AmbiguousError.
+func (o *Ontology) Resolve(label, context string) (Term, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	entries := o.synonyms[normalize(label)]
+	if len(entries) == 0 {
+		return Term{}, fmt.Errorf("ontology: unknown label %q", label)
+	}
+	// Pass 1: exact-context matches.
+	var matches []string
+	for _, e := range entries {
+		if e.context != "" && e.context == context {
+			matches = append(matches, e.termID)
+		}
+	}
+	// Pass 2: context-free matches.
+	if len(matches) == 0 {
+		for _, e := range entries {
+			if e.context == "" {
+				matches = append(matches, e.termID)
+			}
+		}
+	}
+	matches = dedupe(matches)
+	switch len(matches) {
+	case 0:
+		candidates := make([]string, 0, len(entries))
+		for _, e := range entries {
+			candidates = append(candidates, e.termID)
+		}
+		return Term{}, &AmbiguousError{Label: label, Context: context, Candidates: dedupe(candidates)}
+	case 1:
+		return o.terms[matches[0]], nil
+	default:
+		return Term{}, &AmbiguousError{Label: label, Context: context, Candidates: matches}
+	}
+}
+
+func dedupe(ids []string) []string {
+	seen := map[string]bool{}
+	out := ids[:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Related returns the IDs of terms reachable from id by one hop of the
+// given relation, in lexical order.
+func (o *Ontology) Related(id string, rel Relation) []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	var out []string
+	for _, e := range o.edges[id] {
+		if e.rel == rel {
+			out = append(out, e.to)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsA reports whether term id transitively is-a ancestor.
+func (o *Ontology) IsA(id, ancestor string) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	seen := map[string]bool{}
+	var walk func(cur string) bool
+	walk = func(cur string) bool {
+		if cur == ancestor {
+			return true
+		}
+		if seen[cur] {
+			return false
+		}
+		seen[cur] = true
+		for _, e := range o.edges[cur] {
+			if e.rel == IsA && walk(e.to) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(id)
+}
+
+// Terms returns all terms ordered by ID.
+func (o *Ontology) Terms() []Term {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]Term, 0, len(o.terms))
+	for _, t := range o.terms {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Standard builds the genomic ontology that the kernel algebra instantiates:
+// one term per GDT with the synonym variants observed across the synthetic
+// repositories, plus structural relations (mrna derives-from
+// primarytranscript derives-from gene; gene part-of chromosome part-of
+// genome).
+func Standard() *Ontology {
+	o := New()
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	add := func(id, name, def, sort string) {
+		must(o.AddTerm(Term{ID: id, Name: name, Definition: def, AlgebraSort: sort}))
+	}
+	add("GA:0001", "nucleotide", "a single DNA or RNA base", "nucleotide")
+	add("GA:0002", "dna", "a deoxyribonucleic acid sequence", "dna")
+	add("GA:0003", "rna", "a ribonucleic acid sequence", "rna")
+	add("GA:0004", "gene", "a heritable unit of genomic sequence with exon structure", "gene")
+	add("GA:0005", "primarytranscript", "the unspliced RNA copy of a gene", "primarytranscript")
+	add("GA:0006", "mrna", "a mature spliced messenger RNA", "mrna")
+	add("GA:0007", "protein", "an amino-acid sequence", "protein")
+	add("GA:0008", "chromosome", "a chromosome sequence with gene loci", "chromosome")
+	add("GA:0009", "genome", "the full chromosome complement of an organism", "genome")
+	add("GA:0010", "annotation", "curator- or user-attached metadata on a region", "annotation")
+
+	// Synonym variants seen across repository formats.
+	must(o.AddSynonym("GA:0002", "sequence", "genbank"))    // GenBank calls the record body "sequence"
+	must(o.AddSynonym("GA:0002", "nucleic_acid", ""))       //
+	must(o.AddSynonym("GA:0004", "locus", "genbank"))       // GenBank LOCUS lines
+	must(o.AddSynonym("GA:0004", "cds", "acedb"))           // ACeDB-style coding entries
+	must(o.AddSynonym("GA:0006", "transcript", "acedb"))    //
+	must(o.AddSynonym("GA:0006", "messenger", ""))          //
+	must(o.AddSynonym("GA:0007", "polypeptide", ""))        //
+	must(o.AddSynonym("GA:0007", "product", "swisslike"))   // protein DBs call it the product
+	must(o.AddSynonym("GA:0010", "comment", "genbank"))     //
+	must(o.AddSynonym("GA:0010", "note", "acedb"))          //
+	must(o.AddSynonym("GA:0005", "premrna", ""))            //
+	must(o.AddSynonym("GA:0005", "pre-mrna", ""))           //
+	must(o.AddSynonym("GA:0008", "linkage_group", "acedb")) //
+
+	// The classic homonym: "clone" means a DNA fragment in sequencing
+	// context but a cell-line descendant in culture context. Per the
+	// paper, each context gets its own canonical term.
+	add("GA:0011", "clone_fragment", "a cloned DNA fragment (sequencing context)", "dna")
+	add("GA:0012", "clone_cellline", "a clonal cell population (culture context)", "")
+	must(o.AddSynonym("GA:0011", "clone", "sequencing"))
+	must(o.AddSynonym("GA:0012", "clone", "culture"))
+
+	// Structural relations.
+	must(o.Relate("GA:0005", DerivesFrom, "GA:0004")) // primary transcript derives-from gene
+	must(o.Relate("GA:0006", DerivesFrom, "GA:0005")) // mrna derives-from primary transcript
+	must(o.Relate("GA:0007", DerivesFrom, "GA:0006")) // protein derives-from mrna
+	must(o.Relate("GA:0004", PartOf, "GA:0008"))      // gene part-of chromosome
+	must(o.Relate("GA:0008", PartOf, "GA:0009"))      // chromosome part-of genome
+	must(o.Relate("GA:0006", IsA, "GA:0003"))         // mrna is-a rna
+	must(o.Relate("GA:0005", IsA, "GA:0003"))         // primary transcript is-a rna
+	must(o.Relate("GA:0011", IsA, "GA:0002"))         // clone fragment is-a dna
+	return o
+}

@@ -1,0 +1,329 @@
+package ontology
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestAddTermValidation(t *testing.T) {
+	o := New()
+	if err := o.AddTerm(Term{ID: "", Name: "x"}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if err := o.AddTerm(Term{ID: "T1", Name: ""}); err == nil {
+		t.Error("empty Name accepted")
+	}
+	if err := o.AddTerm(Term{ID: "T1", Name: "alpha"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddTerm(Term{ID: "T1", Name: "beta"}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+}
+
+func TestResolveCanonicalName(t *testing.T) {
+	o := Standard()
+	term, err := o.Resolve("gene", "")
+	if err != nil || term.ID != "GA:0004" {
+		t.Errorf("Resolve(gene) = %+v, %v", term, err)
+	}
+	// Case and whitespace insensitivity.
+	term, err = o.Resolve("  GENE ", "anything")
+	if err != nil || term.ID != "GA:0004" {
+		t.Errorf("Resolve normalized = %+v, %v", term, err)
+	}
+}
+
+func TestResolveSynonyms(t *testing.T) {
+	o := Standard()
+	cases := []struct {
+		label, context, wantID string
+	}{
+		{"locus", "genbank", "GA:0004"},
+		{"cds", "acedb", "GA:0004"},
+		{"transcript", "acedb", "GA:0006"},
+		{"polypeptide", "", "GA:0007"},
+		{"product", "swisslike", "GA:0007"},
+		{"premrna", "", "GA:0005"},
+		{"pre-mRNA", "", "GA:0005"},
+	}
+	for _, c := range cases {
+		term, err := o.Resolve(c.label, c.context)
+		if err != nil || term.ID != c.wantID {
+			t.Errorf("Resolve(%q,%q) = %+v, %v; want %s", c.label, c.context, term, err, c.wantID)
+		}
+	}
+}
+
+func TestResolveUnknown(t *testing.T) {
+	o := Standard()
+	if _, err := o.Resolve("flux_capacitor", ""); err == nil {
+		t.Error("unknown label resolved")
+	}
+}
+
+func TestHomonymDisambiguation(t *testing.T) {
+	o := Standard()
+	// "clone" in sequencing context -> clone_fragment.
+	term, err := o.Resolve("clone", "sequencing")
+	if err != nil || term.ID != "GA:0011" {
+		t.Errorf("clone/sequencing = %+v, %v", term, err)
+	}
+	term, err = o.Resolve("clone", "culture")
+	if err != nil || term.ID != "GA:0012" {
+		t.Errorf("clone/culture = %+v, %v", term, err)
+	}
+	// Without context the homonym is irreducibly ambiguous.
+	_, err = o.Resolve("clone", "")
+	var ae *AmbiguousError
+	if !errors.As(err, &ae) {
+		t.Fatalf("ambiguity not reported: %v", err)
+	}
+	if len(ae.Candidates) != 2 {
+		t.Errorf("candidates = %v", ae.Candidates)
+	}
+	if !strings.Contains(ae.Error(), "clone") {
+		t.Errorf("error message = %q", ae.Error())
+	}
+}
+
+func TestContextScopedBeatsContextFree(t *testing.T) {
+	o := New()
+	if err := o.AddTerm(Term{ID: "T1", Name: "alpha"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddTerm(Term{ID: "T2", Name: "beta"}); err != nil {
+		t.Fatal(err)
+	}
+	// "x" is context-free synonym of T1 but scoped synonym of T2 in ctx.
+	if err := o.AddSynonym("T1", "x", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddSynonym("T2", "x", "ctx"); err != nil {
+		t.Fatal(err)
+	}
+	term, err := o.Resolve("x", "ctx")
+	if err != nil || term.ID != "T2" {
+		t.Errorf("scoped resolve = %+v, %v", term, err)
+	}
+	term, err = o.Resolve("x", "other")
+	if err != nil || term.ID != "T1" {
+		t.Errorf("fallback resolve = %+v, %v", term, err)
+	}
+}
+
+func TestAddSynonymValidation(t *testing.T) {
+	o := New()
+	if err := o.AddSynonym("nosuch", "label", ""); err == nil {
+		t.Error("synonym for unknown term accepted")
+	}
+	if err := o.AddTerm(Term{ID: "T1", Name: "alpha"}); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	if err := o.AddSynonym("T1", "a", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddSynonym("T1", "a", ""); err != nil {
+		t.Fatal(err)
+	}
+	term, err := o.Resolve("a", "")
+	if err != nil || term.ID != "T1" {
+		t.Errorf("idempotent synonym broke resolution: %+v, %v", term, err)
+	}
+}
+
+func TestRelations(t *testing.T) {
+	o := Standard()
+	// mrna derives-from primarytranscript.
+	rel := o.Related("GA:0006", DerivesFrom)
+	if len(rel) != 1 || rel[0] != "GA:0005" {
+		t.Errorf("mrna derives-from = %v", rel)
+	}
+	// gene part-of chromosome.
+	rel = o.Related("GA:0004", PartOf)
+	if len(rel) != 1 || rel[0] != "GA:0008" {
+		t.Errorf("gene part-of = %v", rel)
+	}
+	if got := o.Related("GA:0004", DerivesFrom); len(got) != 0 {
+		t.Errorf("gene derives-from = %v", got)
+	}
+}
+
+func TestRelateValidation(t *testing.T) {
+	o := New()
+	if err := o.AddTerm(Term{ID: "T1", Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Relate("T1", IsA, "nosuch"); err == nil {
+		t.Error("relation to unknown term accepted")
+	}
+	if err := o.Relate("nosuch", IsA, "T1"); err == nil {
+		t.Error("relation from unknown term accepted")
+	}
+}
+
+func TestIsATransitive(t *testing.T) {
+	o := New()
+	for _, id := range []string{"A", "B", "C", "D"} {
+		if err := o.AddTerm(Term{ID: id, Name: strings.ToLower(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A is-a B is-a C; D unrelated.
+	if err := o.Relate("A", IsA, "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Relate("B", IsA, "C"); err != nil {
+		t.Fatal(err)
+	}
+	if !o.IsA("A", "C") {
+		t.Error("transitive is-a failed")
+	}
+	if !o.IsA("A", "A") {
+		t.Error("reflexive is-a failed")
+	}
+	if o.IsA("A", "D") {
+		t.Error("phantom is-a")
+	}
+	// Cycle safety.
+	if err := o.Relate("C", IsA, "A"); err != nil {
+		t.Fatal(err)
+	}
+	if o.IsA("A", "D") {
+		t.Error("cycle broke is-a")
+	}
+}
+
+func TestStandardMapsToAlgebraSorts(t *testing.T) {
+	o := Standard()
+	// Every GDT sort is reachable from the ontology.
+	wantSorts := []string{"nucleotide", "dna", "rna", "gene", "primarytranscript",
+		"mrna", "protein", "chromosome", "genome", "annotation"}
+	have := map[string]bool{}
+	for _, term := range o.Terms() {
+		if term.AlgebraSort != "" {
+			have[term.AlgebraSort] = true
+		}
+	}
+	for _, s := range wantSorts {
+		if !have[s] {
+			t.Errorf("no ontology term maps to sort %q", s)
+		}
+	}
+}
+
+func TestTermsOrdered(t *testing.T) {
+	o := Standard()
+	terms := o.Terms()
+	if len(terms) < 12 {
+		t.Fatalf("Standard has %d terms", len(terms))
+	}
+	for i := 1; i < len(terms); i++ {
+		if terms[i-1].ID >= terms[i].ID {
+			t.Errorf("terms unordered at %d: %s >= %s", i, terms[i-1].ID, terms[i].ID)
+		}
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if IsA.String() != "is-a" || PartOf.String() != "part-of" || DerivesFrom.String() != "derives-from" {
+		t.Error("relation names wrong")
+	}
+	if !strings.Contains(Relation(9).String(), "9") {
+		t.Error("unknown relation rendering")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	o := Standard()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = o.AddSynonym("GA:0004", "gen", "ctx")
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if _, err := o.Resolve("gene", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+}
+
+func TestOBORoundTrip(t *testing.T) {
+	src := Standard()
+	var buf bytes.Buffer
+	if err := src.WriteOBO(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "[Term]") || !strings.Contains(text, "id: GA:0004") {
+		t.Fatalf("obo output missing stanzas:\n%s", text)
+	}
+	got, err := ParseOBO(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same terms.
+	srcTerms, gotTerms := src.Terms(), got.Terms()
+	if len(srcTerms) != len(gotTerms) {
+		t.Fatalf("terms = %d, want %d", len(gotTerms), len(srcTerms))
+	}
+	for i := range srcTerms {
+		if srcTerms[i] != gotTerms[i] {
+			t.Errorf("term %d differs: %+v vs %+v", i, gotTerms[i], srcTerms[i])
+		}
+	}
+	// Synonym resolution behaves identically, including homonym contexts.
+	cases := []struct{ label, context string }{
+		{"locus", "genbank"}, {"clone", "sequencing"}, {"clone", "culture"},
+		{"premrna", ""}, {"gene", ""},
+	}
+	for _, c := range cases {
+		want, werr := src.Resolve(c.label, c.context)
+		have, herr := got.Resolve(c.label, c.context)
+		if (werr == nil) != (herr == nil) || (werr == nil && want.ID != have.ID) {
+			t.Errorf("Resolve(%q,%q): %v/%v vs %v/%v", c.label, c.context, want.ID, werr, have.ID, herr)
+		}
+	}
+	// Ambiguity preserved.
+	if _, err := got.Resolve("clone", ""); err == nil {
+		t.Error("homonym ambiguity lost across round-trip")
+	}
+	// Relations preserved.
+	if !got.IsA("GA:0006", "GA:0003") {
+		t.Error("is-a lost")
+	}
+	if rel := got.Related("GA:0004", PartOf); len(rel) != 1 || rel[0] != "GA:0008" {
+		t.Errorf("part-of lost: %v", rel)
+	}
+	// A second write produces identical bytes (canonical form).
+	var buf2 bytes.Buffer
+	if err := got.WriteOBO(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if text != buf2.String() {
+		t.Error("OBO serialization not canonical")
+	}
+}
+
+func TestParseOBORejectsCorrupt(t *testing.T) {
+	cases := []string{
+		"id: X\n",                              // attribute outside stanza
+		"[Term]\nbogus-line\n",                 // malformed line
+		"[Term]\nid: A\nname: a\nnosuch: v\n",  // unknown key
+		"[Term]\nid: A\nname: a\nsynonym: x\n", // unquoted synonym
+		"[Term]\nid: A\nname: a\nrelationship: bogus B\n",
+		"[Term]\nid: A\nname: a\nis_a: NOPE\n",             // dangling relation
+		"[Term]\nid: A\nname: a\n[Term]\nid: A\nname: b\n", // dup id
+	}
+	for i, c := range cases {
+		if _, err := ParseOBO(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: corrupt OBO accepted", i)
+		}
+	}
+}

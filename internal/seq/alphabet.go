@@ -1,0 +1,168 @@
+// Package seq provides the low-level sequence machinery underlying the
+// genomic data types of the Genomics Algebra: nucleotide and amino-acid
+// alphabets, compact bit-packed encodings, the standard codon table, and
+// k-mer iteration.
+//
+// Everything in this package follows the representation requirement of the
+// paper's Section 4.3: values are stored in compact, pointer-free byte
+// buffers that can be moved between memory and disk without packing or
+// unpacking steps.
+package seq
+
+import "fmt"
+
+// Base is a single DNA or RNA nucleotide in its 2-bit encoding.
+// The four values are chosen so that complementing a base is XOR with 3:
+// A(00)↔T/U(11), C(01)↔G(10).
+type Base uint8
+
+// The four nucleotide codes. RNA reuse the same codes with U in place of T.
+const (
+	A Base = 0
+	C Base = 1
+	G Base = 2
+	T Base = 3
+	U Base = 3 // RNA uracil shares T's code; the Alphabet decides the letter.
+)
+
+// Complement returns the Watson-Crick complement of b.
+func (b Base) Complement() Base { return b ^ 3 }
+
+// Alphabet distinguishes DNA from RNA letter rendering. The 2-bit codes are
+// shared; only the textual form of code 3 differs (T vs U).
+type Alphabet uint8
+
+const (
+	// AlphaDNA renders code 3 as 'T'.
+	AlphaDNA Alphabet = iota
+	// AlphaRNA renders code 3 as 'U'.
+	AlphaRNA
+)
+
+var dnaLetters = [4]byte{'A', 'C', 'G', 'T'}
+var rnaLetters = [4]byte{'A', 'C', 'G', 'U'}
+
+// Letter returns the textual letter for base b under alphabet a.
+func (a Alphabet) Letter(b Base) byte {
+	if a == AlphaRNA {
+		return rnaLetters[b&3]
+	}
+	return dnaLetters[b&3]
+}
+
+// String implements fmt.Stringer.
+func (a Alphabet) String() string {
+	if a == AlphaRNA {
+		return "RNA"
+	}
+	return "DNA"
+}
+
+// baseFromLetter maps an ASCII letter to its 2-bit code. ok is false for
+// letters outside {A,C,G,T,U,a,c,g,t,u}.
+func baseFromLetter(ch byte) (Base, bool) {
+	switch ch {
+	case 'A', 'a':
+		return A, true
+	case 'C', 'c':
+		return C, true
+	case 'G', 'g':
+		return G, true
+	case 'T', 't', 'U', 'u':
+		return T, true
+	}
+	return 0, false
+}
+
+// BadLetterError reports a character that is not a valid nucleotide or
+// amino-acid letter for the sequence being parsed.
+type BadLetterError struct {
+	Letter byte
+	Pos    int
+	Kind   string // "nucleotide" or "amino acid"
+}
+
+func (e *BadLetterError) Error() string {
+	return fmt.Sprintf("seq: invalid %s letter %q at position %d", e.Kind, e.Letter, e.Pos)
+}
+
+// AminoAcid is one of the twenty standard amino acids, or Stop.
+// Values are indexes into aaLetters and fit in 5 bits.
+type AminoAcid uint8
+
+// Amino-acid codes in alphabetical single-letter order, plus Stop.
+const (
+	Ala  AminoAcid = iota // A
+	Arg                   // R
+	Asn                   // N
+	Asp                   // D
+	Cys                   // C
+	Gln                   // Q
+	Glu                   // E
+	Gly                   // G
+	His                   // H
+	Ile                   // I
+	Leu                   // L
+	Lys                   // K
+	Met                   // M
+	Phe                   // F
+	Pro                   // P
+	Ser                   // S
+	Thr                   // T
+	Trp                   // W
+	Tyr                   // Y
+	Val                   // V
+	Stop                  // *
+	numAminoAcids
+)
+
+var aaLetters = [numAminoAcids]byte{
+	Ala: 'A', Arg: 'R', Asn: 'N', Asp: 'D', Cys: 'C', Gln: 'Q', Glu: 'E',
+	Gly: 'G', His: 'H', Ile: 'I', Leu: 'L', Lys: 'K', Met: 'M', Phe: 'F',
+	Pro: 'P', Ser: 'S', Thr: 'T', Trp: 'W', Tyr: 'Y', Val: 'V', Stop: '*',
+}
+
+var aaNames = [numAminoAcids]string{
+	Ala: "Alanine", Arg: "Arginine", Asn: "Asparagine", Asp: "Aspartate",
+	Cys: "Cysteine", Gln: "Glutamine", Glu: "Glutamate", Gly: "Glycine",
+	His: "Histidine", Ile: "Isoleucine", Leu: "Leucine", Lys: "Lysine",
+	Met: "Methionine", Phe: "Phenylalanine", Pro: "Proline", Ser: "Serine",
+	Thr: "Threonine", Trp: "Tryptophan", Tyr: "Tyrosine", Val: "Valine",
+	Stop: "Stop",
+}
+
+// Letter returns the single-letter amino-acid code ('*' for Stop).
+func (aa AminoAcid) Letter() byte {
+	if aa >= numAminoAcids {
+		return '?'
+	}
+	return aaLetters[aa]
+}
+
+// Name returns the full amino-acid name.
+func (aa AminoAcid) Name() string {
+	if aa >= numAminoAcids {
+		return "Unknown"
+	}
+	return aaNames[aa]
+}
+
+// String implements fmt.Stringer.
+func (aa AminoAcid) String() string { return string(aa.Letter()) }
+
+// aaFromLetter maps a single-letter amino-acid code to its AminoAcid value.
+func aaFromLetter(ch byte) (AminoAcid, bool) {
+	if ch >= 'a' && ch <= 'z' {
+		ch -= 'a' - 'A'
+	}
+	switch ch {
+	case '*':
+		return Stop, true
+	}
+	for aa := Ala; aa < numAminoAcids; aa++ {
+		if aaLetters[aa] == ch {
+			return aa, true
+		}
+	}
+	return 0, false
+}

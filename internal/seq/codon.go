@@ -1,0 +1,158 @@
+package seq
+
+// Codon is a triplet of bases packed into 6 bits: first base in the high
+// pair. Values range over [0,64).
+type Codon uint8
+
+// MakeCodon packs three bases into a Codon.
+func MakeCodon(b1, b2, b3 Base) Codon {
+	return Codon(b1&3)<<4 | Codon(b2&3)<<2 | Codon(b3&3)
+}
+
+// Bases unpacks the codon into its three bases.
+func (c Codon) Bases() (Base, Base, Base) {
+	return Base(c>>4) & 3, Base(c>>2) & 3, Base(c) & 3
+}
+
+// String renders the codon as three RNA letters.
+func (c Codon) String() string {
+	b1, b2, b3 := c.Bases()
+	return string([]byte{AlphaRNA.Letter(b1), AlphaRNA.Letter(b2), AlphaRNA.Letter(b3)})
+}
+
+// standardCode is the standard genetic code indexed by Codon.
+var standardCode [64]AminoAcid
+
+func init() {
+	// Populate from the textbook table. Keys use RNA letters.
+	table := map[string]AminoAcid{
+		"UUU": Phe, "UUC": Phe, "UUA": Leu, "UUG": Leu,
+		"UCU": Ser, "UCC": Ser, "UCA": Ser, "UCG": Ser,
+		"UAU": Tyr, "UAC": Tyr, "UAA": Stop, "UAG": Stop,
+		"UGU": Cys, "UGC": Cys, "UGA": Stop, "UGG": Trp,
+		"CUU": Leu, "CUC": Leu, "CUA": Leu, "CUG": Leu,
+		"CCU": Pro, "CCC": Pro, "CCA": Pro, "CCG": Pro,
+		"CAU": His, "CAC": His, "CAA": Gln, "CAG": Gln,
+		"CGU": Arg, "CGC": Arg, "CGA": Arg, "CGG": Arg,
+		"AUU": Ile, "AUC": Ile, "AUA": Ile, "AUG": Met,
+		"ACU": Thr, "ACC": Thr, "ACA": Thr, "ACG": Thr,
+		"AAU": Asn, "AAC": Asn, "AAA": Lys, "AAG": Lys,
+		"AGU": Ser, "AGC": Ser, "AGA": Arg, "AGG": Arg,
+		"GUU": Val, "GUC": Val, "GUA": Val, "GUG": Val,
+		"GCU": Ala, "GCC": Ala, "GCA": Ala, "GCG": Ala,
+		"GAU": Asp, "GAC": Asp, "GAA": Glu, "GAG": Glu,
+		"GGU": Gly, "GGC": Gly, "GGA": Gly, "GGG": Gly,
+	}
+	for s, aa := range table {
+		b1, _ := baseFromLetter(s[0])
+		b2, _ := baseFromLetter(s[1])
+		b3, _ := baseFromLetter(s[2])
+		standardCode[MakeCodon(b1, b2, b3)] = aa
+	}
+}
+
+// Decode returns the amino acid encoded by c under the standard genetic
+// code. This implements the paper's "decode" genomic operation at the codon
+// level.
+func (c Codon) Decode() AminoAcid { return standardCode[c&63] }
+
+// IsStart reports whether c is the canonical start codon AUG.
+func (c Codon) IsStart() bool { return c == MakeCodon(A, U, G) }
+
+// IsStop reports whether c encodes a translation stop.
+func (c Codon) IsStop() bool { return standardCode[c&63] == Stop }
+
+// Translate translates an mRNA-like nucleotide sequence into a protein,
+// reading codons from position frame (0, 1, or 2) and stopping at the first
+// stop codon if stopAtStop is true. Trailing bases that do not fill a codon
+// are ignored. The stop codon itself is not included in the protein.
+func Translate(rna NucSeq, frame int, stopAtStop bool) ProtSeq {
+	if frame < 0 || frame > 2 {
+		frame = 0
+	}
+	var aas []AminoAcid
+	for i := frame; i+3 <= rna.Len(); i += 3 {
+		c := MakeCodon(rna.At(i), rna.At(i+1), rna.At(i+2))
+		aa := c.Decode()
+		if aa == Stop && stopAtStop {
+			break
+		}
+		aas = append(aas, aa)
+	}
+	return FromAminoAcids(aas)
+}
+
+// ORF describes an open reading frame found by FindORFs: a start-codon to
+// stop-codon span on the given strand and frame.
+type ORF struct {
+	Start   int  // 0-based index of the A of AUG, in forward-strand coordinates
+	End     int  // index one past the last base of the stop codon
+	Frame   int  // 0,1,2
+	Reverse bool // true if the ORF is on the reverse complement strand
+}
+
+// Len returns the ORF length in bases, including the stop codon.
+func (o ORF) Len() int { return o.End - o.Start }
+
+// FindORFs scans both strands of dna for open reading frames of at least
+// minLen bases (start codon through stop codon inclusive). Results are in
+// increasing Start order, forward strand first.
+func FindORFs(dna NucSeq, minLen int) []ORF {
+	var orfs []ORF
+	scan := func(s NucSeq, reverse bool) {
+		n := s.Len()
+		for frame := 0; frame < 3; frame++ {
+			start := -1
+			for i := frame; i+3 <= n; i += 3 {
+				c := MakeCodon(s.At(i), s.At(i+1), s.At(i+2))
+				if start < 0 {
+					if c.IsStart() {
+						start = i
+					}
+					continue
+				}
+				if c.IsStop() {
+					end := i + 3
+					if end-start >= minLen {
+						o := ORF{Start: start, End: end, Frame: frame, Reverse: reverse}
+						if reverse {
+							// Map back to forward-strand coordinates.
+							o.Start, o.End = n-end, n-start
+						}
+						orfs = append(orfs, o)
+					}
+					start = -1
+				}
+			}
+		}
+	}
+	scan(dna, false)
+	scan(dna.ReverseComplement(), true)
+	// Stable order: by Start, then End, then strand.
+	for i := 1; i < len(orfs); i++ {
+		for j := i; j > 0 && lessORF(orfs[j], orfs[j-1]); j-- {
+			orfs[j], orfs[j-1] = orfs[j-1], orfs[j]
+		}
+	}
+	return orfs
+}
+
+func lessORF(a, b ORF) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	if a.End != b.End {
+		return a.End < b.End
+	}
+	return !a.Reverse && b.Reverse
+}
+
+// CodonUsage counts codon occurrences in rna read in frame 0. The result is
+// indexed by Codon.
+func CodonUsage(rna NucSeq) [64]int {
+	var counts [64]int
+	for i := 0; i+3 <= rna.Len(); i += 3 {
+		counts[MakeCodon(rna.At(i), rna.At(i+1), rna.At(i+2))]++
+	}
+	return counts
+}

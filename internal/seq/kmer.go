@@ -1,0 +1,73 @@
+package seq
+
+import "fmt"
+
+// Kmer is a fixed-length nucleotide word packed 2 bits per base into a
+// uint64, first base in the highest-order pair of the used bits. K up to 31
+// is supported (62 bits).
+type Kmer uint64
+
+// MaxK is the largest supported k-mer length.
+const MaxK = 31
+
+// KmerAt extracts the k-mer starting at position i of s. It panics if k is
+// out of range and returns ok=false if the window exceeds the sequence.
+func KmerAt(s NucSeq, i, k int) (Kmer, bool) {
+	if k < 1 || k > MaxK {
+		panic(fmt.Sprintf("seq: k=%d out of range [1,%d]", k, MaxK))
+	}
+	if i < 0 || i+k > s.Len() {
+		return 0, false
+	}
+	var km Kmer
+	for j := 0; j < k; j++ {
+		km = km<<2 | Kmer(s.At(i+j))
+	}
+	return km, true
+}
+
+// EachKmer calls fn for every k-mer of s with its starting position, using a
+// rolling update (O(1) per position). It stops early if fn returns false.
+func EachKmer(s NucSeq, k int, fn func(pos int, km Kmer) bool) {
+	if k < 1 || k > MaxK || s.Len() < k {
+		return
+	}
+	mask := Kmer(1)<<(2*uint(k)) - 1
+	km, _ := KmerAt(s, 0, k)
+	if !fn(0, km) {
+		return
+	}
+	for i := 1; i+k <= s.Len(); i++ {
+		km = (km<<2 | Kmer(s.At(i+k-1))) & mask
+		if !fn(i, km) {
+			return
+		}
+	}
+}
+
+// KmerString renders a k-mer of length k as DNA letters.
+func KmerString(km Kmer, k int) string {
+	buf := make([]byte, k)
+	for i := k - 1; i >= 0; i-- {
+		buf[i] = AlphaDNA.Letter(Base(km & 3))
+		km >>= 2
+	}
+	return string(buf)
+}
+
+// KmerOf packs the first k bases of a pattern string. It errors on invalid
+// letters or unsupported lengths.
+func KmerOf(pattern string) (Kmer, int, error) {
+	if len(pattern) < 1 || len(pattern) > MaxK {
+		return 0, 0, fmt.Errorf("seq: pattern length %d out of range [1,%d]", len(pattern), MaxK)
+	}
+	var km Kmer
+	for i := 0; i < len(pattern); i++ {
+		b, ok := baseFromLetter(pattern[i])
+		if !ok {
+			return 0, 0, &BadLetterError{Letter: pattern[i], Pos: i, Kind: "nucleotide"}
+		}
+		km = km<<2 | Kmer(b)
+	}
+	return km, len(pattern), nil
+}

@@ -1,0 +1,166 @@
+package seq
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// ProtSeq is an amino-acid sequence in a compact 5-bit packed representation
+// (21 symbols: 20 amino acids plus Stop). Like NucSeq, the in-memory form is
+// a flat byte buffer with no internal pointers.
+//
+// Wire/disk layout:
+//
+//	bytes 0..7   length N (uint64 little endian)
+//	bytes 8..    ceil(5N/8) bytes of 5-bit codes, little-endian bit order
+type ProtSeq struct {
+	n    int
+	data []byte
+}
+
+const protHeaderLen = 8
+
+func protDataLen(n int) int { return (5*n + 7) / 8 }
+
+// NewProtSeq parses a single-letter amino-acid string ('*' allowed for Stop).
+func NewProtSeq(s string) (ProtSeq, error) {
+	ps := ProtSeq{n: len(s), data: make([]byte, protDataLen(len(s)))}
+	for i := 0; i < len(s); i++ {
+		aa, ok := aaFromLetter(s[i])
+		if !ok {
+			return ProtSeq{}, &BadLetterError{Letter: s[i], Pos: i, Kind: "amino acid"}
+		}
+		ps.set(i, aa)
+	}
+	return ps, nil
+}
+
+// MustProtSeq is NewProtSeq that panics on error.
+func MustProtSeq(s string) ProtSeq {
+	ps, err := NewProtSeq(s)
+	if err != nil {
+		panic(err)
+	}
+	return ps
+}
+
+// FromAminoAcids builds a protein sequence from raw codes.
+func FromAminoAcids(aas []AminoAcid) ProtSeq {
+	ps := ProtSeq{n: len(aas), data: make([]byte, protDataLen(len(aas)))}
+	for i, aa := range aas {
+		ps.set(i, aa)
+	}
+	return ps
+}
+
+func (p *ProtSeq) set(i int, aa AminoAcid) {
+	bit := 5 * i
+	v := uint32(aa & 31)
+	byteIdx, off := bit>>3, uint(bit&7)
+	// A 5-bit field spans at most two bytes.
+	p.data[byteIdx] |= byte(v << off)
+	if off > 3 && byteIdx+1 < len(p.data) {
+		p.data[byteIdx+1] |= byte(v >> (8 - off))
+	}
+}
+
+// Len returns the number of residues.
+func (p ProtSeq) Len() int { return p.n }
+
+// At returns the amino acid at position i.
+func (p ProtSeq) At(i int) AminoAcid {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("seq: index %d out of range [0,%d)", i, p.n))
+	}
+	bit := 5 * i
+	byteIdx, off := bit>>3, uint(bit&7)
+	v := uint32(p.data[byteIdx]) >> off
+	if off > 3 && byteIdx+1 < len(p.data) {
+		v |= uint32(p.data[byteIdx+1]) << (8 - off)
+	}
+	return AminoAcid(v & 31)
+}
+
+// String renders the sequence with single-letter codes.
+func (p ProtSeq) String() string {
+	var sb strings.Builder
+	sb.Grow(p.n)
+	for i := 0; i < p.n; i++ {
+		sb.WriteByte(p.At(i).Letter())
+	}
+	return sb.String()
+}
+
+// Equal reports whether p and q contain the same residues.
+func (p ProtSeq) Equal(q ProtSeq) bool {
+	if p.n != q.n {
+		return false
+	}
+	for i := 0; i < p.n; i++ {
+		if p.At(i) != q.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Slice returns the subsequence [lo,hi) as a copy.
+func (p ProtSeq) Slice(lo, hi int) ProtSeq {
+	if lo < 0 || hi > p.n || lo > hi {
+		panic(fmt.Sprintf("seq: slice [%d:%d] out of range [0,%d]", lo, hi, p.n))
+	}
+	out := ProtSeq{n: hi - lo, data: make([]byte, protDataLen(hi-lo))}
+	for i := lo; i < hi; i++ {
+		out.set(i-lo, p.At(i))
+	}
+	return out
+}
+
+// Pack serializes the sequence into the flat disk layout documented on
+// ProtSeq.
+func (p ProtSeq) Pack() []byte {
+	buf := make([]byte, protHeaderLen+len(p.data))
+	binary.LittleEndian.PutUint64(buf, uint64(p.n))
+	copy(buf[protHeaderLen:], p.data)
+	return buf
+}
+
+// UnpackProtSeq deserializes a buffer produced by Pack.
+func UnpackProtSeq(buf []byte) (ProtSeq, error) {
+	if len(buf) < protHeaderLen {
+		return ProtSeq{}, fmt.Errorf("seq: packed protein buffer too short (%d bytes)", len(buf))
+	}
+	n := binary.LittleEndian.Uint64(buf)
+	need := protDataLen(int(n))
+	if n > uint64(1)<<40 || len(buf) < protHeaderLen+need {
+		return ProtSeq{}, fmt.Errorf("seq: packed protein buffer truncated: header says %d residues, have %d payload bytes", n, len(buf)-protHeaderLen)
+	}
+	data := make([]byte, need)
+	copy(data, buf[protHeaderLen:protHeaderLen+need])
+	return ProtSeq{n: int(n), data: data}, nil
+}
+
+// MolecularWeight returns the approximate molecular weight in daltons using
+// average residue masses, ignoring Stop codes.
+func (p ProtSeq) MolecularWeight() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	const waterMass = 18.02
+	w := waterMass
+	for i := 0; i < p.n; i++ {
+		w += aaMasses[p.At(i)]
+	}
+	return w
+}
+
+// Average residue masses (monoisotopic-free, textbook average values minus
+// water), indexed by AminoAcid.
+var aaMasses = [numAminoAcids]float64{
+	Ala: 71.08, Arg: 156.19, Asn: 114.10, Asp: 115.09, Cys: 103.14,
+	Gln: 128.13, Glu: 129.12, Gly: 57.05, His: 137.14, Ile: 113.16,
+	Leu: 113.16, Lys: 128.17, Met: 131.19, Phe: 147.18, Pro: 97.12,
+	Ser: 87.08, Thr: 101.10, Trp: 186.21, Tyr: 163.18, Val: 99.13,
+	Stop: 0,
+}

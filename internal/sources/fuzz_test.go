@@ -1,0 +1,29 @@
+package sources
+
+import "testing"
+
+// FuzzParseFormats asserts no repository parser panics on arbitrary dumps.
+func FuzzParseFormats(f *testing.F) {
+	recs := Generate(1, GenOptions{N: 3})
+	for _, fk := range []Format{FormatGenBank, FormatFASTA, FormatACeDB, FormatCSV} {
+		f.Add(uint8(fk), Render(fk, recs))
+	}
+	f.Add(uint8(FormatGenBank), "LOCUS\nORIGIN\n//")
+	f.Add(uint8(FormatFASTA), ">x |\nACGT")
+	f.Add(uint8(FormatACeDB), "Sequence : \"x\n\tDNA\t\"A")
+	f.Add(uint8(FormatCSV), "id,version\n,,,,")
+	f.Fuzz(func(t *testing.T, kind uint8, text string) {
+		fk := Format(kind % 4)
+		recs, err := Parse(fk, text)
+		if err == nil {
+			// Whatever parses must re-render and re-parse to the same count.
+			again, err2 := Parse(fk, Render(fk, recs))
+			if err2 != nil {
+				t.Fatalf("re-parse of rendered output failed: %v", err2)
+			}
+			if len(again) != len(recs) {
+				t.Fatalf("render/parse count drift: %d vs %d", len(again), len(recs))
+			}
+		}
+	})
+}

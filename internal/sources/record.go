@@ -1,0 +1,186 @@
+// Package sources implements the synthetic external genomic repositories
+// that substitute for GenBank/EMBL/SWISS-PROT in this reproduction (see
+// DESIGN.md). Each repository renders its records in one of the paper's
+// Figure-2 data representations (flat file, hierarchical, relational) and
+// exhibits one of the four source capabilities (active, logged, queryable,
+// non-queryable). Deterministic generators with controlled error injection
+// exercise the same parsing, change-detection, reconciliation, and loading
+// code paths that the real repositories would.
+package sources
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Record is the canonical record shape shared by all synthetic formats: a
+// nucleotide entry with optional gene structure, as a primary sequence
+// repository would publish it.
+type Record struct {
+	// ID is the accession, unique within a repository.
+	ID string
+	// Version increments on every update to the record.
+	Version int
+	// Organism is the source organism name.
+	Organism string
+	// Description is the free-text definition line.
+	Description string
+	// Sequence is the nucleotide letters (ACGT).
+	Sequence string
+	// ExonSpec optionally carries gene structure as "start-end,..." spans.
+	ExonSpec string
+	// Quality in [0,1] models the repository's own confidence; error
+	// injection lowers it.
+	Quality float64
+}
+
+// Key returns the identity used for cross-repository entity matching.
+func (r Record) Key() string { return r.ID }
+
+// Equal compares all content fields (not Version).
+func (r Record) Equal(o Record) bool {
+	return r.ID == o.ID && r.Organism == o.Organism && r.Description == o.Description &&
+		r.Sequence == o.Sequence && r.ExonSpec == o.ExonSpec && r.Quality == o.Quality
+}
+
+// GenOptions controls the deterministic record generator.
+type GenOptions struct {
+	// N is the number of records.
+	N int
+	// SeqLen is the nucleotide length per record (default 240).
+	SeqLen int
+	// Organisms cycles across records (default one synthetic organism).
+	Organisms []string
+	// ErrorRate is the fraction of records getting an injected error
+	// (mutated sequence + lowered quality), modelling the paper's B10
+	// ("30-60% of sequences in GenBank are erroneous").
+	ErrorRate float64
+	// IDPrefix prefixes accessions (default "SYN").
+	IDPrefix string
+}
+
+func (o *GenOptions) fill() {
+	if o.SeqLen == 0 {
+		o.SeqLen = 240
+	}
+	if len(o.Organisms) == 0 {
+		o.Organisms = []string{"Synthetica demonstrans"}
+	}
+	if o.IDPrefix == "" {
+		o.IDPrefix = "SYN"
+	}
+}
+
+var letters = []byte("ACGT")
+
+// round4 keeps qualities exactly representable in every textual format
+// (the flat-file renderers emit 4 decimal places).
+func round4(q float64) float64 { return math.Round(q*10000) / 10000 }
+
+func randSeq(r *rand.Rand, n int) string {
+	var sb strings.Builder
+	sb.Grow(n)
+	for i := 0; i < n; i++ {
+		sb.WriteByte(letters[r.Intn(4)])
+	}
+	return sb.String()
+}
+
+// Generate produces a deterministic record collection from seed. Records
+// with the same (seed, index) are identical across calls, which lets
+// multiple repositories hold overlapping content: generating with the same
+// seed but different error rates yields "the same biology" with different
+// repository-specific noise (problem B2: additive or conflicting data).
+func Generate(seed int64, opts GenOptions) []Record {
+	opts.fill()
+	out := make([]Record, opts.N)
+	for i := range out {
+		// Per-record RNG keeps records independent of N and neighbors.
+		r := rand.New(rand.NewSource(seed + int64(i)*7919))
+		rec := Record{
+			ID:          fmt.Sprintf("%s%06d", opts.IDPrefix, i),
+			Version:     1,
+			Organism:    opts.Organisms[i%len(opts.Organisms)],
+			Description: fmt.Sprintf("synthetic genomic fragment %d", i),
+			Sequence:    randSeq(r, opts.SeqLen),
+			Quality:     round4(0.9 + 0.1*r.Float64()),
+		}
+		// A third of records carry gene structure: an ORF-ish exon layout.
+		// The coding sequence starts with ATG so the spliced mRNA is
+		// translatable by the central-dogma pipeline.
+		if i%3 == 0 && opts.SeqLen >= 60 {
+			e1 := opts.SeqLen / 6
+			e2 := opts.SeqLen / 3
+			e3 := opts.SeqLen / 2
+			rec.ExonSpec = fmt.Sprintf("0-%d,%d-%d", e1, e2, e3)
+			rec.Sequence = "ATG" + rec.Sequence[3:]
+		}
+		// Error injection: mutate a few bases and drop quality.
+		if opts.ErrorRate > 0 && r.Float64() < opts.ErrorRate {
+			rec.Sequence = mutateSeq(r, rec.Sequence, 3)
+			rec.Quality = round4(0.3 + 0.3*r.Float64())
+			rec.Description += " [low quality read]"
+		}
+		out[i] = rec
+	}
+	return out
+}
+
+// mutateSeq substitutes nMut random positions.
+func mutateSeq(r *rand.Rand, s string, nMut int) string {
+	if len(s) == 0 {
+		return s
+	}
+	b := []byte(s)
+	for i := 0; i < nMut; i++ {
+		pos := r.Intn(len(b))
+		b[pos] = letters[(indexOfLetter(b[pos])+1+r.Intn(3))%4]
+	}
+	return string(b)
+}
+
+func indexOfLetter(ch byte) int {
+	switch ch {
+	case 'A':
+		return 0
+	case 'C':
+		return 1
+	case 'G':
+		return 2
+	}
+	return 3
+}
+
+// MutationKind labels an update applied to a repository.
+type MutationKind uint8
+
+// Update stream operation kinds.
+const (
+	MutInsert MutationKind = iota
+	MutUpdate
+	MutDelete
+)
+
+// String implements fmt.Stringer.
+func (k MutationKind) String() string {
+	switch k {
+	case MutInsert:
+		return "insert"
+	case MutUpdate:
+		return "update"
+	case MutDelete:
+		return "delete"
+	}
+	return "unknown"
+}
+
+// Mutation is one applied change, used both to drive update streams and as
+// the ground truth change detectors are validated against.
+type Mutation struct {
+	Kind   MutationKind
+	ID     string
+	After  *Record // nil for deletes
+	Before *Record // nil for inserts
+}

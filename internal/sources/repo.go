@@ -1,0 +1,380 @@
+package sources
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Capability is the horizontal axis of the paper's Figure 2: what the
+// source management system offers a change detector.
+type Capability uint8
+
+// The four Figure-2 source capabilities.
+const (
+	// CapActive sources push notifications of changes (database triggers,
+	// SWISS-PROT-style push feeds).
+	CapActive Capability = iota
+	// CapLogged sources maintain an inspectable change log.
+	CapLogged
+	// CapQueryable sources answer on-demand queries/snapshots, so monitors
+	// poll them.
+	CapQueryable
+	// CapNonQueryable sources only publish periodic full dumps.
+	CapNonQueryable
+)
+
+// String implements fmt.Stringer.
+func (c Capability) String() string {
+	switch c {
+	case CapActive:
+		return "active"
+	case CapLogged:
+		return "logged"
+	case CapQueryable:
+		return "queryable"
+	case CapNonQueryable:
+		return "non-queryable"
+	}
+	return fmt.Sprintf("capability(%d)", uint8(c))
+}
+
+// LogEntry is one entry of a logged source's change log.
+type LogEntry struct {
+	Seq  int
+	Kind MutationKind
+	ID   string
+	// After holds the post-change record (zero for deletes).
+	After Record
+}
+
+// Repo is a synthetic genomic repository: a mutable record set published in
+// one Format with one Capability. It is safe for concurrent use.
+type Repo struct {
+	name   string
+	format Format
+	cap    Capability
+
+	mu      sync.Mutex
+	records map[string]Record
+	log     []LogEntry
+	logSeq  int
+	subs    []chan Mutation
+	nextID  int
+	// stats
+	snapshotCalls int
+	queryCalls    int
+}
+
+// NewRepo creates a repository preloaded with recs.
+func NewRepo(name string, format Format, capability Capability, recs []Record) *Repo {
+	r := &Repo{
+		name:    name,
+		format:  format,
+		cap:     capability,
+		records: make(map[string]Record, len(recs)),
+		nextID:  len(recs),
+	}
+	for _, rec := range recs {
+		r.records[rec.ID] = rec
+	}
+	return r
+}
+
+// Name returns the repository name.
+func (r *Repo) Name() string { return r.name }
+
+// Format returns the repository's data representation.
+func (r *Repo) Format() Format { return r.format }
+
+// Capability returns the repository's source capability.
+func (r *Repo) Capability() Capability { return r.cap }
+
+// Len returns the number of live records.
+func (r *Repo) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.records)
+}
+
+// Snapshot renders the full current contents in the repository's format.
+// Available to every capability (non-queryable sources publish these as
+// periodic dumps).
+func (r *Repo) Snapshot() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.snapshotCalls++
+	recs := make([]Record, 0, len(r.records))
+	for _, rec := range r.records {
+		recs = append(recs, rec)
+	}
+	return Render(r.format, recs)
+}
+
+// Records returns a copy of the live records sorted by ID (the ground truth
+// for change-detector validation; real sources would not expose this).
+func (r *Repo) Records() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	recs := make([]Record, 0, len(r.records))
+	for _, rec := range r.records {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return recs
+}
+
+// Query returns one record by accession. Only queryable (and active/logged)
+// sources answer; non-queryable sources refuse (paper: "non-queryable
+// sources do not provide triggers, logs, or queries").
+func (r *Repo) Query(id string) (Record, error) {
+	if r.cap == CapNonQueryable {
+		return Record{}, fmt.Errorf("sources: %s is non-queryable", r.name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queryCalls++
+	rec, ok := r.records[id]
+	if !ok {
+		return Record{}, fmt.Errorf("sources: %s has no record %q", r.name, id)
+	}
+	return rec, nil
+}
+
+// QueryContains returns the IDs of records whose sequence contains pattern,
+// modelling a source-side search endpoint (the mediator baseline ships
+// queries here). Non-queryable sources refuse.
+func (r *Repo) QueryContains(pattern string) ([]string, error) {
+	if r.cap == CapNonQueryable {
+		return nil, fmt.Errorf("sources: %s is non-queryable", r.name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queryCalls++
+	var out []string
+	for id, rec := range r.records {
+		if containsStr(rec.Sequence, pattern) {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func containsStr(haystack, needle string) bool {
+	if len(needle) == 0 {
+		return true
+	}
+outer:
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		for j := 0; j < len(needle); j++ {
+			if haystack[i+j] != needle[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Log returns log entries with Seq > afterSeq. Only logged sources keep a
+// log.
+func (r *Repo) Log(afterSeq int) ([]LogEntry, error) {
+	if r.cap != CapLogged {
+		return nil, fmt.Errorf("sources: %s keeps no change log (capability %v)", r.name, r.cap)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []LogEntry
+	for _, e := range r.log {
+		if e.Seq > afterSeq {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// Subscribe registers a trigger channel. Only active sources notify.
+// The returned cancel function unsubscribes.
+func (r *Repo) Subscribe(buffer int) (<-chan Mutation, func(), error) {
+	if r.cap != CapActive {
+		return nil, nil, fmt.Errorf("sources: %s has no trigger capability (%v)", r.name, r.cap)
+	}
+	ch := make(chan Mutation, buffer)
+	r.mu.Lock()
+	r.subs = append(r.subs, ch)
+	r.mu.Unlock()
+	cancel := func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		for i, c := range r.subs {
+			if c == ch {
+				r.subs = append(r.subs[:i], r.subs[i+1:]...)
+				close(ch)
+				return
+			}
+		}
+	}
+	return ch, cancel, nil
+}
+
+// applyLocked records a mutation in log/triggers.
+func (r *Repo) applyLocked(m Mutation) {
+	if r.cap == CapLogged {
+		r.logSeq++
+		e := LogEntry{Seq: r.logSeq, Kind: m.Kind, ID: m.ID}
+		if m.After != nil {
+			e.After = *m.After
+		}
+		r.log = append(r.log, e)
+	}
+	if r.cap == CapActive {
+		for _, ch := range r.subs {
+			select {
+			case ch <- m:
+			default:
+				// Slow subscriber: drop (triggers are best-effort).
+			}
+		}
+	}
+}
+
+// ApplyRandomUpdates mutates the repository with n random operations drawn
+// deterministically from seed: ~60% updates, ~25% inserts, ~15% deletes.
+// It returns the applied mutations as ground truth.
+func (r *Repo) ApplyRandomUpdates(seed int64, n int) []Mutation {
+	rng := rand.New(rand.NewSource(seed))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]string, 0, len(r.records))
+	for id := range r.records {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var muts []Mutation
+	for i := 0; i < n; i++ {
+		roll := rng.Float64()
+		switch {
+		case roll < 0.60 && len(ids) > 0:
+			// Update: mutate sequence and bump version.
+			id := ids[rng.Intn(len(ids))]
+			before := r.records[id]
+			after := before
+			after.Sequence = mutateSeq(rng, after.Sequence, 2)
+			after.Version++
+			after.Description = fmt.Sprintf("%s (rev %d)", before.Description, after.Version)
+			r.records[id] = after
+			m := Mutation{Kind: MutUpdate, ID: id, Before: &before, After: &after}
+			r.applyLocked(m)
+			muts = append(muts, m)
+		case roll < 0.85:
+			// Insert.
+			id := fmt.Sprintf("%s-NEW%05d", r.name, r.nextID)
+			r.nextID++
+			rec := Record{
+				ID: id, Version: 1,
+				Organism:    "Synthetica demonstrans",
+				Description: "newly deposited fragment",
+				Sequence:    randSeq(rng, 200),
+				Quality:     0.9,
+			}
+			r.records[id] = rec
+			ids = append(ids, id)
+			m := Mutation{Kind: MutInsert, ID: id, After: &rec}
+			r.applyLocked(m)
+			muts = append(muts, m)
+		case len(ids) > 0:
+			// Delete.
+			k := rng.Intn(len(ids))
+			id := ids[k]
+			before := r.records[id]
+			delete(r.records, id)
+			ids = append(ids[:k], ids[k+1:]...)
+			m := Mutation{Kind: MutDelete, ID: id, Before: &before}
+			r.applyLocked(m)
+			muts = append(muts, m)
+		}
+	}
+	return muts
+}
+
+// Stats reports access counters, used by the mediator-vs-warehouse
+// experiments to attribute remote traffic.
+type RepoStats struct {
+	SnapshotCalls int
+	QueryCalls    int
+}
+
+// Stats returns current counters.
+func (r *Repo) Stats() RepoStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RepoStats{SnapshotCalls: r.snapshotCalls, QueryCalls: r.queryCalls}
+}
+
+// Remote wraps a Repo with a per-call latency model, simulating network
+// access to a public repository. Latency applies to Snapshot, Query, and
+// QueryContains.
+type Remote struct {
+	*Repo
+	// Latency is added to every remote call.
+	Latency time.Duration
+	// PerKB adds transfer time per kilobyte of response payload.
+	PerKB time.Duration
+
+	mu    sync.Mutex
+	calls int
+	slept time.Duration
+}
+
+// NewRemote wraps repo with the given latency model.
+func NewRemote(repo *Repo, latency, perKB time.Duration) *Remote {
+	return &Remote{Repo: repo, Latency: latency, PerKB: perKB}
+}
+
+func (r *Remote) charge(payloadBytes int) {
+	d := r.Latency + time.Duration(payloadBytes/1024)*r.PerKB
+	r.mu.Lock()
+	r.calls++
+	r.slept += d
+	r.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Snapshot fetches the full dump, paying latency plus transfer time.
+func (r *Remote) Snapshot() string {
+	s := r.Repo.Snapshot()
+	r.charge(len(s))
+	return s
+}
+
+// Query fetches one record remotely.
+func (r *Remote) Query(id string) (Record, error) {
+	rec, err := r.Repo.Query(id)
+	r.charge(len(rec.Sequence) + 100)
+	return rec, err
+}
+
+// QueryContains runs a remote search.
+func (r *Remote) QueryContains(pattern string) ([]string, error) {
+	ids, err := r.Repo.QueryContains(pattern)
+	r.charge(len(ids)*16 + 100)
+	return ids, err
+}
+
+// RemoteStats reports accumulated remote-call accounting.
+type RemoteStats struct {
+	Calls int
+	Slept time.Duration
+}
+
+// RemoteStats returns the call/latency counters.
+func (r *Remote) RemoteStats() RemoteStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RemoteStats{Calls: r.calls, Slept: r.slept}
+}

@@ -1,0 +1,345 @@
+package sources
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, GenOptions{N: 20})
+	b := Generate(42, GenOptions{N: 20})
+	if len(a) != 20 {
+		t.Fatalf("N = %d", len(a))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) || a[i].Version != b[i].Version {
+			t.Fatalf("record %d differs across identical generations", i)
+		}
+	}
+	// Different seeds differ.
+	c := Generate(43, GenOptions{N: 20})
+	same := 0
+	for i := range a {
+		if a[i].Sequence == c[i].Sequence {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Error("different seeds produced identical sequences")
+	}
+	// Records independent of N: prefix stability.
+	d := Generate(42, GenOptions{N: 5})
+	for i := range d {
+		if !d[i].Equal(a[i]) {
+			t.Errorf("record %d depends on N", i)
+		}
+	}
+}
+
+func TestGenerateErrorInjection(t *testing.T) {
+	clean := Generate(7, GenOptions{N: 200})
+	noisy := Generate(7, GenOptions{N: 200, ErrorRate: 0.5})
+	lowQ, mutated := 0, 0
+	for i := range clean {
+		if noisy[i].Quality < 0.9 {
+			lowQ++
+		}
+		if noisy[i].Sequence != clean[i].Sequence {
+			mutated++
+		}
+	}
+	if lowQ < 60 || lowQ > 140 {
+		t.Errorf("low-quality records = %d, want ~100", lowQ)
+	}
+	if mutated != lowQ {
+		t.Errorf("mutated %d != lowQ %d", mutated, lowQ)
+	}
+}
+
+func TestGenerateExonSpecs(t *testing.T) {
+	recs := Generate(1, GenOptions{N: 9})
+	withExons := 0
+	for _, r := range recs {
+		if r.ExonSpec != "" {
+			withExons++
+		}
+	}
+	if withExons != 3 {
+		t.Errorf("records with exons = %d, want 3", withExons)
+	}
+}
+
+func TestAllFormatsRoundTrip(t *testing.T) {
+	recs := Generate(11, GenOptions{N: 15, ErrorRate: 0.3})
+	for _, f := range []Format{FormatGenBank, FormatFASTA, FormatACeDB, FormatCSV} {
+		text := Render(f, recs)
+		got, err := Parse(f, text)
+		if err != nil {
+			t.Fatalf("%v: parse: %v", f, err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("%v: %d records, want %d", f, len(got), len(recs))
+		}
+		byID := map[string]Record{}
+		for _, r := range got {
+			byID[r.ID] = r
+		}
+		for _, want := range recs {
+			r, ok := byID[want.ID]
+			if !ok {
+				t.Fatalf("%v: record %s lost", f, want.ID)
+			}
+			if r.Sequence != want.Sequence {
+				t.Errorf("%v: %s sequence corrupted", f, want.ID)
+			}
+			if r.Organism != want.Organism || r.Version != want.Version || r.ExonSpec != want.ExonSpec {
+				t.Errorf("%v: %s metadata lost: %+v vs %+v", f, want.ID, r, want)
+			}
+			if r.Description != want.Description {
+				t.Errorf("%v: %s description = %q, want %q", f, want.ID, r.Description, want.Description)
+			}
+			if diff := r.Quality - want.Quality; diff > 0.0001 || diff < -0.0001 {
+				t.Errorf("%v: %s quality = %v, want %v", f, want.ID, r.Quality, want.Quality)
+			}
+		}
+	}
+}
+
+func TestFormatRenderingIsCanonical(t *testing.T) {
+	recs := Generate(5, GenOptions{N: 10})
+	shuffled := make([]Record, len(recs))
+	copy(shuffled, recs)
+	shuffled[0], shuffled[5] = shuffled[5], shuffled[0]
+	for _, f := range []Format{FormatGenBank, FormatFASTA, FormatACeDB, FormatCSV} {
+		if Render(f, recs) != Render(f, shuffled) {
+			t.Errorf("%v rendering not canonical", f)
+		}
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	recs := []Record{{
+		ID: "X1", Version: 2, Organism: `weird, "organism"`,
+		Description: "has,commas and \"quotes\"", Sequence: "ACGT", Quality: 0.5,
+	}}
+	text := Render(FormatCSV, recs)
+	got, err := Parse(FormatCSV, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Organism != recs[0].Organism || got[0].Description != recs[0].Description {
+		t.Errorf("escaping lost: %+v", got[0])
+	}
+}
+
+func TestParseRejectsCorrupt(t *testing.T) {
+	cases := map[Format][]string{
+		FormatGenBank: {"LOCUS\n", "LOCUS X 1 bp\nLOCUS Y 2 bp\n", "LOCUS X 1 bp\nVERSION X.bad\n//\n"},
+		FormatFASTA:   {"ACGT\n", ">X a | version=bad\nACGT\n"},
+		FormatACeDB:   {"\tOrganism\t\"x\"\n", "Sequence : \"X\"\nOrganism no-tab\n", "Sequence : bad\n"},
+		FormatCSV:     {"", "wrong,header\n", csvHeader + "\nonlyonefield\n", csvHeader + "\na,notanumber,b,c,ACGT,,0.5\n"},
+	}
+	for f, texts := range cases {
+		for i, text := range texts {
+			if _, err := Parse(f, text); err == nil {
+				t.Errorf("%v case %d: corrupt input accepted", f, i)
+			}
+		}
+	}
+}
+
+func TestFormatPropertiesRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		recs := Generate(seed, GenOptions{N: int(n%20) + 1, SeqLen: 80})
+		for _, fmtKind := range []Format{FormatGenBank, FormatFASTA, FormatACeDB, FormatCSV} {
+			got, err := Parse(fmtKind, Render(fmtKind, recs))
+			if err != nil || len(got) != len(recs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepoCapabilities(t *testing.T) {
+	recs := Generate(1, GenOptions{N: 10})
+	active := NewRepo("act", FormatCSV, CapActive, recs)
+	logged := NewRepo("log", FormatGenBank, CapLogged, recs)
+	queryable := NewRepo("qry", FormatFASTA, CapQueryable, recs)
+	nonq := NewRepo("dump", FormatACeDB, CapNonQueryable, recs)
+
+	// Non-queryable refuses queries but provides dumps.
+	if _, err := nonq.Query(recs[0].ID); err == nil {
+		t.Error("non-queryable answered a query")
+	}
+	if _, err := nonq.QueryContains("ACGT"); err == nil {
+		t.Error("non-queryable answered a search")
+	}
+	if nonq.Snapshot() == "" {
+		t.Error("non-queryable dump empty")
+	}
+	// Queryable answers queries.
+	rec, err := queryable.Query(recs[3].ID)
+	if err != nil || rec.ID != recs[3].ID {
+		t.Errorf("Query = %+v, %v", rec, err)
+	}
+	if _, err := queryable.Query("NOSUCH"); err == nil {
+		t.Error("query for missing record succeeded")
+	}
+	// Only logged sources expose logs.
+	if _, err := queryable.Log(0); err == nil {
+		t.Error("non-logged source provided a log")
+	}
+	if _, err := logged.Log(0); err != nil {
+		t.Errorf("logged source refused: %v", err)
+	}
+	// Only active sources accept subscriptions.
+	if _, _, err := logged.Subscribe(1); err == nil {
+		t.Error("non-active source accepted subscription")
+	}
+	ch, cancel, err := active.Subscribe(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	_ = ch
+}
+
+func TestRepoLogRecordsMutations(t *testing.T) {
+	repo := NewRepo("log", FormatCSV, CapLogged, Generate(2, GenOptions{N: 30}))
+	muts := repo.ApplyRandomUpdates(99, 20)
+	entries, err := repo.Log(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(muts) {
+		t.Fatalf("log entries = %d, muts = %d", len(entries), len(muts))
+	}
+	for i, e := range entries {
+		if e.Kind != muts[i].Kind || e.ID != muts[i].ID {
+			t.Errorf("entry %d = %+v, mut = %+v", i, e, muts[i])
+		}
+	}
+	// Incremental read.
+	mid := entries[9].Seq
+	tail, _ := repo.Log(mid)
+	if len(tail) != len(entries)-10 {
+		t.Errorf("incremental log = %d entries", len(tail))
+	}
+}
+
+func TestRepoTriggersDeliverMutations(t *testing.T) {
+	repo := NewRepo("act", FormatCSV, CapActive, Generate(3, GenOptions{N: 20}))
+	ch, cancel, err := repo.Subscribe(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	muts := repo.ApplyRandomUpdates(5, 10)
+	for i := 0; i < len(muts); i++ {
+		select {
+		case m := <-ch:
+			if m.ID != muts[i].ID {
+				t.Errorf("trigger %d = %s, want %s", i, m.ID, muts[i].ID)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("trigger not delivered")
+		}
+	}
+}
+
+func TestApplyRandomUpdatesGroundTruth(t *testing.T) {
+	repo := NewRepo("r", FormatCSV, CapQueryable, Generate(4, GenOptions{N: 50}))
+	before := map[string]Record{}
+	for _, r := range repo.Records() {
+		before[r.ID] = r
+	}
+	muts := repo.ApplyRandomUpdates(77, 30)
+	after := map[string]Record{}
+	for _, r := range repo.Records() {
+		after[r.ID] = r
+	}
+	for _, m := range muts {
+		switch m.Kind {
+		case MutInsert:
+			if m.After == nil {
+				t.Error("insert without After")
+			}
+		case MutDelete:
+			if _, ok := after[m.ID]; ok {
+				// Deleted then maybe reinserted? IDs are unique per op.
+				t.Errorf("deleted record %s still present", m.ID)
+			}
+		case MutUpdate:
+			if m.Before == nil || m.After == nil {
+				t.Error("update without before/after")
+			}
+		}
+	}
+	// Version monotonicity for surviving updated records.
+	for id, a := range after {
+		if b, ok := before[id]; ok && a.Version < b.Version {
+			t.Errorf("version went backwards for %s", id)
+		}
+	}
+}
+
+func TestQueryContains(t *testing.T) {
+	recs := []Record{
+		{ID: "A", Sequence: "AAATTGCCATAGG", Quality: 1},
+		{ID: "B", Sequence: "CCCCCCCC", Quality: 1},
+	}
+	repo := NewRepo("q", FormatFASTA, CapQueryable, recs)
+	ids, err := repo.QueryContains("ATTGCCATA")
+	if err != nil || len(ids) != 1 || ids[0] != "A" {
+		t.Errorf("QueryContains = %v, %v", ids, err)
+	}
+	ids, _ = repo.QueryContains("")
+	if len(ids) != 2 {
+		t.Errorf("empty pattern = %v", ids)
+	}
+}
+
+func TestRemoteChargesLatency(t *testing.T) {
+	repo := NewRepo("r", FormatCSV, CapQueryable, Generate(6, GenOptions{N: 5}))
+	remote := NewRemote(repo, 2*time.Millisecond, 0)
+	start := time.Now()
+	remote.Snapshot()
+	if _, err := remote.Query(repo.Records()[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 4*time.Millisecond {
+		t.Errorf("latency not charged: %v", elapsed)
+	}
+	st := remote.RemoteStats()
+	if st.Calls != 2 || st.Slept < 4*time.Millisecond {
+		t.Errorf("RemoteStats = %+v", st)
+	}
+}
+
+func TestRepoStatsCount(t *testing.T) {
+	repo := NewRepo("r", FormatCSV, CapQueryable, Generate(6, GenOptions{N: 5}))
+	repo.Snapshot()
+	repo.Snapshot()
+	repo.Query(repo.Records()[0].ID)
+	st := repo.Stats()
+	if st.SnapshotCalls != 2 || st.QueryCalls != 1 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func BenchmarkRenderParseGenBank(b *testing.B) {
+	recs := Generate(1, GenOptions{N: 100})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		text := Render(FormatGenBank, recs)
+		if _, err := Parse(FormatGenBank, text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package sqlang
+
+import (
+	"fmt"
+	"strings"
+
+	"genalg/internal/db"
+)
+
+// Expr is a parsed expression.
+type Expr interface {
+	String() string
+}
+
+// ColRef references a column, optionally table-qualified.
+type ColRef struct {
+	Table string // empty when unqualified
+	Name  string
+}
+
+// String implements Expr.
+func (c *ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// Lit is a literal constant: int64, float64, string, bool, or nil (NULL).
+type Lit struct {
+	Val any
+}
+
+// String implements Expr.
+func (l *Lit) String() string {
+	switch v := l.Val.(type) {
+	case nil:
+		return "NULL"
+	case string:
+		return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// BinOp is a binary operation: comparisons, arithmetic, AND/OR.
+type BinOp struct {
+	Op   string // "=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/", "AND", "OR"
+	L, R Expr
+}
+
+// String implements Expr.
+func (b *BinOp) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// UnOp is a unary operation: NOT, unary minus.
+type UnOp struct {
+	Op string // "NOT", "-"
+	E  Expr
+}
+
+// String implements Expr.
+func (u *UnOp) String() string { return fmt.Sprintf("(%s %s)", u.Op, u.E) }
+
+// IsNull tests nullness: expr IS [NOT] NULL.
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// String implements Expr.
+func (n *IsNull) String() string {
+	if n.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", n.E)
+	}
+	return fmt.Sprintf("(%s IS NULL)", n.E)
+}
+
+// FuncCall invokes an external (algebra) function.
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+// String implements Expr.
+func (f *FuncCall) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", f.Name, strings.Join(parts, ", "))
+}
+
+// Aggregate is COUNT/SUM/AVG/MIN/MAX. Arg is nil for COUNT(*).
+type Aggregate struct {
+	Fn  string // upper-case
+	Arg Expr
+}
+
+// String implements Expr.
+func (a *Aggregate) String() string {
+	if a.Arg == nil {
+		return a.Fn + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Fn, a.Arg)
+}
+
+// SelectItem is one output column with its optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool // SELECT *
+}
+
+// TableRef names a FROM table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// EffectiveName returns the name the table binds in scope.
+func (t TableRef) EffectiveName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a parsed SELECT.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Joins    []JoinClause
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderKey
+	Limit    int // -1 = no limit
+	Explain  bool
+}
+
+// JoinClause is an explicit JOIN ... ON.
+type JoinClause struct {
+	Table TableRef
+	On    Expr
+}
+
+// InsertStmt is a parsed INSERT INTO ... VALUES.
+type InsertStmt struct {
+	Table string
+	Cols  []string // empty = schema order
+	Rows  [][]Expr
+}
+
+// CreateTableStmt is a parsed CREATE TABLE.
+type CreateTableStmt struct {
+	Schema db.Schema
+}
+
+// CreateIndexStmt is CREATE [GENOMIC] INDEX ON table (col) [USING k].
+type CreateIndexStmt struct {
+	Table   string
+	Col     string
+	Genomic bool
+	K       int // genomic word length; 0 = default
+}
+
+// DeleteStmt is DELETE FROM table [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// AnalyzeStmt is ANALYZE table: it gathers per-column statistics used by
+// the planner's selectivity estimates (paper Section 6.5).
+type AnalyzeStmt struct {
+	Table string
+}
+
+// UpdateStmt is UPDATE table SET col = expr [, ...] [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Sets  []SetClause
+	Where Expr
+}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Col  string
+	Expr Expr
+}
+
+// Stmt is any parsed statement.
+type Stmt interface{ stmt() }
+
+func (*SelectStmt) stmt()      {}
+func (*InsertStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+func (*CreateIndexStmt) stmt() {}
+func (*DeleteStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*AnalyzeStmt) stmt()     {}

@@ -1,0 +1,311 @@
+package sqlang
+
+import (
+	"fmt"
+	"strings"
+
+	"genalg/internal/db"
+)
+
+// scope resolves column references during execution: a mapping from
+// qualified and unqualified column names to positions in the working row.
+type scope struct {
+	// cols[i] is the fully qualified name "table.col"; bare[i] the bare name.
+	cols []string
+	bare []string
+}
+
+func newScope() *scope { return &scope{} }
+
+func (s *scope) add(table string, schema db.Schema) {
+	for _, c := range schema.Columns {
+		s.cols = append(s.cols, table+"."+c.Name)
+		s.bare = append(s.bare, c.Name)
+	}
+}
+
+// resolve returns the row position of a column reference.
+func (s *scope) resolve(ref *ColRef) (int, error) {
+	if ref.Table != "" {
+		want := ref.Table + "." + ref.Name
+		for i, c := range s.cols {
+			if strings.EqualFold(c, want) {
+				return i, nil
+			}
+		}
+		return -1, fmt.Errorf("sqlang: unknown column %s", want)
+	}
+	found := -1
+	for i, b := range s.bare {
+		if strings.EqualFold(b, ref.Name) {
+			if found >= 0 {
+				return -1, fmt.Errorf("sqlang: ambiguous column %q (qualify with table name)", ref.Name)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("sqlang: unknown column %q", ref.Name)
+	}
+	return found, nil
+}
+
+// evalCtx carries what expression evaluation needs.
+type evalCtx struct {
+	scope *scope
+	funcs *db.FuncRegistry
+	row   db.Row
+}
+
+// eval evaluates an expression against the current row. Aggregates are
+// rejected here; the executor computes them separately.
+func eval(ctx *evalCtx, e Expr) (any, error) {
+	switch x := e.(type) {
+	case *Lit:
+		return x.Val, nil
+	case *ColRef:
+		i, err := ctx.scope.resolve(x)
+		if err != nil {
+			return nil, err
+		}
+		return ctx.row[i], nil
+	case *UnOp:
+		v, err := eval(ctx, x.E)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "NOT":
+			b, ok := v.(bool)
+			if !ok {
+				if v == nil {
+					return nil, nil
+				}
+				return nil, fmt.Errorf("sqlang: NOT of non-boolean %T", v)
+			}
+			return !b, nil
+		case "-":
+			switch n := v.(type) {
+			case int64:
+				return -n, nil
+			case float64:
+				return -n, nil
+			}
+			return nil, fmt.Errorf("sqlang: unary minus of %T", v)
+		}
+		return nil, fmt.Errorf("sqlang: unknown unary op %q", x.Op)
+	case *IsNull:
+		v, err := eval(ctx, x.E)
+		if err != nil {
+			return nil, err
+		}
+		isNull := v == nil
+		if x.Negate {
+			return !isNull, nil
+		}
+		return isNull, nil
+	case *BinOp:
+		return evalBinOp(ctx, x)
+	case *FuncCall:
+		fn, ok := ctx.funcs.Get(x.Name)
+		if !ok {
+			return nil, fmt.Errorf("sqlang: unknown function %q (registered: %s)", x.Name, strings.Join(ctx.funcs.Names(), ", "))
+		}
+		if fn.NArgs > 0 && len(x.Args) != fn.NArgs {
+			return nil, fmt.Errorf("sqlang: function %s expects %d arguments, got %d", x.Name, fn.NArgs, len(x.Args))
+		}
+		args := make([]any, len(x.Args))
+		for i, a := range x.Args {
+			v, err := eval(ctx, a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		out, err := fn.Fn(args)
+		if err != nil {
+			return nil, fmt.Errorf("sqlang: %s: %w", x.Name, err)
+		}
+		return out, nil
+	case *Aggregate:
+		return nil, fmt.Errorf("sqlang: aggregate %s not allowed here", x.Fn)
+	}
+	return nil, fmt.Errorf("sqlang: cannot evaluate %T", e)
+}
+
+func evalBinOp(ctx *evalCtx, x *BinOp) (any, error) {
+	// AND/OR with standard SQL three-valued-ish shortcut (we treat NULL
+	// operands as NULL result, and filters treat NULL as false).
+	if x.Op == "AND" || x.Op == "OR" {
+		l, err := eval(ctx, x.L)
+		if err != nil {
+			return nil, err
+		}
+		lb, lok := l.(bool)
+		if x.Op == "AND" && lok && !lb {
+			return false, nil
+		}
+		if x.Op == "OR" && lok && lb {
+			return true, nil
+		}
+		r, err := eval(ctx, x.R)
+		if err != nil {
+			return nil, err
+		}
+		rb, rok := r.(bool)
+		if !lok || !rok {
+			if l == nil || r == nil {
+				return nil, nil
+			}
+			return nil, fmt.Errorf("sqlang: %s of non-boolean operands (%T, %T)", x.Op, l, r)
+		}
+		if x.Op == "AND" {
+			return lb && rb, nil
+		}
+		return lb || rb, nil
+	}
+
+	l, err := eval(ctx, x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := eval(ctx, x.R)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l == nil || r == nil {
+			return nil, nil // NULL comparisons are NULL
+		}
+		c, err := compareVals(l, r)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "=":
+			return c == 0, nil
+		case "<>":
+			return c != 0, nil
+		case "<":
+			return c < 0, nil
+		case "<=":
+			return c <= 0, nil
+		case ">":
+			return c > 0, nil
+		case ">=":
+			return c >= 0, nil
+		}
+	case "+", "-", "*", "/":
+		return arith(x.Op, l, r)
+	}
+	return nil, fmt.Errorf("sqlang: unknown operator %q", x.Op)
+}
+
+// compareVals orders two scalar values, coercing int64/float64 mixes.
+func compareVals(l, r any) (int, error) {
+	switch lv := l.(type) {
+	case int64:
+		switch rv := r.(type) {
+		case int64:
+			return cmpOrd(lv, rv), nil
+		case float64:
+			return cmpOrd(float64(lv), rv), nil
+		}
+	case float64:
+		switch rv := r.(type) {
+		case int64:
+			return cmpOrd(lv, float64(rv)), nil
+		case float64:
+			return cmpOrd(lv, rv), nil
+		}
+	case string:
+		if rv, ok := r.(string); ok {
+			return strings.Compare(lv, rv), nil
+		}
+	case bool:
+		if rv, ok := r.(bool); ok {
+			return cmpOrd(b2i(lv), b2i(rv)), nil
+		}
+	}
+	return 0, fmt.Errorf("sqlang: cannot compare %T with %T", l, r)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func cmpOrd[T int64 | float64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func arith(op string, l, r any) (any, error) {
+	if l == nil || r == nil {
+		return nil, nil
+	}
+	li, lIsInt := l.(int64)
+	ri, rIsInt := r.(int64)
+	if lIsInt && rIsInt {
+		switch op {
+		case "+":
+			return li + ri, nil
+		case "-":
+			return li - ri, nil
+		case "*":
+			return li * ri, nil
+		case "/":
+			if ri == 0 {
+				return nil, fmt.Errorf("sqlang: division by zero")
+			}
+			return li / ri, nil
+		}
+	}
+	lf, err := toFloat(l)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := toFloat(r)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, fmt.Errorf("sqlang: division by zero")
+		}
+		return lf / rf, nil
+	}
+	return nil, fmt.Errorf("sqlang: unknown arithmetic op %q", op)
+}
+
+func toFloat(v any) (float64, error) {
+	switch n := v.(type) {
+	case int64:
+		return float64(n), nil
+	case float64:
+		return n, nil
+	}
+	return 0, fmt.Errorf("sqlang: %T is not numeric", v)
+}
+
+// truthy interprets a WHERE result: only true passes (NULL and false drop
+// the row).
+func truthy(v any) bool {
+	b, ok := v.(bool)
+	return ok && b
+}

@@ -1,0 +1,914 @@
+package sqlang
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"genalg/internal/db"
+	"genalg/internal/kmeridx"
+	"genalg/internal/storage"
+)
+
+// Result is the outcome of executing a statement.
+type Result struct {
+	// Cols names the output columns (empty for DDL/DML).
+	Cols []string
+	// Rows holds the output tuples.
+	Rows []db.Row
+	// Affected counts rows written/deleted for DML.
+	Affected int
+	// Plan describes the chosen access path and predicate order; filled for
+	// SELECT (and returned as the sole output for EXPLAIN).
+	Plan string
+}
+
+// Engine executes SQL statements against a db.DB. It keeps the ANALYZE
+// statistics the planner consults.
+type Engine struct {
+	DB    *db.DB
+	stats statsStore
+}
+
+// NewEngine wraps an engine instance.
+func NewEngine(d *db.DB) *Engine { return &Engine{DB: d} }
+
+// Exec parses and executes one statement.
+func (e *Engine) Exec(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecStmt(stmt)
+}
+
+// ExecStmt executes a parsed statement.
+func (e *Engine) ExecStmt(stmt Stmt) (*Result, error) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		return e.execSelect(s)
+	case *InsertStmt:
+		return e.execInsert(s)
+	case *CreateTableStmt:
+		if _, err := e.DB.CreateTable(s.Schema); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *CreateIndexStmt:
+		tbl, ok := e.DB.Table(s.Table)
+		if !ok {
+			return nil, fmt.Errorf("sqlang: unknown table %q", s.Table)
+		}
+		if s.Genomic {
+			k := s.K
+			if k == 0 {
+				k = 8
+			}
+			return &Result{}, tbl.CreateGenomicIndex(s.Col, k)
+		}
+		return &Result{}, tbl.CreateBTreeIndex(s.Col)
+	case *DeleteStmt:
+		return e.execDelete(s)
+	case *UpdateStmt:
+		return e.execUpdate(s)
+	case *AnalyzeStmt:
+		return e.execAnalyze(s)
+	}
+	return nil, fmt.Errorf("sqlang: unsupported statement %T", stmt)
+}
+
+func (e *Engine) execUpdate(s *UpdateStmt) (*Result, error) {
+	tbl, ok := e.DB.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("sqlang: unknown table %q", s.Table)
+	}
+	schema := tbl.Schema()
+	setPos := make([]int, len(s.Sets))
+	for i, set := range s.Sets {
+		ci := schema.ColIndex(set.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("sqlang: table %s has no column %q", s.Table, set.Col)
+		}
+		setPos[i] = ci
+	}
+	sc := newScope()
+	sc.add(s.Table, schema)
+	ctx := &evalCtx{scope: sc, funcs: e.DB.Funcs}
+	// Collect matching rows first: updating while scanning would revisit
+	// moved rows.
+	type pending struct {
+		rid storage.RID
+		row db.Row
+	}
+	var targets []pending
+	var evalErr error
+	err := tbl.Scan(func(rid storage.RID, row db.Row) bool {
+		if s.Where != nil {
+			ctx.row = row
+			v, err := eval(ctx, s.Where)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !truthy(v) {
+				return true
+			}
+		}
+		targets = append(targets, pending{rid: rid, row: row})
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range targets {
+		newRow := make(db.Row, len(t.row))
+		copy(newRow, t.row)
+		ctx.row = t.row // SET expressions see the pre-update values
+		for i, set := range s.Sets {
+			v, err := eval(ctx, set.Expr)
+			if err != nil {
+				return nil, err
+			}
+			if iv, ok := v.(int64); ok && schema.Columns[setPos[i]].Type == db.TFloat {
+				v = float64(iv)
+			}
+			newRow[setPos[i]] = v
+		}
+		if _, err := tbl.Update(t.rid, newRow); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(targets)}, nil
+}
+
+func (e *Engine) execInsert(s *InsertStmt) (*Result, error) {
+	tbl, ok := e.DB.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("sqlang: unknown table %q", s.Table)
+	}
+	schema := tbl.Schema()
+	colPos := make([]int, 0, len(s.Cols))
+	if len(s.Cols) == 0 {
+		for i := range schema.Columns {
+			colPos = append(colPos, i)
+		}
+	} else {
+		for _, c := range s.Cols {
+			i := schema.ColIndex(c)
+			if i < 0 {
+				return nil, fmt.Errorf("sqlang: table %s has no column %q", s.Table, c)
+			}
+			colPos = append(colPos, i)
+		}
+	}
+	ctx := &evalCtx{scope: newScope(), funcs: e.DB.Funcs}
+	n := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(colPos) {
+			return nil, fmt.Errorf("sqlang: INSERT row has %d values, expected %d", len(exprRow), len(colPos))
+		}
+		row := make(db.Row, len(schema.Columns))
+		for j, ex := range exprRow {
+			v, err := eval(ctx, ex)
+			if err != nil {
+				return nil, err
+			}
+			// Integer literals feeding float columns coerce.
+			if iv, ok := v.(int64); ok && schema.Columns[colPos[j]].Type == db.TFloat {
+				v = float64(iv)
+			}
+			row[colPos[j]] = v
+		}
+		if _, err := tbl.Insert(row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+func (e *Engine) execDelete(s *DeleteStmt) (*Result, error) {
+	tbl, ok := e.DB.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("sqlang: unknown table %q", s.Table)
+	}
+	sc := newScope()
+	sc.add(s.Table, tbl.Schema())
+	ctx := &evalCtx{scope: sc, funcs: e.DB.Funcs}
+	var doomed []storage.RID
+	var evalErr error
+	err := tbl.Scan(func(rid storage.RID, row db.Row) bool {
+		if s.Where != nil {
+			ctx.row = row
+			v, err := eval(ctx, s.Where)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !truthy(v) {
+				return true
+			}
+		}
+		doomed = append(doomed, rid)
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, rid := range doomed {
+		if err := tbl.Delete(rid); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(doomed)}, nil
+}
+
+// conjuncts flattens an AND tree.
+func conjuncts(e Expr) []Expr {
+	if b, ok := e.(*BinOp); ok && b.Op == "AND" {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	if e == nil {
+		return nil
+	}
+	return []Expr{e}
+}
+
+// predicate cost model (paper Section 6.5): rank = cost / (1 - selectivity);
+// evaluating cheap, highly selective predicates first minimizes expected
+// work.
+func (e *Engine) predicateStats(x Expr) (selectivity, cost float64) {
+	switch p := x.(type) {
+	case *FuncCall:
+		if fn, ok := e.DB.Funcs.Get(p.Name); ok {
+			sel := fn.Selectivity
+			if sel == 0 {
+				sel = 0.5
+			}
+			c := fn.Cost
+			if c == 0 {
+				c = 1
+			}
+			return sel, c
+		}
+		return 0.5, 1
+	case *BinOp:
+		opCost := e.exprCost(p.L) + e.exprCost(p.R)
+		switch p.Op {
+		case "=":
+			if sel, ok := e.statsSelectivity("=", p.L, p.R); ok {
+				return sel, 0.1 + opCost
+			}
+			return 0.05, 0.1 + opCost
+		case "<", ">", "<=", ">=":
+			return 0.3, 0.1 + opCost
+		case "<>":
+			if sel, ok := e.statsSelectivity("<>", p.L, p.R); ok {
+				return sel, 0.1 + opCost
+			}
+			return 0.9, 0.1 + opCost
+		}
+	case *IsNull:
+		return 0.1, 0.1 + e.exprCost(p.E)
+	case *UnOp:
+		if p.Op == "NOT" {
+			s, c := e.predicateStats(p.E)
+			return 1 - s, c
+		}
+	}
+	return 0.5, 0.5
+}
+
+// exprCost estimates the evaluation cost of an operand expression; external
+// function calls dominate.
+func (e *Engine) exprCost(x Expr) float64 {
+	switch p := x.(type) {
+	case *FuncCall:
+		c := 1.0
+		if fn, ok := e.DB.Funcs.Get(p.Name); ok && fn.Cost > 0 {
+			c = fn.Cost
+		}
+		for _, a := range p.Args {
+			c += e.exprCost(a)
+		}
+		return c
+	case *BinOp:
+		return e.exprCost(p.L) + e.exprCost(p.R)
+	case *UnOp:
+		return e.exprCost(p.E)
+	case *IsNull:
+		return e.exprCost(p.E)
+	}
+	return 0
+}
+
+func (e *Engine) orderPredicates(preds []Expr) []Expr {
+	type ranked struct {
+		ex   Expr
+		rank float64
+	}
+	rs := make([]ranked, len(preds))
+	for i, p := range preds {
+		sel, cost := e.predicateStats(p)
+		denom := 1 - sel
+		if denom < 0.01 {
+			denom = 0.01
+		}
+		rs[i] = ranked{ex: p, rank: cost / denom}
+	}
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].rank < rs[j].rank })
+	out := make([]Expr, len(rs))
+	for i, r := range rs {
+		out[i] = r.ex
+	}
+	return out
+}
+
+// accessPath describes the chosen way to produce the driving table's rows.
+type accessPath struct {
+	desc string
+	// rids is non-nil for index paths; nil means full scan.
+	rids []storage.RID
+	// used marks the conjunct consumed by the path (removed from filters).
+	used Expr
+}
+
+// chooseAccess inspects the conjuncts for an indexable predicate on the
+// driving table.
+func (e *Engine) chooseAccess(tbl *db.Table, tableName string, sc *scope, preds []Expr) (accessPath, error) {
+	schema := tbl.Schema()
+	colOf := func(x Expr) (string, bool) {
+		c, ok := x.(*ColRef)
+		if !ok {
+			return "", false
+		}
+		if c.Table != "" && !strings.EqualFold(c.Table, tableName) {
+			return "", false
+		}
+		if schema.ColIndex(c.Name) < 0 {
+			return "", false
+		}
+		return c.Name, true
+	}
+	litOf := func(x Expr) (any, bool) {
+		l, ok := x.(*Lit)
+		if !ok {
+			return nil, false
+		}
+		return l.Val, true
+	}
+	for _, p := range preds {
+		// Equality on a B-tree column: col = lit or lit = col.
+		if b, ok := p.(*BinOp); ok && b.Op == "=" {
+			if col, ok := colOf(b.L); ok {
+				if v, ok := litOf(b.R); ok && tbl.HasBTreeIndex(col) {
+					rids, err := tbl.IndexLookup(col, v)
+					if err != nil {
+						return accessPath{}, err
+					}
+					return accessPath{desc: fmt.Sprintf("index eq %s.%s", tableName, col), rids: rids, used: p}, nil
+				}
+			}
+			if col, ok := colOf(b.R); ok {
+				if v, ok := litOf(b.L); ok && tbl.HasBTreeIndex(col) {
+					rids, err := tbl.IndexLookup(col, v)
+					if err != nil {
+						return accessPath{}, err
+					}
+					return accessPath{desc: fmt.Sprintf("index eq %s.%s", tableName, col), rids: rids, used: p}, nil
+				}
+			}
+		}
+		// contains(col, 'pattern') on a genomic-indexed column.
+		if fc, ok := p.(*FuncCall); ok && len(fc.Args) == 2 {
+			fn, known := e.DB.Funcs.Get(fc.Name)
+			if !known || fn.IndexHint != "kmer" {
+				continue
+			}
+			col, okc := colOf(fc.Args[0])
+			pat, okp := litOf(fc.Args[1])
+			pstr, oks := pat.(string)
+			if okc && okp && oks && tbl.HasGenomicIndex(col) {
+				rids, err := tbl.GenomicLookup(col, pstr)
+				if err != nil {
+					var short *kmeridx.ErrPatternTooShort
+					if errors.As(err, &short) {
+						continue // fall back to scan
+					}
+					return accessPath{}, err
+				}
+				return accessPath{desc: fmt.Sprintf("genomic index %s.%s pattern=%q", tableName, col, pstr), rids: rids, used: p}, nil
+			}
+		}
+	}
+	return accessPath{desc: fmt.Sprintf("scan %s", tableName)}, nil
+}
+
+func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
+	if len(s.From) == 0 {
+		return nil, fmt.Errorf("sqlang: SELECT requires FROM")
+	}
+	// Bind tables: FROM list then JOINs.
+	type boundTable struct {
+		ref TableRef
+		tbl *db.Table
+	}
+	var tables []boundTable
+	for _, tr := range s.From {
+		tbl, ok := e.DB.Table(tr.Name)
+		if !ok {
+			return nil, fmt.Errorf("sqlang: unknown table %q", tr.Name)
+		}
+		tables = append(tables, boundTable{ref: tr, tbl: tbl})
+	}
+	where := s.Where
+	for _, j := range s.Joins {
+		tbl, ok := e.DB.Table(j.Table.Name)
+		if !ok {
+			return nil, fmt.Errorf("sqlang: unknown table %q", j.Table.Name)
+		}
+		tables = append(tables, boundTable{ref: j.Table, tbl: tbl})
+		// Fold ON conditions into WHERE (inner joins only).
+		if where == nil {
+			where = j.On
+		} else {
+			where = &BinOp{Op: "AND", L: where, R: j.On}
+		}
+	}
+
+	sc := newScope()
+	for _, bt := range tables {
+		sc.add(bt.ref.EffectiveName(), bt.tbl.Schema())
+	}
+	preds := e.orderPredicates(conjuncts(where))
+
+	// Access path for the driving (first) table.
+	drive := tables[0]
+	path, err := e.chooseAccess(drive.tbl, drive.ref.EffectiveName(), sc, preds)
+	if err != nil {
+		return nil, err
+	}
+	var planSB strings.Builder
+	fmt.Fprintf(&planSB, "access: %s\n", path.desc)
+	var filters []Expr
+	for _, p := range preds {
+		if p != path.used {
+			filters = append(filters, p)
+		}
+	}
+	if len(filters) > 0 {
+		fmt.Fprintf(&planSB, "filters:")
+		for _, f := range filters {
+			sel, cost := e.predicateStats(f)
+			fmt.Fprintf(&planSB, " [%s sel=%.3g cost=%.3g]", f, sel, cost)
+		}
+		fmt.Fprintf(&planSB, "\n")
+	}
+	for _, bt := range tables[1:] {
+		fmt.Fprintf(&planSB, "nested-loop join: %s\n", bt.ref.EffectiveName())
+	}
+
+	if s.Explain {
+		return &Result{Cols: []string{"plan"}, Rows: []db.Row{{planSB.String()}}, Plan: planSB.String()}, nil
+	}
+
+	// Produce driving rows.
+	ctx := &evalCtx{scope: sc, funcs: e.DB.Funcs}
+	var working []db.Row
+	appendJoined := func(base db.Row) error {
+		// Nested-loop join the remaining tables.
+		rows := []db.Row{base}
+		for _, bt := range tables[1:] {
+			var next []db.Row
+			for _, left := range rows {
+				err := bt.tbl.Scan(func(_ storage.RID, right db.Row) bool {
+					joined := make(db.Row, 0, len(left)+len(right))
+					joined = append(joined, left...)
+					joined = append(joined, right...)
+					next = append(next, joined)
+					return true
+				})
+				if err != nil {
+					return err
+				}
+			}
+			rows = next
+		}
+		// Apply residual filters.
+	rowLoop:
+		for _, row := range rows {
+			ctx.row = row
+			for _, f := range filters {
+				v, err := eval(ctx, f)
+				if err != nil {
+					return err
+				}
+				if !truthy(v) {
+					continue rowLoop
+				}
+			}
+			working = append(working, row)
+		}
+		return nil
+	}
+
+	if path.rids != nil {
+		for _, rid := range path.rids {
+			row, err := drive.tbl.Get(rid)
+			if err != nil {
+				return nil, err
+			}
+			if err := appendJoined(row); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var innerErr error
+		err := drive.tbl.Scan(func(_ storage.RID, row db.Row) bool {
+			if err := appendJoined(row); err != nil {
+				innerErr = err
+				return false
+			}
+			return true
+		})
+		if innerErr != nil {
+			return nil, innerErr
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Expand SELECT * and name outputs.
+	items, cols, err := e.expandItems(s, sc, tables[0].ref.EffectiveName())
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregation?
+	hasAgg := false
+	for _, it := range items {
+		if _, ok := it.Expr.(*Aggregate); ok {
+			hasAgg = true
+		}
+	}
+	var out []db.Row
+	if hasAgg || len(s.GroupBy) > 0 {
+		out, err = e.aggregate(ctx, items, s.GroupBy, s.Having, working)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		for _, row := range working {
+			ctx.row = row
+			projected := make(db.Row, len(items))
+			for i, it := range items {
+				v, err := eval(ctx, it.Expr)
+				if err != nil {
+					return nil, err
+				}
+				projected[i] = v
+			}
+			out = append(out, projected)
+		}
+	}
+
+	// ORDER BY: evaluated against the output row when the key matches an
+	// output alias, otherwise against the pre-projection row (only valid
+	// without aggregation).
+	if len(s.OrderBy) > 0 {
+		if err := e.orderRows(ctx, s, items, cols, working, out, hasAgg); err != nil {
+			return nil, err
+		}
+	}
+	if s.Distinct {
+		out = distinctRows(out)
+	}
+	if s.Limit >= 0 && len(out) > s.Limit {
+		out = out[:s.Limit]
+	}
+	return &Result{Cols: cols, Rows: out, Plan: planSB.String()}, nil
+}
+
+// distinctRows removes duplicate output tuples, keeping first occurrences.
+// Values are keyed by their formatted form (opaque GDT values format via
+// their String methods, which include identity).
+func distinctRows(rows []db.Row) []db.Row {
+	seen := map[string]bool{}
+	out := rows[:0]
+	for _, row := range rows {
+		var kb strings.Builder
+		for _, v := range row {
+			fmt.Fprintf(&kb, "%v|", v)
+		}
+		k := kb.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// rewriteAggregates replaces Aggregate nodes in an expression by literal
+// constants computed over the group's rows, so HAVING expressions mixing
+// aggregates and group keys evaluate with the ordinary evaluator.
+func (e *Engine) rewriteAggregates(ctx *evalCtx, x Expr, rows []db.Row) (Expr, error) {
+	switch p := x.(type) {
+	case *Aggregate:
+		v, err := e.computeAgg(ctx, p, rows)
+		if err != nil {
+			return nil, err
+		}
+		return &Lit{Val: v}, nil
+	case *BinOp:
+		l, err := e.rewriteAggregates(ctx, p.L, rows)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.rewriteAggregates(ctx, p.R, rows)
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: p.Op, L: l, R: r}, nil
+	case *UnOp:
+		inner, err := e.rewriteAggregates(ctx, p.E, rows)
+		if err != nil {
+			return nil, err
+		}
+		return &UnOp{Op: p.Op, E: inner}, nil
+	case *IsNull:
+		inner, err := e.rewriteAggregates(ctx, p.E, rows)
+		if err != nil {
+			return nil, err
+		}
+		return &IsNull{E: inner, Negate: p.Negate}, nil
+	}
+	return x, nil
+}
+
+// expandItems resolves SELECT * and computes output column names.
+func (e *Engine) expandItems(s *SelectStmt, sc *scope, driveName string) ([]SelectItem, []string, error) {
+	var items []SelectItem
+	var cols []string
+	for _, it := range s.Items {
+		if it.Star {
+			for i, qual := range sc.cols {
+				items = append(items, SelectItem{Expr: &ColRef{
+					Table: strings.SplitN(qual, ".", 2)[0],
+					Name:  sc.bare[i],
+				}})
+				cols = append(cols, sc.bare[i])
+			}
+			continue
+		}
+		items = append(items, it)
+		switch {
+		case it.Alias != "":
+			cols = append(cols, it.Alias)
+		default:
+			cols = append(cols, it.Expr.String())
+		}
+	}
+	return items, cols, nil
+}
+
+func (e *Engine) orderRows(ctx *evalCtx, s *SelectStmt, items []SelectItem, cols []string, working, out []db.Row, hasAgg bool) error {
+	type keyed struct {
+		keys []any
+		row  db.Row
+	}
+	rows := make([]keyed, len(out))
+	for i := range out {
+		rows[i].row = out[i]
+		rows[i].keys = make([]any, len(s.OrderBy))
+		for ki, ok := range s.OrderBy {
+			// Alias, output-column, or output-expression reference?
+			want := ok.Expr.String()
+			if cr, isCol := ok.Expr.(*ColRef); isCol && cr.Table == "" {
+				want = cr.Name
+			}
+			found := -1
+			for ci, cn := range cols {
+				if strings.EqualFold(cn, want) {
+					found = ci
+					break
+				}
+			}
+			if found < 0 {
+				// Also match against the select expressions themselves
+				// (e.g. ORDER BY COUNT(*) when the item is unaliased).
+				for ci, it := range items {
+					if it.Expr != nil && strings.EqualFold(it.Expr.String(), want) {
+						found = ci
+						break
+					}
+				}
+			}
+			if found >= 0 {
+				rows[i].keys[ki] = out[i][found]
+				continue
+			}
+			if hasAgg {
+				return fmt.Errorf("sqlang: ORDER BY key %s must reference an output column under aggregation", ok.Expr)
+			}
+			ctx.row = working[i]
+			v, err := eval(ctx, ok.Expr)
+			if err != nil {
+				return err
+			}
+			rows[i].keys[ki] = v
+		}
+	}
+	var sortErr error
+	sort.SliceStable(rows, func(a, b int) bool {
+		for ki, okey := range s.OrderBy {
+			ka, kb := rows[a].keys[ki], rows[b].keys[ki]
+			if ka == nil && kb == nil {
+				continue
+			}
+			if ka == nil {
+				return !okey.Desc
+			}
+			if kb == nil {
+				return okey.Desc
+			}
+			c, err := compareVals(ka, kb)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if okey.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	for i := range rows {
+		out[i] = rows[i].row
+	}
+	return nil
+}
+
+// aggregate groups working rows, filters groups by the HAVING expression,
+// and computes aggregate select items.
+func (e *Engine) aggregate(ctx *evalCtx, items []SelectItem, groupBy []Expr, having Expr, working []db.Row) ([]db.Row, error) {
+	type group struct {
+		keyVals []any
+		rows    []db.Row
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, row := range working {
+		ctx.row = row
+		keyVals := make([]any, len(groupBy))
+		var kb strings.Builder
+		for i, g := range groupBy {
+			v, err := eval(ctx, g)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+			fmt.Fprintf(&kb, "%v|", v)
+		}
+		k := kb.String()
+		if groups[k] == nil {
+			groups[k] = &group{keyVals: keyVals}
+			order = append(order, k)
+		}
+		groups[k].rows = append(groups[k].rows, row)
+	}
+	if len(groupBy) == 0 && len(groups) == 0 {
+		// Aggregates over an empty set produce one row.
+		groups[""] = &group{}
+		order = append(order, "")
+	}
+
+	var out []db.Row
+	for _, k := range order {
+		g := groups[k]
+		if having != nil {
+			rewritten, err := e.rewriteAggregates(ctx, having, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			if len(g.rows) > 0 {
+				ctx.row = g.rows[0]
+			}
+			v, err := eval(ctx, rewritten)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		row := make(db.Row, len(items))
+		for i, it := range items {
+			agg, isAgg := it.Expr.(*Aggregate)
+			if !isAgg {
+				// Must be a group-by expression; evaluate on first row.
+				if len(g.rows) > 0 {
+					ctx.row = g.rows[0]
+					v, err := eval(ctx, it.Expr)
+					if err != nil {
+						return nil, err
+					}
+					row[i] = v
+				}
+				continue
+			}
+			v, err := e.computeAgg(ctx, agg, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func (e *Engine) computeAgg(ctx *evalCtx, agg *Aggregate, rows []db.Row) (any, error) {
+	if agg.Fn == "COUNT" && agg.Arg == nil {
+		return int64(len(rows)), nil
+	}
+	var count int64
+	var sum float64
+	allInt := true
+	var minV, maxV any
+	for _, r := range rows {
+		ctx.row = r
+		v, err := eval(ctx, agg.Arg)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			continue
+		}
+		count++
+		switch agg.Fn {
+		case "SUM", "AVG":
+			f, err := toFloat(v)
+			if err != nil {
+				return nil, err
+			}
+			if _, isInt := v.(int64); !isInt {
+				allInt = false
+			}
+			sum += f
+		case "MIN":
+			if minV == nil {
+				minV = v
+			} else if c, err := compareVals(v, minV); err != nil {
+				return nil, err
+			} else if c < 0 {
+				minV = v
+			}
+		case "MAX":
+			if maxV == nil {
+				maxV = v
+			} else if c, err := compareVals(v, maxV); err != nil {
+				return nil, err
+			} else if c > 0 {
+				maxV = v
+			}
+		}
+	}
+	switch agg.Fn {
+	case "COUNT":
+		return count, nil
+	case "SUM":
+		if count == 0 {
+			return nil, nil
+		}
+		if allInt {
+			return int64(sum), nil
+		}
+		return sum, nil
+	case "AVG":
+		if count == 0 {
+			return nil, nil
+		}
+		return sum / float64(count), nil
+	case "MIN":
+		return minV, nil
+	case "MAX":
+		return maxV, nil
+	}
+	return nil, fmt.Errorf("sqlang: unknown aggregate %q", agg.Fn)
+}

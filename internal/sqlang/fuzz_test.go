@@ -1,0 +1,29 @@
+package sqlang
+
+import "testing"
+
+// FuzzParse asserts the SQL parser never panics; malformed input must
+// surface as an error.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT id FROM DNAFragments WHERE contains(fragment, 'ATTGCCATA')`,
+		`SELECT a.x, COUNT(*) FROM a JOIN b ON a.x = b.y GROUP BY a.x ORDER BY COUNT(*) DESC LIMIT 5`,
+		`INSERT INTO t (a, b) VALUES (1, 'x''y'), (NULL, TRUE)`,
+		`CREATE TABLE t (id string NOT NULL, f dna)`,
+		`CREATE GENOMIC INDEX ON t (f) USING 11`,
+		`UPDATE t SET a = a + 1 WHERE b IS NOT NULL`,
+		`DELETE FROM t WHERE x <> 'y'`,
+		`ANALYZE t`,
+		`EXPLAIN SELECT -x FROM t WHERE NOT (a < 1.5 OR b >= 2)`,
+		`SELECT * FROM`, `"`, `'`, `--`, `((((`, `SELECT ;;;`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err == nil && stmt == nil {
+			t.Fatal("nil statement without error")
+		}
+	})
+}

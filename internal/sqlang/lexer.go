@@ -1,0 +1,154 @@
+// Package sqlang implements the extended SQL dialect of the Unifying
+// Database (paper Section 6.3): SELECT/INSERT/CREATE TABLE with user-defined
+// operators of the Genomics Algebra callable anywhere expressions occur —
+// the SELECT list, WHERE, GROUP BY, and ORDER BY. The planner picks index
+// access paths (B-tree for scalar equality/range, the k-mer genomic index
+// for contains-style predicates) and orders conjunctive predicates by
+// estimated selectivity and cost (paper Section 6.5).
+package sqlang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // punctuation and operators
+	tokKeyword // recognized SQL keyword (uppercased)
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords uppercased; identifiers as written
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "ASC": true, "DESC": true, "AND": true,
+	"OR": true, "NOT": true, "AS": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "CREATE": true, "TABLE": true, "INDEX": true, "ON": true,
+	"JOIN": true, "INNER": true, "TRUE": true, "FALSE": true, "NULL": true,
+	"IS": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true,
+	"MAX": true, "DISTINCT": true, "GENOMIC": true, "USING": true,
+	"EXPLAIN": true, "DELETE": true, "UPDATE": true, "SET": true,
+	"ANALYZE": true, "HAVING": true,
+}
+
+// ParseError reports a syntax error with its byte offset.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sqlang: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		ch := input[i]
+		switch {
+		case unicode.IsSpace(rune(ch)):
+			i++
+		case ch == '-' && i+1 < len(input) && input[i+1] == '-':
+			// Line comment.
+			for i < len(input) && input[i] != '\n' {
+				i++
+			}
+		case ch == '\'' || ch == '"':
+			quote := ch
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(input) {
+				if input[i] == quote {
+					// Doubled quote is an escape.
+					if i+1 < len(input) && input[i+1] == quote {
+						sb.WriteByte(quote)
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, &ParseError{Pos: start, Msg: "unterminated string literal"}
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case ch >= '0' && ch <= '9' || ch == '.' && i+1 < len(input) && input[i+1] >= '0' && input[i+1] <= '9':
+			start := i
+			seenDot := false
+			for i < len(input) {
+				c := input[i]
+				if c >= '0' && c <= '9' {
+					i++
+					continue
+				}
+				if c == '.' && !seenDot {
+					seenDot = true
+					i++
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case isIdentStart(ch):
+			start := i
+			for i < len(input) && isIdentChar(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		default:
+			start := i
+			// Multi-char operators first.
+			two := ""
+			if i+1 < len(input) {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				toks = append(toks, token{kind: tokSymbol, text: two, pos: start})
+				i += 2
+				continue
+			}
+			switch ch {
+			case '(', ')', ',', '*', '+', '-', '/', '=', '<', '>', '.', ';':
+				toks = append(toks, token{kind: tokSymbol, text: string(ch), pos: start})
+				i++
+			default:
+				return nil, &ParseError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", ch)}
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}
+
+func isIdentStart(ch byte) bool {
+	return ch == '_' || ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z'
+}
+
+func isIdentChar(ch byte) bool {
+	return isIdentStart(ch) || ch >= '0' && ch <= '9'
+}

@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// BufferPool caches pages over a Pager with pin counting and LRU eviction
+// of unpinned frames. Dirty frames are written back on eviction and on
+// FlushAll.
+type BufferPool struct {
+	pager    Pager
+	capacity int
+
+	mu     sync.Mutex
+	frames map[PageID]*frame
+	lru    *list.List // of PageID; front = most recently used
+}
+
+type frame struct {
+	page    Page
+	pins    int
+	dirty   bool
+	lruElem *list.Element
+}
+
+// Stats reports buffer-pool counters for benchmarking and tuning.
+type Stats struct {
+	Hits, Misses, Evictions int
+}
+
+var statsMu sync.Mutex
+
+// NewBufferPool creates a pool holding at most capacity pages.
+func NewBufferPool(pager Pager, capacity int) (*BufferPool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("storage: buffer pool capacity %d < 1", capacity)
+	}
+	return &BufferPool{
+		pager:    pager,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame),
+		lru:      list.New(),
+	}, nil
+}
+
+var poolStats Stats
+
+// PoolStats returns a snapshot of global pool counters.
+func PoolStats() Stats {
+	statsMu.Lock()
+	defer statsMu.Unlock()
+	return poolStats
+}
+
+// ResetPoolStats zeroes the global counters.
+func ResetPoolStats() {
+	statsMu.Lock()
+	defer statsMu.Unlock()
+	poolStats = Stats{}
+}
+
+func bump(field *int) {
+	statsMu.Lock()
+	*field++
+	statsMu.Unlock()
+}
+
+// Pin fetches the page into the pool (reading from the pager on a miss) and
+// pins it. Every Pin must be matched by an Unpin.
+func (bp *BufferPool) Pin(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr, ok := bp.frames[id]; ok {
+		fr.pins++
+		bp.lru.MoveToFront(fr.lruElem)
+		bump(&poolStats.Hits)
+		return &fr.page, nil
+	}
+	bump(&poolStats.Misses)
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	fr := &frame{pins: 1}
+	if err := bp.pager.Read(id, &fr.page); err != nil {
+		return nil, err
+	}
+	fr.lruElem = bp.lru.PushFront(id)
+	bp.frames[id] = fr
+	return &fr.page, nil
+}
+
+// evictLocked removes the least recently used unpinned frame, writing it
+// back if dirty. It fails when every frame is pinned.
+func (bp *BufferPool) evictLocked() error {
+	for e := bp.lru.Back(); e != nil; e = e.Prev() {
+		id := e.Value.(PageID)
+		fr := bp.frames[id]
+		if fr.pins > 0 {
+			continue
+		}
+		if fr.dirty {
+			if err := bp.pager.Write(id, &fr.page); err != nil {
+				return fmt.Errorf("storage: evict writeback of page %d: %w", id, err)
+			}
+		}
+		bp.lru.Remove(e)
+		delete(bp.frames, id)
+		bump(&poolStats.Evictions)
+		return nil
+	}
+	return fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", bp.capacity)
+}
+
+// Unpin releases one pin on the page, optionally marking it dirty.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.frames[id]
+	if !ok {
+		return fmt.Errorf("storage: unpin of non-resident page %d", id)
+	}
+	if fr.pins == 0 {
+		return fmt.Errorf("storage: unpin of unpinned page %d", id)
+	}
+	fr.pins--
+	if dirty {
+		fr.dirty = true
+	}
+	return nil
+}
+
+// Allocate creates a new page via the pager and pins it.
+func (bp *BufferPool) Allocate() (PageID, *Page, error) {
+	id, err := bp.pager.Allocate()
+	if err != nil {
+		return InvalidPage, nil, err
+	}
+	pg, err := bp.Pin(id)
+	if err != nil {
+		return InvalidPage, nil, err
+	}
+	return id, pg, nil
+}
+
+// FlushAll writes back every dirty frame and syncs the pager. Pins are left
+// intact.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	for id, fr := range bp.frames {
+		if fr.dirty {
+			if err := bp.pager.Write(id, &fr.page); err != nil {
+				bp.mu.Unlock()
+				return fmt.Errorf("storage: flush of page %d: %w", id, err)
+			}
+			fr.dirty = false
+		}
+	}
+	bp.mu.Unlock()
+	return bp.pager.Sync()
+}
+
+// Resident returns the number of cached frames (for tests).
+func (bp *BufferPool) Resident() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}

@@ -1,0 +1,207 @@
+// Package uncertain implements the uncertainty model required by the paper's
+// requirement C9 and Section 4.3: biological results are "inherently
+// uncertain and never guaranteed", and when two inconsistent pieces of data
+// cannot be arbitrated, "access to both alternatives should be given".
+//
+// A Val carries a payload together with a confidence in [0,1], a provenance
+// trail, and zero or more ranked alternatives. Genomic operations whose
+// operational semantics are unknown (the paper's splice example) return Vals
+// with multiple alternatives instead of pretending exactness.
+package uncertain
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Val is a value of type T attached with a confidence, provenance, and
+// alternatives. The zero Val is an absent value with zero confidence.
+type Val[T any] struct {
+	value      T
+	confidence float64
+	provenance []string
+	alts       []Alternative[T]
+	present    bool
+}
+
+// Alternative is a competing value with its own confidence.
+type Alternative[T any] struct {
+	Value      T
+	Confidence float64
+	Provenance string
+}
+
+// Certain wraps v with confidence 1.
+func Certain[T any](v T) Val[T] {
+	return Val[T]{value: v, confidence: 1, present: true}
+}
+
+// New wraps v with the given confidence, clamped to [0,1].
+func New[T any](v T, confidence float64) Val[T] {
+	return Val[T]{value: v, confidence: clamp01(confidence), present: true}
+}
+
+// Absent returns the empty Val: no value, zero confidence.
+func Absent[T any]() Val[T] { return Val[T]{} }
+
+func clamp01(c float64) float64 {
+	if c < 0 {
+		return 0
+	}
+	if c > 1 {
+		return 1
+	}
+	return c
+}
+
+// IsPresent reports whether the Val holds a primary value.
+func (v Val[T]) IsPresent() bool { return v.present }
+
+// Value returns the primary value and whether one is present.
+func (v Val[T]) Value() (T, bool) { return v.value, v.present }
+
+// MustValue returns the primary value, panicking if absent. Use only where
+// presence has been established.
+func (v Val[T]) MustValue() T {
+	if !v.present {
+		panic("uncertain: MustValue on absent Val")
+	}
+	return v.value
+}
+
+// Confidence returns the confidence of the primary value.
+func (v Val[T]) Confidence() float64 { return v.confidence }
+
+// Provenance returns the provenance trail (most recent last).
+func (v Val[T]) Provenance() []string {
+	out := make([]string, len(v.provenance))
+	copy(out, v.provenance)
+	return out
+}
+
+// Alternatives returns the competing values, highest confidence first.
+func (v Val[T]) Alternatives() []Alternative[T] {
+	out := make([]Alternative[T], len(v.alts))
+	copy(out, v.alts)
+	return out
+}
+
+// WithProvenance returns v with a provenance entry appended.
+func (v Val[T]) WithProvenance(source string) Val[T] {
+	v.provenance = append(v.Provenance(), source)
+	return v
+}
+
+// WithAlternative returns v with an additional alternative. Alternatives are
+// kept sorted by descending confidence (stable for ties).
+func (v Val[T]) WithAlternative(a Alternative[T]) Val[T] {
+	alts := append(v.Alternatives(), a)
+	sort.SliceStable(alts, func(i, j int) bool { return alts[i].Confidence > alts[j].Confidence })
+	v.alts = alts
+	return v
+}
+
+// Scaled returns v with its confidence multiplied by f (clamped). Scaling
+// models propagation through a derivation step of reliability f.
+func (v Val[T]) Scaled(f float64) Val[T] {
+	v.confidence = clamp01(v.confidence * f)
+	return v
+}
+
+// String renders the value with its confidence, e.g. "x (conf 0.90, 2 alt)".
+func (v Val[T]) String() string {
+	if !v.present {
+		return "<absent>"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v (conf %.2f", any(v.value), v.confidence)
+	if len(v.alts) > 0 {
+		fmt.Fprintf(&sb, ", %d alt", len(v.alts))
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Map applies f to the primary value and every alternative, propagating
+// confidence unchanged. Absent maps to absent.
+func Map[T, U any](v Val[T], f func(T) U) Val[U] {
+	if !v.present {
+		return Absent[U]()
+	}
+	out := Val[U]{value: f(v.value), confidence: v.confidence, present: true, provenance: v.Provenance()}
+	for _, a := range v.alts {
+		out.alts = append(out.alts, Alternative[U]{Value: f(a.Value), Confidence: a.Confidence, Provenance: a.Provenance})
+	}
+	return out
+}
+
+// Bind applies a confidence-bearing derivation f to the primary value.
+// The result confidence is the product of the input confidence and the
+// derived confidence. Alternatives of v are dropped (they would need their
+// own derivations); callers that must retain them should Map instead.
+func Bind[T, U any](v Val[T], f func(T) Val[U]) Val[U] {
+	if !v.present {
+		return Absent[U]()
+	}
+	out := f(v.value)
+	out.confidence = clamp01(out.confidence * v.confidence)
+	out.provenance = append(v.Provenance(), out.provenance...)
+	return out
+}
+
+// Combine reconciles two independent observations of the same quantity.
+// If the values agree (per eq), confidences reinforce: c = 1-(1-c1)(1-c2).
+// If they disagree, the higher-confidence value wins and the loser is kept
+// as an alternative — the paper's C9 mandate that both alternatives remain
+// accessible.
+func Combine[T any](a, b Val[T], eq func(T, T) bool) Val[T] {
+	switch {
+	case !a.present && !b.present:
+		return Absent[T]()
+	case !a.present:
+		return b
+	case !b.present:
+		return a
+	}
+	if eq(a.value, b.value) {
+		out := a
+		out.confidence = 1 - (1-a.confidence)*(1-b.confidence)
+		out.provenance = append(a.Provenance(), b.provenance...)
+		// Merge alternatives from both sides.
+		for _, alt := range b.alts {
+			out = out.WithAlternative(alt)
+		}
+		return out
+	}
+	winner, loser := a, b
+	if b.confidence > a.confidence {
+		winner, loser = b, a
+	}
+	out := winner.WithAlternative(Alternative[T]{
+		Value:      loser.value,
+		Confidence: loser.confidence,
+		Provenance: strings.Join(loser.provenance, ";"),
+	})
+	for _, alt := range loser.alts {
+		out = out.WithAlternative(alt)
+	}
+	return out
+}
+
+// Best returns the most confident value among the primary and all
+// alternatives. For a present Val the primary always has the highest
+// confidence by construction of Combine, but hand-built Vals may differ.
+func (v Val[T]) Best() (T, float64, bool) {
+	if !v.present {
+		var zero T
+		return zero, 0, false
+	}
+	best, conf := v.value, v.confidence
+	for _, a := range v.alts {
+		if a.Confidence > conf {
+			best, conf = a.Value, a.Confidence
+		}
+	}
+	return best, conf, true
+}

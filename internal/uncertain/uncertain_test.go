@@ -1,0 +1,216 @@
+package uncertain
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCertainAndAbsent(t *testing.T) {
+	v := Certain(42)
+	if !v.IsPresent() || v.Confidence() != 1 {
+		t.Errorf("Certain(42) = %v", v)
+	}
+	if got := v.MustValue(); got != 42 {
+		t.Errorf("MustValue = %d", got)
+	}
+	a := Absent[int]()
+	if a.IsPresent() || a.Confidence() != 0 {
+		t.Errorf("Absent = %v", a)
+	}
+	if _, ok := a.Value(); ok {
+		t.Error("Absent.Value() reported ok")
+	}
+}
+
+func TestMustValuePanicsOnAbsent(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustValue on absent did not panic")
+		}
+	}()
+	Absent[string]().MustValue()
+}
+
+func TestNewClampsConfidence(t *testing.T) {
+	if c := New("x", 1.5).Confidence(); c != 1 {
+		t.Errorf("clamp high: %v", c)
+	}
+	if c := New("x", -0.5).Confidence(); c != 0 {
+		t.Errorf("clamp low: %v", c)
+	}
+}
+
+func TestProvenanceIsCopied(t *testing.T) {
+	v := Certain(1).WithProvenance("genbank").WithProvenance("etl")
+	p := v.Provenance()
+	if len(p) != 2 || p[0] != "genbank" || p[1] != "etl" {
+		t.Fatalf("Provenance = %v", p)
+	}
+	p[0] = "mutated"
+	if v.Provenance()[0] != "genbank" {
+		t.Error("Provenance() aliases internal slice")
+	}
+}
+
+func TestWithAlternativeSorted(t *testing.T) {
+	v := Certain("primary").
+		WithAlternative(Alternative[string]{Value: "low", Confidence: 0.2}).
+		WithAlternative(Alternative[string]{Value: "high", Confidence: 0.8})
+	alts := v.Alternatives()
+	if len(alts) != 2 || alts[0].Value != "high" || alts[1].Value != "low" {
+		t.Errorf("Alternatives = %v", alts)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	v := New(1, 0.8).Scaled(0.5)
+	if math.Abs(v.Confidence()-0.4) > 1e-12 {
+		t.Errorf("Scaled = %v", v.Confidence())
+	}
+}
+
+func TestMapPropagates(t *testing.T) {
+	v := New(3, 0.7).WithAlternative(Alternative[int]{Value: 5, Confidence: 0.3})
+	u := Map(v, func(x int) int { return x * 2 })
+	if got := u.MustValue(); got != 6 {
+		t.Errorf("Map primary = %d", got)
+	}
+	if u.Confidence() != 0.7 {
+		t.Errorf("Map confidence = %v", u.Confidence())
+	}
+	if alts := u.Alternatives(); len(alts) != 1 || alts[0].Value != 10 {
+		t.Errorf("Map alternatives = %v", alts)
+	}
+	if Map(Absent[int](), func(x int) int { return x }).IsPresent() {
+		t.Error("Map of absent is present")
+	}
+}
+
+func TestBindMultipliesConfidence(t *testing.T) {
+	v := New(2, 0.5).WithProvenance("src")
+	u := Bind(v, func(x int) Val[int] { return New(x+1, 0.5).WithProvenance("step") })
+	if got := u.MustValue(); got != 3 {
+		t.Errorf("Bind = %d", got)
+	}
+	if math.Abs(u.Confidence()-0.25) > 1e-12 {
+		t.Errorf("Bind confidence = %v", u.Confidence())
+	}
+	p := u.Provenance()
+	if len(p) != 2 || p[0] != "src" || p[1] != "step" {
+		t.Errorf("Bind provenance = %v", p)
+	}
+	if Bind(Absent[int](), func(x int) Val[int] { return Certain(x) }).IsPresent() {
+		t.Error("Bind of absent is present")
+	}
+}
+
+func TestCombineAgreementReinforces(t *testing.T) {
+	a := New("ATG", 0.6)
+	b := New("ATG", 0.5)
+	c := Combine(a, b, func(x, y string) bool { return x == y })
+	want := 1 - 0.4*0.5
+	if math.Abs(c.Confidence()-want) > 1e-12 {
+		t.Errorf("Combine agree confidence = %v, want %v", c.Confidence(), want)
+	}
+	if c.MustValue() != "ATG" {
+		t.Errorf("Combine value = %q", c.MustValue())
+	}
+}
+
+func TestCombineDisagreementKeepsBoth(t *testing.T) {
+	a := New("ATG", 0.6).WithProvenance("genbank")
+	b := New("ATC", 0.9).WithProvenance("swissprot")
+	c := Combine(a, b, func(x, y string) bool { return x == y })
+	if c.MustValue() != "ATC" {
+		t.Errorf("winner = %q, want ATC", c.MustValue())
+	}
+	alts := c.Alternatives()
+	if len(alts) != 1 || alts[0].Value != "ATG" || alts[0].Confidence != 0.6 {
+		t.Errorf("loser not retained: %v", alts)
+	}
+	if !strings.Contains(alts[0].Provenance, "genbank") {
+		t.Errorf("loser provenance lost: %q", alts[0].Provenance)
+	}
+}
+
+func TestCombineAbsentCases(t *testing.T) {
+	eq := func(x, y int) bool { return x == y }
+	v := New(7, 0.3)
+	if got := Combine(Absent[int](), v, eq); got.MustValue() != 7 {
+		t.Error("Combine(absent, v) lost v")
+	}
+	if got := Combine(v, Absent[int](), eq); got.MustValue() != 7 {
+		t.Error("Combine(v, absent) lost v")
+	}
+	if Combine(Absent[int](), Absent[int](), eq).IsPresent() {
+		t.Error("Combine(absent, absent) present")
+	}
+}
+
+func TestCombineMergesAlternatives(t *testing.T) {
+	a := New(1, 0.9).WithAlternative(Alternative[int]{Value: 10, Confidence: 0.1})
+	b := New(1, 0.5).WithAlternative(Alternative[int]{Value: 20, Confidence: 0.2})
+	c := Combine(a, b, func(x, y int) bool { return x == y })
+	if len(c.Alternatives()) != 2 {
+		t.Errorf("merged alternatives = %v", c.Alternatives())
+	}
+}
+
+func TestBest(t *testing.T) {
+	v := New("low", 0.3).WithAlternative(Alternative[string]{Value: "alt", Confidence: 0.7})
+	best, conf, ok := v.Best()
+	if !ok || best != "alt" || conf != 0.7 {
+		t.Errorf("Best = %q %v %v", best, conf, ok)
+	}
+	if _, _, ok := Absent[string]().Best(); ok {
+		t.Error("Best of absent ok")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if s := Absent[int]().String(); s != "<absent>" {
+		t.Errorf("absent string = %q", s)
+	}
+	s := New(5, 0.9).WithAlternative(Alternative[int]{Value: 6, Confidence: 0.1}).String()
+	if !strings.Contains(s, "0.90") || !strings.Contains(s, "1 alt") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: Combine is commutative in value outcome for disagreeing inputs
+// (the winner is the max-confidence input regardless of order), and
+// confidence of agreement combination is symmetric.
+func TestCombineSymmetryProperty(t *testing.T) {
+	eq := func(x, y uint8) bool { return x == y }
+	f := func(x, y uint8, cx, cy float64) bool {
+		a := New(x, math.Abs(math.Mod(cx, 1)))
+		b := New(y, math.Abs(math.Mod(cy, 1)))
+		ab := Combine(a, b, eq)
+		ba := Combine(b, a, eq)
+		if math.Abs(ab.Confidence()-ba.Confidence()) > 1e-9 {
+			return false
+		}
+		// Winners must agree unless confidences tie exactly.
+		if a.Confidence() != b.Confidence() {
+			return ab.MustValue() == ba.MustValue() || x == y
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: confidence always stays in [0,1] through chains of operations.
+func TestConfidenceBoundsProperty(t *testing.T) {
+	f := func(c1, c2, c3 float64) bool {
+		v := New(1, c1).Scaled(c2)
+		u := Bind(v, func(x int) Val[int] { return New(x, c3) })
+		return u.Confidence() >= 0 && u.Confidence() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package warehouse
+
+import (
+	"fmt"
+	"sort"
+
+	"genalg/internal/db"
+	"genalg/internal/etl"
+	"genalg/internal/sources"
+)
+
+// TableCrossRefs records accession cross-references produced by
+// content-based entity matching: original accessions folded into canonical
+// entities (paper Section 5.2's semantic-heterogeneity resolution).
+const TableCrossRefs = "crossrefs"
+
+// EnsureCrossRefTable creates the crossrefs table when absent.
+func (w *Warehouse) EnsureCrossRefTable() error {
+	if _, ok := w.DB.Table(TableCrossRefs); ok {
+		return nil
+	}
+	_, err := w.DB.CreateTable(db.Schema{
+		Table: TableCrossRefs,
+		Columns: []db.Column{
+			{Name: "accession", Type: db.TString, NotNull: true},
+			{Name: "canonical", Type: db.TString, NotNull: true},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	tbl, _ := w.DB.Table(TableCrossRefs)
+	return tbl.CreateBTreeIndex("accession")
+}
+
+// InitialLoadMatched bootstraps the warehouse like InitialLoad but resolves
+// cross-repository accession aliases by sequence content first. Original
+// accessions remain queryable through the crossrefs table.
+func (w *Warehouse) InitialLoadMatched(repos []*sources.Repo, opts etl.MatchOptions) (etl.IntegrationStats, etl.MatchStats, error) {
+	var entries []etl.Entry
+	for _, r := range repos {
+		recs, err := sources.Parse(r.Format(), r.Snapshot())
+		if err != nil {
+			return etl.IntegrationStats{}, etl.MatchStats{}, fmt.Errorf("warehouse: loading %s: %w", r.Name(), err)
+		}
+		es, errs := w.wrapper.WrapAll(recs, r.Name())
+		if len(errs) > 0 {
+			return etl.IntegrationStats{}, etl.MatchStats{}, fmt.Errorf("warehouse: wrapping %s: %d failures, first: %v", r.Name(), len(errs), errs[0])
+		}
+		entries = append(entries, es...)
+	}
+	merged, xref, istats, mstats := etl.IntegrateMatched(entries, opts)
+	if err := w.Load(merged); err != nil {
+		return istats, mstats, err
+	}
+	if err := w.EnsureCrossRefTable(); err != nil {
+		return istats, mstats, err
+	}
+	tbl, _ := w.DB.Table(TableCrossRefs)
+	accessions := make([]string, 0, len(xref))
+	for acc := range xref {
+		accessions = append(accessions, acc)
+	}
+	sort.Strings(accessions)
+	for _, acc := range accessions {
+		if _, err := tbl.Insert(db.Row{acc, xref[acc]}); err != nil {
+			return istats, mstats, err
+		}
+	}
+	return istats, mstats, nil
+}
+
+// ResolveAccession maps any accession — canonical or folded alias — to the
+// canonical entity ID.
+func (w *Warehouse) ResolveAccession(acc string) (string, error) {
+	tbl, ok := w.DB.Table(TableCrossRefs)
+	if !ok {
+		return acc, nil
+	}
+	rids, err := tbl.IndexLookup("accession", acc)
+	if err != nil {
+		return "", err
+	}
+	if len(rids) == 0 {
+		return acc, nil
+	}
+	row, err := tbl.Get(rids[0])
+	if err != nil {
+		return "", err
+	}
+	return row[1].(string), nil
+}

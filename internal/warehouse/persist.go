@@ -1,0 +1,117 @@
+package warehouse
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"genalg/internal/adapter"
+	"genalg/internal/db"
+	"genalg/internal/etl"
+	"genalg/internal/genops"
+	"genalg/internal/sqlang"
+)
+
+// File layout of a persisted warehouse directory:
+//
+//	pages.db        the page file (heap contents)
+//	catalog.json    the engine manifest (schemas, heaps, indexes)
+//	warehouse.json  warehouse metadata (user-table ownership, sharing)
+
+type warehouseMeta struct {
+	Owners map[string]string `json:"owners"`
+	Shared map[string]bool   `json:"shared"`
+}
+
+func pagesPath(dir string) string   { return filepath.Join(dir, "pages.db") }
+func catalogPath(dir string) string { return filepath.Join(dir, "catalog.json") }
+func metaPath(dir string) string    { return filepath.Join(dir, "warehouse.json") }
+
+// OpenFile creates a new file-backed warehouse in dir (which must exist and
+// be empty of warehouse files) with the integrated schema installed.
+func OpenFile(dir string, poolPages int, wrapper *etl.Wrapper) (*Warehouse, error) {
+	if _, err := os.Stat(catalogPath(dir)); err == nil {
+		return nil, fmt.Errorf("warehouse: %s already holds a warehouse (use OpenExisting)", dir)
+	}
+	d, err := db.Open(pagesPath(dir), poolPages)
+	if err != nil {
+		return nil, err
+	}
+	k := genops.NewKernel()
+	if err := adapter.Install(d, k); err != nil {
+		return nil, err
+	}
+	w := &Warehouse{
+		DB: d, Engine: sqlang.NewEngine(d), Kernel: k,
+		owners: map[string]string{}, shared: map[string]bool{},
+		wrapper: wrapper,
+	}
+	if err := w.createIntegratedSchema(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Save persists the warehouse state into its directory.
+func (w *Warehouse) Save(dir string) error {
+	if err := w.DB.Save(catalogPath(dir)); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	meta := warehouseMeta{Owners: map[string]string{}, Shared: map[string]bool{}}
+	for k, v := range w.owners {
+		meta.Owners[k] = v
+	}
+	for k, v := range w.shared {
+		meta.Shared[k] = v
+	}
+	w.mu.Unlock()
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := metaPath(dir) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, metaPath(dir))
+}
+
+// OpenExisting reopens a warehouse persisted with Save.
+func OpenExisting(dir string, poolPages int, wrapper *etl.Wrapper) (*Warehouse, error) {
+	d, err := db.Open(pagesPath(dir), poolPages)
+	if err != nil {
+		return nil, err
+	}
+	k := genops.NewKernel()
+	if err := adapter.Install(d, k); err != nil {
+		return nil, err
+	}
+	if err := d.Restore(catalogPath(dir)); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(metaPath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: reading metadata: %w", err)
+	}
+	var meta warehouseMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return nil, fmt.Errorf("warehouse: decoding metadata: %w", err)
+	}
+	w := &Warehouse{
+		DB: d, Engine: sqlang.NewEngine(d), Kernel: k,
+		owners: meta.Owners, shared: meta.Shared,
+		wrapper: wrapper,
+	}
+	if w.owners == nil {
+		w.owners = map[string]string{}
+	}
+	if w.shared == nil {
+		w.shared = map[string]bool{}
+	}
+	return w, nil
+}
+
+// Close flushes and closes the underlying engine.
+func (w *Warehouse) Close() error { return w.DB.Close() }

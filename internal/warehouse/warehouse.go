@@ -1,0 +1,440 @@
+// Package warehouse implements the Unifying Database of the paper's
+// Section 5: an integrated schema over an extensible DBMS, split into a
+// read-only public space holding the restructured external data and
+// per-user updatable spaces; the loader; incremental (self-maintainable)
+// view maintenance versus full reload; archival of disappeared sources
+// (C15); and manual/automatic refresh modes.
+package warehouse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"genalg/internal/adapter"
+	"genalg/internal/db"
+	"genalg/internal/etl"
+	"genalg/internal/gdt"
+	"genalg/internal/genops"
+	"genalg/internal/sources"
+	"genalg/internal/sqlang"
+	"genalg/internal/storage"
+)
+
+// Public-space table names of the integrated schema.
+const (
+	TableFragments    = "fragments"
+	TableGenes        = "genes"
+	TableFragmentAlts = "fragment_alts"
+	TableGeneAlts     = "gene_alts"
+	TableArchive      = "archive"
+)
+
+// Warehouse is a Unifying Database instance.
+type Warehouse struct {
+	DB     *db.DB
+	Engine *sqlang.Engine
+	Kernel *genops.Kernel
+
+	mu sync.Mutex
+	// owners maps user-space table names to their owning user.
+	owners map[string]string
+	// shared marks user tables readable by everyone.
+	shared map[string]bool
+	// pending holds deltas deferred under manual refresh.
+	pending []etl.Delta
+	// manualRefresh defers maintenance until Refresh is called.
+	manualRefresh bool
+	wrapper       *etl.Wrapper
+}
+
+// Open creates an in-memory warehouse with the integrated schema and the
+// Genomics Algebra installed.
+func Open(poolPages int, wrapper *etl.Wrapper) (*Warehouse, error) {
+	d, err := db.OpenMemory(poolPages)
+	if err != nil {
+		return nil, err
+	}
+	k := genops.NewKernel()
+	if err := adapter.Install(d, k); err != nil {
+		return nil, err
+	}
+	w := &Warehouse{
+		DB: d, Engine: sqlang.NewEngine(d), Kernel: k,
+		owners: map[string]string{}, shared: map[string]bool{},
+		wrapper: wrapper,
+	}
+	if err := w.createIntegratedSchema(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *Warehouse) createIntegratedSchema() error {
+	schemas := []db.Schema{
+		{
+			Table: TableFragments,
+			Columns: []db.Column{
+				{Name: "id", Type: db.TString, NotNull: true},
+				{Name: "organism", Type: db.TString},
+				{Name: "description", Type: db.TString},
+				{Name: "source", Type: db.TString},
+				{Name: "version", Type: db.TInt},
+				{Name: "quality", Type: db.TFloat},
+				{Name: "confidence", Type: db.TFloat},
+				{Name: "nsources", Type: db.TInt},
+				{Name: "fragment", Type: db.TOpaque, UDTName: "dna"},
+			},
+		},
+		{
+			Table: TableGenes,
+			Columns: []db.Column{
+				{Name: "id", Type: db.TString, NotNull: true},
+				{Name: "organism", Type: db.TString},
+				{Name: "description", Type: db.TString},
+				{Name: "source", Type: db.TString},
+				{Name: "version", Type: db.TInt},
+				{Name: "quality", Type: db.TFloat},
+				{Name: "confidence", Type: db.TFloat},
+				{Name: "nsources", Type: db.TInt},
+				{Name: "gene", Type: db.TOpaque, UDTName: "gene"},
+			},
+		},
+		{
+			Table: TableFragmentAlts,
+			Columns: []db.Column{
+				{Name: "id", Type: db.TString, NotNull: true},
+				{Name: "provenance", Type: db.TString},
+				{Name: "confidence", Type: db.TFloat},
+				{Name: "fragment", Type: db.TOpaque, UDTName: "dna"},
+			},
+		},
+		{
+			Table: TableGeneAlts,
+			Columns: []db.Column{
+				{Name: "id", Type: db.TString, NotNull: true},
+				{Name: "provenance", Type: db.TString},
+				{Name: "confidence", Type: db.TFloat},
+				{Name: "gene", Type: db.TOpaque, UDTName: "gene"},
+			},
+		},
+		{
+			Table: TableArchive,
+			Columns: []db.Column{
+				{Name: "id", Type: db.TString, NotNull: true},
+				{Name: "source", Type: db.TString},
+				{Name: "archived_at", Type: db.TInt},
+				{Name: "payload", Type: db.TBytes},
+			},
+		},
+	}
+	for _, s := range schemas {
+		if _, err := w.DB.CreateTable(s); err != nil {
+			return err
+		}
+	}
+	// The integrated schema is indexed on id for incremental maintenance.
+	for _, tname := range []string{TableFragments, TableGenes, TableFragmentAlts, TableGeneAlts} {
+		tbl, _ := w.DB.Table(tname)
+		if err := tbl.CreateBTreeIndex("id"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PublicTables lists the read-only public-space tables. The chromosomes
+// and genomes tables exist once AssembleGenomes has run.
+func PublicTables() []string {
+	return []string{TableFragments, TableGenes, TableFragmentAlts, TableGeneAlts,
+		TableArchive, TableChromosomes, TableGenomes, TableCrossRefs}
+}
+
+func isPublicTable(name string) bool {
+	for _, t := range PublicTables() {
+		if strings.EqualFold(t, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// Query executes a statement as the given user, enforcing the paper's space
+// rules: the public schema is read-only to users ("the schema containing
+// the external data is read-only"); user tables are updatable by their
+// owners and readable by everyone when shared.
+func (w *Warehouse) Query(user, sql string) (*sqlang.Result, error) {
+	stmt, err := sqlang.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sqlang.InsertStmt:
+		if err := w.checkWritable(user, s.Table); err != nil {
+			return nil, err
+		}
+	case *sqlang.DeleteStmt:
+		if err := w.checkWritable(user, s.Table); err != nil {
+			return nil, err
+		}
+	case *sqlang.UpdateStmt:
+		if err := w.checkWritable(user, s.Table); err != nil {
+			return nil, err
+		}
+	case *sqlang.CreateTableStmt:
+		return nil, fmt.Errorf("warehouse: use CreateUserTable to create tables")
+	case *sqlang.CreateIndexStmt:
+		if isPublicTable(s.Table) {
+			return nil, fmt.Errorf("warehouse: public table %s is managed by the warehouse", s.Table)
+		}
+		if err := w.checkWritable(user, s.Table); err != nil {
+			return nil, err
+		}
+	case *sqlang.SelectStmt:
+		// Reads: public tables always; user tables if owned or shared.
+		for _, tr := range s.From {
+			if err := w.checkReadable(user, tr.Name); err != nil {
+				return nil, err
+			}
+		}
+		for _, j := range s.Joins {
+			if err := w.checkReadable(user, j.Table.Name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return w.Engine.ExecStmt(stmt)
+}
+
+func (w *Warehouse) checkWritable(user, table string) error {
+	if isPublicTable(table) {
+		return fmt.Errorf("warehouse: public table %s is read-only (loaded via ETL)", table)
+	}
+	w.mu.Lock()
+	owner, exists := w.owners[table]
+	w.mu.Unlock()
+	if !exists {
+		return fmt.Errorf("warehouse: unknown table %s", table)
+	}
+	if owner != user {
+		return fmt.Errorf("warehouse: table %s belongs to %s, not %s", table, owner, user)
+	}
+	return nil
+}
+
+func (w *Warehouse) checkReadable(user, table string) error {
+	if isPublicTable(table) {
+		return nil
+	}
+	w.mu.Lock()
+	owner, exists := w.owners[table]
+	isShared := w.shared[table]
+	w.mu.Unlock()
+	if !exists {
+		return fmt.Errorf("warehouse: unknown table %s", table)
+	}
+	if owner != user && !isShared {
+		return fmt.Errorf("warehouse: table %s is private to %s", table, owner)
+	}
+	return nil
+}
+
+// CreateUserTable creates an updatable table in the user's space (C13:
+// integration of self-generated data).
+func (w *Warehouse) CreateUserTable(user string, schema db.Schema) error {
+	if user == "" {
+		return fmt.Errorf("warehouse: user required")
+	}
+	if isPublicTable(schema.Table) {
+		return fmt.Errorf("warehouse: %s collides with a public table", schema.Table)
+	}
+	if _, err := w.DB.CreateTable(schema); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.owners[schema.Table] = user
+	w.mu.Unlock()
+	return nil
+}
+
+// ShareTable marks a user table readable by all users ("does not exclude
+// sharing of data between users").
+func (w *Warehouse) ShareTable(user, table string) error {
+	if err := w.checkWritable(user, table); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.shared[table] = true
+	w.mu.Unlock()
+	return nil
+}
+
+// tableFor returns the public table pair for an entry's GDT kind.
+func tableFor(v gdt.Value) (main, alts, col string, err error) {
+	switch v.Kind() {
+	case gdt.KindGene:
+		return TableGenes, TableGeneAlts, "gene", nil
+	case gdt.KindDNA:
+		return TableFragments, TableFragmentAlts, "fragment", nil
+	}
+	return "", "", "", fmt.Errorf("warehouse: no public table for GDT kind %v", v.Kind())
+}
+
+// loadIntegrated inserts one integrated entity (primary row plus
+// alternative rows).
+func (w *Warehouse) loadIntegrated(ig etl.Integrated) error {
+	v, ok := ig.Value.Value()
+	if !ok {
+		return fmt.Errorf("warehouse: integrated entity %s has no value", ig.ID)
+	}
+	main, altsTable, _, err := tableFor(v)
+	if err != nil {
+		return err
+	}
+	tbl, _ := w.DB.Table(main)
+	_, err = tbl.Insert(db.Row{
+		ig.ID, ig.Organism, ig.Description, strings.Join(ig.Sources, "+"),
+		int64(ig.Version), ig.Quality, ig.Value.Confidence(), int64(len(ig.Sources)), v,
+	})
+	if err != nil {
+		return err
+	}
+	at, _ := w.DB.Table(altsTable)
+	for _, alt := range ig.Value.Alternatives() {
+		if _, err := at.Insert(db.Row{ig.ID, alt.Provenance, alt.Confidence, alt.Value}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load performs the initial (or full re-) load of integrated entities into
+// the public space.
+func (w *Warehouse) Load(entities []etl.Integrated) error {
+	for _, ig := range entities {
+		if err := w.loadIntegrated(ig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deleteEntity removes an entity's rows from both the primary and
+// alternative tables, using the id indexes.
+func (w *Warehouse) deleteEntity(id string) error {
+	for _, pair := range [][2]string{{TableFragments, TableFragmentAlts}, {TableGenes, TableGeneAlts}} {
+		for _, tname := range pair {
+			tbl, _ := w.DB.Table(tname)
+			rids, err := tbl.IndexLookup("id", id)
+			if err != nil {
+				return err
+			}
+			for _, rid := range rids {
+				if err := tbl.Delete(rid); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CountPublic returns the number of primary entities in the public space.
+func (w *Warehouse) CountPublic() int {
+	n := 0
+	for _, tname := range []string{TableFragments, TableGenes} {
+		tbl, _ := w.DB.Table(tname)
+		n += tbl.RowCount()
+	}
+	return n
+}
+
+// ArchiveSource preserves every public-space row that originated (possibly
+// jointly) from the named source into the archive table (requirement C15:
+// "the company's valuable knowledge should be preserved"). Rows remain in
+// the public space; the archive holds packed copies with a logical
+// timestamp.
+func (w *Warehouse) ArchiveSource(source string, tick int64) (int, error) {
+	arch, _ := w.DB.Table(TableArchive)
+	archived := 0
+	for _, spec := range []struct {
+		table string
+		vcol  int
+	}{{TableFragments, 8}, {TableGenes, 8}} {
+		tbl, _ := w.DB.Table(spec.table)
+		type pendingRow struct {
+			id      string
+			payload []byte
+		}
+		var rows []pendingRow
+		scanErr := tbl.Scan(func(rid storage.RID, row db.Row) bool {
+			src, _ := row[3].(string)
+			if !strings.Contains("+"+src+"+", "+"+source+"+") {
+				return true
+			}
+			v := row[spec.vcol].(gdt.Value)
+			rows = append(rows, pendingRow{id: row[0].(string), payload: v.Pack()})
+			return true
+		})
+		if scanErr != nil {
+			return archived, scanErr
+		}
+		for _, pr := range rows {
+			if _, err := arch.Insert(db.Row{pr.id, source, tick, pr.payload}); err != nil {
+				return archived, err
+			}
+			archived++
+		}
+	}
+	return archived, nil
+}
+
+// RestoreFromArchive returns the packed GDT values archived for a source.
+func (w *Warehouse) RestoreFromArchive(source string) ([]gdt.Value, error) {
+	arch, _ := w.DB.Table(TableArchive)
+	var out []gdt.Value
+	var innerErr error
+	err := arch.Scan(func(rid storage.RID, row db.Row) bool {
+		if row[1] != source {
+			return true
+		}
+		v, err := gdt.Unpack(row[3].([]byte))
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		out = append(out, v)
+		return true
+	})
+	if innerErr != nil {
+		return nil, innerErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out, nil
+}
+
+// InitialLoad wraps, integrates, and loads the full contents of the given
+// repositories — the warehouse bootstrap used by examples and benches.
+func (w *Warehouse) InitialLoad(repos []*sources.Repo) (etl.IntegrationStats, error) {
+	var entries []etl.Entry
+	for _, r := range repos {
+		recs, err := sources.Parse(r.Format(), r.Snapshot())
+		if err != nil {
+			return etl.IntegrationStats{}, fmt.Errorf("warehouse: loading %s: %w", r.Name(), err)
+		}
+		es, errs := w.wrapper.WrapAll(recs, r.Name())
+		if len(errs) > 0 {
+			return etl.IntegrationStats{}, fmt.Errorf("warehouse: wrapping %s: %d failures, first: %v", r.Name(), len(errs), errs[0])
+		}
+		entries = append(entries, es...)
+	}
+	merged, stats := etl.Integrate(entries)
+	if err := w.Load(merged); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
