@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test race vet bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# check is the verification gate: vet clean, everything builds, and the
+# full test suite passes under the race detector.
+check: vet build race

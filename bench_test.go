@@ -23,6 +23,7 @@ import (
 	"genalg/internal/etl"
 	"genalg/internal/gdt"
 	"genalg/internal/genops"
+	"genalg/internal/kmeridx"
 	"genalg/internal/mediator"
 	"genalg/internal/ontology"
 	"genalg/internal/seq"
@@ -789,6 +790,119 @@ func BenchmarkE11EntityMatching(b *testing.B) {
 				_, _, stats := etl.MatchEntities(nearEntries, etl.MatchOptions{})
 				if stats.ExactMerges+stats.NearMerges != n {
 					b.Fatalf("merges = %+v", stats)
+				}
+			}
+		})
+	}
+}
+
+// ---- E12: parallel speedup ----
+
+var e12Workers = []int{1, 2, 4, 8}
+
+// BenchmarkE12ParallelSpeedup measures serial versus parallel execution of
+// the four parallelized layers: batch alignment, k-mer index construction,
+// filtered table scans, and warehouse source loading. The workers=1 run is
+// the serial baseline; every worker count produces byte-identical output
+// (see the TestParallelMatchesSerial guards), so the sub-benchmarks differ
+// only in wall-clock time. Scaling is hardware-dependent: on a single-core
+// host all worker counts converge.
+func BenchmarkE12ParallelSpeedup(b *testing.B) {
+	// Batch alignment: 64 independent global alignments of ~300bp pairs.
+	mk := func(seed int64, n int) seq.NucSeq {
+		recs := sources.Generate(seed, sources.GenOptions{N: 1, SeqLen: n})
+		return seq.MustNucSeq(seq.AlphaDNA, recs[0].Sequence)
+	}
+	jobs := make([]align.Job, 64)
+	for i := range jobs {
+		jobs[i] = align.Job{A: mk(int64(300+i), 300), B: mk(int64(400+i), 300)}
+	}
+	for _, workers := range e12Workers {
+		b.Run(fmt.Sprintf("align/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := align.GlobalAll(jobs, align.DefaultScoring, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// K-mer index construction: 400 documents of 1kb each.
+	recs := sources.Generate(91, sources.GenOptions{N: 400, SeqLen: 1000})
+	docs := make([]kmeridx.Doc, len(recs))
+	for i, r := range recs {
+		docs[i] = kmeridx.Doc{ID: kmeridx.DocID(i), Seq: seq.MustNucSeq(seq.AlphaDNA, r.Sequence)}
+	}
+	for _, workers := range e12Workers {
+		b.Run(fmt.Sprintf("kmeridx-build/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix, err := kmeridx.New(11)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := ix.AddAll(docs, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// Filtered table scan: a UDF predicate over 2000 fragment rows.
+	d, err := db.OpenMemory(32768)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := adapterInstall(d); err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := d.CreateTable(db.Schema{
+		Table: "frags",
+		Columns: []db.Column{
+			{Name: "id", Type: db.TString},
+			{Name: "fragment", Type: db.TOpaque, UDTName: "dna"},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range sources.Generate(92, sources.GenOptions{N: 2000, SeqLen: 400}) {
+		frag, err := gdt.NewDNA(r.ID, r.Sequence)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tbl.Insert(db.Row{r.ID, frag}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, workers := range e12Workers {
+		b.Run(fmt.Sprintf("scan/workers=%d", workers), func(b *testing.B) {
+			e := sqlang.NewEngine(d)
+			e.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := e.Exec(`SELECT id FROM frags WHERE contains(fragment, 'ACGTACGTA')`)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = r
+			}
+		})
+	}
+
+	// Warehouse load: parse+wrap fan-out across four repositories.
+	for _, workers := range e12Workers {
+		b.Run(fmt.Sprintf("warehouse-load/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				w, err := warehouse.Open(32768, etl.NewWrapper(ontology.Standard()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				w.Workers = workers
+				repos := e1Repos(250)
+				b.StartTimer()
+				if _, err := w.InitialLoad(repos); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	benchtab [-only table1|fig2|e1|e2|e3|e4|e11]
+//	benchtab [-only table1|fig2|e1|e2|e3|e4|e11|e12]
 package main
 
 import (
@@ -16,9 +16,11 @@ import (
 	"os"
 	"time"
 
+	"genalg/internal/align"
 	"genalg/internal/capability"
 	"genalg/internal/etl"
 	"genalg/internal/gdt"
+	"genalg/internal/kmeridx"
 	"genalg/internal/mediator"
 	"genalg/internal/ontology"
 	"genalg/internal/seq"
@@ -27,7 +29,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment: table1, fig2, e1, e2, e3, e4, e11")
+	only := flag.String("only", "", "run a single experiment: table1, fig2, e1, e2, e3, e4, e11, e12")
 	flag.Parse()
 	run := func(name string, fn func() error) {
 		if *only != "" && *only != name {
@@ -47,6 +49,113 @@ func main() {
 	run("e3", e3ViewMaintenance)
 	run("e4", e4IndexVsScan)
 	run("e11", e11EntityMatching)
+	run("e12", e12ParallelSpeedup)
+}
+
+// e12ParallelSpeedup measures serial versus parallel execution of the four
+// parallelized layers (batch alignment, k-mer index construction, filtered
+// table scans, warehouse loading). Results are byte-identical at every
+// worker count; only wall-clock time varies, and scaling depends on the
+// cores available (GOMAXPROCS).
+func e12ParallelSpeedup() error {
+	const reps = 3
+	mk := func(seed int64, n int) seq.NucSeq {
+		recs := sources.Generate(seed, sources.GenOptions{N: 1, SeqLen: n})
+		return seq.MustNucSeq(seq.AlphaDNA, recs[0].Sequence)
+	}
+
+	// Batch alignment fixture: 64 independent ~300bp global alignments.
+	jobs := make([]align.Job, 64)
+	for i := range jobs {
+		jobs[i] = align.Job{A: mk(int64(300+i), 300), B: mk(int64(400+i), 300)}
+	}
+
+	// Index-build fixture: 400 documents of 1kb.
+	idxRecs := sources.Generate(91, sources.GenOptions{N: 400, SeqLen: 1000})
+	docs := make([]kmeridx.Doc, len(idxRecs))
+	for i, r := range idxRecs {
+		docs[i] = kmeridx.Doc{ID: kmeridx.DocID(i), Seq: seq.MustNucSeq(seq.AlphaDNA, r.Sequence)}
+	}
+
+	// Scan fixture: a loaded warehouse with 2000 fragments; the query is a
+	// full-table UDF filter (no genomic index), which partitions above the
+	// engine's row threshold.
+	wScan, err := warehouse.Open(65536, etl.NewWrapper(ontology.Standard()))
+	if err != nil {
+		return err
+	}
+	scanRepo := sources.NewRepo("src", sources.FormatCSV, sources.CapQueryable,
+		sources.Generate(92, sources.GenOptions{N: 2000, SeqLen: 400}))
+	if _, err := wScan.InitialLoad([]*sources.Repo{scanRepo}); err != nil {
+		return err
+	}
+	pat := scanRepo.Records()[1000].Sequence[40:72]
+	scanQuery := fmt.Sprintf(`SELECT id FROM fragments WHERE contains(fragment, '%s')`, pat)
+
+	// Load fixture: pre-generated records for four repositories, so each
+	// run measures parse+wrap+integrate only.
+	loadRecs := make([][]sources.Record, 4)
+	for i := range loadRecs {
+		loadRecs[i] = sources.Generate(int64(11+i), sources.GenOptions{N: 250, IDPrefix: string(rune('A' + i))})
+	}
+	formats := []sources.Format{sources.FormatCSV, sources.FormatCSV, sources.FormatGenBank, sources.FormatFASTA}
+
+	variants := []struct {
+		name string
+		run  func(workers int) error
+	}{
+		{"align-batch", func(workers int) error {
+			_, err := align.GlobalAll(jobs, align.DefaultScoring, workers)
+			return err
+		}},
+		{"kmeridx-build", func(workers int) error {
+			ix, err := kmeridx.New(11)
+			if err != nil {
+				return err
+			}
+			return ix.AddAll(docs, workers)
+		}},
+		{"table-scan", func(workers int) error {
+			wScan.Engine.Workers = workers
+			_, err := wScan.Query("bench", scanQuery)
+			return err
+		}},
+		{"warehouse-load", func(workers int) error {
+			w, err := warehouse.Open(32768, etl.NewWrapper(ontology.Standard()))
+			if err != nil {
+				return err
+			}
+			w.Workers = workers
+			repos := make([]*sources.Repo, len(loadRecs))
+			for i, recs := range loadRecs {
+				repos[i] = sources.NewRepo(fmt.Sprintf("s%d", i+1), formats[i], sources.CapQueryable, recs)
+			}
+			_, err = w.InitialLoad(repos)
+			return err
+		}},
+	}
+
+	fmt.Printf("%-16s %8s %14s %10s\n", "layer", "workers", "time", "speedup")
+	for _, v := range variants {
+		var serial time.Duration
+		for _, workers := range []int{1, 2, 4, 8} {
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				if err := v.run(workers); err != nil {
+					return err
+				}
+			}
+			elapsed := time.Since(start) / reps
+			if workers == 1 {
+				serial = elapsed
+			}
+			fmt.Printf("%-16s %8d %14v %9.2fx\n", v.name, workers,
+				elapsed.Round(time.Microsecond), float64(serial)/float64(elapsed))
+		}
+	}
+	fmt.Println("speedup is relative to workers=1 on the same host; parallel and serial")
+	fmt.Println("runs produce byte-identical results (see TestParallelMatchesSerial).")
+	return nil
 }
 
 // e11EntityMatching measures content-based cross-accession entity matching

@@ -1,0 +1,115 @@
+package align
+
+import (
+	"context"
+
+	"genalg/internal/parallel"
+	"genalg/internal/seq"
+)
+
+// Job is one alignment task in a batch: align A against B.
+type Job struct {
+	A, B seq.NucSeq
+}
+
+// GlobalAll computes Needleman-Wunsch alignments for every job on at most
+// workers goroutines (workers <= 0 selects the default bound). Results are
+// in job order and identical to calling Global per job serially; the
+// lowest-index error is returned on failure.
+func GlobalAll(jobs []Job, sc Scoring, workers int) ([]Result, error) {
+	return parallel.Map(context.Background(), jobs, workers, func(_ int, j Job) (Result, error) {
+		return Global(j.A, j.B, sc)
+	})
+}
+
+// LocalAll computes Smith-Waterman alignments for every job on at most
+// workers goroutines, with the same ordering and error guarantees as
+// GlobalAll.
+func LocalAll(jobs []Job, sc Scoring, workers int) ([]Result, error) {
+	return parallel.Map(context.Background(), jobs, workers, func(_ int, j Job) (Result, error) {
+		return Local(j.A, j.B, sc)
+	})
+}
+
+// ResemblesAll scores query against every candidate concurrently and
+// reports, per candidate, whether the best local alignment reaches
+// minScore — the batch form of the algebra's resembles operator, used to
+// verify similarity candidates fan-out style.
+func ResemblesAll(query seq.NucSeq, candidates []seq.NucSeq, minScore, workers int) ([]bool, error) {
+	return parallel.Map(context.Background(), candidates, workers, func(_ int, c seq.NucSeq) (bool, error) {
+		return Resembles(query, c, minScore)
+	})
+}
+
+// SearchAll runs the seed-and-extend search for every query on at most
+// workers goroutines, returning per-query hit lists in query order. Each
+// query's hits are identical to a serial Search call.
+func (db *Database) SearchAll(queries []seq.NucSeq, opts SearchOptions, workers int) [][]Hit {
+	out, _ := parallel.Map(context.Background(), queries, workers, func(_ int, q seq.NucSeq) ([]Hit, error) {
+		return db.searchSharded(q, opts, 1), nil
+	})
+	return out
+}
+
+// SearchWorkers is Search with an explicit worker bound: candidate seed
+// extensions are fanned out across workers by sharding the subject space.
+// Hits are byte-identical to the serial search for any worker count,
+// because each (subject, diagonal) group is owned by exactly one worker
+// and the merged hit set is sorted with the same comparator.
+func (db *Database) SearchWorkers(query seq.NucSeq, opts SearchOptions, workers int) []Hit {
+	workers = parallel.Clamp(workers, len(db.subjects))
+	return db.searchSharded(query, opts, workers)
+}
+
+// searchSharded runs the seed scan restricted to subjects of each shard on
+// its own worker, then merges. shards == 1 is the serial path.
+func (db *Database) searchSharded(query seq.NucSeq, opts SearchOptions, shards int) []Hit {
+	opts.fill()
+	if shards < 1 {
+		shards = 1
+	}
+	perShard := make([]map[diagKey]Hit, shards)
+	_ = parallel.ForEach(context.Background(), shards, shards, func(shard int) error {
+		best := make(map[diagKey]Hit)
+		seq.EachKmer(query, db.k, func(qpos int, km seq.Kmer) bool {
+			for _, p := range db.index[km] {
+				if shards > 1 && p.subj%shards != shard {
+					continue
+				}
+				key := diagKey{subj: p.subj, diag: qpos - p.pos}
+				if prev, ok := best[key]; ok {
+					// Skip seeds falling inside an already-extended hit on the
+					// same diagonal — the extension would rediscover it.
+					if qpos >= prev.QStart && qpos < prev.QEnd {
+						continue
+					}
+				}
+				h := db.extend(query, p.subj, qpos, p.pos, opts)
+				if h.Score < opts.MinScore {
+					continue
+				}
+				if prev, ok := best[key]; !ok || h.Score > prev.Score {
+					best[key] = h
+				}
+			}
+			return true
+		})
+		perShard[shard] = best
+		return nil
+	})
+	n := 0
+	for _, m := range perShard {
+		n += len(m)
+	}
+	hits := make([]Hit, 0, n)
+	for _, m := range perShard {
+		for _, h := range m {
+			hits = append(hits, h)
+		}
+	}
+	sortHits(hits)
+	if opts.MaxHits > 0 && len(hits) > opts.MaxHits {
+		hits = hits[:opts.MaxHits]
+	}
+	return hits
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"genalg/internal/parallel"
 	"genalg/internal/seq"
 )
 
@@ -79,41 +80,16 @@ func (o *SearchOptions) fill() {
 	}
 }
 
-// Search finds high-scoring local matches of query against the database by
-// seeding on shared k-mers and extending each seed in both directions with
-// an x-drop cutoff. Hits are returned sorted by descending score, one best
-// hit per (subject, diagonal) pair.
-func (db *Database) Search(query seq.NucSeq, opts SearchOptions) []Hit {
-	opts.fill()
-	type diagKey struct {
-		subj int
-		diag int
-	}
-	best := make(map[diagKey]Hit)
-	seq.EachKmer(query, db.k, func(qpos int, km seq.Kmer) bool {
-		for _, p := range db.index[km] {
-			key := diagKey{subj: p.subj, diag: qpos - p.pos}
-			if prev, ok := best[key]; ok {
-				// Skip seeds falling inside an already-extended hit on the
-				// same diagonal — the extension would rediscover it.
-				if qpos >= prev.QStart && qpos < prev.QEnd {
-					continue
-				}
-			}
-			h := db.extend(query, p.subj, qpos, p.pos, opts)
-			if h.Score < opts.MinScore {
-				continue
-			}
-			if prev, ok := best[key]; !ok || h.Score > prev.Score {
-				best[key] = h
-			}
-		}
-		return true
-	})
-	hits := make([]Hit, 0, len(best))
-	for _, h := range best {
-		hits = append(hits, h)
-	}
+// diagKey identifies a (subject, diagonal) seed group; the search keeps one
+// best hit per group.
+type diagKey struct {
+	subj int
+	diag int
+}
+
+// sortHits orders hits by descending score, then subject, then query start —
+// the canonical output order of Search and its parallel variants.
+func sortHits(hits []Hit) {
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].Score != hits[j].Score {
 			return hits[i].Score > hits[j].Score
@@ -123,10 +99,16 @@ func (db *Database) Search(query seq.NucSeq, opts SearchOptions) []Hit {
 		}
 		return hits[i].QStart < hits[j].QStart
 	})
-	if opts.MaxHits > 0 && len(hits) > opts.MaxHits {
-		hits = hits[:opts.MaxHits]
-	}
-	return hits
+}
+
+// Search finds high-scoring local matches of query against the database by
+// seeding on shared k-mers and extending each seed in both directions with
+// an x-drop cutoff. Hits are returned sorted by descending score, one best
+// hit per (subject, diagonal) pair. Seed extensions fan out across the
+// default worker bound (see package parallel); the hit list is identical to
+// a single-worker search.
+func (db *Database) Search(query seq.NucSeq, opts SearchOptions) []Hit {
+	return db.SearchWorkers(query, opts, parallel.Workers())
 }
 
 // extend grows an exact k-mer seed at (qpos, spos) into a gapless

@@ -6,6 +6,7 @@ import (
 
 	"genalg/internal/btree"
 	"genalg/internal/kmeridx"
+	"genalg/internal/parallel"
 	"genalg/internal/seq"
 	"genalg/internal/storage"
 )
@@ -167,6 +168,36 @@ func (t *Table) Scan(fn func(rid storage.RID, row Row) bool) error {
 	return err
 }
 
+// ScanShard scans the shard-th of shards contiguous page ranges of the
+// heap, calling fn for every live row in that range in heap order. Shards
+// partition the table: running every shard and concatenating the results
+// in shard order visits exactly the rows of Scan, in the same order.
+// Multiple ScanShard calls may run concurrently (each takes the reader
+// lock); this is the partition primitive behind the query engine's
+// parallel table scans.
+func (t *Table) ScanShard(shard, shards int, fn func(rid storage.RID, row Row) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	spans := parallel.Chunks(t.heap.NumPages(), shards)
+	if shard < 0 || shard >= len(spans) {
+		return nil // fewer pages than shards: this shard is empty
+	}
+	sp := spans[shard]
+	var derr error
+	err := t.heap.ScanPageRange(sp.Lo, sp.Hi, func(rid storage.RID, rec []byte) bool {
+		row, err := DecodeRow(&t.schema, t.reg, rec)
+		if err != nil {
+			derr = err
+			return false
+		}
+		return fn(rid, row)
+	})
+	if derr != nil {
+		return derr
+	}
+	return err
+}
+
 // CreateBTreeIndex builds a B-tree index on a scalar column, backfilling
 // existing rows.
 func (t *Table) CreateBTreeIndex(col string) error {
@@ -233,6 +264,9 @@ func (t *Table) CreateGenomicIndex(col string, k int) error {
 	if _, exists := t.kmers[col]; exists {
 		return fmt.Errorf("db: genomic index on %s.%s already exists", t.schema.Table, col)
 	}
+	// Collect the sequences serially (decode shares the heap scan), then
+	// hand the batch to the index's sharded parallel build.
+	var docs []kmeridx.Doc
 	var backErr error
 	err = t.heap.Scan(func(rid storage.RID, rec []byte) bool {
 		row, err := DecodeRow(&t.schema, t.reg, rec)
@@ -244,10 +278,7 @@ func (t *Table) CreateGenomicIndex(col string, k int) error {
 			return true
 		}
 		if s, ok := udt.ExtractSeq(row[ci]); ok {
-			if err := ix.Add(kmeridx.DocID(ridToU64(rid)), s); err != nil {
-				backErr = err
-				return false
-			}
+			docs = append(docs, kmeridx.Doc{ID: kmeridx.DocID(ridToU64(rid)), Seq: s})
 		}
 		return true
 	})
@@ -255,6 +286,9 @@ func (t *Table) CreateGenomicIndex(col string, k int) error {
 		return backErr
 	}
 	if err != nil {
+		return err
+	}
+	if err := ix.AddAll(docs, parallel.Workers()); err != nil {
 		return err
 	}
 	t.kmers[col] = ix

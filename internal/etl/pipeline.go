@@ -1,41 +1,42 @@
 package etl
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+
+	"genalg/internal/parallel"
 )
 
 // PollAll polls every detector concurrently and returns the merged deltas,
 // ordered by (source, ID) for deterministic application. One failing
 // detector fails the round (partial application would leave the warehouse
-// inconsistent across sources); the error names the detector.
+// inconsistent across sources); the error names the first (lowest-index)
+// failing detector, matching what a serial loop would report. The fan-out
+// is bounded by the parallel package default (GENALG_WORKERS or
+// GOMAXPROCS) rather than one goroutine per detector.
 func PollAll(detectors []Detector) ([]Delta, error) {
-	type result struct {
-		idx    int
-		deltas []Delta
-		err    error
-	}
-	results := make([]result, len(detectors))
-	var wg sync.WaitGroup
-	for i, det := range detectors {
-		wg.Add(1)
-		go func(i int, det Detector) {
-			defer wg.Done()
+	return PollAllWorkers(detectors, parallel.Workers())
+}
+
+// PollAllWorkers is PollAll with an explicit worker bound (0 = default,
+// 1 = serial).
+func PollAllWorkers(detectors []Detector, workers int) ([]Delta, error) {
+	perDet, err := parallel.Map(context.Background(), detectors, workers,
+		func(i int, det Detector) ([]Delta, error) {
 			ds, err := det.Poll()
 			if err != nil {
-				err = fmt.Errorf("etl: polling %s: %w", det.Name(), err)
+				return nil, fmt.Errorf("etl: polling %s: %w", det.Name(), err)
 			}
-			results[i] = result{idx: i, deltas: ds, err: err}
-		}(i, det)
+			return ds, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	var out []Delta
-	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
-		}
-		out = append(out, r.deltas...)
+	for _, ds := range perDet {
+		out = append(out, ds...)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Source != out[j].Source {

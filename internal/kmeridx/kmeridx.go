@@ -6,10 +6,12 @@
 package kmeridx
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
+	"genalg/internal/parallel"
 	"genalg/internal/seq"
 )
 
@@ -58,18 +60,104 @@ func New(k int) (*Index, error) {
 func (ix *Index) K() int { return ix.k }
 
 // Add indexes a document. Re-adding an existing DocID is an error; Remove
-// first.
+// first. K-mer extraction runs outside the write lock so concurrent readers
+// (and other writers' extractions) are not blocked by the O(len) scan.
 func (ix *Index) Add(doc DocID, s seq.NucSeq) error {
+	sh := extract(s, ix.k, doc)
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if _, exists := ix.docLens[doc]; exists {
 		return fmt.Errorf("kmeridx: document %d already indexed", doc)
 	}
-	ix.docLens[doc] = s.Len()
-	seq.EachKmer(s, ix.k, func(pos int, km seq.Kmer) bool {
-		ix.postings[km] = append(ix.postings[km], posting{doc: doc, pos: int32(pos)})
+	ix.mergeLocked(sh, s.Len(), doc)
+	return nil
+}
+
+// shard is the postings extracted from one or more documents, buffered
+// outside the index lock.
+type shard struct {
+	postings map[seq.Kmer][]posting
+}
+
+// extract builds the posting map of a single document lock-free.
+func extract(s seq.NucSeq, k int, doc DocID) shard {
+	sh := shard{postings: make(map[seq.Kmer][]posting)}
+	seq.EachKmer(s, k, func(pos int, km seq.Kmer) bool {
+		sh.postings[km] = append(sh.postings[km], posting{doc: doc, pos: int32(pos)})
 		return true
 	})
+	return sh
+}
+
+// mergeLocked appends a shard's postings under the held write lock. Within
+// each k-mer the shard's postings are already in document order, so
+// appending whole slices preserves the serial append order.
+func (ix *Index) mergeLocked(sh shard, docLen int, doc DocID) {
+	ix.docLens[doc] = docLen
+	for km, ps := range sh.postings {
+		ix.postings[km] = append(ix.postings[km], ps...)
+	}
+}
+
+// Doc pairs a document with its sequence for batch indexing.
+type Doc struct {
+	ID  DocID
+	Seq seq.NucSeq
+}
+
+// AddAll indexes a batch of documents with a sharded parallel build:
+// contiguous chunks of the batch are extracted into per-worker posting maps
+// (no locking), then merged under one write lock in chunk order, so the
+// resulting posting lists are byte-identical to serial Adds in batch order.
+// The batch is applied atomically: on any duplicate DocID (within the batch
+// or against the index) nothing is inserted and the offending document is
+// named. workers <= 0 selects the default bound (see package parallel).
+func (ix *Index) AddAll(docs []Doc, workers int) error {
+	if len(docs) == 0 {
+		return nil
+	}
+	// Validate batch-internal uniqueness up front, serially and cheaply.
+	seen := make(map[DocID]bool, len(docs))
+	for _, d := range docs {
+		if seen[d.ID] {
+			return fmt.Errorf("kmeridx: document %d appears twice in batch", d.ID)
+		}
+		seen[d.ID] = true
+	}
+	workers = parallel.Clamp(workers, len(docs))
+	shards := make([]shard, workers)
+	err := parallel.ChunkEach(context.Background(), len(docs), workers, func(part int, sp parallel.Span) error {
+		sh := shard{postings: make(map[seq.Kmer][]posting)}
+		for i := sp.Lo; i < sp.Hi; i++ {
+			d := docs[i]
+			seq.EachKmer(d.Seq, ix.k, func(pos int, km seq.Kmer) bool {
+				sh.postings[km] = append(sh.postings[km], posting{doc: d.ID, pos: int32(pos)})
+				return true
+			})
+		}
+		shards[part] = sh
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, d := range docs {
+		if _, exists := ix.docLens[d.ID]; exists {
+			return fmt.Errorf("kmeridx: document %d already indexed", d.ID)
+		}
+	}
+	for _, d := range docs {
+		ix.docLens[d.ID] = d.Seq.Len()
+	}
+	// Shards cover contiguous chunks; merging them in chunk order keeps
+	// every posting list in batch order, matching serial Adds.
+	for _, sh := range shards {
+		for km, ps := range sh.postings {
+			ix.postings[km] = append(ix.postings[km], ps...)
+		}
+	}
 	return nil
 }
 
@@ -172,8 +260,16 @@ func (ix *Index) Candidates(pattern string) ([]DocID, error) {
 
 // Lookup returns the documents that contain the pattern, verifying each
 // candidate against the actual sequence via fetch. fetch errors abort the
-// lookup.
+// lookup. Verification fans out across the default worker bound; fetch must
+// therefore be safe for concurrent use (the database's row fetch is).
 func (ix *Index) Lookup(pattern string, fetch func(DocID) (seq.NucSeq, error)) ([]DocID, error) {
+	return ix.LookupWorkers(pattern, fetch, parallel.Workers())
+}
+
+// LookupWorkers is Lookup with an explicit worker bound for the
+// candidate-verification stage. Results are in candidate (ascending DocID)
+// order and identical for any worker count.
+func (ix *Index) LookupWorkers(pattern string, fetch func(DocID) (seq.NucSeq, error), workers int) ([]DocID, error) {
 	cands, err := ix.Candidates(pattern)
 	if err != nil {
 		return nil, err
@@ -182,14 +278,20 @@ func (ix *Index) Lookup(pattern string, fetch func(DocID) (seq.NucSeq, error)) (
 	if err != nil {
 		return nil, err
 	}
-	var out []DocID
-	for _, doc := range cands {
+	verdicts, err := parallel.Map(context.Background(), cands, workers, func(_ int, doc DocID) (bool, error) {
 		s, err := fetch(doc)
 		if err != nil {
-			return nil, fmt.Errorf("kmeridx: verifying doc %d: %w", doc, err)
+			return false, fmt.Errorf("kmeridx: verifying doc %d: %w", doc, err)
 		}
-		if s.Contains(pat) {
-			out = append(out, doc)
+		return s.Contains(pat), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []DocID
+	for i, ok := range verdicts {
+		if ok {
+			out = append(out, cands[i])
 		}
 	}
 	return out, nil

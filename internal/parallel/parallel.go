@@ -1,0 +1,230 @@
+// Package parallel is the repository's shared parallel-execution substrate:
+// a small, dependency-free chunked-map/worker-pool library used by the
+// alignment kernel (batch scoring), the k-mer index (sharded builds), the
+// query engine (partitioned table scans), and the warehouse loader
+// (concurrent source loads).
+//
+// Design rules, shared by every call site:
+//
+//   - Workers are bounded (default GOMAXPROCS, overridable with the
+//     GENALG_WORKERS environment variable or an explicit argument).
+//   - Results are collected in input order, so parallel paths produce output
+//     byte-identical to their serial counterparts.
+//   - Errors propagate deterministically: of all failing items, the error of
+//     the lowest input index is returned — exactly the error a serial loop
+//     would have hit first.
+//   - Context cancellation stops scheduling promptly; in-flight items finish.
+package parallel
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable overriding the default worker
+// count. Values < 1 or non-numeric are ignored.
+const EnvWorkers = "GENALG_WORKERS"
+
+// Workers returns the default worker bound: the GENALG_WORKERS environment
+// override when set and positive, otherwise GOMAXPROCS.
+func Workers() int {
+	if v := os.Getenv(EnvWorkers); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Clamp bounds workers to [1, n] so callers never spawn more goroutines
+// than items; workers <= 0 selects the default bound.
+func Clamp(workers, n int) int {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Span is a half-open index interval [Lo, Hi).
+type Span struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indexes in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// Chunks splits [0, n) into at most parts contiguous, near-equal spans
+// covering every index exactly once. Empty trailing spans are dropped, so
+// the result may hold fewer than parts entries.
+func Chunks(n, parts int) []Span {
+	if n <= 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Span, 0, parts)
+	size, rem := n/parts, n%parts
+	lo := 0
+	for i := 0; i < parts; i++ {
+		hi := lo + size
+		if i < rem {
+			hi++
+		}
+		if hi > lo {
+			out = append(out, Span{Lo: lo, Hi: hi})
+		}
+		lo = hi
+	}
+	return out
+}
+
+// firstErr tracks the failure with the lowest item index, mirroring the
+// error a serial loop would surface.
+type firstErr struct {
+	mu  sync.Mutex
+	idx int
+	err error
+}
+
+func (f *firstErr) record(idx int, err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.err == nil || idx < f.idx {
+		f.idx, f.err = idx, err
+	}
+	f.mu.Unlock()
+}
+
+func (f *firstErr) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines,
+// handing out indexes dynamically so uneven item costs balance. It returns
+// the lowest-index error, or ctx.Err() if the context was cancelled before
+// all items ran. A nil ctx means context.Background(). workers <= 0 selects
+// the default bound; workers == 1 runs inline with no goroutines.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = Clamp(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		fe   firstErr
+		wg   sync.WaitGroup
+	)
+	done := ctx.Done()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					fe.record(i, err)
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := fe.get(); err != nil {
+		return err
+	}
+	if int(next.Load()) < n {
+		// Cancelled before every index was handed out.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map applies fn to every item on at most workers goroutines and returns
+// the results in input order. On error the lowest-index failure is
+// returned and the results are discarded.
+func Map[T, R any](ctx context.Context, items []T, workers int, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := ForEach(ctx, len(items), workers, func(i int) error {
+		r, err := fn(i, items[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ChunkEach splits [0, n) into at most workers contiguous spans and runs
+// fn once per span, each on its own goroutine. Unlike ForEach it guarantees
+// each worker owns a contiguous index range, which shard-and-merge callers
+// (the k-mer index build, partitioned table scans) rely on for
+// order-preserving merges. The lowest-span error wins.
+func ChunkEach(ctx context.Context, n, workers int, fn func(part int, s Span) error) error {
+	spans := Chunks(n, Clamp(workers, n))
+	if len(spans) == 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(spans) == 1 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn(0, spans[0])
+	}
+	return ForEach(ctx, len(spans), len(spans), func(i int) error {
+		return fn(i, spans[i])
+	})
+}

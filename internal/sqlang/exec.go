@@ -1,6 +1,7 @@
 package sqlang
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -8,6 +9,7 @@ import (
 
 	"genalg/internal/db"
 	"genalg/internal/kmeridx"
+	"genalg/internal/parallel"
 	"genalg/internal/storage"
 )
 
@@ -24,15 +26,32 @@ type Result struct {
 	Plan string
 }
 
+// parallelScanThreshold is the driving-table row count above which a
+// full-table filter scan is partitioned across workers. Below it the
+// fan-out overhead outweighs the win.
+const parallelScanThreshold = 256
+
 // Engine executes SQL statements against a db.DB. It keeps the ANALYZE
 // statistics the planner consults.
 type Engine struct {
 	DB    *db.DB
 	stats statsStore
+	// Workers bounds the scan parallelism of this engine: 0 selects the
+	// default (GENALG_WORKERS or GOMAXPROCS, see package parallel), 1
+	// forces serial execution. Set at construction time; not synchronized.
+	Workers int
 }
 
 // NewEngine wraps an engine instance.
 func NewEngine(d *db.DB) *Engine { return &Engine{DB: d} }
+
+// workerBound resolves the engine's effective worker count.
+func (e *Engine) workerBound() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return parallel.Workers()
+}
 
 // Exec parses and executes one statement.
 func (e *Engine) Exec(sql string) (*Result, error) {
@@ -455,8 +474,16 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A large unindexed single-table scan is partitioned across workers;
+	// results stay in heap order, identical to the serial scan.
+	scanWorkers := e.workerBound()
+	useParallelScan := path.rids == nil && len(tables) == 1 &&
+		scanWorkers > 1 && drive.tbl.RowCount() >= parallelScanThreshold
 	var planSB strings.Builder
 	fmt.Fprintf(&planSB, "access: %s\n", path.desc)
+	if useParallelScan {
+		fmt.Fprintf(&planSB, "parallel scan: %d workers\n", scanWorkers)
+	}
 	var filters []Expr
 	for _, p := range preds {
 		if p != path.used {
@@ -528,6 +555,46 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 			if err := appendJoined(row); err != nil {
 				return nil, err
 			}
+		}
+	} else if useParallelScan {
+		// Partitioned filter scan: each worker owns a contiguous page
+		// range and evaluates the residual filters with its own evalCtx;
+		// per-partition row lists concatenated in partition order equal
+		// the serial scan's output exactly.
+		parts := make([][]db.Row, scanWorkers)
+		err := parallel.ForEach(context.Background(), scanWorkers, scanWorkers, func(part int) error {
+			pctx := &evalCtx{scope: sc, funcs: e.DB.Funcs}
+			var kept []db.Row
+			var innerErr error
+			err := drive.tbl.ScanShard(part, scanWorkers, func(_ storage.RID, row db.Row) bool {
+				pctx.row = row
+				for _, f := range filters {
+					v, err := eval(pctx, f)
+					if err != nil {
+						innerErr = err
+						return false
+					}
+					if !truthy(v) {
+						return true
+					}
+				}
+				kept = append(kept, row)
+				return true
+			})
+			if innerErr != nil {
+				return innerErr
+			}
+			if err != nil {
+				return err
+			}
+			parts[part] = kept
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range parts {
+			working = append(working, p...)
 		}
 	} else {
 		var innerErr error

@@ -251,7 +251,31 @@ func (h *HeapFile) Update(rid RID, rec []byte) (RID, error) {
 // Scan calls fn for every live record in heap order. Returning false stops
 // the scan. The rec slice is only valid during the call.
 func (h *HeapFile) Scan(fn func(rid RID, rec []byte) bool) error {
-	for _, id := range h.dataPages {
+	return h.ScanPageRange(0, len(h.dataPages), fn)
+}
+
+// NumPages returns the number of data pages — the partitioning unit for
+// parallel scans.
+func (h *HeapFile) NumPages() int { return len(h.dataPages) }
+
+// ScanPageRange scans the live records of the data pages with index in
+// [lo, hi) (clamped), in heap order. It is the partition primitive behind
+// parallel table scans: disjoint ranges touch disjoint slotted pages, and
+// concatenating per-range results in range order reproduces a full Scan.
+// The buffer pool serializes page access internally, so concurrent
+// ScanPageRange calls over disjoint ranges are safe as long as no writer
+// is active (the table layer's reader lock guarantees that).
+func (h *HeapFile) ScanPageRange(lo, hi int, fn func(rid RID, rec []byte) bool) error {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(h.dataPages) {
+		hi = len(h.dataPages)
+	}
+	if lo >= hi {
+		return nil
+	}
+	for _, id := range h.dataPages[lo:hi] {
 		pg, err := h.pool.Pin(id)
 		if err != nil {
 			return err

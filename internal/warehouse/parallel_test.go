@@ -1,0 +1,133 @@
+package warehouse
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"genalg/internal/db"
+	"genalg/internal/etl"
+	"genalg/internal/sources"
+)
+
+// dumpPublic reads the full ordered contents of the public space, used to
+// compare warehouses loaded with different worker counts.
+func dumpPublic(t *testing.T, w *Warehouse) map[string][]db.Row {
+	t.Helper()
+	out := make(map[string][]db.Row)
+	for _, q := range []struct{ name, sql string }{
+		{TableFragments, `SELECT id, organism, source, version, quality, nsources FROM fragments ORDER BY id`},
+		{TableGenes, `SELECT id, organism, source, version, quality, nsources FROM genes ORDER BY id`},
+		{TableFragmentAlts, `SELECT id, provenance, confidence FROM fragment_alts ORDER BY id, provenance`},
+		{TableGeneAlts, `SELECT id, provenance, confidence FROM gene_alts ORDER BY id, provenance`},
+	} {
+		out[q.name] = mustQuery(t, w, "alice", q.sql).Rows
+	}
+	return out
+}
+
+// TestInitialLoadParallelMatchesSerial is the determinism guard for the
+// concurrent loader: fanning repository parse+wrap across workers must
+// leave the public space identical to a serial load.
+func TestInitialLoadParallelMatchesSerial(t *testing.T) {
+	serial := newWarehouse(t)
+	serial.Workers = 1
+	statsS, err := serial.InitialLoad(twoRepos(t, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dumpPublic(t, serial)
+
+	for _, workers := range []int{2, 4} {
+		par := newWarehouse(t)
+		par.Workers = workers
+		statsP, err := par.InitialLoad(twoRepos(t, 25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if statsP != statsS {
+			t.Fatalf("workers=%d: stats %+v != serial %+v", workers, statsP, statsS)
+		}
+		got := dumpPublic(t, par)
+		for tbl, rows := range want {
+			if !reflect.DeepEqual(rows, got[tbl]) {
+				t.Fatalf("workers=%d: table %s differs from serial load", workers, tbl)
+			}
+		}
+	}
+}
+
+// TestInitialLoadParallelErrors checks a broken repository fails the load
+// with the same (lowest-index) error a serial loop reports.
+func TestInitialLoadParallelErrors(t *testing.T) {
+	good := sources.NewRepo("ok", sources.FormatCSV, sources.CapQueryable,
+		sources.Generate(3, sources.GenOptions{N: 5}))
+	// "XYZ" is not a DNA sequence, so wrapping this repository always fails.
+	bad := sources.NewRepo("broken", sources.FormatCSV, sources.CapQueryable,
+		[]sources.Record{{ID: "BAD1", Version: 1, Organism: "o", Description: "d", Sequence: "XYZ"}})
+	w := newWarehouse(t)
+	w.Workers = 4
+	_, errPar := w.InitialLoad([]*sources.Repo{good, bad})
+	if errPar == nil {
+		t.Fatal("expected parse error")
+	}
+	w2 := newWarehouse(t)
+	w2.Workers = 1
+	_, errSer := w2.InitialLoad([]*sources.Repo{good, bad})
+	if errSer == nil || errSer.Error() != errPar.Error() {
+		t.Fatalf("parallel error %q != serial error %q", errPar, errSer)
+	}
+}
+
+// TestConcurrentQueryDuringRefresh hammers the warehouse with readers while
+// incremental maintenance runs — the race-detector guard for satellite
+// concurrency in the public space.
+func TestConcurrentQueryDuringRefresh(t *testing.T) {
+	w := newWarehouse(t)
+	repo := sources.NewRepo("src", sources.FormatCSV, sources.CapQueryable,
+		sources.Generate(1, sources.GenOptions{N: 60}))
+	if _, err := w.InitialLoad([]*sources.Repo{repo}); err != nil {
+		t.Fatal(err)
+	}
+	det, err := etl.NewSnapshotDiffMonitor(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := w.Query("alice", `SELECT COUNT(*) FROM fragments`); err != nil {
+					t.Errorf("concurrent query: %v", err)
+					return
+				}
+				if _, err := w.Query("alice", `SELECT id FROM genes ORDER BY id LIMIT 5`); err != nil {
+					t.Errorf("concurrent query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for round := 0; round < 8; round++ {
+		repo.ApplyRandomUpdates(int64(round), 6)
+		deltas, err := det.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.ApplyDeltas(deltas); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	assertMirrors(t, w, repo)
+}

@@ -7,6 +7,7 @@
 package warehouse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"genalg/internal/etl"
 	"genalg/internal/gdt"
 	"genalg/internal/genops"
+	"genalg/internal/parallel"
 	"genalg/internal/sources"
 	"genalg/internal/sqlang"
 	"genalg/internal/storage"
@@ -36,6 +38,11 @@ type Warehouse struct {
 	DB     *db.DB
 	Engine *sqlang.Engine
 	Kernel *genops.Kernel
+
+	// Workers bounds the source-loading fan-out of InitialLoad/FullReload.
+	// 0 means the parallel package default (GENALG_WORKERS or GOMAXPROCS);
+	// 1 forces serial loading.
+	Workers int
 
 	mu sync.Mutex
 	// owners maps user-space table names to their owning user.
@@ -419,17 +426,31 @@ func (w *Warehouse) RestoreFromArchive(source string) ([]gdt.Value, error) {
 
 // InitialLoad wraps, integrates, and loads the full contents of the given
 // repositories — the warehouse bootstrap used by examples and benches.
+//
+// Parsing and wrapping are CPU-bound and independent per repository, so
+// they fan out across w.Workers goroutines. Entries are concatenated in
+// repository order before integration, so the result is identical to a
+// serial load; on failure the reported repository is the first (lowest
+// index) that a serial loop would have hit.
 func (w *Warehouse) InitialLoad(repos []*sources.Repo) (etl.IntegrationStats, error) {
+	workers := parallel.Clamp(w.Workers, len(repos))
+	perRepo, err := parallel.Map(context.Background(), repos, workers,
+		func(i int, r *sources.Repo) ([]etl.Entry, error) {
+			recs, err := sources.Parse(r.Format(), r.Snapshot())
+			if err != nil {
+				return nil, fmt.Errorf("warehouse: loading %s: %w", r.Name(), err)
+			}
+			es, errs := w.wrapper.WrapAll(recs, r.Name())
+			if len(errs) > 0 {
+				return nil, fmt.Errorf("warehouse: wrapping %s: %d failures, first: %v", r.Name(), len(errs), errs[0])
+			}
+			return es, nil
+		})
+	if err != nil {
+		return etl.IntegrationStats{}, err
+	}
 	var entries []etl.Entry
-	for _, r := range repos {
-		recs, err := sources.Parse(r.Format(), r.Snapshot())
-		if err != nil {
-			return etl.IntegrationStats{}, fmt.Errorf("warehouse: loading %s: %w", r.Name(), err)
-		}
-		es, errs := w.wrapper.WrapAll(recs, r.Name())
-		if len(errs) > 0 {
-			return etl.IntegrationStats{}, fmt.Errorf("warehouse: wrapping %s: %d failures, first: %v", r.Name(), len(errs), errs[0])
-		}
+	for _, es := range perRepo {
 		entries = append(entries, es...)
 	}
 	merged, stats := etl.Integrate(entries)
