@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench check
+.PHONY: all build test race vet fmt fmt-check lint ci check bench smoke fuzz-short
 
 all: check
 
@@ -16,9 +16,34 @@ test:
 race:
 	$(GO) test -race ./...
 
+fmt:
+	gofmt -w .
+
+# fmt-check fails (listing the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+lint: fmt-check vet
+
+# ci is exactly what the GitHub Actions test job runs; `make ci` locally
+# reproduces it.
+ci: lint build test race
+
+# check is the verification gate: lint clean, everything builds, and the
+# full test suite passes under the race detector.
+check: ci
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# check is the verification gate: vet clean, everything builds, and the
-# full test suite passes under the race detector.
-check: vet build race
+# smoke drives the two binaries end to end with small fixtures — the CI
+# smoke job, runnable locally.
+smoke:
+	$(GO) run ./cmd/etlrun -records 200 -rounds 2
+	$(GO) run ./cmd/etlrun -records 100 -rounds 2 -faults 0.2
+	$(GO) run ./cmd/benchtab -only e12 -quick
+
+# fuzz-short runs the sources parser fuzzer briefly (CI budget).
+fuzz-short:
+	$(GO) test ./internal/sources -run='^$$' -fuzz=FuzzParseFormats -fuzztime=10s

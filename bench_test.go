@@ -9,6 +9,7 @@
 package genalg
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -170,7 +171,7 @@ func BenchmarkFig2ChangeDetection(b *testing.B) {
 			if tm, ok := det.(*etl.TriggerMonitor); ok {
 				defer tm.Close()
 			}
-			if _, err := det.Poll(); err != nil {
+			if _, err := det.Poll(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 			// The timed unit is a full churn+detect cycle: mutating the
@@ -185,7 +186,7 @@ func BenchmarkFig2ChangeDetection(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				repo.ApplyRandomUpdates(int64(i), 20)
 				t0 := time.Now()
-				if _, err := det.Poll(); err != nil {
+				if _, err := det.Poll(context.Background()); err != nil {
 					b.Fatal(err)
 				}
 				detectNS += time.Since(t0).Nanoseconds()
@@ -287,7 +288,7 @@ func BenchmarkE3ViewMaintenance(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				repo.ApplyRandomUpdates(int64(i), churn)
-				deltas, err := det.Poll()
+				deltas, err := det.Poll(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}

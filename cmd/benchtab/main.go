@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,7 @@ import (
 
 func main() {
 	only := flag.String("only", "", "run a single experiment: table1, fig2, e1, e2, e3, e4, e11, e12")
+	flag.BoolVar(&quick, "quick", false, "shrink fixtures for CI smoke runs")
 	flag.Parse()
 	run := func(name string, fn func() error) {
 		if *only != "" && *only != name {
@@ -57,21 +59,39 @@ func main() {
 // table scans, warehouse loading). Results are byte-identical at every
 // worker count; only wall-clock time varies, and scaling depends on the
 // cores available (GOMAXPROCS).
+// quick shrinks the E12 fixtures so a CI smoke job exercises every layer
+// without paying benchmark-sized wall clock.
+var quick bool
+
+// scaled divides n by 4 under -quick (minimum 8).
+func scaled(n int) int {
+	if !quick {
+		return n
+	}
+	if n/4 < 8 {
+		return 8
+	}
+	return n / 4
+}
+
 func e12ParallelSpeedup() error {
-	const reps = 3
+	reps := 3
+	if quick {
+		reps = 1
+	}
 	mk := func(seed int64, n int) seq.NucSeq {
 		recs := sources.Generate(seed, sources.GenOptions{N: 1, SeqLen: n})
 		return seq.MustNucSeq(seq.AlphaDNA, recs[0].Sequence)
 	}
 
 	// Batch alignment fixture: 64 independent ~300bp global alignments.
-	jobs := make([]align.Job, 64)
+	jobs := make([]align.Job, scaled(64))
 	for i := range jobs {
 		jobs[i] = align.Job{A: mk(int64(300+i), 300), B: mk(int64(400+i), 300)}
 	}
 
 	// Index-build fixture: 400 documents of 1kb.
-	idxRecs := sources.Generate(91, sources.GenOptions{N: 400, SeqLen: 1000})
+	idxRecs := sources.Generate(91, sources.GenOptions{N: scaled(400), SeqLen: 1000})
 	docs := make([]kmeridx.Doc, len(idxRecs))
 	for i, r := range idxRecs {
 		docs[i] = kmeridx.Doc{ID: kmeridx.DocID(i), Seq: seq.MustNucSeq(seq.AlphaDNA, r.Sequence)}
@@ -85,18 +105,18 @@ func e12ParallelSpeedup() error {
 		return err
 	}
 	scanRepo := sources.NewRepo("src", sources.FormatCSV, sources.CapQueryable,
-		sources.Generate(92, sources.GenOptions{N: 2000, SeqLen: 400}))
+		sources.Generate(92, sources.GenOptions{N: scaled(2000), SeqLen: 400}))
 	if _, err := wScan.InitialLoad([]*sources.Repo{scanRepo}); err != nil {
 		return err
 	}
-	pat := scanRepo.Records()[1000].Sequence[40:72]
+	pat := scanRepo.Records()[len(scanRepo.Records())/2].Sequence[40:72]
 	scanQuery := fmt.Sprintf(`SELECT id FROM fragments WHERE contains(fragment, '%s')`, pat)
 
 	// Load fixture: pre-generated records for four repositories, so each
 	// run measures parse+wrap+integrate only.
 	loadRecs := make([][]sources.Record, 4)
 	for i := range loadRecs {
-		loadRecs[i] = sources.Generate(int64(11+i), sources.GenOptions{N: 250, IDPrefix: string(rune('A' + i))})
+		loadRecs[i] = sources.Generate(int64(11+i), sources.GenOptions{N: scaled(250), IDPrefix: string(rune('A' + i))})
 	}
 	formats := []sources.Format{sources.FormatCSV, sources.FormatCSV, sources.FormatGenBank, sources.FormatFASTA}
 
@@ -145,7 +165,7 @@ func e12ParallelSpeedup() error {
 					return err
 				}
 			}
-			elapsed := time.Since(start) / reps
+			elapsed := time.Since(start) / time.Duration(reps)
 			if workers == 1 {
 				serial = elapsed
 			}
@@ -233,12 +253,12 @@ func fig2() error {
 			if err != nil {
 				return err
 			}
-			if _, err := det.Poll(); err != nil {
+			if _, err := det.Poll(context.Background()); err != nil {
 				return err
 			}
 			muts := repo.ApplyRandomUpdates(99, n/100) // 1% churn
 			start := time.Now()
-			deltas, err := det.Poll()
+			deltas, err := det.Poll(context.Background())
 			if err != nil {
 				return err
 			}
@@ -397,7 +417,7 @@ func e3ViewMaintenance() error {
 			return err
 		}
 		repo.ApplyRandomUpdates(31, churn)
-		deltas, err := det.Poll()
+		deltas, err := det.Poll(context.Background())
 		if err != nil {
 			return err
 		}

@@ -1,20 +1,27 @@
 // Command etlrun drives the full ETL pipeline of the Unifying Database over
 // the synthetic repositories: initial load, then a sequence of update
 // rounds with per-source Figure-2 change detection and incremental
-// maintenance, reporting statistics after each round.
+// maintenance, reporting statistics after each round. With -faults it
+// injects transport failures (transient errors, hangs, truncated and
+// corrupted dumps) into every source and rides them out with retries,
+// circuit breakers, and the quarantine table.
 //
 // Usage:
 //
 //	etlrun [-records N] [-rounds R] [-updates U] [-manual]
+//	       [-faults RATE] [-fault-seed S] [-retries N] [-poll-timeout D]
+//	       [-breaker N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"genalg/internal/etl"
+	"genalg/internal/faultsrc"
 	"genalg/internal/ontology"
 	"genalg/internal/sources"
 	"genalg/internal/warehouse"
@@ -26,14 +33,35 @@ func main() {
 	updates := flag.Int("updates", 20, "mutations per repository per round")
 	manual := flag.Bool("manual", false, "use manual refresh (queue deltas, apply at round end)")
 	concurrent := flag.Bool("concurrent", false, "poll all monitors concurrently via the ETL pipeline")
+	faults := flag.Float64("faults", 0, "per-call fault injection rate per failure mode (0 disables)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injectors")
+	retries := flag.Int("retries", 4, "poll attempts per source per round under -faults")
+	pollTimeout := flag.Duration("poll-timeout", 50*time.Millisecond, "per-attempt poll deadline under -faults")
+	breaker := flag.Int("breaker", 5, "circuit-breaker threshold under -faults (0 disables)")
 	flag.Parse()
-	if err := run(*records, *rounds, *updates, *manual, *concurrent); err != nil {
+	cfg := runConfig{
+		records: *records, rounds: *rounds, updates: *updates,
+		manual: *manual, concurrent: *concurrent,
+		faults: *faults, faultSeed: *faultSeed,
+		retries: *retries, pollTimeout: *pollTimeout, breaker: *breaker,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "etlrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(records, rounds, updates int, manual, concurrent bool) error {
+type runConfig struct {
+	records, rounds, updates int
+	manual, concurrent       bool
+	faults                   float64
+	faultSeed                int64
+	retries                  int
+	pollTimeout              time.Duration
+	breaker                  int
+}
+
+func run(cfg runConfig) error {
 	w, err := warehouse.Open(8192, etl.NewWrapper(ontology.Standard()))
 	if err != nil {
 		return err
@@ -41,15 +69,15 @@ func run(records, rounds, updates int, manual, concurrent bool) error {
 	// One repository per Figure-2 capability class.
 	repos := []*sources.Repo{
 		sources.NewRepo("active-csv", sources.FormatCSV, sources.CapActive,
-			sources.Generate(10, sources.GenOptions{N: records, IDPrefix: "ACT"})),
+			sources.Generate(10, sources.GenOptions{N: cfg.records, IDPrefix: "ACT"})),
 		sources.NewRepo("logged-genbank", sources.FormatGenBank, sources.CapLogged,
-			sources.Generate(20, sources.GenOptions{N: records, IDPrefix: "LOG"})),
+			sources.Generate(20, sources.GenOptions{N: cfg.records, IDPrefix: "LOG"})),
 		sources.NewRepo("queryable-csv", sources.FormatCSV, sources.CapQueryable,
-			sources.Generate(30, sources.GenOptions{N: records, IDPrefix: "QRY"})),
+			sources.Generate(30, sources.GenOptions{N: cfg.records, IDPrefix: "QRY"})),
 		sources.NewRepo("dump-acedb", sources.FormatACeDB, sources.CapNonQueryable,
-			sources.Generate(40, sources.GenOptions{N: records, IDPrefix: "ACE"})),
+			sources.Generate(40, sources.GenOptions{N: cfg.records, IDPrefix: "ACE"})),
 		sources.NewRepo("dump-fasta", sources.FormatFASTA, sources.CapNonQueryable,
-			sources.Generate(50, sources.GenOptions{N: records, IDPrefix: "FAS"})),
+			sources.Generate(50, sources.GenOptions{N: cfg.records, IDPrefix: "FAS"})),
 	}
 	start := time.Now()
 	stats, err := w.InitialLoad(repos)
@@ -59,38 +87,82 @@ func run(records, rounds, updates int, manual, concurrent bool) error {
 	fmt.Printf("initial load: %d entities from %d observations in %v\n",
 		stats.Entities, stats.Observations, time.Since(start).Round(time.Millisecond))
 
+	// Optionally interpose the fault injectors between monitors and sources.
+	var injectors []*faultsrc.Source
+	monitored := make([]sources.Repository, len(repos))
+	for i, r := range repos {
+		monitored[i] = r
+	}
+	if cfg.faults > 0 {
+		rates := map[faultsrc.Mode]float64{
+			faultsrc.ModeTransient: cfg.faults,
+			faultsrc.ModeTimeout:   cfg.faults,
+			faultsrc.ModeTruncate:  cfg.faults,
+			faultsrc.ModeCorrupt:   cfg.faults,
+		}
+		injectors, monitored = faultsrc.WrapAll(repos, faultsrc.Config{
+			Seed: cfg.faultSeed, Rates: rates, Hang: 5 * time.Millisecond,
+		})
+		// Monitors prime their baseline snapshot at construction; keep the
+		// transport clean until they exist, then let the faults fly.
+		for _, inj := range injectors {
+			inj.SetEnabled(false)
+		}
+		fmt.Printf("fault injection: rate %.2f per mode, seed %d\n", cfg.faults, cfg.faultSeed)
+	}
+
 	// One Figure-2-appropriate detector per repository.
 	var detectors []etl.Detector
-	for _, r := range repos {
+	for i, r := range monitored {
 		det, err := etl.ForRepo(r)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("  %-16s %-12s capability=%-13s technique=%s\n",
-			r.Name(), r.Format().Representation(), r.Capability(), det.Technique())
+			r.Name(), r.Format().Representation(), repos[i].Capability(), det.Technique())
 		detectors = append(detectors, det)
 	}
-	w.SetManualRefresh(manual)
+	for _, inj := range injectors {
+		inj.SetEnabled(true)
+	}
+	w.SetManualRefresh(cfg.manual)
 
-	pipeline := etl.NewPipeline(detectors, w.ApplyDeltas)
-	for round := 1; round <= rounds; round++ {
+	pipeline := etl.NewReportingPipeline(detectors, w.ApplyDeltasReport)
+	resilient := cfg.faults > 0 || cfg.retries > 1
+	const breakerCooldown = 50 * time.Millisecond
+	if resilient {
+		pipeline.SetRetryPolicy(etl.RetryPolicy{
+			MaxAttempts:      cfg.retries,
+			PollTimeout:      cfg.pollTimeout,
+			BreakerThreshold: cfg.breaker,
+			BreakerCooldown:  breakerCooldown,
+			Seed:             cfg.faultSeed,
+		})
+	}
+
+	usePipeline := cfg.concurrent || resilient
+	for round := 1; round <= cfg.rounds; round++ {
 		fmt.Printf("\nround %d:\n", round)
-		if concurrent {
+		if usePipeline {
 			for i, r := range repos {
-				r.ApplyRandomUpdates(int64(round*100+i), updates)
+				r.ApplyRandomUpdates(int64(round*100+i), cfg.updates)
 			}
 			t0 := time.Now()
-			n, err := pipeline.Round()
+			rep, err := pipeline.RoundDetailed(context.Background())
 			if err != nil {
 				return err
 			}
-			fmt.Printf("  concurrent pipeline: %d deltas across %d sources in %v\n",
-				n, len(repos), time.Since(t0).Round(time.Microsecond))
+			fmt.Printf("  pipeline: %d deltas across %d sources in %v (applied %d, quarantined %d)\n",
+				rep.Deltas, len(repos), time.Since(t0).Round(time.Microsecond),
+				rep.RecordsOK, rep.Quarantined)
+			for _, f := range rep.Failed {
+				fmt.Printf("  degraded: %s\n", f)
+			}
 		} else {
 			for i, r := range repos {
-				muts := r.ApplyRandomUpdates(int64(round*100+i), updates)
+				muts := r.ApplyRandomUpdates(int64(round*100+i), cfg.updates)
 				t0 := time.Now()
-				deltas, err := detectors[i].Poll()
+				deltas, err := detectors[i].Poll(context.Background())
 				if err != nil {
 					return fmt.Errorf("polling %s: %w", detectors[i].Name(), err)
 				}
@@ -104,7 +176,7 @@ func run(records, rounds, updates int, manual, concurrent bool) error {
 					detectTime.Round(time.Microsecond), time.Since(t0).Round(time.Microsecond))
 			}
 		}
-		if manual {
+		if cfg.manual {
 			n, err := w.Refresh()
 			if err != nil {
 				return err
@@ -112,6 +184,45 @@ func run(records, rounds, updates int, manual, concurrent bool) error {
 			fmt.Printf("  manual refresh applied %d queued deltas\n", n)
 		}
 		fmt.Printf("  warehouse now holds %d entities\n", w.CountPublic())
+	}
+
+	// With faults on, let the system settle: injection off, held trigger
+	// deliveries flushed, then catch-up rounds until quiet.
+	if cfg.faults > 0 {
+		for _, inj := range injectors {
+			inj.Quiesce()
+		}
+		time.Sleep(20 * time.Millisecond)
+		for i := 0; i < 8; i++ {
+			rep, err := pipeline.RoundDetailed(context.Background())
+			if err != nil {
+				return err
+			}
+			if rep.Deltas == 0 && len(rep.Failed) == 0 {
+				break
+			}
+			if len(rep.Failed) > 0 {
+				// A breaker left open by the faulty rounds only half-opens
+				// after its cooldown; wait it out so catch-up can finish.
+				time.Sleep(breakerCooldown)
+			}
+		}
+		var injected int64
+		for _, inj := range injectors {
+			injected += inj.Counts().Total()
+		}
+		fmt.Printf("\nsettled after faults: %d faults injected, warehouse holds %d entities\n",
+			injected, w.CountPublic())
+	}
+
+	if usePipeline {
+		st := pipeline.Stats()
+		fmt.Printf("\ningest counters:\n")
+		fmt.Printf("  rounds=%d deltas=%d attempts=%d retries=%d\n",
+			st.Rounds, st.Deltas, st.Attempts, st.Retries)
+		fmt.Printf("  source_failures=%d breaker_open=%d records_ok=%d quarantined=%d\n",
+			st.SourceFailures, st.BreakerOpen, st.RecordsOK, st.Quarantined)
+		fmt.Printf("  quarantine table holds %d records\n", w.QuarantineCount())
 	}
 
 	// Closing report: a query proving the warehouse is live.

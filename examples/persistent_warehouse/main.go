@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -86,11 +87,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if _, err := det.Poll(); err != nil { // drain pre-save history
+	if _, err := det.Poll(context.Background()); err != nil { // drain pre-save history
 		return err
 	}
 	repo.ApplyRandomUpdates(9, 8)
-	deltas, err := det.Poll()
+	deltas, err := det.Poll(context.Background())
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@
 package etl
 
 import (
+	"context"
 	"fmt"
 
 	"genalg/internal/sources"
@@ -38,21 +39,28 @@ func (d Delta) String() string {
 
 // Detector is a source monitor: each Poll returns the deltas that occurred
 // since the previous Poll. Implementations cover the Figure-2 grid cells.
+//
+// Poll is context-aware so callers can impose per-poll deadlines on flaky
+// sources; a nil ctx means context.Background(). On error a detector leaves
+// its cursor state unchanged, so the missed deltas surface on the next
+// successful poll — the property the retry layer and the warehouse's
+// convergence guarantee rely on.
 type Detector interface {
 	// Name identifies the monitor (source name + technique).
 	Name() string
 	// Technique names the Figure-2 change-detection technique.
 	Technique() string
 	// Poll returns new deltas.
-	Poll() ([]Delta, error)
+	Poll(ctx context.Context) ([]Delta, error)
 }
 
 // Snapshotter is the minimal source interface snapshot-based detectors
-// need; both *sources.Repo and *sources.Remote satisfy it.
+// need: an error-capable, context-aware dump fetch. *sources.Repo,
+// *sources.Remote, and *faultsrc.Source all satisfy it.
 type Snapshotter interface {
 	Name() string
 	Format() sources.Format
-	Snapshot() string
+	Fetch(ctx context.Context) (string, error)
 }
 
 // recordMap keys records by ID.

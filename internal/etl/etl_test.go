@@ -1,6 +1,7 @@
 package etl
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -104,7 +105,7 @@ func TestDiffCommonSubsequenceProperty(t *testing.T) {
 func checkDetector(t *testing.T, det Detector, repo *sources.Repo, seed int64, n int) {
 	t.Helper()
 	// A quiet poll yields nothing.
-	ds, err := det.Poll()
+	ds, err := det.Poll(context.Background())
 	if err != nil {
 		t.Fatalf("%s: initial poll: %v", det.Name(), err)
 	}
@@ -112,7 +113,7 @@ func checkDetector(t *testing.T, det Detector, repo *sources.Repo, seed int64, n
 		t.Fatalf("%s: initial poll returned %d deltas", det.Name(), len(ds))
 	}
 	muts := repo.ApplyRandomUpdates(seed, n)
-	ds, err = det.Poll()
+	ds, err = det.Poll(context.Background())
 	if err != nil {
 		t.Fatalf("%s: poll: %v", det.Name(), err)
 	}
@@ -172,7 +173,7 @@ func checkDetector(t *testing.T, det Detector, repo *sources.Repo, seed int64, n
 		}
 	}
 	// A follow-up quiet poll is empty again.
-	ds, err = det.Poll()
+	ds, err = det.Poll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestTreeDiffMonitor(t *testing.T) {
 	checkDetector(t, det, repo, 15, 25)
 	// Attribute-level detail present for updates.
 	repo.ApplyRandomUpdates(16, 10)
-	ds, err := det.Poll()
+	ds, err := det.Poll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -508,9 +509,9 @@ func TestPipelineRounds(t *testing.T) {
 	if _, err := p.Round(); err != nil {
 		t.Fatal(err)
 	}
-	rounds, total := p.Stats()
-	if rounds != 2 || total != len(applied) {
-		t.Errorf("stats = %d rounds, %d deltas (applied %d)", rounds, total, len(applied))
+	st := p.Stats()
+	if st.Rounds != 2 || st.Deltas != int64(len(applied)) {
+		t.Errorf("stats = %d rounds, %d deltas (applied %d)", st.Rounds, st.Deltas, len(applied))
 	}
 }
 
@@ -529,9 +530,9 @@ func TestPollAllPropagatesFailure(t *testing.T) {
 
 type failingDetector struct{}
 
-func (failingDetector) Name() string           { return "bad" }
-func (failingDetector) Technique() string      { return "none" }
-func (failingDetector) Poll() ([]Delta, error) { return nil, fmt.Errorf("boom") }
+func (failingDetector) Name() string                          { return "bad" }
+func (failingDetector) Technique() string                     { return "none" }
+func (failingDetector) Poll(context.Context) ([]Delta, error) { return nil, fmt.Errorf("boom") }
 
 // ---- entity matching (semantic heterogeneity, §5.2) ----
 

@@ -1,6 +1,7 @@
 package etl
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -21,7 +22,7 @@ type TriggerMonitor struct {
 }
 
 // NewTriggerMonitor subscribes to an active repository.
-func NewTriggerMonitor(repo *sources.Repo) (*TriggerMonitor, error) {
+func NewTriggerMonitor(repo sources.Repository) (*TriggerMonitor, error) {
 	ch, cancel, err := repo.Subscribe(4096)
 	if err != nil {
 		return nil, err
@@ -35,8 +36,9 @@ func (m *TriggerMonitor) Name() string { return m.name + "/trigger" }
 // Technique implements Detector.
 func (m *TriggerMonitor) Technique() string { return "trigger" }
 
-// Poll implements Detector.
-func (m *TriggerMonitor) Poll() ([]Delta, error) {
+// Poll implements Detector. Triggers are push-based, so the poll only
+// drains the local buffer and cannot block on the source.
+func (m *TriggerMonitor) Poll(ctx context.Context) ([]Delta, error) {
 	tick := nextTick()
 	var out []Delta
 	for {
@@ -61,12 +63,12 @@ func (m *TriggerMonitor) Close() { m.stop() }
 // LogMonitor covers the "logged" column: it inspects the source's change
 // log past the last seen sequence number.
 type LogMonitor struct {
-	repo    *sources.Repo
+	repo    sources.Repository
 	lastSeq int
 }
 
 // NewLogMonitor creates a monitor over a logged repository.
-func NewLogMonitor(repo *sources.Repo) (*LogMonitor, error) {
+func NewLogMonitor(repo sources.Repository) (*LogMonitor, error) {
 	if repo.Capability() != sources.CapLogged {
 		return nil, fmt.Errorf("etl: %s is not a logged source", repo.Name())
 	}
@@ -79,9 +81,11 @@ func (m *LogMonitor) Name() string { return m.repo.Name() + "/log" }
 // Technique implements Detector.
 func (m *LogMonitor) Technique() string { return "inspect-log" }
 
-// Poll implements Detector.
-func (m *LogMonitor) Poll() ([]Delta, error) {
-	entries, err := m.repo.Log(m.lastSeq)
+// Poll implements Detector. The cursor (lastSeq) only advances over
+// entries actually returned, so a failed or truncated log read re-delivers
+// the missing entries on the next successful poll.
+func (m *LogMonitor) Poll(ctx context.Context) ([]Delta, error) {
+	entries, err := m.repo.ReadLog(ctx, m.lastSeq)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +115,11 @@ type SnapshotDiffMonitor struct {
 // state (the initial snapshot produces no deltas; the warehouse's initial
 // load uses the snapshot directly).
 func NewSnapshotDiffMonitor(src Snapshotter) (*SnapshotDiffMonitor, error) {
-	recs, err := sources.Parse(src.Format(), src.Snapshot())
+	text, err := src.Fetch(context.Background())
+	if err != nil {
+		return nil, fmt.Errorf("etl: priming snapshot of %s: %w", src.Name(), err)
+	}
+	recs, err := sources.Parse(src.Format(), text)
 	if err != nil {
 		return nil, fmt.Errorf("etl: priming snapshot of %s: %w", src.Name(), err)
 	}
@@ -124,9 +132,14 @@ func (m *SnapshotDiffMonitor) Name() string { return m.src.Name() + "/snapshot-d
 // Technique implements Detector.
 func (m *SnapshotDiffMonitor) Technique() string { return "snapshot-differential" }
 
-// Poll implements Detector.
-func (m *SnapshotDiffMonitor) Poll() ([]Delta, error) {
-	recs, err := sources.Parse(m.src.Format(), m.src.Snapshot())
+// Poll implements Detector. On any fetch or parse failure the previous
+// snapshot is kept, so the missed changes reappear in the next diff.
+func (m *SnapshotDiffMonitor) Poll(ctx context.Context) ([]Delta, error) {
+	text, err := m.src.Fetch(ctx)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := sources.Parse(m.src.Format(), text)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +165,10 @@ type LCSDiffMonitor struct {
 
 // NewLCSDiffMonitor primes the monitor with the current dump.
 func NewLCSDiffMonitor(src Snapshotter) (*LCSDiffMonitor, error) {
-	text := src.Snapshot()
+	text, err := src.Fetch(context.Background())
+	if err != nil {
+		return nil, fmt.Errorf("etl: priming snapshot of %s: %w", src.Name(), err)
+	}
 	recs, err := sources.Parse(src.Format(), text)
 	if err != nil {
 		return nil, fmt.Errorf("etl: priming snapshot of %s: %w", src.Name(), err)
@@ -166,9 +182,13 @@ func (m *LCSDiffMonitor) Name() string { return m.src.Name() + "/lcs-diff" }
 // Technique implements Detector.
 func (m *LCSDiffMonitor) Technique() string { return "lcs-diff" }
 
-// Poll implements Detector.
-func (m *LCSDiffMonitor) Poll() ([]Delta, error) {
-	text := m.src.Snapshot()
+// Poll implements Detector. Like the snapshot monitor, failures leave the
+// previous text in place so no change is silently lost.
+func (m *LCSDiffMonitor) Poll(ctx context.Context) ([]Delta, error) {
+	text, err := m.src.Fetch(ctx)
+	if err != nil {
+		return nil, err
+	}
 	diff := Diff(m.prevText, text)
 	m.LastEditDistance = diff.EditDistance()
 	if m.LastEditDistance == 0 {
@@ -292,7 +312,11 @@ func NewTreeDiffMonitor(src Snapshotter) (*TreeDiffMonitor, error) {
 	if src.Format() != sources.FormatACeDB {
 		return nil, fmt.Errorf("etl: tree diff requires a hierarchical source, %s is %v", src.Name(), src.Format())
 	}
-	recs, err := sources.Parse(src.Format(), src.Snapshot())
+	text, err := src.Fetch(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	recs, err := sources.Parse(src.Format(), text)
 	if err != nil {
 		return nil, err
 	}
@@ -306,8 +330,12 @@ func (m *TreeDiffMonitor) Name() string { return m.src.Name() + "/tree-diff" }
 func (m *TreeDiffMonitor) Technique() string { return "tree-diff" }
 
 // Poll implements Detector.
-func (m *TreeDiffMonitor) Poll() ([]Delta, error) {
-	recs, err := sources.Parse(m.src.Format(), m.src.Snapshot())
+func (m *TreeDiffMonitor) Poll(ctx context.Context) ([]Delta, error) {
+	text, err := m.src.Fetch(ctx)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := sources.Parse(m.src.Format(), text)
 	if err != nil {
 		return nil, err
 	}
@@ -347,7 +375,7 @@ func (m *TreeDiffMonitor) Poll() ([]Delta, error) {
 // triggers for active sources, log inspection for logged ones, snapshot
 // differential for queryable relational sources, LCS diff for flat files,
 // and tree diff for hierarchical dumps.
-func ForRepo(repo *sources.Repo) (Detector, error) {
+func ForRepo(repo sources.Repository) (Detector, error) {
 	switch repo.Capability() {
 	case sources.CapActive:
 		return NewTriggerMonitor(repo)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"genalg/internal/parallel"
 )
@@ -15,7 +16,9 @@ import (
 // inconsistent across sources); the error names the first (lowest-index)
 // failing detector, matching what a serial loop would report. The fan-out
 // is bounded by the parallel package default (GENALG_WORKERS or
-// GOMAXPROCS) rather than one goroutine per detector.
+// GOMAXPROCS) rather than one goroutine per detector. For degraded-mode
+// polling that survives individual source failures, use a Pipeline with a
+// RetryPolicy.
 func PollAll(detectors []Detector) ([]Delta, error) {
 	return PollAllWorkers(detectors, parallel.Workers())
 }
@@ -25,7 +28,7 @@ func PollAll(detectors []Detector) ([]Delta, error) {
 func PollAllWorkers(detectors []Detector, workers int) ([]Delta, error) {
 	perDet, err := parallel.Map(context.Background(), detectors, workers,
 		func(i int, det Detector) ([]Delta, error) {
-			ds, err := det.Poll()
+			ds, err := det.Poll(context.Background())
 			if err != nil {
 				return nil, fmt.Errorf("etl: polling %s: %w", det.Name(), err)
 			}
@@ -34,6 +37,12 @@ func PollAllWorkers(detectors []Detector, workers int) ([]Delta, error) {
 	if err != nil {
 		return nil, err
 	}
+	return mergeDeltas(perDet), nil
+}
+
+// mergeDeltas concatenates per-detector delta slices and sorts them by
+// (source, ID) so application order is deterministic.
+func mergeDeltas(perDet [][]Delta) []Delta {
 	var out []Delta
 	for _, ds := range perDet {
 		out = append(out, ds...)
@@ -44,47 +53,222 @@ func PollAllWorkers(detectors []Detector, workers int) ([]Delta, error) {
 		}
 		return out[i].ID < out[j].ID
 	})
-	return out, nil
+	return out
+}
+
+// SinkReport is what a reporting sink tells the pipeline about one batch:
+// how many deltas landed and how many were quarantined as malformed.
+type SinkReport struct {
+	RecordsOK   int
+	Quarantined int
+}
+
+// SourceError records one detector that failed a degraded round after
+// exhausting its retries (or was skipped by an open breaker).
+type SourceError struct {
+	Detector string
+	Err      error // nil when the breaker skipped the poll
+}
+
+// String implements fmt.Stringer.
+func (e SourceError) String() string {
+	if e.Err == nil {
+		return fmt.Sprintf("%s: breaker open", e.Detector)
+	}
+	return fmt.Sprintf("%s: %v", e.Detector, e.Err)
+}
+
+// RoundReport details one degraded-capable round.
+type RoundReport struct {
+	// Polled counts detectors that delivered deltas this round.
+	Polled int
+	// Deltas is the number of merged deltas handed to the sink.
+	Deltas int
+	// RecordsOK and Quarantined come from the sink.
+	RecordsOK   int
+	Quarantined int
+	// BreakerSkips counts detectors skipped because their breaker was open.
+	BreakerSkips int
+	// Failed lists detectors that could not be polled this round. Their
+	// cursors are untouched, so the missed deltas arrive once they recover.
+	Failed []SourceError
+}
+
+// Stats is the pipeline's cumulative ingest counter snapshot.
+type Stats struct {
+	// Rounds run and total deltas handed to the sink.
+	Rounds int64
+	Deltas int64
+	// Attempts counts individual polls including retries; Retries counts
+	// just the re-attempts.
+	Attempts int64
+	Retries  int64
+	// SourceFailures counts polls abandoned after exhausting retries;
+	// BreakerOpen counts polls skipped because the breaker was open.
+	SourceFailures int64
+	BreakerOpen    int64
+	// RecordsOK and Quarantined aggregate the sink reports.
+	RecordsOK   int64
+	Quarantined int64
 }
 
 // Pipeline ties a detector set to a sink (typically the warehouse's
-// ApplyDeltas), providing the paper's continuous ETL loop as an on-demand
-// "round" operation so callers control pacing (the polling-frequency
-// trade-off of Section 5.2).
+// ApplyDeltasReport), providing the paper's continuous ETL loop as an
+// on-demand "round" operation so callers control pacing (the
+// polling-frequency trade-off of Section 5.2). With a RetryPolicy set the
+// pipeline degrades gracefully: flaky sources are retried with backoff,
+// persistent offenders trip a per-source circuit breaker, and a failed
+// source skips a round instead of aborting it.
 type Pipeline struct {
 	detectors []Detector
-	sink      func([]Delta) error
+	sink      func([]Delta) (SinkReport, error)
 
-	mu     sync.Mutex
-	rounds int
-	total  int
+	policy   RetryPolicy
+	breakers []*Breaker
+	jitter   *lockedRand
+
+	mu    sync.Mutex
+	stats struct {
+		rounds, deltas              int64
+		attempts, retries           atomic.Int64
+		sourceFailures, breakerOpen atomic.Int64
+		recordsOK, quarantined      int64
+	}
 }
 
-// NewPipeline builds a pipeline over detectors feeding sink.
+func (p *Pipeline) addAttempts(n int64) { p.stats.attempts.Add(n) }
+func (p *Pipeline) addRetries(n int64)  { p.stats.retries.Add(n) }
+
+// NewPipeline builds a pipeline over detectors feeding a plain sink. The
+// sink's batch is counted wholly toward RecordsOK on success.
 func NewPipeline(detectors []Detector, sink func([]Delta) error) *Pipeline {
+	return NewReportingPipeline(detectors, func(ds []Delta) (SinkReport, error) {
+		if err := sink(ds); err != nil {
+			return SinkReport{}, err
+		}
+		return SinkReport{RecordsOK: len(ds)}, nil
+	})
+}
+
+// NewReportingPipeline builds a pipeline over a sink that reports applied
+// and quarantined counts (warehouse.ApplyDeltasReport).
+func NewReportingPipeline(detectors []Detector, sink func([]Delta) (SinkReport, error)) *Pipeline {
 	return &Pipeline{detectors: detectors, sink: sink}
 }
 
-// Round performs one detect-and-apply cycle, returning the number of deltas
-// applied.
-func (p *Pipeline) Round() (int, error) {
-	deltas, err := PollAll(p.detectors)
-	if err != nil {
-		return 0, err
+// SetRetryPolicy enables resilient rounds under policy: retries with
+// backoff and per-attempt deadlines, per-source breakers, and degraded
+// (skip-the-source) behavior on persistent failure.
+func (p *Pipeline) SetRetryPolicy(policy RetryPolicy) {
+	p.policy = policy.withDefaults()
+	p.jitter = newLockedRand(policy.Seed)
+	p.breakers = make([]*Breaker, len(p.detectors))
+	for i := range p.breakers {
+		p.breakers[i] = NewBreaker(p.policy.BreakerThreshold, p.policy.BreakerCooldown, nil)
 	}
-	if err := p.sink(deltas); err != nil {
-		return 0, err
-	}
-	p.mu.Lock()
-	p.rounds++
-	p.total += len(deltas)
-	p.mu.Unlock()
-	return len(deltas), nil
 }
 
-// Stats returns rounds run and total deltas applied.
-func (p *Pipeline) Stats() (rounds, totalDeltas int) {
+// BreakerState reports detector i's breaker state ("closed" when breakers
+// are disabled).
+func (p *Pipeline) BreakerState(i int) string {
+	if p.breakers == nil || i < 0 || i >= len(p.breakers) {
+		return "closed"
+	}
+	return p.breakers[i].State()
+}
+
+// Round performs one detect-and-apply cycle, returning the number of deltas
+// applied. Without a RetryPolicy any detector failure aborts the round;
+// with one, per-source failures degrade instead (inspect RoundDetailed for
+// the report).
+func (p *Pipeline) Round() (int, error) {
+	rep, err := p.RoundDetailed(context.Background())
+	return rep.Deltas, err
+}
+
+// RoundDetailed runs one round and returns its full report. The error is
+// non-nil only for whole-round failures: a sink failure, or (in strict
+// mode) any detector failure.
+func (p *Pipeline) RoundDetailed(ctx context.Context) (RoundReport, error) {
+	var rep RoundReport
+	var merged []Delta
+	if !p.policy.Enabled() {
+		perDet, err := parallel.Map(ctx, p.detectors, parallel.Workers(),
+			func(i int, det Detector) ([]Delta, error) {
+				p.addAttempts(1)
+				ds, derr := det.Poll(ctx)
+				if derr != nil {
+					return nil, fmt.Errorf("etl: polling %s: %w", det.Name(), derr)
+				}
+				return ds, nil
+			})
+		if err != nil {
+			return rep, err
+		}
+		rep.Polled = len(p.detectors)
+		merged = mergeDeltas(perDet)
+	} else {
+		perDet, errs := parallel.MapAll(ctx, p.detectors, parallel.Workers(),
+			func(i int, det Detector) ([]Delta, error) {
+				br := p.breakers[i]
+				if !br.Allow() {
+					p.stats.breakerOpen.Add(1)
+					return nil, errBreakerOpen
+				}
+				ds, derr := PollWithRetry(ctx, det, p.policy, p.jitter.float64, p)
+				if derr != nil {
+					br.Failure()
+					p.stats.sourceFailures.Add(1)
+					return nil, derr
+				}
+				br.Success()
+				return ds, nil
+			})
+		for i, e := range errs {
+			switch {
+			case e == nil:
+				rep.Polled++
+			case e == errBreakerOpen:
+				rep.BreakerSkips++
+				rep.Failed = append(rep.Failed, SourceError{Detector: p.detectors[i].Name()})
+			default:
+				rep.Failed = append(rep.Failed, SourceError{Detector: p.detectors[i].Name(), Err: e})
+			}
+		}
+		merged = mergeDeltas(perDet)
+	}
+
+	rep.Deltas = len(merged)
+	sinkRep, err := p.sink(merged)
+	if err != nil {
+		return rep, err
+	}
+	rep.RecordsOK = sinkRep.RecordsOK
+	rep.Quarantined = sinkRep.Quarantined
+	p.mu.Lock()
+	p.stats.rounds++
+	p.stats.deltas += int64(len(merged))
+	p.stats.recordsOK += int64(sinkRep.RecordsOK)
+	p.stats.quarantined += int64(sinkRep.Quarantined)
+	p.mu.Unlock()
+	return rep, nil
+}
+
+// errBreakerOpen is the internal marker for breaker-skipped polls.
+var errBreakerOpen = fmt.Errorf("etl: breaker open")
+
+// Stats returns the cumulative ingest counters.
+func (p *Pipeline) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.rounds, p.total
+	return Stats{
+		Rounds:         p.stats.rounds,
+		Deltas:         p.stats.deltas,
+		Attempts:       p.stats.attempts.Load(),
+		Retries:        p.stats.retries.Load(),
+		SourceFailures: p.stats.sourceFailures.Load(),
+		BreakerOpen:    p.stats.breakerOpen.Load(),
+		RecordsOK:      p.stats.recordsOK,
+		Quarantined:    p.stats.quarantined,
+	}
 }

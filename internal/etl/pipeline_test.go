@@ -1,6 +1,7 @@
 package etl
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -20,7 +21,7 @@ type gaugeDetector struct {
 func (d gaugeDetector) Name() string      { return d.name }
 func (d gaugeDetector) Technique() string { return "gauge" }
 
-func (d gaugeDetector) Poll() ([]Delta, error) {
+func (d gaugeDetector) Poll(context.Context) ([]Delta, error) {
 	cur := d.running.Add(1)
 	for {
 		p := d.peak.Load()

@@ -1,0 +1,309 @@
+package etl
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"genalg/internal/sources"
+)
+
+// RetryPolicy configures the ingest path's fault handling: per-attempt
+// deadlines, exponential backoff with jitter between attempts, and a
+// per-source circuit breaker. The zero value disables all of it (one
+// attempt, no deadline, no breaker), which is the legacy strict behavior.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per poll, including the
+	// first. 0 or 1 means no retries.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry (default 5ms when
+	// retries are enabled).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the growing delay (default 250ms).
+	MaxBackoff time.Duration
+	// Multiplier grows the delay between attempts (default 2).
+	Multiplier float64
+	// Jitter is the fraction of the delay randomized away (default 0.2):
+	// the actual sleep is d * (1 - Jitter*U) for uniform U in [0,1), which
+	// decorrelates retry storms across sources.
+	Jitter float64
+	// PollTimeout is the per-attempt deadline imposed on each Poll (0 = no
+	// deadline). Hung sources are abandoned when it expires and the attempt
+	// counts as a transient failure.
+	PollTimeout time.Duration
+	// BreakerThreshold trips a source's circuit breaker after this many
+	// consecutive failed polls (0 disables the breaker). While open, polls
+	// of that source are skipped outright.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before letting one
+	// probe attempt through (half-open). Default 250ms.
+	BreakerCooldown time.Duration
+	// Seed drives the jitter RNG so test runs are reproducible.
+	Seed int64
+	// Sleep replaces time.Sleep between attempts (tests). Nil means real
+	// sleeping.
+	Sleep func(time.Duration)
+}
+
+// Enabled reports whether the policy asks for any resilience at all.
+func (p RetryPolicy) Enabled() bool {
+	return p.MaxAttempts > 1 || p.PollTimeout > 0 || p.BreakerThreshold > 0
+}
+
+// withDefaults fills the zero fields of an enabled policy.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 250 * time.Millisecond
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		p.Jitter = 0.2
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = 250 * time.Millisecond
+	}
+	return p
+}
+
+// backoff returns the sleep before the given retry (attempt 1 = first
+// retry), jittered by rng (which may be nil for the deterministic midpoint).
+func (p RetryPolicy) backoff(attempt int, rng func() float64) time.Duration {
+	d := float64(p.BaseBackoff)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxBackoff) {
+			d = float64(p.MaxBackoff)
+			break
+		}
+	}
+	if rng != nil && p.Jitter > 0 {
+		d *= 1 - p.Jitter*rng()
+	}
+	if d > float64(p.MaxBackoff) {
+		d = float64(p.MaxBackoff)
+	}
+	return time.Duration(d)
+}
+
+// sleep waits for d, or less if ctx expires first.
+func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctxErr(ctx)
+	}
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return ctxErr(ctx)
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// Breaker is a per-source circuit breaker: after threshold consecutive
+// failures it opens, skipping polls of that source; after the cooldown it
+// half-opens, letting one probe through, and closes again on success.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	fails    int
+	open     bool
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker builds a breaker; threshold <= 0 yields a breaker that never
+// trips. A nil now uses the wall clock.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a poll may proceed: true while closed, and true
+// exactly once per cooldown window while open (the half-open probe).
+func (b *Breaker) Allow() bool {
+	if b == nil || b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.now().Sub(b.openedAt) >= b.cooldown && !b.probing {
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success records a successful poll, closing the breaker.
+func (b *Breaker) Success() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.fails, b.open, b.probing = 0, false, false
+	b.mu.Unlock()
+}
+
+// Failure records a failed poll, tripping the breaker at the threshold or
+// re-opening it after a failed half-open probe.
+func (b *Breaker) Failure() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.fails++
+	if b.fails >= b.threshold || b.probing {
+		b.open = true
+		b.openedAt = b.now()
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// State returns "closed", "open", or "half-open" for reporting.
+func (b *Breaker) State() string {
+	if b == nil || b.threshold <= 0 {
+		return "closed"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.open:
+		return "closed"
+	case b.now().Sub(b.openedAt) >= b.cooldown:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// retryCounters receives attempt accounting from the retry helpers.
+type retryCounters interface {
+	addAttempts(n int64)
+	addRetries(n int64)
+}
+
+// pollOnce runs a single attempt under the policy's per-attempt deadline.
+func pollOnce(ctx context.Context, det Detector, timeout time.Duration) ([]Delta, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return det.Poll(ctx)
+}
+
+// PollWithRetry polls det under policy: each attempt gets its own deadline,
+// failed attempts back off exponentially with jitter, and only permanent
+// failures (sources.IsPermanent) short-circuit the attempt loop. Parse
+// failures retry too — a damaged dump is refetched, which is exactly what a
+// mid-rotation or corrupted transfer needs.
+func PollWithRetry(ctx context.Context, det Detector, policy RetryPolicy, rng func() float64, counters retryCounters) ([]Delta, error) {
+	policy = policy.withDefaults()
+	var lastErr error
+	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
+		if counters != nil {
+			counters.addAttempts(1)
+		}
+		ds, err := pollOnce(ctx, det, policy.PollTimeout)
+		if err == nil {
+			return ds, nil
+		}
+		lastErr = err
+		if sources.IsPermanent(err) || attempt == policy.MaxAttempts {
+			break
+		}
+		if counters != nil {
+			counters.addRetries(1)
+		}
+		if serr := policy.sleep(ctx, policy.backoff(attempt, rng)); serr != nil {
+			return nil, fmt.Errorf("etl: polling %s: %w", det.Name(), serr)
+		}
+	}
+	return nil, fmt.Errorf("etl: polling %s: %w", det.Name(), lastErr)
+}
+
+// FetchWithRetry fetches a source dump under the same attempt/backoff rules
+// as PollWithRetry, returning the text and how many retries it took. The
+// warehouse's initial load uses it so a flaky source still bootstraps.
+func FetchWithRetry(ctx context.Context, src Snapshotter, policy RetryPolicy, rng func() float64) (text string, retries int64, err error) {
+	policy = policy.withDefaults()
+	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
+		actx := ctx
+		var cancel context.CancelFunc
+		if policy.PollTimeout > 0 {
+			if actx == nil {
+				actx = context.Background()
+			}
+			actx, cancel = context.WithTimeout(actx, policy.PollTimeout)
+		}
+		text, err = src.Fetch(actx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return text, retries, nil
+		}
+		if sources.IsPermanent(err) || attempt == policy.MaxAttempts {
+			break
+		}
+		retries++
+		if serr := policy.sleep(ctx, policy.backoff(attempt, rng)); serr != nil {
+			return "", retries, fmt.Errorf("etl: fetching %s: %w", src.Name(), serr)
+		}
+	}
+	return "", retries, fmt.Errorf("etl: fetching %s: %w", src.Name(), err)
+}
+
+// lockedRand is a mutex-guarded float64 stream for jitter shared across
+// polling goroutines.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64()
+}

@@ -1,0 +1,352 @@
+// Package faultsrc wraps a sources.Repository with deterministic,
+// seeded fault injection. It is the test harness behind the ingest path's
+// robustness work (EXPERIMENTS.md E13): every failure mode a flaky public
+// repository exhibits — transient errors, hangs, truncated dumps, corrupted
+// payloads, full outages, delayed trigger delivery — can be injected at a
+// configurable per-call rate while keeping runs reproducible from a seed.
+//
+// Fault semantics are transport-level and transient: a faulty call fails
+// (or returns a damaged payload) once, and the next call draws fresh.
+// Injection can be toggled off (Quiesce) so convergence tests can let the
+// pipeline settle, and a permanent outage can be toggled on (SetDown) to
+// exercise circuit breakers.
+package faultsrc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"genalg/internal/sources"
+)
+
+// Mode enumerates the injectable failure modes.
+type Mode uint8
+
+// The failure modes, in the order the injector tries them.
+const (
+	// ModeTransient fails the call immediately with a retryable error.
+	ModeTransient Mode = iota
+	// ModeTimeout hangs the call until its context deadline (or the
+	// configured Hang bound), then fails retryably.
+	ModeTimeout
+	// ModeTruncate returns the payload cut off mid-stream.
+	ModeTruncate
+	// ModeCorrupt returns the payload with a garbled byte window; for
+	// structured log reads it surfaces as a checksum-style transient error.
+	ModeCorrupt
+	// ModePermanent fails the call with a non-retryable error.
+	ModePermanent
+	modeCount
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeTransient:
+		return "transient"
+	case ModeTimeout:
+		return "timeout"
+	case ModeTruncate:
+		return "truncate"
+	case ModeCorrupt:
+		return "corrupt"
+	case ModePermanent:
+		return "permanent"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Config controls the injector.
+type Config struct {
+	// Seed drives the deterministic RNG; the same seed and call sequence
+	// reproduce the same faults.
+	Seed int64
+	// Rates maps each mode to its per-call injection probability. Modes are
+	// tried in declaration order; the first hit wins.
+	Rates map[Mode]float64
+	// Hang bounds how long ModeTimeout blocks when the caller's context has
+	// no deadline (default 25ms).
+	Hang time.Duration
+}
+
+// Counts reports how many faults of each kind were injected, plus how many
+// trigger mutations were delayed by flaky delivery.
+type Counts struct {
+	ByMode  map[Mode]int64
+	Delayed int64
+}
+
+// Total sums the per-mode injections (delayed deliveries excluded: they are
+// disruptions, not failed calls).
+func (c Counts) Total() int64 {
+	var n int64
+	for _, v := range c.ByMode {
+		n += v
+	}
+	return n
+}
+
+// Source is a fault-injecting sources.Repository wrapper.
+type Source struct {
+	inner sources.Repository
+	cfg   Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	enabled bool
+	down    bool
+	counts  [modeCount]int64
+	delayed int64
+	subs    []*heldSub
+}
+
+// Wrap builds a fault injector over inner. Injection starts enabled.
+func Wrap(inner sources.Repository, cfg Config) *Source {
+	if cfg.Hang == 0 {
+		cfg.Hang = 25 * time.Millisecond
+	}
+	return &Source{
+		inner:   inner,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		enabled: true,
+	}
+}
+
+// Name implements sources.Repository.
+func (s *Source) Name() string { return s.inner.Name() }
+
+// Format implements sources.Repository.
+func (s *Source) Format() sources.Format { return s.inner.Format() }
+
+// Capability implements sources.Repository.
+func (s *Source) Capability() sources.Capability { return s.inner.Capability() }
+
+// SetEnabled toggles fault injection. Disabling also flushes any trigger
+// mutations held back by delayed delivery, so a quiesced source drains
+// completely on the next poll.
+func (s *Source) SetEnabled(on bool) {
+	s.mu.Lock()
+	s.enabled = on
+	subs := append([]*heldSub(nil), s.subs...)
+	s.mu.Unlock()
+	if !on {
+		for _, hs := range subs {
+			hs.flush()
+		}
+	}
+}
+
+// Quiesce disables injection and flushes held trigger deliveries —
+// the "let the system settle" switch for convergence tests.
+func (s *Source) Quiesce() { s.SetEnabled(false) }
+
+// SetDown toggles a permanent outage: while down, every call fails with a
+// non-retryable error regardless of the configured rates.
+func (s *Source) SetDown(down bool) {
+	s.mu.Lock()
+	s.down = down
+	s.mu.Unlock()
+}
+
+// Counts returns the injected-fault counters.
+func (s *Source) Counts() Counts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := Counts{ByMode: make(map[Mode]int64, modeCount), Delayed: s.delayed}
+	for m := Mode(0); m < modeCount; m++ {
+		if s.counts[m] != 0 {
+			c.ByMode[m] = s.counts[m]
+		}
+	}
+	return c
+}
+
+// draw picks the fault (if any) for the next call. modeCount means none.
+func (s *Source) draw() Mode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		s.counts[ModePermanent]++
+		return ModePermanent
+	}
+	if !s.enabled {
+		return modeCount
+	}
+	for m := Mode(0); m < modeCount; m++ {
+		if p := s.cfg.Rates[m]; p > 0 && s.rng.Float64() < p {
+			s.counts[m]++
+			return m
+		}
+	}
+	return modeCount
+}
+
+// intn draws a bounded random int under the injector lock.
+func (s *Source) intn(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 {
+		return 0
+	}
+	return s.rng.Intn(n)
+}
+
+// hang blocks like a wedged remote call: until the context deadline if the
+// caller set one, else for the configured Hang bound.
+func (s *Source) hang(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(s.cfg.Hang):
+		return fmt.Errorf("request timed out after %v", s.cfg.Hang)
+	}
+}
+
+// Fetch implements sources.Repository with fault injection on the dump.
+func (s *Source) Fetch(ctx context.Context) (string, error) {
+	switch s.draw() {
+	case ModePermanent:
+		return "", sources.Permanent("fetch", s.Name(), fmt.Errorf("source is down"))
+	case ModeTransient:
+		return "", sources.Transient("fetch", s.Name(), fmt.Errorf("connection reset"))
+	case ModeTimeout:
+		return "", sources.Transient("fetch", s.Name(), s.hang(ctx))
+	case ModeTruncate:
+		text, err := s.inner.Fetch(ctx)
+		if err != nil || len(text) < 2 {
+			return text, err
+		}
+		// Cut somewhere in the back half so at least part of the dump
+		// survives — the classic interrupted-transfer shape.
+		cut := len(text)/2 + s.intn(len(text)/2)
+		return text[:cut], nil
+	case ModeCorrupt:
+		text, err := s.inner.Fetch(ctx)
+		if err != nil || len(text) == 0 {
+			return text, err
+		}
+		b := []byte(text)
+		start := s.intn(len(b))
+		window := 16
+		if start+window > len(b) {
+			window = len(b) - start
+		}
+		for i := 0; i < window; i++ {
+			b[start+i] = '#'
+		}
+		return string(b), nil
+	}
+	return s.inner.Fetch(ctx)
+}
+
+// ReadLog implements sources.Repository. Truncation surfaces as a partial
+// read (benign: unseen entries stay past the caller's cursor); corruption
+// surfaces as a checksum-style transient error, since structured log
+// entries carry no text to garble in a detectable way.
+func (s *Source) ReadLog(ctx context.Context, afterSeq int) ([]sources.LogEntry, error) {
+	switch s.draw() {
+	case ModePermanent:
+		return nil, sources.Permanent("read-log", s.Name(), fmt.Errorf("source is down"))
+	case ModeTransient:
+		return nil, sources.Transient("read-log", s.Name(), fmt.Errorf("connection reset"))
+	case ModeTimeout:
+		return nil, sources.Transient("read-log", s.Name(), s.hang(ctx))
+	case ModeCorrupt:
+		return nil, sources.Transient("read-log", s.Name(), fmt.Errorf("log page checksum mismatch"))
+	case ModeTruncate:
+		entries, err := s.inner.ReadLog(ctx, afterSeq)
+		if err != nil || len(entries) < 2 {
+			return entries, err
+		}
+		return entries[:len(entries)/2], nil
+	}
+	return s.inner.ReadLog(ctx, afterSeq)
+}
+
+// heldSub is one intercepted subscription: a pump goroutine relays inner
+// mutations, holding them back while a delivery fault is active.
+type heldSub struct {
+	mu   sync.Mutex
+	held []sources.Mutation
+	out  chan sources.Mutation
+}
+
+// flush delivers (under the lock, preserving order) everything held back.
+func (h *heldSub) flush() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, m := range h.held {
+		h.out <- m
+	}
+	h.held = nil
+}
+
+// deliver relays one mutation, holding it if delayed is set.
+func (h *heldSub) deliver(m sources.Mutation, delayed bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if delayed {
+		h.held = append(h.held, m)
+		return
+	}
+	for _, hm := range h.held {
+		h.out <- hm
+	}
+	h.held = nil
+	h.out <- m
+}
+
+// Subscribe implements sources.Repository for active sources. Flaky
+// delivery holds mutations back (at-least-once, order-preserving) instead
+// of dropping them; held mutations flush on the next clean delivery or when
+// the injector quiesces.
+func (s *Source) Subscribe(buffer int) (<-chan sources.Mutation, func(), error) {
+	in, cancel, err := s.inner.Subscribe(buffer)
+	if err != nil {
+		return nil, nil, err
+	}
+	if buffer < 1024 {
+		buffer = 1024
+	}
+	hs := &heldSub{out: make(chan sources.Mutation, buffer)}
+	s.mu.Lock()
+	s.subs = append(s.subs, hs)
+	s.mu.Unlock()
+	go func() {
+		for m := range in {
+			s.mu.Lock()
+			delayed := s.enabled && !s.down &&
+				s.rng.Float64() < s.cfg.Rates[ModeTransient]+s.cfg.Rates[ModeTimeout]
+			if delayed {
+				s.delayed++
+			}
+			s.mu.Unlock()
+			hs.deliver(m, delayed)
+		}
+		hs.flush()
+		close(hs.out)
+	}()
+	return hs.out, cancel, nil
+}
+
+// WrapAll wraps every repository with an injector derived from cfg, varying
+// the seed per source so fault sequences differ across them. It returns the
+// wrappers and the same slice typed as sources.Repository for ingest APIs.
+func WrapAll(repos []*sources.Repo, cfg Config) ([]*Source, []sources.Repository) {
+	injected := make([]*Source, len(repos))
+	asRepos := make([]sources.Repository, len(repos))
+	for i, r := range repos {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*104729
+		injected[i] = Wrap(r, c)
+		asRepos[i] = injected[i]
+	}
+	return injected, asRepos
+}

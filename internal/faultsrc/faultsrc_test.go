@@ -1,0 +1,219 @@
+package faultsrc
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"genalg/internal/sources"
+)
+
+func testRepo(t testing.TB, cap sources.Capability) *sources.Repo {
+	t.Helper()
+	return sources.NewRepo("src", sources.FormatFASTA, cap,
+		sources.Generate(42, sources.GenOptions{N: 6}))
+}
+
+func TestDeterministicFaultSequence(t *testing.T) {
+	cfg := Config{Seed: 7, Rates: map[Mode]float64{ModeTransient: 0.3, ModeCorrupt: 0.2}}
+	run := func() []string {
+		s := Wrap(testRepo(t, sources.CapNonQueryable), cfg)
+		var seq []string
+		for i := 0; i < 40; i++ {
+			text, err := s.Fetch(context.Background())
+			switch {
+			case err != nil:
+				seq = append(seq, "err")
+			case strings.Contains(text, "####"):
+				seq = append(seq, "corrupt")
+			default:
+				seq = append(seq, "ok")
+			}
+		}
+		return seq
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	faults := 0
+	for _, v := range a {
+		if v != "ok" {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("rates 0.3+0.2 over 40 calls injected nothing")
+	}
+}
+
+func TestTransientErrorsAreRetryable(t *testing.T) {
+	s := Wrap(testRepo(t, sources.CapNonQueryable), Config{Rates: map[Mode]float64{ModeTransient: 1}})
+	_, err := s.Fetch(context.Background())
+	if err == nil || !sources.IsTransient(err) || sources.IsPermanent(err) {
+		t.Fatalf("transient fault produced %v", err)
+	}
+}
+
+func TestTimeoutHonorsContextDeadline(t *testing.T) {
+	s := Wrap(testRepo(t, sources.CapNonQueryable),
+		Config{Rates: map[Mode]float64{ModeTimeout: 1}, Hang: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := s.Fetch(ctx)
+	if err == nil || !sources.IsTransient(err) {
+		t.Fatalf("hung fetch = %v, want transient failure", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("hang ignored the context deadline (%v)", el)
+	}
+}
+
+func TestTruncateKeepsPrefix(t *testing.T) {
+	repo := testRepo(t, sources.CapNonQueryable)
+	full, _ := repo.Fetch(context.Background())
+	s := Wrap(repo, Config{Rates: map[Mode]float64{ModeTruncate: 1}})
+	text, err := s.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(text) >= len(full) || !strings.HasPrefix(full, text) {
+		t.Fatalf("truncated dump is not a proper prefix (%d of %d bytes)", len(text), len(full))
+	}
+	if len(text) < len(full)/2 {
+		t.Fatalf("cut %d of %d bytes: more than the back half removed", len(text), len(full))
+	}
+}
+
+func TestPermanentAndDown(t *testing.T) {
+	s := Wrap(testRepo(t, sources.CapNonQueryable), Config{Rates: map[Mode]float64{ModePermanent: 1}})
+	if _, err := s.Fetch(context.Background()); !sources.IsPermanent(err) {
+		t.Fatalf("permanent fault produced %v", err)
+	}
+
+	healthy := Wrap(testRepo(t, sources.CapNonQueryable), Config{})
+	if _, err := healthy.Fetch(context.Background()); err != nil {
+		t.Fatalf("no-fault wrapper failed: %v", err)
+	}
+	healthy.SetDown(true)
+	if _, err := healthy.Fetch(context.Background()); !sources.IsPermanent(err) {
+		t.Fatalf("down source produced %v", err)
+	}
+	healthy.SetDown(false)
+	if _, err := healthy.Fetch(context.Background()); err != nil {
+		t.Fatalf("restored source failed: %v", err)
+	}
+}
+
+func TestQuiesceStopsInjection(t *testing.T) {
+	s := Wrap(testRepo(t, sources.CapNonQueryable),
+		Config{Rates: map[Mode]float64{ModeTransient: 1}})
+	if _, err := s.Fetch(context.Background()); err == nil {
+		t.Fatal("rate-1 injector let a call through")
+	}
+	s.Quiesce()
+	for i := 0; i < 5; i++ {
+		if _, err := s.Fetch(context.Background()); err != nil {
+			t.Fatalf("quiesced injector still failing: %v", err)
+		}
+	}
+	c := s.Counts()
+	if c.ByMode[ModeTransient] != 1 || c.Total() != 1 {
+		t.Fatalf("counts = %+v, want exactly the pre-quiesce fault", c)
+	}
+}
+
+func TestReadLogFaults(t *testing.T) {
+	repo := testRepo(t, sources.CapLogged)
+	repo.ApplyRandomUpdates(1, 6)
+
+	s := Wrap(repo, Config{Rates: map[Mode]float64{ModeTruncate: 1}})
+	all, err := repo.ReadLog(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := s.ReadLog(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part) >= len(all) || len(part) == 0 {
+		t.Fatalf("truncated log read returned %d of %d entries", len(part), len(all))
+	}
+	for i := range part {
+		if part[i].Seq != all[i].Seq {
+			t.Fatalf("truncation reordered the log at %d", i)
+		}
+	}
+
+	s2 := Wrap(repo, Config{Rates: map[Mode]float64{ModeCorrupt: 1}})
+	if _, err := s2.ReadLog(context.Background(), 0); !sources.IsTransient(err) {
+		t.Fatalf("corrupt log read = %v, want transient", err)
+	}
+}
+
+// TestSubscribeHoldsAndFlushes checks flaky trigger delivery is
+// at-least-once and order-preserving: held mutations all arrive once the
+// injector quiesces, in their original order.
+func TestSubscribeHoldsAndFlushes(t *testing.T) {
+	repo := testRepo(t, sources.CapActive)
+	s := Wrap(repo, Config{Seed: 3, Rates: map[Mode]float64{ModeTransient: 0.6}})
+	ch, cancel, err := s.Subscribe(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	muts := repo.ApplyRandomUpdates(5, 20)
+	// Let the relay pump drain the repo's buffer while injection is active
+	// (rate 0.6 should hold several back), then flush.
+	for i := 0; i < 200 && s.Counts().Delayed == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	s.Quiesce() // flush anything held back
+
+	deadline := time.After(2 * time.Second)
+	var got []sources.Mutation
+	for len(got) < len(muts) {
+		select {
+		case m := <-ch:
+			got = append(got, m)
+		case <-deadline:
+			t.Fatalf("received %d of %d mutations before timeout", len(got), len(muts))
+		}
+	}
+	for i := range muts {
+		if got[i].ID != muts[i].ID || got[i].Kind != muts[i].Kind {
+			t.Fatalf("mutation %d out of order: got %v want %v", i, got[i], muts[i])
+		}
+	}
+	if s.Counts().Delayed == 0 {
+		t.Error("rate-0.6 delivery delayed nothing across 20 mutations")
+	}
+}
+
+func TestWrapAllVariesSeeds(t *testing.T) {
+	repos := []*sources.Repo{
+		sources.NewRepo("a", sources.FormatCSV, sources.CapQueryable, sources.Generate(1, sources.GenOptions{N: 4})),
+		sources.NewRepo("b", sources.FormatCSV, sources.CapQueryable, sources.Generate(2, sources.GenOptions{N: 4})),
+	}
+	injected, asRepos := WrapAll(repos, Config{Seed: 9, Rates: map[Mode]float64{ModeTransient: 0.5}})
+	if len(injected) != 2 || len(asRepos) != 2 {
+		t.Fatal("WrapAll lost a repo")
+	}
+	// Same per-call draw sequence would be suspicious: compare 32 draws.
+	same := true
+	for i := 0; i < 32; i++ {
+		_, errA := injected[0].Fetch(context.Background())
+		_, errB := injected[1].Fetch(context.Background())
+		if (errA == nil) != (errB == nil) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("both injectors drew identical fault sequences")
+	}
+}

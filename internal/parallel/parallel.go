@@ -18,6 +18,7 @@ package parallel
 
 import (
 	"context"
+	"errors"
 	"os"
 	"runtime"
 	"strconv"
@@ -184,6 +185,107 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// fatalError marks an error as non-recoverable: collectors that normally
+// continue past per-item failures (MapAll) stop scheduling when one occurs.
+type fatalError struct{ err error }
+
+func (e *fatalError) Error() string { return e.err.Error() }
+func (e *fatalError) Unwrap() error { return e.err }
+
+// Fatal marks err as fatal for MapAll-style collectors: unlike ordinary
+// per-item failures, a fatal error aborts the remaining work. A nil err
+// stays nil.
+func Fatal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &fatalError{err: err}
+}
+
+// IsFatal reports whether err (or anything it wraps) was marked with Fatal.
+func IsFatal(err error) bool {
+	var fe *fatalError
+	return errors.As(err, &fe)
+}
+
+// ErrAborted is recorded for items never attempted because a fatal error or
+// context cancellation stopped the run early.
+var ErrAborted = errors.New("parallel: aborted before this item ran")
+
+// MapAll applies fn to every item on at most workers goroutines, collecting
+// per-item failures instead of short-circuiting: an ordinary error on one
+// item does not stop the others. Only a Fatal-marked error or context
+// cancellation stops scheduling early; items never attempted get ErrAborted.
+// Both returned slices always have len(items) entries; errs[i] is nil where
+// fn succeeded and out[i] is the zero value where it did not.
+//
+// This is the degraded-mode counterpart of Map: ingest paths use it so one
+// flaky source fails alone instead of aborting its siblings.
+func MapAll[T, R any](ctx context.Context, items []T, workers int, fn func(i int, item T) (R, error)) ([]R, []error) {
+	out := make([]R, len(items))
+	errs := make([]error, len(items))
+	if len(items) == 0 {
+		return out, errs
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(items)
+	workers = Clamp(workers, n)
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	attempted := make([]bool, n)
+	done := ctx.Done()
+	body := func() {
+		for {
+			if stop.Load() {
+				return
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			attempted[i] = true
+			r, err := fn(i, items[i])
+			if err != nil {
+				errs[i] = err
+				if IsFatal(err) {
+					stop.Store(true)
+					return
+				}
+				continue
+			}
+			out[i] = r
+		}
+	}
+	if workers == 1 {
+		body()
+	} else {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				body()
+			}()
+		}
+		wg.Wait()
+	}
+	for i := range errs {
+		if errs[i] == nil && !attempted[i] {
+			errs[i] = ErrAborted
+		}
+	}
+	return out, errs
 }
 
 // Map applies fn to every item on at most workers goroutines and returns

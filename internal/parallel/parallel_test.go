@@ -203,3 +203,95 @@ func TestWorkersEnvOverride(t *testing.T) {
 		t.Fatalf("Workers()=%d with negative override", got)
 	}
 }
+
+func TestMapAllCollectsPerItemErrors(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 3} {
+		out, errs := MapAll(context.Background(), items, workers, func(i, v int) (int, error) {
+			if v%3 == 0 {
+				return 0, fmt.Errorf("bad %d", v)
+			}
+			return v * 10, nil
+		})
+		if len(out) != len(items) || len(errs) != len(items) {
+			t.Fatalf("workers=%d: lengths %d/%d", workers, len(out), len(errs))
+		}
+		for i, v := range items {
+			if v%3 == 0 {
+				if errs[i] == nil || out[i] != 0 {
+					t.Errorf("workers=%d: item %d should have failed (out=%d err=%v)", workers, i, out[i], errs[i])
+				}
+			} else if errs[i] != nil || out[i] != v*10 {
+				t.Errorf("workers=%d: item %d = %d, %v", workers, i, out[i], errs[i])
+			}
+		}
+	}
+}
+
+func TestMapAllFatalStopsScheduling(t *testing.T) {
+	var ran atomic.Int64
+	items := make([]int, 64)
+	_, errs := MapAll(context.Background(), items, 1, func(i, _ int) (int, error) {
+		ran.Add(1)
+		if i == 4 {
+			return 0, Fatal(fmt.Errorf("disk gone"))
+		}
+		return 0, nil
+	})
+	if got := ran.Load(); got != 5 {
+		t.Fatalf("ran %d items after fatal, want 5", got)
+	}
+	if !IsFatal(errs[4]) {
+		t.Errorf("errs[4] = %v, want fatal", errs[4])
+	}
+	aborted := 0
+	for _, e := range errs[5:] {
+		if errors.Is(e, ErrAborted) {
+			aborted++
+		}
+	}
+	if aborted != len(items)-5 {
+		t.Errorf("aborted = %d, want %d", aborted, len(items)-5)
+	}
+}
+
+func TestMapAllContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	items := make([]int, 32)
+	var ran atomic.Int64
+	_, errs := MapAll(ctx, items, 1, func(i, _ int) (int, error) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		return i, nil
+	})
+	if got := ran.Load(); got < 3 || got >= int64(len(items)) {
+		t.Fatalf("ran %d items, want cancellation to stop the run early", got)
+	}
+	sawAborted := false
+	for _, e := range errs {
+		if errors.Is(e, ErrAborted) {
+			sawAborted = true
+		}
+	}
+	if !sawAborted {
+		t.Error("no item marked ErrAborted after cancel")
+	}
+}
+
+func TestFatalNilAndUnwrap(t *testing.T) {
+	if Fatal(nil) != nil {
+		t.Error("Fatal(nil) should stay nil")
+	}
+	base := fmt.Errorf("root cause")
+	wrapped := Fatal(fmt.Errorf("outer: %w", base))
+	if !IsFatal(wrapped) {
+		t.Error("IsFatal lost the marker")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Error("Fatal broke the Unwrap chain")
+	}
+	if IsFatal(base) {
+		t.Error("plain error reported fatal")
+	}
+}

@@ -1,0 +1,117 @@
+package sources
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Repository is the error-capable source-access interface the ingest path
+// consumes. Unlike the convenience methods on *Repo (Snapshot, Log), every
+// accessor here can fail and honours a context, so wrappers can model the
+// flaky reality of public repositories: transient outages, hangs rescued by
+// deadlines, truncated dumps, and corrupted payloads. *Repo, *Remote, and
+// the fault-injecting faultsrc.Source all implement it.
+type Repository interface {
+	Name() string
+	Format() Format
+	Capability() Capability
+	// Fetch returns the full current dump (Snapshot with an error path).
+	Fetch(ctx context.Context) (string, error)
+	// ReadLog returns change-log entries with Seq > afterSeq (logged
+	// sources only).
+	ReadLog(ctx context.Context, afterSeq int) ([]LogEntry, error)
+	// Subscribe registers a trigger channel (active sources only).
+	Subscribe(buffer int) (<-chan Mutation, func(), error)
+}
+
+// Fetch implements Repository over the in-process repository: it never
+// fails beyond context cancellation.
+func (r *Repo) Fetch(ctx context.Context) (string, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
+	}
+	return r.Snapshot(), nil
+}
+
+// ReadLog implements Repository.
+func (r *Repo) ReadLog(ctx context.Context, afterSeq int) ([]LogEntry, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return r.Log(afterSeq)
+}
+
+// Fetch implements Repository for remote sources, paying the latency model
+// like Snapshot does.
+func (r *Remote) Fetch(ctx context.Context) (string, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
+	}
+	return r.Snapshot(), nil
+}
+
+// TransientError marks a source failure worth retrying: the next attempt
+// may succeed (network blip, dump mid-rotation, checksum mismatch).
+type TransientError struct {
+	Op     string // the failing operation: "fetch", "read-log", ...
+	Source string // repository name
+	Err    error
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("sources: %s %s: transient: %v", e.Op, e.Source, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient wraps err as a TransientError.
+func Transient(op, source string, err error) error {
+	return &TransientError{Op: op, Source: source, Err: err}
+}
+
+// IsTransient reports whether err is (or wraps) a TransientError, or is a
+// context deadline — deadline expiry means the source hung, which a later
+// attempt may not.
+func IsTransient(err error) bool {
+	var te *TransientError
+	if errors.As(err, &te) {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded)
+}
+
+// PermanentError marks a source failure that retrying cannot fix (the
+// source is decommissioned, credentials revoked, capability missing).
+type PermanentError struct {
+	Op     string
+	Source string
+	Err    error
+}
+
+// Error implements error.
+func (e *PermanentError) Error() string {
+	return fmt.Sprintf("sources: %s %s: permanent: %v", e.Op, e.Source, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// Permanent wraps err as a PermanentError.
+func Permanent(op, source string, err error) error {
+	return &PermanentError{Op: op, Source: source, Err: err}
+}
+
+// IsPermanent reports whether err is (or wraps) a PermanentError.
+func IsPermanent(err error) bool {
+	var pe *PermanentError
+	return errors.As(err, &pe)
+}

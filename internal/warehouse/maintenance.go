@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"errors"
 	"fmt"
 
 	"genalg/internal/db"
@@ -30,8 +31,18 @@ func (w *Warehouse) PendingDeltas() int {
 // ApplyDeltas performs incremental, self-maintainable view maintenance:
 // each delta is applied using only the delta itself and current warehouse
 // contents — no source re-reads. Under manual refresh the deltas queue
-// instead.
+// instead. Malformed after-images are quarantined, not fatal; see
+// ApplyDeltasReport for the counts.
 func (w *Warehouse) ApplyDeltas(deltas []etl.Delta) error {
+	_, err := w.ApplyDeltasReport(deltas)
+	return err
+}
+
+// ApplyDeltasReport is ApplyDeltas with degradation accounting: it returns
+// how many deltas landed and how many were quarantined as malformed
+// (wrap-rejected after-images preserved with reason and raw payload). The
+// error is reserved for storage-side failures, which still abort the batch.
+func (w *Warehouse) ApplyDeltasReport(deltas []etl.Delta) (etl.SinkReport, error) {
 	w.mu.Lock()
 	manual := w.manualRefresh
 	if manual {
@@ -39,7 +50,7 @@ func (w *Warehouse) ApplyDeltas(deltas []etl.Delta) error {
 	}
 	w.mu.Unlock()
 	if manual {
-		return nil
+		return etl.SinkReport{}, nil
 	}
 	return w.applyNow(deltas)
 }
@@ -50,20 +61,52 @@ func (w *Warehouse) Refresh() (int, error) {
 	queued := w.pending
 	w.pending = nil
 	w.mu.Unlock()
-	if err := w.applyNow(queued); err != nil {
+	if _, err := w.applyNow(queued); err != nil {
 		return 0, err
 	}
 	return len(queued), nil
 }
 
-func (w *Warehouse) applyNow(deltas []etl.Delta) error {
+func (w *Warehouse) applyNow(deltas []etl.Delta) (etl.SinkReport, error) {
+	var rep etl.SinkReport
 	for _, d := range deltas {
-		if err := w.applyDelta(d); err != nil {
-			return fmt.Errorf("warehouse: applying %v: %w", d, err)
+		err := w.applyDelta(d)
+		if err == nil {
+			rep.RecordsOK++
+			continue
 		}
+		var bad *badRecordError
+		if errors.As(err, &bad) {
+			// A malformed record is the source's fault, not ours: preserve
+			// it for curators and keep the round going.
+			q := QuarantinedRecord{
+				ID: d.ID, Source: d.Source, Stage: "maintenance",
+				Reason: bad.err.Error(), Tick: d.Tick,
+			}
+			if d.After != nil {
+				q.Payload = sources.Render(formatForPayload, []sources.Record{*d.After})
+			}
+			if qerr := w.quarantine(q); qerr != nil {
+				return rep, qerr
+			}
+			rep.Quarantined++
+			continue
+		}
+		return rep, fmt.Errorf("warehouse: applying %v: %w", d, err)
 	}
-	return nil
+	return rep, nil
 }
+
+// badRecordError marks a delta rejected because its payload is malformed
+// (as opposed to a warehouse-side storage failure).
+type badRecordError struct{ err error }
+
+func (e *badRecordError) Error() string { return e.err.Error() }
+func (e *badRecordError) Unwrap() error { return e.err }
+
+// formatForPayload renders quarantined after-images; FASTA is the most
+// readable single-record evidence format.
+const formatForPayload = sources.FormatFASTA
 
 // applyDelta reconciles one source delta against the warehouse. The
 // maintenance is self-maintainable in the paper's sense: the existing
@@ -85,7 +128,7 @@ func (w *Warehouse) applyDelta(d etl.Delta) error {
 		}
 		entry, err := w.wrapper.Wrap(*d.After, d.Source)
 		if err != nil {
-			return err
+			return &badRecordError{err: err}
 		}
 		return w.upsertEntry(entry)
 	case sources.MutDelete:

@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -57,25 +58,42 @@ func TestInitialLoadParallelMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestInitialLoadParallelErrors checks a broken repository fails the load
-// with the same (lowest-index) error a serial loop reports.
+// TestInitialLoadParallelErrors checks a malformed record degrades to the
+// quarantine table instead of aborting the load, identically under serial
+// and parallel wrapping.
 func TestInitialLoadParallelErrors(t *testing.T) {
-	good := sources.NewRepo("ok", sources.FormatCSV, sources.CapQueryable,
-		sources.Generate(3, sources.GenOptions{N: 5}))
-	// "XYZ" is not a DNA sequence, so wrapping this repository always fails.
-	bad := sources.NewRepo("broken", sources.FormatCSV, sources.CapQueryable,
-		[]sources.Record{{ID: "BAD1", Version: 1, Organism: "o", Description: "d", Sequence: "XYZ"}})
-	w := newWarehouse(t)
-	w.Workers = 4
-	_, errPar := w.InitialLoad([]*sources.Repo{good, bad})
-	if errPar == nil {
-		t.Fatal("expected parse error")
-	}
-	w2 := newWarehouse(t)
-	w2.Workers = 1
-	_, errSer := w2.InitialLoad([]*sources.Repo{good, bad})
-	if errSer == nil || errSer.Error() != errPar.Error() {
-		t.Fatalf("parallel error %q != serial error %q", errPar, errSer)
+	for _, workers := range []int{1, 4} {
+		good := sources.NewRepo("ok", sources.FormatCSV, sources.CapQueryable,
+			sources.Generate(3, sources.GenOptions{N: 5}))
+		// "XYZ" is not a DNA sequence, so wrapping this record always fails.
+		bad := sources.NewRepo("broken", sources.FormatCSV, sources.CapQueryable,
+			[]sources.Record{{ID: "BAD1", Version: 1, Organism: "o", Description: "d", Sequence: "XYZ"}})
+		w := newWarehouse(t)
+		w.Workers = workers
+		if _, err := w.InitialLoad([]*sources.Repo{good, bad}); err != nil {
+			t.Fatalf("workers=%d: load should degrade, got %v", workers, err)
+		}
+		if got := w.CountPublic(); got != len(good.Records()) {
+			t.Errorf("workers=%d: public entities = %d, want %d", workers, got, len(good.Records()))
+		}
+		qs, err := w.Quarantined()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(qs) != 1 || qs[0].ID != "BAD1" || qs[0].Source != "broken" || qs[0].Stage != "load" {
+			t.Fatalf("workers=%d: quarantine = %+v, want one load-stage BAD1 row", workers, qs)
+		}
+		if qs[0].Reason == "" || qs[0].Payload == "" {
+			t.Errorf("workers=%d: quarantine row missing reason/payload: %+v", workers, qs[0])
+		}
+		// The quarantine is part of the public space: plain SQL reaches it.
+		res, err := w.Query("alice", `SELECT id, reason FROM quarantine`)
+		if err != nil {
+			t.Fatalf("workers=%d: querying quarantine: %v", workers, err)
+		}
+		if len(res.Rows) != 1 {
+			t.Errorf("workers=%d: SELECT FROM quarantine returned %d rows", workers, len(res.Rows))
+		}
 	}
 }
 
@@ -119,7 +137,7 @@ func TestConcurrentQueryDuringRefresh(t *testing.T) {
 	}
 	for round := 0; round < 8; round++ {
 		repo.ApplyRandomUpdates(int64(round), 6)
-		deltas, err := det.Poll()
+		deltas, err := det.Poll(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -18,7 +18,6 @@ import (
 	"genalg/internal/etl"
 	"genalg/internal/gdt"
 	"genalg/internal/genops"
-	"genalg/internal/parallel"
 	"genalg/internal/sources"
 	"genalg/internal/sqlang"
 	"genalg/internal/storage"
@@ -31,6 +30,7 @@ const (
 	TableFragmentAlts = "fragment_alts"
 	TableGeneAlts     = "gene_alts"
 	TableArchive      = "archive"
+	TableQuarantine   = "quarantine"
 )
 
 // Warehouse is a Unifying Database instance.
@@ -135,6 +135,20 @@ func (w *Warehouse) createIntegratedSchema() error {
 				{Name: "payload", Type: db.TBytes},
 			},
 		},
+		{
+			// Quarantine preserves malformed source records — reason plus
+			// raw payload — instead of letting them poison a load (the
+			// bdbms-style handling of partially trusted source data).
+			Table: TableQuarantine,
+			Columns: []db.Column{
+				{Name: "id", Type: db.TString},
+				{Name: "source", Type: db.TString},
+				{Name: "stage", Type: db.TString},
+				{Name: "reason", Type: db.TString},
+				{Name: "payload", Type: db.TString},
+				{Name: "tick", Type: db.TInt},
+			},
+		},
 	}
 	for _, s := range schemas {
 		if _, err := w.DB.CreateTable(s); err != nil {
@@ -155,7 +169,7 @@ func (w *Warehouse) createIntegratedSchema() error {
 // and genomes tables exist once AssembleGenomes has run.
 func PublicTables() []string {
 	return []string{TableFragments, TableGenes, TableFragmentAlts, TableGeneAlts,
-		TableArchive, TableChromosomes, TableGenomes, TableCrossRefs}
+		TableArchive, TableQuarantine, TableChromosomes, TableGenomes, TableCrossRefs}
 }
 
 func isPublicTable(name string) bool {
@@ -425,37 +439,28 @@ func (w *Warehouse) RestoreFromArchive(source string) ([]gdt.Value, error) {
 }
 
 // InitialLoad wraps, integrates, and loads the full contents of the given
-// repositories — the warehouse bootstrap used by examples and benches.
+// repositories — the warehouse bootstrap used by examples and benches. It
+// degrades gracefully: malformed records are quarantined (queryable via
+// SELECT * FROM quarantine) and a wholly failed source is skipped rather
+// than aborting its siblings; an error is returned only when storage fails
+// or every source failed. Use InitialLoadReport for the per-source detail
+// and retry control.
 //
 // Parsing and wrapping are CPU-bound and independent per repository, so
 // they fan out across w.Workers goroutines. Entries are concatenated in
 // repository order before integration, so the result is identical to a
-// serial load; on failure the reported repository is the first (lowest
-// index) that a serial loop would have hit.
+// serial load.
 func (w *Warehouse) InitialLoad(repos []*sources.Repo) (etl.IntegrationStats, error) {
-	workers := parallel.Clamp(w.Workers, len(repos))
-	perRepo, err := parallel.Map(context.Background(), repos, workers,
-		func(i int, r *sources.Repo) ([]etl.Entry, error) {
-			recs, err := sources.Parse(r.Format(), r.Snapshot())
-			if err != nil {
-				return nil, fmt.Errorf("warehouse: loading %s: %w", r.Name(), err)
-			}
-			es, errs := w.wrapper.WrapAll(recs, r.Name())
-			if len(errs) > 0 {
-				return nil, fmt.Errorf("warehouse: wrapping %s: %d failures, first: %v", r.Name(), len(errs), errs[0])
-			}
-			return es, nil
-		})
+	rs := make([]sources.Repository, len(repos))
+	for i, r := range repos {
+		rs[i] = r
+	}
+	stats, rep, err := w.InitialLoadReport(context.Background(), rs, etl.RetryPolicy{})
 	if err != nil {
-		return etl.IntegrationStats{}, err
-	}
-	var entries []etl.Entry
-	for _, es := range perRepo {
-		entries = append(entries, es...)
-	}
-	merged, stats := etl.Integrate(entries)
-	if err := w.Load(merged); err != nil {
 		return stats, err
+	}
+	if len(rep.Failed) == len(repos) && len(repos) > 0 {
+		return stats, fmt.Errorf("warehouse: every source failed, first: %w", rep.Failed[0].Err)
 	}
 	return stats, nil
 }

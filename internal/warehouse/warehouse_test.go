@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -175,11 +176,11 @@ func TestIncrementalMaintenance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := det.Poll(); err != nil { // drain initial-load history
+	if _, err := det.Poll(context.Background()); err != nil { // drain initial-load history
 		t.Fatal(err)
 	}
 	repo.ApplyRandomUpdates(7, 15)
-	deltas, err := det.Poll()
+	deltas, err := det.Poll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestIncrementalEqualsFullReload(t *testing.T) {
 	}
 	repo1.ApplyRandomUpdates(11, 25)
 	repo2.ApplyRandomUpdates(11, 25) // identical mutation stream
-	deltas, err := det.Poll()
+	deltas, err := det.Poll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +282,7 @@ func TestManualRefreshDefersUpdates(t *testing.T) {
 	det, _ := etl.NewSnapshotDiffMonitor(repo)
 	w.SetManualRefresh(true)
 	repo.ApplyRandomUpdates(3, 10)
-	deltas, _ := det.Poll()
+	deltas, _ := det.Poll(context.Background())
 	if err := w.ApplyDeltas(deltas); err != nil {
 		t.Fatal(err)
 	}
@@ -410,7 +411,7 @@ func BenchmarkIncrementalMaintenance(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		repo.ApplyRandomUpdates(int64(i), 5)
-		deltas, err := det.Poll()
+		deltas, err := det.Poll(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -503,7 +504,7 @@ func TestWarehousePersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 	repos[1].ApplyRandomUpdates(5, 4)
-	deltas, err := det.Poll()
+	deltas, err := det.Poll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -762,7 +763,7 @@ func TestLongSoakMaintenance(t *testing.T) {
 			t.Fatal(err)
 		}
 		if lm, ok := d.(*etl.LogMonitor); ok {
-			if _, err := lm.Poll(); err != nil { // drain pre-load history
+			if _, err := lm.Poll(context.Background()); err != nil { // drain pre-load history
 				t.Fatal(err)
 			}
 		}
@@ -777,9 +778,9 @@ func TestLongSoakMaintenance(t *testing.T) {
 			t.Fatalf("round %d: %v", round, err)
 		}
 	}
-	rounds, total := pipe.Stats()
-	if rounds != 25 || total == 0 {
-		t.Errorf("pipeline stats = %d rounds, %d deltas", rounds, total)
+	st := pipe.Stats()
+	if st.Rounds != 25 || st.Deltas == 0 {
+		t.Errorf("pipeline stats = %d rounds, %d deltas", st.Rounds, st.Deltas)
 	}
 	wantTotal := 0
 	for _, r := range repos {
