@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check lint ci check bench smoke fuzz-short
+.PHONY: all build test race vet fmt fmt-check lint ci check bench smoke smoke-obs fuzz-short
 
 all: check
 
@@ -43,6 +43,18 @@ smoke:
 	$(GO) run ./cmd/etlrun -records 200 -rounds 2
 	$(GO) run ./cmd/etlrun -records 100 -rounds 2 -faults 0.2
 	$(GO) run ./cmd/benchtab -only e12 -quick
+
+# smoke-obs drives the observability surface: EXPLAIN ANALYZE through the
+# shell plus a \metrics snapshot, grepping for the plan annotations and the
+# per-pool gauges.
+smoke-obs:
+	@out=$$(printf 'EXPLAIN ANALYZE SELECT id FROM fragments WHERE quality >= 0.2\n\\metrics\n\\q\n' \
+		| $(GO) run ./cmd/genalgsh -lang sql -slow 1ns); \
+	for want in 'access: scan fragments' 'act=' 'storage.pool' 'sqlang.slow_queries'; do \
+		echo "$$out" | grep -q "$$want" || { \
+			echo "smoke-obs: missing '$$want' in genalgsh output"; echo "$$out"; exit 1; }; \
+	done; \
+	echo "smoke-obs: ok"
 
 # fuzz-short runs the sources parser fuzzer briefly (CI budget).
 fuzz-short:

@@ -23,6 +23,7 @@ import (
 	"genalg/internal/gdt"
 	"genalg/internal/kmeridx"
 	"genalg/internal/mediator"
+	"genalg/internal/obs"
 	"genalg/internal/ontology"
 	"genalg/internal/seq"
 	"genalg/internal/sources"
@@ -32,6 +33,7 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment: table1, fig2, e1, e2, e3, e4, e11, e12")
 	flag.BoolVar(&quick, "quick", false, "shrink fixtures for CI smoke runs")
+	metrics := flag.Bool("metrics", false, "dump the metrics registry after the experiments")
 	flag.Parse()
 	run := func(name string, fn func() error) {
 		if *only != "" && *only != name {
@@ -52,6 +54,13 @@ func main() {
 	run("e4", e4IndexVsScan)
 	run("e11", e11EntityMatching)
 	run("e12", e12ParallelSpeedup)
+	if *metrics {
+		fmt.Println("==== metrics ====")
+		if err := obs.Default.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab: metrics:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // e12ParallelSpeedup measures serial versus parallel execution of the four

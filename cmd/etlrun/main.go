@@ -22,6 +22,7 @@ import (
 
 	"genalg/internal/etl"
 	"genalg/internal/faultsrc"
+	"genalg/internal/obs"
 	"genalg/internal/ontology"
 	"genalg/internal/sources"
 	"genalg/internal/warehouse"
@@ -38,12 +39,14 @@ func main() {
 	retries := flag.Int("retries", 4, "poll attempts per source per round under -faults")
 	pollTimeout := flag.Duration("poll-timeout", 50*time.Millisecond, "per-attempt poll deadline under -faults")
 	breaker := flag.Int("breaker", 5, "circuit-breaker threshold under -faults (0 disables)")
+	metricsJSON := flag.String("metrics-json", "", "write an expvar-style JSON metrics snapshot to this file at exit")
 	flag.Parse()
 	cfg := runConfig{
 		records: *records, rounds: *rounds, updates: *updates,
 		manual: *manual, concurrent: *concurrent,
 		faults: *faults, faultSeed: *faultSeed,
 		retries: *retries, pollTimeout: *pollTimeout, breaker: *breaker,
+		metricsJSON: *metricsJSON,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "etlrun:", err)
@@ -59,6 +62,7 @@ type runConfig struct {
 	retries                  int
 	pollTimeout              time.Duration
 	breaker                  int
+	metricsJSON              string
 }
 
 func run(cfg runConfig) error {
@@ -231,5 +235,26 @@ func run(cfg runConfig) error {
 		return err
 	}
 	fmt.Printf("\nfragments: count=%v avg quality=%.4f\n", r.Rows[0][0], r.Rows[0][1])
+
+	// End-of-run observability report: the registry view of the same run,
+	// covering ETL, warehouse, query, and buffer-pool metrics.
+	fmt.Printf("\nmetrics:\n")
+	if err := obs.Default.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if cfg.metricsJSON != "" {
+		f, err := os.Create(cfg.metricsJSON)
+		if err != nil {
+			return err
+		}
+		if err := obs.Default.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics snapshot written to %s\n", cfg.metricsJSON)
+	}
 	return nil
 }

@@ -20,12 +20,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"genalg/internal/biql"
 	"genalg/internal/core"
 	"genalg/internal/etl"
 	"genalg/internal/gdt"
 	"genalg/internal/genops"
+	"genalg/internal/obs"
 	"genalg/internal/ontology"
 	"genalg/internal/sources"
 	"genalg/internal/warehouse"
@@ -38,19 +40,21 @@ func main() {
 	user := flag.String("user", "biologist", "user name for space enforcement")
 	geneID := flag.String("gene", "", "gene accession bound to variable g for -lang term")
 	catalog := flag.Bool("catalog", false, "print sorts, operations, and tables, then exit")
+	slow := flag.Duration("slow", 0, "slow-query log threshold (0 disables), e.g. 50ms")
 	flag.Parse()
 
-	if err := run(*records, *noisy, *lang, *user, *geneID, *catalog, flag.Args()); err != nil {
+	if err := run(*records, *noisy, *lang, *user, *geneID, *catalog, *slow, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "genalgsh:", err)
 		os.Exit(1)
 	}
 }
 
-func run(records int, noisy bool, lang, user, geneID string, catalog bool, queries []string) error {
+func run(records int, noisy bool, lang, user, geneID string, catalog bool, slow time.Duration, queries []string) error {
 	w, err := warehouse.Open(4096, etl.NewWrapper(ontology.Standard()))
 	if err != nil {
 		return err
 	}
+	w.Engine.SlowQueryThreshold = slow
 	rate := 0.0
 	if noisy {
 		rate = 0.35
@@ -84,7 +88,8 @@ func run(records int, noisy bool, lang, user, geneID string, catalog bool, queri
 }
 
 // repl reads one query per line from stdin until EOF. Lines starting with
-// "\" switch settings: \lang biql|sql|term, \user NAME, \catalog.
+// "\" switch settings or inspect state: \lang biql|sql|term, \user NAME,
+// \catalog, \metrics (registry snapshot), \slowlog (slow-query log).
 func repl(w *warehouse.Warehouse, lang, user, geneID string) error {
 	fmt.Printf("genalgsh interactive mode (lang=%s user=%s); one query per line, \\q quits\n", lang, user)
 	sc := bufio.NewScanner(os.Stdin)
@@ -103,6 +108,14 @@ func repl(w *warehouse.Warehouse, lang, user, geneID string) error {
 			return nil
 		case line == `\catalog`:
 			printCatalog(w)
+			continue
+		case line == `\metrics`:
+			if err := obs.Default.WriteText(os.Stdout); err != nil {
+				fmt.Println("error:", err)
+			}
+			continue
+		case line == `\slowlog`:
+			printSlowLog(w)
 			continue
 		case strings.HasPrefix(line, `\lang `):
 			next := strings.TrimSpace(strings.TrimPrefix(line, `\lang `))
@@ -126,6 +139,21 @@ func repl(w *warehouse.Warehouse, lang, user, geneID string) error {
 		if err := runOne(w, lang, user, geneID, line); err != nil {
 			fmt.Println("error:", err)
 		}
+	}
+}
+
+func printSlowLog(w *warehouse.Warehouse) {
+	entries := w.Engine.SlowQueries()
+	if w.Engine.SlowQueryThreshold <= 0 {
+		fmt.Println("slow-query log disabled; start with -slow DURATION")
+		return
+	}
+	if len(entries) == 0 {
+		fmt.Printf("no statements slower than %s\n", w.Engine.SlowQueryThreshold)
+		return
+	}
+	for _, q := range entries {
+		fmt.Printf("%-12s %s\n", q.Duration.Round(time.Microsecond), q.SQL)
 	}
 }
 

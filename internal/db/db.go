@@ -7,6 +7,7 @@ import (
 
 	"genalg/internal/btree"
 	"genalg/internal/kmeridx"
+	"genalg/internal/obs"
 	"genalg/internal/storage"
 )
 
@@ -31,6 +32,7 @@ func OpenMemory(poolPages int) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	pool.RegisterMetrics(obs.Default, "db")
 	return &DB{
 		pool:   pool,
 		pager:  pager,
@@ -53,6 +55,7 @@ func Open(path string, poolPages int) (*DB, error) {
 		pager.Close()
 		return nil, err
 	}
+	pool.RegisterMetrics(obs.Default, "db")
 	return &DB{
 		pool:   pool,
 		pager:  pager,
@@ -72,6 +75,9 @@ func (d *DB) Close() error {
 
 // Flush writes all dirty pages back.
 func (d *DB) Flush() error { return d.pool.FlushAll() }
+
+// PoolStats returns the engine's buffer-pool counters.
+func (d *DB) PoolStats() storage.Stats { return d.pool.Stats() }
 
 // CreateTable registers a new empty table with the given schema.
 func (d *DB) CreateTable(s Schema) (*Table, error) {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"genalg/internal/obs"
 	"genalg/internal/parallel"
 )
 
@@ -127,6 +128,9 @@ type Pipeline struct {
 	breakers []*Breaker
 	jitter   *lockedRand
 
+	// reg receives the pipeline's metrics; nil selects obs.Default.
+	reg *obs.Registry
+
 	mu    sync.Mutex
 	stats struct {
 		rounds, deltas              int64
@@ -136,8 +140,26 @@ type Pipeline struct {
 	}
 }
 
-func (p *Pipeline) addAttempts(n int64) { p.stats.attempts.Add(n) }
-func (p *Pipeline) addRetries(n int64)  { p.stats.retries.Add(n) }
+// SetRegistry redirects the pipeline's metrics to reg (nil restores
+// obs.Default). Call before the first round.
+func (p *Pipeline) SetRegistry(reg *obs.Registry) { p.reg = reg }
+
+func (p *Pipeline) registry() *obs.Registry {
+	if p.reg != nil {
+		return p.reg
+	}
+	return obs.Default
+}
+
+func (p *Pipeline) addAttempts(n int64) {
+	p.stats.attempts.Add(n)
+	p.registry().Counter("etl.attempts").Add(n)
+}
+
+func (p *Pipeline) addRetries(n int64) {
+	p.stats.retries.Add(n)
+	p.registry().Counter("etl.retries").Add(n)
+}
 
 // NewPipeline builds a pipeline over detectors feeding a plain sink. The
 // sink's batch is counted wholly toward RecordsOK on success.
@@ -190,8 +212,10 @@ func (p *Pipeline) Round() (int, error) {
 // non-nil only for whole-round failures: a sink failure, or (in strict
 // mode) any detector failure.
 func (p *Pipeline) RoundDetailed(ctx context.Context) (RoundReport, error) {
+	reg := p.registry()
 	var rep RoundReport
 	var merged []Delta
+	pollDone := reg.Timer("etl.poll.seconds")
 	if !p.policy.Enabled() {
 		perDet, err := parallel.Map(ctx, p.detectors, parallel.Workers(),
 			func(i int, det Detector) ([]Delta, error) {
@@ -213,12 +237,14 @@ func (p *Pipeline) RoundDetailed(ctx context.Context) (RoundReport, error) {
 				br := p.breakers[i]
 				if !br.Allow() {
 					p.stats.breakerOpen.Add(1)
+					reg.Counter("etl.breaker_open").Inc()
 					return nil, errBreakerOpen
 				}
 				ds, derr := PollWithRetry(ctx, det, p.policy, p.jitter.float64, p)
 				if derr != nil {
 					br.Failure()
 					p.stats.sourceFailures.Add(1)
+					reg.Counter("etl.source_failures").Inc()
 					return nil, derr
 				}
 				br.Success()
@@ -238,9 +264,13 @@ func (p *Pipeline) RoundDetailed(ctx context.Context) (RoundReport, error) {
 		merged = mergeDeltas(perDet)
 	}
 
+	pollDone()
 	rep.Deltas = len(merged)
+	sinkDone := reg.Timer("etl.sink.seconds")
 	sinkRep, err := p.sink(merged)
+	sinkDone()
 	if err != nil {
+		reg.Counter("etl.sink_failures").Inc()
 		return rep, err
 	}
 	rep.RecordsOK = sinkRep.RecordsOK
@@ -251,6 +281,10 @@ func (p *Pipeline) RoundDetailed(ctx context.Context) (RoundReport, error) {
 	p.stats.recordsOK += int64(sinkRep.RecordsOK)
 	p.stats.quarantined += int64(sinkRep.Quarantined)
 	p.mu.Unlock()
+	reg.Counter("etl.rounds").Inc()
+	reg.Counter("etl.deltas").Add(int64(len(merged)))
+	reg.Counter("etl.records_ok").Add(int64(sinkRep.RecordsOK))
+	reg.Counter("etl.quarantined").Add(int64(sinkRep.Quarantined))
 	return rep, nil
 }
 

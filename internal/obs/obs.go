@@ -1,0 +1,378 @@
+// Package obs is the repository's dependency-free observability substrate:
+// a metrics registry of counters, gauges, and fixed-bucket histograms,
+// plus a lightweight span/timer API (span.go). Every subsystem registers
+// its metrics under a dotted name ("storage.pool.db.hits",
+// "etl.records_ok", "sqlang.query.seconds"), so one snapshot of the
+// Default registry shows where time and rows go across the whole stack.
+//
+// Design rules:
+//
+//   - No dependencies beyond the standard library; the JSON snapshot is
+//     expvar-shaped so external scrapers need nothing new.
+//   - Get-or-create accessors: Counter/Gauge/Histogram return the existing
+//     metric when the name is already registered, so call sites never need
+//     an init ceremony.
+//   - Hot-path operations (Counter.Add, Gauge.Set, Histogram.Observe) are
+//     lock-free or take one uncontended mutex; snapshots pay the cost.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DurationBuckets is the default histogram layout for timings, in seconds:
+// 1µs to 10s, one decade per bucket. Observations above the last bound land
+// in the implicit +Inf bucket.
+var DurationBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// Histogram counts observations into a fixed set of cumulative-style
+// buckets (upper bounds, sorted ascending) plus an implicit +Inf bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is +Inf
+	sum    float64
+	n      int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// BucketCount is one histogram bucket in a snapshot: the count of
+// observations at or below the upper bound Le (math.Inf(1) for the
+// overflow bucket).
+type BucketCount struct {
+	Le float64
+	N  int64
+}
+
+// Buckets returns a snapshot of per-bucket counts (not cumulative).
+func (h *Histogram) Buckets() []BucketCount {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]BucketCount, len(h.counts))
+	for i := range h.counts {
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		out[i] = BucketCount{Le: le, N: h.counts[i]}
+	}
+	return out
+}
+
+// Registry holds named metrics. The zero value is not usable; call New.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gfuncs   map[string]func() float64
+	hists    map[string]*Histogram
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		gfuncs:   map[string]func() float64{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry the stack's subsystems report into.
+var Default = New()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// GaugeFunc registers (or replaces) a gauge whose value is computed at
+// snapshot time. Replacement semantics let short-lived owners (a test's
+// buffer pool, a rebuilt warehouse) re-register the same name without
+// leaking stale closures.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gfuncs[name] = fn
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (DurationBuckets when none are given). Bounds
+// are fixed at creation; later calls ignore the argument.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	if len(bounds) == 0 {
+		bounds = DurationBuckets
+	}
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	h = &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
+	r.hists[name] = h
+	return h
+}
+
+// Reset drops every metric. Intended for tests.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = map[string]*Counter{}
+	r.gauges = map[string]*Gauge{}
+	r.gfuncs = map[string]func() float64{}
+	r.hists = map[string]*Histogram{}
+}
+
+// Metric is one snapshot entry.
+type Metric struct {
+	Name string
+	Kind string // "counter", "gauge", "histogram"
+	// Value holds the counter/gauge value; for histograms it is the count.
+	Value float64
+	// Sum and Buckets are set for histograms only.
+	Sum     float64
+	Buckets []BucketCount
+}
+
+// Snapshot returns every metric, sorted by name (kind breaks ties), with
+// gauge funcs evaluated. Safe to call concurrently with updates.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	gfuncs := make(map[string]func() float64, len(r.gfuncs))
+	for k, v := range r.gfuncs {
+		gfuncs[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+
+	var out []Metric
+	for name, c := range counters {
+		out = append(out, Metric{Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range gauges {
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, fn := range gfuncs {
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: fn()})
+	}
+	for name, h := range hists {
+		out = append(out, Metric{
+			Name: name, Kind: "histogram",
+			Value: float64(h.Count()), Sum: h.Sum(), Buckets: h.Buckets(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// WriteText renders an aligned human-readable snapshot, one metric per
+// line. Histograms show count, sum, and mean.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		var err error
+		switch m.Kind {
+		case "histogram":
+			mean := 0.0
+			if m.Value > 0 {
+				mean = m.Sum / m.Value
+			}
+			_, err = fmt.Fprintf(w, "%-9s %-44s count=%d sum=%.6g mean=%.6g\n",
+				m.Kind, m.Name, int64(m.Value), m.Sum, mean)
+		default:
+			_, err = fmt.Fprintf(w, "%-9s %-44s %g\n", m.Kind, m.Name, m.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes an expvar-style JSON snapshot: counters and gauges as
+// name->number, histograms as name->{count,sum,buckets:[{le,n}]}. The +Inf
+// bucket bound is encoded as the string "+Inf" (JSON has no infinity).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	type jsonBucket struct {
+		Le any   `json:"le"`
+		N  int64 `json:"n"`
+	}
+	type jsonHist struct {
+		Count   int64        `json:"count"`
+		Sum     float64      `json:"sum"`
+		Buckets []jsonBucket `json:"buckets"`
+	}
+	doc := struct {
+		Counters   map[string]int64    `json:"counters"`
+		Gauges     map[string]float64  `json:"gauges"`
+		Histograms map[string]jsonHist `json:"histograms"`
+	}{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]jsonHist{},
+	}
+	for _, m := range r.Snapshot() {
+		switch m.Kind {
+		case "counter":
+			doc.Counters[m.Name] = int64(m.Value)
+		case "gauge":
+			doc.Gauges[m.Name] = m.Value
+		case "histogram":
+			jh := jsonHist{Count: int64(m.Value), Sum: m.Sum}
+			for _, b := range m.Buckets {
+				le := any(b.Le)
+				if math.IsInf(b.Le, 1) {
+					le = "+Inf"
+				}
+				jh.Buckets = append(jh.Buckets, jsonBucket{Le: le, N: b.N})
+			}
+			doc.Histograms[m.Name] = jh
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Join builds a dotted metric name from parts, skipping empties:
+// Join("storage.pool", "db", "hits") -> "storage.pool.db.hits".
+func Join(parts ...string) string {
+	var kept []string
+	for _, p := range parts {
+		if p != "" {
+			kept = append(kept, p)
+		}
+	}
+	return strings.Join(kept, ".")
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGetOrCreate(t *testing.T) {
+	r := New()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only go up
+	if got := r.Counter("a.b").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	r := New()
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestGaugeFuncReplace(t *testing.T) {
+	r := New()
+	r.GaugeFunc("f", func() float64 { return 1 })
+	r.GaugeFunc("f", func() float64 { return 7 })
+	for _, m := range r.Snapshot() {
+		if m.Name == "f" {
+			if m.Value != 7 {
+				t.Fatalf("gauge func = %g, want 7 (replacement wins)", m.Value)
+			}
+			return
+		}
+	}
+	t.Fatal("gauge func missing from snapshot")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", 1, 10, 100)
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 555.5 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	bs := h.Buckets()
+	if len(bs) != 4 {
+		t.Fatalf("buckets = %v", bs)
+	}
+	for i, want := range []int64{1, 1, 1, 1} {
+		if bs[i].N != want {
+			t.Fatalf("bucket %d = %+v, want n=%d", i, bs[i], want)
+		}
+	}
+	if !math.IsInf(bs[3].Le, 1) {
+		t.Fatalf("last bucket bound = %g, want +Inf", bs[3].Le)
+	}
+}
+
+func TestSnapshotSortedAndConcurrent(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("z.count").Inc()
+				r.Gauge("a.gauge").Set(float64(j))
+				r.Histogram("m.hist").Observe(0.001)
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d entries", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name > snap[i].Name {
+			t.Fatalf("snapshot not sorted: %q > %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+	if snap[2].Value != 800 {
+		t.Fatalf("z.count = %g, want 800", snap[2].Value)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(1.25)
+	r.Histogram("h").Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), `"+Inf"`) {
+		t.Errorf("overflow bucket not encoded: %s", buf.String())
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := New()
+	r.Counter("etl.rounds").Add(2)
+	r.Histogram("q.seconds").Observe(0.01)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "etl.rounds") || !strings.Contains(out, "count=1") {
+		t.Errorf("text snapshot missing content:\n%s", out)
+	}
+}
+
+func TestSpanAndTimer(t *testing.T) {
+	r := New()
+	sp := StartSpan(r, "t.seconds")
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d <= 0 {
+		t.Fatalf("span duration = %v", d)
+	}
+	stop := r.Timer("t.seconds")
+	if d := stop(); d < 0 {
+		t.Fatalf("timer duration = %v", d)
+	}
+	if n := r.Histogram("t.seconds").Count(); n != 2 {
+		t.Fatalf("histogram count = %d, want 2", n)
+	}
+	// Zero span is a no-op.
+	var zero Span
+	if d := zero.End(); d != 0 {
+		t.Fatalf("zero span = %v", d)
+	}
+	if s := StartSpan(nil, "x"); s.End() != 0 {
+		t.Fatal("nil-registry span should be a no-op")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	if got := Join("storage.pool", "", "hits"); got != "storage.pool.hits" {
+		t.Fatalf("Join = %q", got)
+	}
+}

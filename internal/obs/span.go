@@ -1,0 +1,40 @@
+package obs
+
+import "time"
+
+// Span measures one timed region and records its duration, in seconds,
+// into a histogram when ended. The zero Span is a no-op, so callers can
+// thread an optional span without nil checks.
+type Span struct {
+	hist  *Histogram
+	start time.Time
+}
+
+// StartSpan begins timing against the named histogram of r (created with
+// DurationBuckets on first use). A nil registry returns a no-op span.
+func StartSpan(r *Registry, name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{hist: r.Histogram(name), start: time.Now()}
+}
+
+// End stops the span, records the elapsed seconds, and returns the
+// duration. Safe to call on the zero Span (returns 0, records nothing).
+func (s Span) End() time.Duration {
+	if s.hist == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.hist.Observe(d.Seconds())
+	return d
+}
+
+// Timer returns a stop function that records the elapsed seconds into the
+// named histogram — the closure form of StartSpan for defer-style use:
+//
+//	defer reg.Timer("etl.poll.seconds")()
+func (r *Registry) Timer(name string) func() time.Duration {
+	s := StartSpan(r, name)
+	return s.End
+}

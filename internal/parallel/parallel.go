@@ -30,15 +30,59 @@ import (
 // count. Values < 1 or non-numeric are ignored.
 const EnvWorkers = "GENALG_WORKERS"
 
-// Workers returns the default worker bound: the GENALG_WORKERS environment
-// override when set and positive, otherwise GOMAXPROCS.
-func Workers() int {
+// workersOverride, when positive, wins over the environment (SetWorkers).
+var workersOverride atomic.Int32
+
+// envWorkersState caches the GENALG_WORKERS parse so hot paths (per-query
+// scans, per-poll fan-outs) don't pay os.Getenv + strconv.Atoi on every
+// call: 0 = not yet parsed, otherwise parsed-value+1 (so an unset/invalid
+// env caches as 1). A racing double parse is benign — both writers store
+// the same value.
+var envWorkersState atomic.Int64
+
+func parseEnvWorkers() int64 {
 	if v := os.Getenv(EnvWorkers); v != "" {
 		if n, err := strconv.Atoi(v); err == nil && n >= 1 {
-			return n
+			return int64(n)
 		}
 	}
+	return 0
+}
+
+// Workers returns the default worker bound: a SetWorkers override first,
+// then the GENALG_WORKERS environment override when set and positive,
+// otherwise GOMAXPROCS. The environment is parsed once and cached; use
+// ResetWorkersCache after changing it (tests).
+func Workers() int {
+	if n := workersOverride.Load(); n > 0 {
+		return int(n)
+	}
+	s := envWorkersState.Load()
+	if s == 0 {
+		s = parseEnvWorkers() + 1
+		envWorkersState.Store(s)
+	}
+	if n := s - 1; n > 0 {
+		return int(n)
+	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers forces Workers to return n (n >= 1), bypassing the
+// environment — a hook for tests and benchmarks. n <= 0 removes the
+// override, restoring environment/GOMAXPROCS resolution.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workersOverride.Store(int32(n))
+}
+
+// ResetWorkersCache discards the cached GENALG_WORKERS parse so the next
+// Workers call re-reads the environment. Needed only by tests that change
+// the variable mid-process.
+func ResetWorkersCache() {
+	envWorkersState.Store(0)
 }
 
 // Clamp bounds workers to [1, n] so callers never spawn more goroutines

@@ -190,17 +190,59 @@ func TestClamp(t *testing.T) {
 }
 
 func TestWorkersEnvOverride(t *testing.T) {
+	t.Cleanup(ResetWorkersCache)
 	t.Setenv(EnvWorkers, "6")
+	ResetWorkersCache()
 	if got := Workers(); got != 6 {
 		t.Fatalf("Workers()=%d with %s=6", got, EnvWorkers)
 	}
 	t.Setenv(EnvWorkers, "bogus")
+	ResetWorkersCache()
 	if got := Workers(); got < 1 {
 		t.Fatalf("Workers()=%d with bogus override", got)
 	}
 	t.Setenv(EnvWorkers, "-3")
+	ResetWorkersCache()
 	if got := Workers(); got < 1 {
 		t.Fatalf("Workers()=%d with negative override", got)
+	}
+}
+
+// TestWorkersEnvCached pins the bugfix: the environment is parsed once,
+// not on every call — a later env change without ResetWorkersCache is
+// intentionally invisible.
+func TestWorkersEnvCached(t *testing.T) {
+	t.Cleanup(ResetWorkersCache)
+	t.Setenv(EnvWorkers, "5")
+	ResetWorkersCache()
+	if got := Workers(); got != 5 {
+		t.Fatalf("Workers()=%d, want 5", got)
+	}
+	t.Setenv(EnvWorkers, "9")
+	if got := Workers(); got != 5 {
+		t.Fatalf("Workers()=%d after env change, want cached 5", got)
+	}
+	ResetWorkersCache()
+	if got := Workers(); got != 9 {
+		t.Fatalf("Workers()=%d after cache reset, want 9", got)
+	}
+}
+
+func TestSetWorkersOverride(t *testing.T) {
+	t.Cleanup(func() { SetWorkers(0); ResetWorkersCache() })
+	t.Setenv(EnvWorkers, "3")
+	ResetWorkersCache()
+	SetWorkers(7)
+	if got := Workers(); got != 7 {
+		t.Fatalf("Workers()=%d with SetWorkers(7), want 7", got)
+	}
+	SetWorkers(0)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers()=%d after clearing override, want env 3", got)
+	}
+	SetWorkers(-2) // negative clears too
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers()=%d after negative SetWorkers, want 3", got)
 	}
 }
 

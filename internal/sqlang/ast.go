@@ -145,6 +145,9 @@ type SelectStmt struct {
 	OrderBy  []OrderKey
 	Limit    int // -1 = no limit
 	Explain  bool
+	// Analyze (EXPLAIN ANALYZE) executes the query and reports the plan
+	// with actual row counts and per-operator wall time.
+	Analyze bool
 }
 
 // JoinClause is an explicit JOIN ... ON.

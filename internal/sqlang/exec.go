@@ -6,9 +6,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"genalg/internal/db"
 	"genalg/internal/kmeridx"
+	"genalg/internal/obs"
 	"genalg/internal/parallel"
 	"genalg/internal/storage"
 )
@@ -40,10 +43,26 @@ type Engine struct {
 	// default (GENALG_WORKERS or GOMAXPROCS, see package parallel), 1
 	// forces serial execution. Set at construction time; not synchronized.
 	Workers int
+	// Obs receives the engine's metrics (statement counts, latency
+	// histogram, slow-query count); nil selects obs.Default. Set at
+	// construction time; not synchronized.
+	Obs *obs.Registry
+	// SlowQueryThreshold enables the slow-query log: statements at least
+	// this slow are recorded (retrievable via SlowQueries). 0 disables.
+	SlowQueryThreshold time.Duration
+	slow               slowLog
 }
 
 // NewEngine wraps an engine instance.
 func NewEngine(d *db.DB) *Engine { return &Engine{DB: d} }
+
+// registry resolves the engine's metrics registry.
+func (e *Engine) registry() *obs.Registry {
+	if e.Obs != nil {
+		return e.Obs
+	}
+	return obs.Default
+}
 
 // workerBound resolves the engine's effective worker count.
 func (e *Engine) workerBound() int {
@@ -57,13 +76,44 @@ func (e *Engine) workerBound() int {
 func (e *Engine) Exec(sql string) (*Result, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
+		e.registry().Counter("sqlang.parse_errors").Inc()
 		return nil, err
 	}
-	return e.ExecStmt(stmt)
+	return e.ExecStmtSQL(stmt, sql)
 }
 
-// ExecStmt executes a parsed statement.
+// ExecStmt executes a parsed statement. The slow-query log records a
+// statement-type summary; callers that kept the SQL text should prefer
+// ExecStmtSQL.
 func (e *Engine) ExecStmt(stmt Stmt) (*Result, error) {
+	return e.ExecStmtSQL(stmt, "")
+}
+
+// ExecStmtSQL executes a parsed statement while retaining its SQL text for
+// the slow-query log, and records the engine's statement metrics.
+func (e *Engine) ExecStmtSQL(stmt Stmt, sql string) (*Result, error) {
+	reg := e.registry()
+	start := time.Now()
+	res, err := e.execStmt(stmt)
+	d := time.Since(start)
+	reg.Counter("sqlang.statements").Inc()
+	reg.Histogram("sqlang.query.seconds").Observe(d.Seconds())
+	if err != nil {
+		reg.Counter("sqlang.errors").Inc()
+		return nil, err
+	}
+	if thr := e.SlowQueryThreshold; thr > 0 && d >= thr {
+		reg.Counter("sqlang.slow_queries").Inc()
+		text := sql
+		if text == "" {
+			text = strings.TrimPrefix(fmt.Sprintf("%T", stmt), "*sqlang.")
+		}
+		e.slow.add(SlowQuery{SQL: text, Duration: d, Plan: res.Plan, At: time.Now()})
+	}
+	return res, nil
+}
+
+func (e *Engine) execStmt(stmt Stmt) (*Result, error) {
 	switch s := stmt.(type) {
 	case *SelectStmt:
 		return e.execSelect(s)
@@ -431,6 +481,7 @@ func (e *Engine) chooseAccess(tbl *db.Table, tableName string, sc *scope, preds 
 }
 
 func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
+	start := time.Now()
 	if len(s.From) == 0 {
 		return nil, fmt.Errorf("sqlang: SELECT requires FROM")
 	}
@@ -479,31 +530,39 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 	scanWorkers := e.workerBound()
 	useParallelScan := path.rids == nil && len(tables) == 1 &&
 		scanWorkers > 1 && drive.tbl.RowCount() >= parallelScanThreshold
-	var planSB strings.Builder
-	fmt.Fprintf(&planSB, "access: %s\n", path.desc)
-	if useParallelScan {
-		fmt.Fprintf(&planSB, "parallel scan: %d workers\n", scanWorkers)
-	}
 	var filters []Expr
 	for _, p := range preds {
 		if p != path.used {
 			filters = append(filters, p)
 		}
 	}
-	if len(filters) > 0 {
-		fmt.Fprintf(&planSB, "filters:")
-		for _, f := range filters {
-			sel, cost := e.predicateStats(f)
-			fmt.Fprintf(&planSB, " [%s sel=%.3g cost=%.3g]", f, sel, cost)
-		}
-		fmt.Fprintf(&planSB, "\n")
+	analyze := s.Analyze
+	pi := &planInfo{analyze: analyze, access: path.desc}
+	if useParallelScan {
+		pi.parallelWorkers = scanWorkers
+	}
+	for _, f := range filters {
+		sel, cost := e.predicateStats(f)
+		pi.filters = append(pi.filters, filterInfo{expr: f, sel: sel, cost: cost})
 	}
 	for _, bt := range tables[1:] {
-		fmt.Fprintf(&planSB, "nested-loop join: %s\n", bt.ref.EffectiveName())
+		pi.joins = append(pi.joins, bt.ref.EffectiveName())
 	}
+	// Cardinality estimates: driving rows, then the join cross product,
+	// then each residual filter's selectivity.
+	pi.estAccess = e.accessEstimate(path, drive.tbl, drive.ref.Name)
+	est := float64(pi.estAccess)
+	for _, bt := range tables[1:] {
+		est *= float64(bt.tbl.RowCount())
+	}
+	for _, f := range pi.filters {
+		est *= f.sel
+	}
+	pi.estFilter = int(est + 0.5)
 
-	if s.Explain {
-		return &Result{Cols: []string{"plan"}, Rows: []db.Row{{planSB.String()}}, Plan: planSB.String()}, nil
+	if s.Explain && !analyze {
+		plan := pi.render()
+		return &Result{Cols: []string{"plan"}, Rows: []db.Row{{plan}}, Plan: plan}, nil
 	}
 
 	// Produce driving rows.
@@ -512,23 +571,37 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 	appendJoined := func(base db.Row) error {
 		// Nested-loop join the remaining tables.
 		rows := []db.Row{base}
-		for _, bt := range tables[1:] {
-			var next []db.Row
-			for _, left := range rows {
-				err := bt.tbl.Scan(func(_ storage.RID, right db.Row) bool {
-					joined := make(db.Row, 0, len(left)+len(right))
-					joined = append(joined, left...)
-					joined = append(joined, right...)
-					next = append(next, joined)
-					return true
-				})
-				if err != nil {
-					return err
-				}
+		if len(tables) > 1 {
+			var tj time.Time
+			if analyze {
+				tj = time.Now()
 			}
-			rows = next
+			for _, bt := range tables[1:] {
+				var next []db.Row
+				for _, left := range rows {
+					err := bt.tbl.Scan(func(_ storage.RID, right db.Row) bool {
+						joined := make(db.Row, 0, len(left)+len(right))
+						joined = append(joined, left...)
+						joined = append(joined, right...)
+						next = append(next, joined)
+						return true
+					})
+					if err != nil {
+						return err
+					}
+				}
+				rows = next
+			}
+			if analyze {
+				pi.joinNanos += time.Since(tj).Nanoseconds()
+				pi.actJoined += int64(len(rows))
+			}
 		}
 		// Apply residual filters.
+		var tf time.Time
+		if analyze {
+			tf = time.Now()
+		}
 	rowLoop:
 		for _, row := range rows {
 			ctx.row = row
@@ -542,16 +615,28 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 				}
 			}
 			working = append(working, row)
+			pi.actFilter++
+		}
+		if analyze {
+			pi.filterNanos += time.Since(tf).Nanoseconds()
 		}
 		return nil
 	}
 
 	if path.rids != nil {
 		for _, rid := range path.rids {
+			var t0 time.Time
+			if analyze {
+				t0 = time.Now()
+			}
 			row, err := drive.tbl.Get(rid)
 			if err != nil {
 				return nil, err
 			}
+			if analyze {
+				pi.accessNanos += time.Since(t0).Nanoseconds()
+			}
+			pi.actAccess++
 			if err := appendJoined(row); err != nil {
 				return nil, err
 			}
@@ -562,23 +647,45 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 		// per-partition row lists concatenated in partition order equal
 		// the serial scan's output exactly.
 		parts := make([][]db.Row, scanWorkers)
+		var scanned, keptRows, filterNanos, accessNanos atomic.Int64
 		err := parallel.ForEach(context.Background(), scanWorkers, scanWorkers, func(part int) error {
 			pctx := &evalCtx{scope: sc, funcs: e.DB.Funcs}
 			var kept []db.Row
 			var innerErr error
+			var localScanned, localFilterNanos int64
+			var tShard time.Time
+			if analyze {
+				tShard = time.Now()
+			}
 			err := drive.tbl.ScanShard(part, scanWorkers, func(_ storage.RID, row db.Row) bool {
+				localScanned++
 				pctx.row = row
+				var tf time.Time
+				if analyze {
+					tf = time.Now()
+				}
+				pass := true
 				for _, f := range filters {
 					v, err := eval(pctx, f)
 					if err != nil {
 						innerErr = err
-						return false
+						pass = false
+						break
 					}
 					if !truthy(v) {
-						return true
+						pass = false
+						break
 					}
 				}
-				kept = append(kept, row)
+				if analyze {
+					localFilterNanos += time.Since(tf).Nanoseconds()
+				}
+				if innerErr != nil {
+					return false
+				}
+				if pass {
+					kept = append(kept, row)
+				}
 				return true
 			})
 			if innerErr != nil {
@@ -588,6 +695,12 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 				return err
 			}
 			parts[part] = kept
+			scanned.Add(localScanned)
+			keptRows.Add(int64(len(kept)))
+			if analyze {
+				filterNanos.Add(localFilterNanos)
+				accessNanos.Add(time.Since(tShard).Nanoseconds() - localFilterNanos)
+			}
 			return nil
 		})
 		if err != nil {
@@ -596,9 +709,18 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 		for _, p := range parts {
 			working = append(working, p...)
 		}
+		pi.actAccess = scanned.Load()
+		pi.actFilter = keptRows.Load()
+		pi.filterNanos = filterNanos.Load()
+		pi.accessNanos = accessNanos.Load()
 	} else {
 		var innerErr error
+		var tScan time.Time
+		if analyze {
+			tScan = time.Now()
+		}
 		err := drive.tbl.Scan(func(_ storage.RID, row db.Row) bool {
+			pi.actAccess++
 			if err := appendJoined(row); err != nil {
 				innerErr = err
 				return false
@@ -610,6 +732,14 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 		}
 		if err != nil {
 			return nil, err
+		}
+		if analyze {
+			// The scan callback's elapsed time includes join and filter
+			// work; attribute the remainder to the access operator.
+			pi.accessNanos = time.Since(tScan).Nanoseconds() - pi.joinNanos - pi.filterNanos
+			if pi.accessNanos < 0 {
+				pi.accessNanos = 0
+			}
 		}
 	}
 
@@ -628,9 +758,18 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 	}
 	var out []db.Row
 	if hasAgg || len(s.GroupBy) > 0 {
+		var tAgg time.Time
+		if analyze {
+			tAgg = time.Now()
+		}
 		out, err = e.aggregate(ctx, items, s.GroupBy, s.Having, working)
 		if err != nil {
 			return nil, err
+		}
+		if analyze {
+			pi.aggregated = true
+			pi.aggGroups = len(out)
+			pi.aggNanos = time.Since(tAgg).Nanoseconds()
 		}
 	} else {
 		for _, row := range working {
@@ -651,8 +790,16 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 	// output alias, otherwise against the pre-projection row (only valid
 	// without aggregation).
 	if len(s.OrderBy) > 0 {
+		var tSort time.Time
+		if analyze {
+			tSort = time.Now()
+		}
 		if err := e.orderRows(ctx, s, items, cols, working, out, hasAgg); err != nil {
 			return nil, err
+		}
+		if analyze {
+			pi.sortKeys = len(s.OrderBy)
+			pi.sortNanos = time.Since(tSort).Nanoseconds()
 		}
 	}
 	if s.Distinct {
@@ -661,7 +808,13 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 	if s.Limit >= 0 && len(out) > s.Limit {
 		out = out[:s.Limit]
 	}
-	return &Result{Cols: cols, Rows: out, Plan: planSB.String()}, nil
+	if analyze {
+		pi.outRows = len(out)
+		pi.totalNanos = time.Since(start).Nanoseconds()
+		plan := pi.render()
+		return &Result{Cols: []string{"plan"}, Rows: []db.Row{{plan}}, Plan: plan}, nil
+	}
+	return &Result{Cols: cols, Rows: out, Plan: pi.render()}, nil
 }
 
 // distinctRows removes duplicate output tuples, keeping first occurrences.

@@ -1,0 +1,123 @@
+package sqlang
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExplainAnalyzeFullScan pins the ANALYZE annotations on a full-table
+// scan: the access line must carry the estimated row count (the table's
+// size), the actual rows scanned, and a wall time.
+func TestExplainAnalyzeFullScan(t *testing.T) {
+	e := testEngine(t)
+	setupFragments(t, e, 50)
+
+	r := mustExec(t, e, `EXPLAIN ANALYZE SELECT id FROM DNAFragments WHERE quality >= 0.25`)
+	if len(r.Rows) != 1 || len(r.Cols) != 1 || r.Cols[0] != "plan" {
+		t.Fatalf("EXPLAIN ANALYZE shape: cols=%v rows=%d", r.Cols, len(r.Rows))
+	}
+	plan := r.Rows[0][0].(string)
+	if !strings.Contains(plan, "access: scan DNAFragments (est=50 act=50 time=") {
+		t.Errorf("access line missing est/act annotations:\n%s", plan)
+	}
+	// quality = 0.00..0.49 over ids 0..49; exactly 25 rows have >= 0.25.
+	if !strings.Contains(plan, "act=25") {
+		t.Errorf("filter line missing actual survivor count 25:\n%s", plan)
+	}
+	if !strings.Contains(plan, "rows: 25 (total time=") {
+		t.Errorf("missing output-row total line:\n%s", plan)
+	}
+}
+
+// TestExplainAnalyzeIndexed pins estimated-vs-actual on an index-equality
+// path: after ANALYZE the estimate comes from rows/distinct (50/50 = 1)
+// and the actual count from execution.
+func TestExplainAnalyzeIndexed(t *testing.T) {
+	e := testEngine(t)
+	setupFragments(t, e, 50)
+	mustExec(t, e, `CREATE INDEX ON DNAFragments (id)`)
+	mustExec(t, e, `ANALYZE DNAFragments`)
+
+	r := mustExec(t, e, `EXPLAIN ANALYZE SELECT quality FROM DNAFragments WHERE id = 'F0007'`)
+	plan := r.Rows[0][0].(string)
+	if !strings.Contains(plan, "access: index eq DNAFragments.id (est=1 act=1 time=") {
+		t.Errorf("index access line missing est=1 act=1:\n%s", plan)
+	}
+	if !strings.Contains(plan, "rows: 1 (total time=") {
+		t.Errorf("missing output-row total line:\n%s", plan)
+	}
+}
+
+// TestExplainEstimateOnly: plain EXPLAIN does not execute, so it carries
+// estimates but no act=/time= annotations.
+func TestExplainEstimateOnly(t *testing.T) {
+	e := testEngine(t)
+	setupFragments(t, e, 20)
+
+	r := mustExec(t, e, `EXPLAIN SELECT id FROM DNAFragments WHERE quality >= 0.5`)
+	plan := r.Rows[0][0].(string)
+	if !strings.Contains(plan, "access: scan DNAFragments (est=20)") {
+		t.Errorf("EXPLAIN access line missing estimate:\n%s", plan)
+	}
+	if strings.Contains(plan, "act=") || strings.Contains(plan, "time=") {
+		t.Errorf("EXPLAIN must not carry actuals:\n%s", plan)
+	}
+}
+
+// TestExplainAnalyzeAggregateSort covers the per-operator lines for
+// aggregation and sorting.
+func TestExplainAnalyzeAggregateSort(t *testing.T) {
+	e := testEngine(t)
+	setupFragments(t, e, 30)
+
+	r := mustExec(t, e, `EXPLAIN ANALYZE SELECT source, COUNT(*) AS n FROM DNAFragments GROUP BY source ORDER BY n DESC`)
+	plan := r.Rows[0][0].(string)
+	if !strings.Contains(plan, "aggregate: 2 groups (time=") {
+		t.Errorf("missing aggregate line (embl/genbank groups):\n%s", plan)
+	}
+	if !strings.Contains(plan, "sort: 1 keys (time=") {
+		t.Errorf("missing sort line:\n%s", plan)
+	}
+}
+
+// TestSlowQueryLog exercises the threshold, the ring bound, and the SQL
+// text recorded via Exec.
+func TestSlowQueryLog(t *testing.T) {
+	e := testEngine(t)
+	setupFragments(t, e, 10)
+	e.SlowQueryThreshold = time.Nanosecond // everything is slow
+
+	mustExec(t, e, `SELECT COUNT(*) FROM DNAFragments`)
+	got := e.SlowQueries()
+	if len(got) == 0 {
+		t.Fatal("no slow queries recorded with a 1ns threshold")
+	}
+	last := got[len(got)-1]
+	if last.SQL != `SELECT COUNT(*) FROM DNAFragments` {
+		t.Errorf("slow-log SQL = %q", last.SQL)
+	}
+	if last.Duration <= 0 {
+		t.Errorf("slow-log duration = %v", last.Duration)
+	}
+	if !strings.Contains(last.Plan, "access: scan DNAFragments") {
+		t.Errorf("slow-log plan = %q", last.Plan)
+	}
+
+	// The log is bounded: hammer past the cap and check the size.
+	for i := 0; i < slowLogCap+20; i++ {
+		mustExec(t, e, fmt.Sprintf(`SELECT id FROM DNAFragments WHERE quality >= 0.%d`, i%10))
+	}
+	if n := len(e.SlowQueries()); n != slowLogCap {
+		t.Errorf("slow log holds %d entries, want cap %d", n, slowLogCap)
+	}
+
+	// Threshold 0 disables recording.
+	e2 := testEngine(t)
+	setupFragments(t, e2, 5)
+	mustExec(t, e2, `SELECT COUNT(*) FROM DNAFragments`)
+	if n := len(e2.SlowQueries()); n != 0 {
+		t.Errorf("slow log recorded %d entries with threshold 0", n)
+	}
+}

@@ -78,11 +78,13 @@ func (p *parser) acceptSymbol(sym string) bool {
 func (p *parser) parseStmt() (Stmt, error) {
 	switch {
 	case p.acceptKeyword("EXPLAIN"):
+		analyze := p.acceptKeyword("ANALYZE")
 		s, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
 		s.Explain = true
+		s.Analyze = analyze
 		return s, nil
 	case p.peek().kind == tokKeyword && p.peek().text == "SELECT":
 		return p.parseSelect()

@@ -16,6 +16,7 @@ type BufferPool struct {
 	mu     sync.Mutex
 	frames map[PageID]*frame
 	lru    *list.List // of PageID; front = most recently used
+	stats  Stats      // per-pool counters, guarded by mu
 }
 
 type frame struct {
@@ -25,12 +26,20 @@ type frame struct {
 	lruElem *list.Element
 }
 
-// Stats reports buffer-pool counters for benchmarking and tuning.
+// Stats reports buffer-pool counters for benchmarking and tuning. Counters
+// are per pool: two pools never share or corrupt each other's numbers.
 type Stats struct {
-	Hits, Misses, Evictions int
+	Hits, Misses, Evictions, Allocations int
 }
 
-var statsMu sync.Mutex
+// HitRatio returns Hits / (Hits + Misses), or 0 before any Pin.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
 
 // NewBufferPool creates a pool holding at most capacity pages.
 func NewBufferPool(pager Pager, capacity int) (*BufferPool, error) {
@@ -45,26 +54,18 @@ func NewBufferPool(pager Pager, capacity int) (*BufferPool, error) {
 	}, nil
 }
 
-var poolStats Stats
-
-// PoolStats returns a snapshot of global pool counters.
-func PoolStats() Stats {
-	statsMu.Lock()
-	defer statsMu.Unlock()
-	return poolStats
+// Stats returns a snapshot of this pool's counters.
+func (bp *BufferPool) Stats() Stats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
 }
 
-// ResetPoolStats zeroes the global counters.
-func ResetPoolStats() {
-	statsMu.Lock()
-	defer statsMu.Unlock()
-	poolStats = Stats{}
-}
-
-func bump(field *int) {
-	statsMu.Lock()
-	*field++
-	statsMu.Unlock()
+// ResetStats zeroes this pool's counters (for tests and benchmarks).
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = Stats{}
 }
 
 // Pin fetches the page into the pool (reading from the pager on a miss) and
@@ -75,10 +76,10 @@ func (bp *BufferPool) Pin(id PageID) (*Page, error) {
 	if fr, ok := bp.frames[id]; ok {
 		fr.pins++
 		bp.lru.MoveToFront(fr.lruElem)
-		bump(&poolStats.Hits)
+		bp.stats.Hits++
 		return &fr.page, nil
 	}
-	bump(&poolStats.Misses)
+	bp.stats.Misses++
 	if len(bp.frames) >= bp.capacity {
 		if err := bp.evictLocked(); err != nil {
 			return nil, err
@@ -109,7 +110,7 @@ func (bp *BufferPool) evictLocked() error {
 		}
 		bp.lru.Remove(e)
 		delete(bp.frames, id)
-		bump(&poolStats.Evictions)
+		bp.stats.Evictions++
 		return nil
 	}
 	return fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", bp.capacity)
@@ -133,17 +134,29 @@ func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
 	return nil
 }
 
-// Allocate creates a new page via the pager and pins it.
+// Allocate creates a new page via the pager and pins it. The frame is
+// materialized directly — pinned, dirty, and zeroed — rather than
+// round-tripping through pager.Read: the pager never wrote the page's
+// contents, and some pagers reject reads of never-written pages. Marking
+// it dirty guarantees the zeroed image reaches the pager on eviction or
+// flush, so a later Pin always succeeds.
 func (bp *BufferPool) Allocate() (PageID, *Page, error) {
 	id, err := bp.pager.Allocate()
 	if err != nil {
 		return InvalidPage, nil, err
 	}
-	pg, err := bp.Pin(id)
-	if err != nil {
-		return InvalidPage, nil, err
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evictLocked(); err != nil {
+			return InvalidPage, nil, err
+		}
 	}
-	return id, pg, nil
+	fr := &frame{pins: 1, dirty: true}
+	fr.lruElem = bp.lru.PushFront(id)
+	bp.frames[id] = fr
+	bp.stats.Allocations++
+	return id, &fr.page, nil
 }
 
 // FlushAll writes back every dirty frame and syncs the pager. Pins are left

@@ -1,0 +1,21 @@
+package storage
+
+import "genalg/internal/obs"
+
+// RegisterMetrics publishes this pool's counters as gauges in reg under
+// "storage.pool.<name>.{hits,misses,evictions,allocations,resident,
+// hit_ratio}". Gauge funcs have replacement semantics, so re-registering a
+// name (a rebuilt warehouse, a test pool) swaps in the new pool instead of
+// leaking the old one.
+func (bp *BufferPool) RegisterMetrics(reg *obs.Registry, name string) {
+	if reg == nil {
+		return
+	}
+	prefix := obs.Join("storage.pool", name)
+	reg.GaugeFunc(obs.Join(prefix, "hits"), func() float64 { return float64(bp.Stats().Hits) })
+	reg.GaugeFunc(obs.Join(prefix, "misses"), func() float64 { return float64(bp.Stats().Misses) })
+	reg.GaugeFunc(obs.Join(prefix, "evictions"), func() float64 { return float64(bp.Stats().Evictions) })
+	reg.GaugeFunc(obs.Join(prefix, "allocations"), func() float64 { return float64(bp.Stats().Allocations) })
+	reg.GaugeFunc(obs.Join(prefix, "resident"), func() float64 { return float64(bp.Resident()) })
+	reg.GaugeFunc(obs.Join(prefix, "hit_ratio"), func() float64 { return bp.Stats().HitRatio() })
+}

@@ -482,14 +482,13 @@ func TestHeapRoundTripProperty(t *testing.T) {
 }
 
 func TestPoolStatsCounters(t *testing.T) {
-	ResetPoolStats()
 	bp, _ := NewBufferPool(NewMemPager(), 2)
 	id, _, _ := bp.Allocate()
 	bp.Unpin(id, false)
 	bp.Pin(id) // hit
 	bp.Unpin(id, false)
-	st := PoolStats()
-	if st.Hits < 1 {
+	st := bp.Stats()
+	if st.Hits != 1 || st.Allocations != 1 {
 		t.Errorf("stats = %+v", st)
 	}
 }

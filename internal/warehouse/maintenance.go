@@ -7,6 +7,7 @@ import (
 	"genalg/internal/db"
 	"genalg/internal/etl"
 	"genalg/internal/gdt"
+	"genalg/internal/obs"
 	"genalg/internal/sources"
 	"genalg/internal/storage"
 )
@@ -69,6 +70,10 @@ func (w *Warehouse) Refresh() (int, error) {
 
 func (w *Warehouse) applyNow(deltas []etl.Delta) (etl.SinkReport, error) {
 	var rep etl.SinkReport
+	defer func(rep *etl.SinkReport) {
+		obs.Default.Counter("warehouse.maintenance.applied").Add(int64(rep.RecordsOK))
+		obs.Default.Counter("warehouse.maintenance.quarantined").Add(int64(rep.Quarantined))
+	}(&rep)
 	for _, d := range deltas {
 		err := w.applyDelta(d)
 		if err == nil {

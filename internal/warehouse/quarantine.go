@@ -11,6 +11,7 @@ import (
 
 	"genalg/internal/db"
 	"genalg/internal/etl"
+	"genalg/internal/obs"
 	"genalg/internal/parallel"
 	"genalg/internal/sources"
 	"genalg/internal/storage"
@@ -116,6 +117,7 @@ type LoadReport struct {
 // concatenated in repository order before integration, so the result is
 // identical to a serial load of the surviving sources.
 func (w *Warehouse) InitialLoadReport(ctx context.Context, repos []sources.Repository, policy etl.RetryPolicy) (etl.IntegrationStats, LoadReport, error) {
+	defer obs.Default.Timer("warehouse.load.seconds")()
 	rep := LoadReport{Sources: len(repos)}
 	jitter := newLoadJitter(policy.Seed)
 	type loaded struct {
@@ -169,6 +171,9 @@ func (w *Warehouse) InitialLoadReport(ctx context.Context, repos []sources.Repos
 	if err := w.Load(merged); err != nil {
 		return stats, rep, err
 	}
+	obs.Default.Counter("warehouse.load.entities").Add(int64(len(merged)))
+	obs.Default.Counter("warehouse.load.quarantined").Add(int64(rep.Quarantined))
+	obs.Default.Counter("warehouse.load.source_failures").Add(int64(len(rep.Failed)))
 	return stats, rep, nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"genalg/internal/etl"
 	"genalg/internal/gdt"
 	"genalg/internal/genops"
+	"genalg/internal/obs"
 	"genalg/internal/sources"
 	"genalg/internal/sqlang"
 	"genalg/internal/storage"
@@ -75,6 +76,12 @@ func Open(poolPages int, wrapper *etl.Wrapper) (*Warehouse, error) {
 	if err := w.createIntegratedSchema(); err != nil {
 		return nil, err
 	}
+	// Snapshot-time gauge: quarantine depth is the warehouse's data-quality
+	// backlog. GaugeFunc replacement semantics keep re-opened warehouses
+	// from leaking stale closures.
+	obs.Default.GaugeFunc("warehouse.quarantine.records", func() float64 {
+		return float64(w.QuarantineCount())
+	})
 	return w, nil
 }
 
@@ -225,7 +232,7 @@ func (w *Warehouse) Query(user, sql string) (*sqlang.Result, error) {
 			}
 		}
 	}
-	return w.Engine.ExecStmt(stmt)
+	return w.Engine.ExecStmtSQL(stmt, sql)
 }
 
 func (w *Warehouse) checkWritable(user, table string) error {
