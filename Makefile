@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check lint ci check bench smoke smoke-obs fuzz-short
+.PHONY: all build test race vet fmt fmt-check lint ci check bench smoke smoke-obs smoke-trace fuzz-short
 
 all: check
 
@@ -55,6 +55,12 @@ smoke-obs:
 			echo "smoke-obs: missing '$$want' in genalgsh output"; echo "$$out"; exit 1; }; \
 	done; \
 	echo "smoke-obs: ok"
+
+# smoke-trace drives the tracing surface: a traced statement through the
+# shell (span tree + slow-log trace ID), a traced ETL run with JSONL
+# export, and the embedded observability HTTP server's endpoints.
+smoke-trace:
+	./scripts/smoke_trace.sh
 
 # fuzz-short runs the sources parser fuzzer briefly (CI budget).
 fuzz-short:

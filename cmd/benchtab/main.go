@@ -24,6 +24,7 @@ import (
 	"genalg/internal/kmeridx"
 	"genalg/internal/mediator"
 	"genalg/internal/obs"
+	"genalg/internal/obs/httpserve"
 	"genalg/internal/ontology"
 	"genalg/internal/seq"
 	"genalg/internal/sources"
@@ -34,7 +35,17 @@ func main() {
 	only := flag.String("only", "", "run a single experiment: table1, fig2, e1, e2, e3, e4, e11, e12")
 	flag.BoolVar(&quick, "quick", false, "shrink fixtures for CI smoke runs")
 	metrics := flag.Bool("metrics", false, "dump the metrics registry after the experiments")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics and /debug/pprof on this address while the experiments run")
 	flag.Parse()
+	if *obsAddr != "" {
+		srv, err := httpserve.Start(*obsAddr, httpserve.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability server on http://%s\n", srv.Addr())
+	}
 	run := func(name string, fn func() error) {
 		if *only != "" && *only != name {
 			return

@@ -18,13 +18,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"genalg/internal/etl"
 	"genalg/internal/faultsrc"
 	"genalg/internal/obs"
+	"genalg/internal/obs/httpserve"
 	"genalg/internal/ontology"
 	"genalg/internal/sources"
+	"genalg/internal/trace"
 	"genalg/internal/warehouse"
 )
 
@@ -40,6 +43,9 @@ func main() {
 	pollTimeout := flag.Duration("poll-timeout", 50*time.Millisecond, "per-attempt poll deadline under -faults")
 	breaker := flag.Int("breaker", 5, "circuit-breaker threshold under -faults (0 disables)")
 	metricsJSON := flag.String("metrics-json", "", "write an expvar-style JSON metrics snapshot to this file at exit")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /traces, /healthz, /readyz, /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+	traceSpec := flag.String("trace", "", "trace ETL rounds: always, rate=F, or slow=DUR")
+	traceOut := flag.String("trace-out", "", "write stored traces as JSONL to this file at exit")
 	flag.Parse()
 	cfg := runConfig{
 		records: *records, rounds: *rounds, updates: *updates,
@@ -47,6 +53,7 @@ func main() {
 		faults: *faults, faultSeed: *faultSeed,
 		retries: *retries, pollTimeout: *pollTimeout, breaker: *breaker,
 		metricsJSON: *metricsJSON,
+		obsAddr:     *obsAddr, traceSpec: *traceSpec, traceOut: *traceOut,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "etlrun:", err)
@@ -63,12 +70,60 @@ type runConfig struct {
 	pollTimeout              time.Duration
 	breaker                  int
 	metricsJSON              string
+	obsAddr                  string
+	traceSpec                string
+	traceOut                 string
 }
 
 func run(cfg runConfig) error {
+	tracer := trace.New(trace.Sampling{Mode: trace.SampleAlways}, trace.DefaultCapacity)
+	tracer.SetEnabled(false)
+	if cfg.traceSpec != "" {
+		s, err := trace.ParseSampling(cfg.traceSpec)
+		if err != nil {
+			return err
+		}
+		tracer.SetSampling(s)
+		tracer.SetEnabled(true)
+	}
+	ctx := trace.WithTracer(context.Background(), tracer)
+
 	w, err := warehouse.Open(8192, etl.NewWrapper(ontology.Standard()))
 	if err != nil {
 		return err
+	}
+
+	// The observability server reports readiness from two probes: the
+	// initial load must have finished, and no source breaker may be open.
+	var loaded atomic.Bool
+	var pipelinePtr atomic.Pointer[etl.Pipeline]
+	if cfg.obsAddr != "" {
+		srv, err := httpserve.Start(cfg.obsAddr, httpserve.Options{
+			Tracer: tracer,
+			Readiness: []httpserve.Check{
+				{Name: "warehouse", Probe: func() error {
+					if !loaded.Load() {
+						return fmt.Errorf("initial load not finished")
+					}
+					return nil
+				}},
+				{Name: "etl.breakers", Probe: func() error {
+					p := pipelinePtr.Load()
+					if p == nil {
+						return nil
+					}
+					if n := p.OpenBreakers(); n > 0 {
+						return fmt.Errorf("%d circuit breaker(s) open", n)
+					}
+					return nil
+				}},
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("observability server on http://%s\n", srv.Addr())
 	}
 	// One repository per Figure-2 capability class.
 	repos := []*sources.Repo{
@@ -84,10 +139,11 @@ func run(cfg runConfig) error {
 			sources.Generate(50, sources.GenOptions{N: cfg.records, IDPrefix: "FAS"})),
 	}
 	start := time.Now()
-	stats, err := w.InitialLoad(repos)
+	stats, err := w.InitialLoadCtx(ctx, repos)
 	if err != nil {
 		return err
 	}
+	loaded.Store(true)
 	fmt.Printf("initial load: %d entities from %d observations in %v\n",
 		stats.Entities, stats.Observations, time.Since(start).Round(time.Millisecond))
 
@@ -131,7 +187,8 @@ func run(cfg runConfig) error {
 	}
 	w.SetManualRefresh(cfg.manual)
 
-	pipeline := etl.NewReportingPipeline(detectors, w.ApplyDeltasReport)
+	pipeline := etl.NewReportingPipelineCtx(detectors, w.ApplyDeltasReportCtx)
+	pipelinePtr.Store(pipeline)
 	resilient := cfg.faults > 0 || cfg.retries > 1
 	const breakerCooldown = 50 * time.Millisecond
 	if resilient {
@@ -152,7 +209,7 @@ func run(cfg runConfig) error {
 				r.ApplyRandomUpdates(int64(round*100+i), cfg.updates)
 			}
 			t0 := time.Now()
-			rep, err := pipeline.RoundDetailed(context.Background())
+			rep, err := pipeline.RoundDetailed(ctx)
 			if err != nil {
 				return err
 			}
@@ -198,7 +255,7 @@ func run(cfg runConfig) error {
 		}
 		time.Sleep(20 * time.Millisecond)
 		for i := 0; i < 8; i++ {
-			rep, err := pipeline.RoundDetailed(context.Background())
+			rep, err := pipeline.RoundDetailed(ctx)
 			if err != nil {
 				return err
 			}
@@ -230,7 +287,7 @@ func run(cfg runConfig) error {
 	}
 
 	// Closing report: a query proving the warehouse is live.
-	r, err := w.Query("etlrun", `SELECT COUNT(*), AVG(quality) FROM fragments`)
+	r, err := w.QueryCtx(ctx, "etlrun", `SELECT COUNT(*), AVG(quality) FROM fragments`)
 	if err != nil {
 		return err
 	}
@@ -255,6 +312,20 @@ func run(cfg runConfig) error {
 			return err
 		}
 		fmt.Printf("metrics snapshot written to %s\n", cfg.metricsJSON)
+	}
+	if cfg.traceOut != "" {
+		f, err := os.Create(cfg.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%d trace(s) written to %s\n", len(tracer.Traces()), cfg.traceOut)
 	}
 	return nil
 }

@@ -16,10 +16,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"genalg/internal/biql"
@@ -28,8 +30,10 @@ import (
 	"genalg/internal/gdt"
 	"genalg/internal/genops"
 	"genalg/internal/obs"
+	"genalg/internal/obs/httpserve"
 	"genalg/internal/ontology"
 	"genalg/internal/sources"
+	"genalg/internal/trace"
 	"genalg/internal/warehouse"
 )
 
@@ -41,20 +45,55 @@ func main() {
 	geneID := flag.String("gene", "", "gene accession bound to variable g for -lang term")
 	catalog := flag.Bool("catalog", false, "print sorts, operations, and tables, then exit")
 	slow := flag.Duration("slow", 0, "slow-query log threshold (0 disables), e.g. 50ms")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /traces, /healthz, /readyz, /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+	traceSpec := flag.String("trace", "", "enable statement tracing: always, rate=F, or slow=DUR")
 	flag.Parse()
 
-	if err := run(*records, *noisy, *lang, *user, *geneID, *catalog, *slow, flag.Args()); err != nil {
+	if err := run(*records, *noisy, *lang, *user, *geneID, *catalog, *slow, *obsAddr, *traceSpec, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "genalgsh:", err)
 		os.Exit(1)
 	}
 }
 
-func run(records int, noisy bool, lang, user, geneID string, catalog bool, slow time.Duration, queries []string) error {
+func run(records int, noisy bool, lang, user, geneID string, catalog bool, slow time.Duration, obsAddr, traceSpec string, queries []string) error {
+	tracer := trace.New(trace.Sampling{Mode: trace.SampleAlways}, trace.DefaultCapacity)
+	tracer.SetEnabled(false)
+	if traceSpec != "" {
+		s, err := trace.ParseSampling(traceSpec)
+		if err != nil {
+			return err
+		}
+		tracer.SetSampling(s)
+		tracer.SetEnabled(true)
+	}
+	ctx := trace.WithTracer(context.Background(), tracer)
+
 	w, err := warehouse.Open(4096, etl.NewWrapper(ontology.Standard()))
 	if err != nil {
 		return err
 	}
 	w.Engine.SlowQueryThreshold = slow
+
+	var loaded atomic.Bool
+	if obsAddr != "" {
+		srv, err := httpserve.Start(obsAddr, httpserve.Options{
+			Tracer: tracer,
+			Readiness: []httpserve.Check{{
+				Name: "warehouse",
+				Probe: func() error {
+					if !loaded.Load() {
+						return fmt.Errorf("initial load not finished")
+					}
+					return nil
+				},
+			}},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("observability server on http://%s\n", srv.Addr())
+	}
 	rate := 0.0
 	if noisy {
 		rate = 0.35
@@ -65,10 +104,11 @@ func run(records int, noisy bool, lang, user, geneID string, catalog bool, slow 
 		sources.NewRepo("embl1", sources.FormatFASTA, sources.CapQueryable,
 			sources.Generate(1, sources.GenOptions{N: records, ErrorRate: rate})),
 	}
-	stats, err := w.InitialLoad(repos)
+	stats, err := w.InitialLoadCtx(ctx, repos)
 	if err != nil {
 		return err
 	}
+	loaded.Store(true)
 	fmt.Printf("loaded %d entities from %d observations (%d duplicates removed, %d conflicts retained)\n\n",
 		stats.Entities, stats.Observations, stats.Duplicates, stats.Conflicts)
 
@@ -77,10 +117,10 @@ func run(records int, noisy bool, lang, user, geneID string, catalog bool, slow 
 		return nil
 	}
 	if len(queries) == 0 {
-		return repl(w, lang, user, geneID)
+		return repl(ctx, w, tracer, lang, user, geneID)
 	}
 	for _, q := range queries {
-		if err := runOne(w, lang, user, geneID, q); err != nil {
+		if err := runOne(ctx, w, lang, user, geneID, q); err != nil {
 			return err
 		}
 	}
@@ -89,8 +129,9 @@ func run(records int, noisy bool, lang, user, geneID string, catalog bool, slow 
 
 // repl reads one query per line from stdin until EOF. Lines starting with
 // "\" switch settings or inspect state: \lang biql|sql|term, \user NAME,
-// \catalog, \metrics (registry snapshot), \slowlog (slow-query log).
-func repl(w *warehouse.Warehouse, lang, user, geneID string) error {
+// \catalog, \metrics (registry snapshot), \slowlog (slow-query log),
+// \trace on|off|show (statement tracing).
+func repl(ctx context.Context, w *warehouse.Warehouse, tracer *trace.Tracer, lang, user, geneID string) error {
 	fmt.Printf("genalgsh interactive mode (lang=%s user=%s); one query per line, \\q quits\n", lang, user)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -117,6 +158,9 @@ func repl(w *warehouse.Warehouse, lang, user, geneID string) error {
 		case line == `\slowlog`:
 			printSlowLog(w)
 			continue
+		case line == `\trace` || strings.HasPrefix(line, `\trace `):
+			handleTrace(tracer, strings.TrimSpace(strings.TrimPrefix(line, `\trace`)))
+			continue
 		case strings.HasPrefix(line, `\lang `):
 			next := strings.TrimSpace(strings.TrimPrefix(line, `\lang `))
 			switch next {
@@ -136,9 +180,46 @@ func repl(w *warehouse.Warehouse, lang, user, geneID string) error {
 			fmt.Println("gene binding:", geneID)
 			continue
 		}
-		if err := runOne(w, lang, user, geneID, line); err != nil {
+		if err := runOne(ctx, w, lang, user, geneID, line); err != nil {
 			fmt.Println("error:", err)
 		}
+	}
+}
+
+// handleTrace implements \trace: "on [always|rate=F|slow=DUR]" enables
+// tracing (optionally changing the sampling), "off" disables it, "show"
+// renders the stored span trees with the keep/drop counters.
+func handleTrace(tracer *trace.Tracer, args string) {
+	fields := strings.Fields(args)
+	cmd := ""
+	if len(fields) > 0 {
+		cmd = fields[0]
+	}
+	switch cmd {
+	case "on":
+		if len(fields) > 1 {
+			s, err := trace.ParseSampling(fields[1])
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			tracer.SetSampling(s)
+		}
+		tracer.SetEnabled(true)
+		fmt.Printf("tracing on (%s)\n", tracer.Sampling())
+	case "off":
+		tracer.SetEnabled(false)
+		fmt.Println("tracing off")
+	case "show":
+		started, kept, dropped := tracer.Stats()
+		fmt.Printf("tracing %s (%s): %d started, %d kept, %d dropped\n",
+			map[bool]string{true: "on", false: "off"}[tracer.Enabled()],
+			tracer.Sampling(), started, kept, dropped)
+		if err := tracer.WriteTrees(os.Stdout); err != nil {
+			fmt.Println("error:", err)
+		}
+	default:
+		fmt.Println(`usage: \trace on [always|rate=F|slow=DUR] | off | show`)
 	}
 }
 
@@ -153,7 +234,11 @@ func printSlowLog(w *warehouse.Warehouse) {
 		return
 	}
 	for _, q := range entries {
-		fmt.Printf("%-12s %s\n", q.Duration.Round(time.Microsecond), q.SQL)
+		id := q.TraceID
+		if id == "" {
+			id = "-"
+		}
+		fmt.Printf("%-12s %-16s %s\n", q.Duration.Round(time.Microsecond), id, q.SQL)
 	}
 }
 
@@ -173,7 +258,7 @@ func printCatalog(w *warehouse.Warehouse) {
 	}
 }
 
-func runOne(w *warehouse.Warehouse, lang, user, geneID, query string) error {
+func runOne(ctx context.Context, w *warehouse.Warehouse, lang, user, geneID, query string) error {
 	switch lang {
 	case "biql":
 		q, err := biql.Parse(query)
@@ -185,13 +270,13 @@ func runOne(w *warehouse.Warehouse, lang, user, geneID, query string) error {
 			return err
 		}
 		fmt.Printf("-- BiQL: %s\n-- SQL:  %s\n", query, sql)
-		r, err := w.Query(user, sql)
+		r, err := w.QueryCtx(ctx, user, sql)
 		if err != nil {
 			return err
 		}
 		fmt.Println(biql.Render(q, r.Cols, r.Rows))
 	case "sql":
-		r, err := w.Query(user, query)
+		r, err := w.QueryCtx(ctx, user, query)
 		if err != nil {
 			return err
 		}
@@ -204,7 +289,7 @@ func runOne(w *warehouse.Warehouse, lang, user, geneID, query string) error {
 		if geneID == "" {
 			return fmt.Errorf("-lang term needs -gene ACCESSION to bind variable g")
 		}
-		r, err := w.Query(user, fmt.Sprintf("SELECT gene FROM genes WHERE id = '%s'", geneID))
+		r, err := w.QueryCtx(ctx, user, fmt.Sprintf("SELECT gene FROM genes WHERE id = '%s'", geneID))
 		if err != nil {
 			return err
 		}

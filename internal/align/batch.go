@@ -5,6 +5,7 @@ import (
 
 	"genalg/internal/parallel"
 	"genalg/internal/seq"
+	"genalg/internal/trace"
 )
 
 // Job is one alignment task in a batch: align A against B.
@@ -17,18 +18,40 @@ type Job struct {
 // in job order and identical to calling Global per job serially; the
 // lowest-index error is returned on failure.
 func GlobalAll(jobs []Job, sc Scoring, workers int) ([]Result, error) {
-	return parallel.Map(context.Background(), jobs, workers, func(_ int, j Job) (Result, error) {
+	return GlobalAllCtx(context.Background(), jobs, sc, workers)
+}
+
+// GlobalAllCtx is GlobalAll under the caller's context: the batch runs
+// inside an "align.global_all" trace span when the context carries a tracer.
+func GlobalAllCtx(ctx context.Context, jobs []Job, sc Scoring, workers int) (out []Result, err error) {
+	ctx, sp := trace.Start(ctx, "align.global_all")
+	sp.SetAttr("jobs", len(jobs))
+	sp.SetAttr("workers", parallel.Clamp(workers, len(jobs)))
+	defer func() { sp.EndSpan(err) }()
+	out, err = parallel.Map(ctx, jobs, workers, func(_ int, j Job) (Result, error) {
 		return Global(j.A, j.B, sc)
 	})
+	return out, err
 }
 
 // LocalAll computes Smith-Waterman alignments for every job on at most
 // workers goroutines, with the same ordering and error guarantees as
 // GlobalAll.
 func LocalAll(jobs []Job, sc Scoring, workers int) ([]Result, error) {
-	return parallel.Map(context.Background(), jobs, workers, func(_ int, j Job) (Result, error) {
+	return LocalAllCtx(context.Background(), jobs, sc, workers)
+}
+
+// LocalAllCtx is LocalAll under the caller's context (span
+// "align.local_all").
+func LocalAllCtx(ctx context.Context, jobs []Job, sc Scoring, workers int) (out []Result, err error) {
+	ctx, sp := trace.Start(ctx, "align.local_all")
+	sp.SetAttr("jobs", len(jobs))
+	sp.SetAttr("workers", parallel.Clamp(workers, len(jobs)))
+	defer func() { sp.EndSpan(err) }()
+	out, err = parallel.Map(ctx, jobs, workers, func(_ int, j Job) (Result, error) {
 		return Local(j.A, j.B, sc)
 	})
+	return out, err
 }
 
 // ResemblesAll scores query against every candidate concurrently and
@@ -36,18 +59,43 @@ func LocalAll(jobs []Job, sc Scoring, workers int) ([]Result, error) {
 // minScore — the batch form of the algebra's resembles operator, used to
 // verify similarity candidates fan-out style.
 func ResemblesAll(query seq.NucSeq, candidates []seq.NucSeq, minScore, workers int) ([]bool, error) {
-	return parallel.Map(context.Background(), candidates, workers, func(_ int, c seq.NucSeq) (bool, error) {
+	return ResemblesAllCtx(context.Background(), query, candidates, minScore, workers)
+}
+
+// ResemblesAllCtx is ResemblesAll under the caller's context (span
+// "align.resembles_all").
+func ResemblesAllCtx(ctx context.Context, query seq.NucSeq, candidates []seq.NucSeq, minScore, workers int) (out []bool, err error) {
+	ctx, sp := trace.Start(ctx, "align.resembles_all")
+	sp.SetAttr("candidates", len(candidates))
+	sp.SetAttr("min_score", minScore)
+	defer func() { sp.EndSpan(err) }()
+	out, err = parallel.Map(ctx, candidates, workers, func(_ int, c seq.NucSeq) (bool, error) {
 		return Resembles(query, c, minScore)
 	})
+	return out, err
 }
 
 // SearchAll runs the seed-and-extend search for every query on at most
 // workers goroutines, returning per-query hit lists in query order. Each
 // query's hits are identical to a serial Search call.
 func (db *Database) SearchAll(queries []seq.NucSeq, opts SearchOptions, workers int) [][]Hit {
-	out, _ := parallel.Map(context.Background(), queries, workers, func(_ int, q seq.NucSeq) ([]Hit, error) {
+	return db.SearchAllCtx(context.Background(), queries, opts, workers)
+}
+
+// SearchAllCtx is SearchAll under the caller's context (span
+// "align.search_all" with query/hit counts).
+func (db *Database) SearchAllCtx(ctx context.Context, queries []seq.NucSeq, opts SearchOptions, workers int) [][]Hit {
+	ctx, sp := trace.Start(ctx, "align.search_all")
+	sp.SetAttr("queries", len(queries))
+	out, _ := parallel.Map(ctx, queries, workers, func(_ int, q seq.NucSeq) ([]Hit, error) {
 		return db.searchSharded(q, opts, 1), nil
 	})
+	hits := 0
+	for _, hs := range out {
+		hits += len(hs)
+	}
+	sp.SetAttr("hits", hits)
+	sp.EndOK()
 	return out
 }
 

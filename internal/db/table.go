@@ -1,6 +1,7 @@
 package db
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -367,6 +368,13 @@ func (t *Table) IndexRange(col string, lo, hi any) ([]storage.RID, error) {
 // It returns (*kmeridx.ErrPatternTooShort) when the pattern is shorter than
 // the index word, signalling the planner to scan instead.
 func (t *Table) GenomicLookup(col, pattern string) ([]storage.RID, error) {
+	return t.GenomicLookupCtx(context.Background(), col, pattern)
+}
+
+// GenomicLookupCtx is GenomicLookup under the caller's context, so the
+// k-mer lookup (and its candidate verification fan-out) appears as a child
+// span of a traced statement and observes cancellation.
+func (t *Table) GenomicLookupCtx(ctx context.Context, col, pattern string) ([]storage.RID, error) {
 	t.mu.RLock()
 	ix, ok := t.kmers[col]
 	t.mu.RUnlock()
@@ -375,7 +383,7 @@ func (t *Table) GenomicLookup(col, pattern string) ([]storage.RID, error) {
 	}
 	ci := t.schema.ColIndex(col)
 	udt, _ := t.reg.Get(t.schema.Columns[ci].UDTName)
-	docs, err := ix.Lookup(pattern, func(doc kmeridx.DocID) (seq.NucSeq, error) {
+	docs, err := ix.LookupWorkersCtx(ctx, pattern, func(doc kmeridx.DocID) (seq.NucSeq, error) {
 		row, err := t.Get(u64ToRID(uint64(doc)))
 		if err != nil {
 			return seq.NucSeq{}, err
@@ -385,7 +393,7 @@ func (t *Table) GenomicLookup(col, pattern string) ([]storage.RID, error) {
 			return seq.NucSeq{}, fmt.Errorf("db: row %d has no extractable sequence", doc)
 		}
 		return got, nil
-	})
+	}, parallel.Workers())
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 
 	"genalg/internal/obs"
 	"genalg/internal/parallel"
+	"genalg/internal/trace"
 )
 
 // PollAll polls every detector concurrently and returns the merged deltas,
@@ -122,7 +123,7 @@ type Stats struct {
 // source skips a round instead of aborting it.
 type Pipeline struct {
 	detectors []Detector
-	sink      func([]Delta) (SinkReport, error)
+	sink      func(context.Context, []Delta) (SinkReport, error)
 
 	policy   RetryPolicy
 	breakers []*Breaker
@@ -175,6 +176,16 @@ func NewPipeline(detectors []Detector, sink func([]Delta) error) *Pipeline {
 // NewReportingPipeline builds a pipeline over a sink that reports applied
 // and quarantined counts (warehouse.ApplyDeltasReport).
 func NewReportingPipeline(detectors []Detector, sink func([]Delta) (SinkReport, error)) *Pipeline {
+	return NewReportingPipelineCtx(detectors, func(_ context.Context, ds []Delta) (SinkReport, error) {
+		return sink(ds)
+	})
+}
+
+// NewReportingPipelineCtx builds a pipeline over a context-aware reporting
+// sink (warehouse.ApplyDeltasReportCtx): the round's context — carrying
+// the round's trace span — is forwarded to the sink, so warehouse
+// maintenance appears inside the round's trace tree.
+func NewReportingPipelineCtx(detectors []Detector, sink func(context.Context, []Delta) (SinkReport, error)) *Pipeline {
 	return &Pipeline{detectors: detectors, sink: sink}
 }
 
@@ -199,6 +210,19 @@ func (p *Pipeline) BreakerState(i int) string {
 	return p.breakers[i].State()
 }
 
+// OpenBreakers counts sources whose breaker is not closed (open or
+// half-open). Zero means every source is healthy; readiness probes treat
+// a non-zero count as degraded.
+func (p *Pipeline) OpenBreakers() int {
+	n := 0
+	for i := range p.breakers {
+		if p.breakers[i].State() != "closed" {
+			n++
+		}
+	}
+	return n
+}
+
 // Round performs one detect-and-apply cycle, returning the number of deltas
 // applied. Without a RetryPolicy any detector failure aborts the round;
 // with one, per-source failures degrade instead (inspect RoundDetailed for
@@ -210,8 +234,22 @@ func (p *Pipeline) Round() (int, error) {
 
 // RoundDetailed runs one round and returns its full report. The error is
 // non-nil only for whole-round failures: a sink failure, or (in strict
-// mode) any detector failure.
+// mode) any detector failure. When the context carries a tracer the round
+// runs inside an "etl.round" span with one "etl.poll" child per source
+// (retry attempts and breaker skips recorded as events) and an "etl.sink"
+// child for the apply stage.
 func (p *Pipeline) RoundDetailed(ctx context.Context) (RoundReport, error) {
+	ctx, sp := trace.Start(ctx, "etl.round")
+	rep, err := p.roundDetailed(ctx)
+	sp.SetAttr("deltas", rep.Deltas)
+	if len(rep.Failed) > 0 {
+		sp.Eventf("degraded round: %d source(s) failed or skipped", len(rep.Failed))
+	}
+	sp.EndSpan(err)
+	return rep, err
+}
+
+func (p *Pipeline) roundDetailed(ctx context.Context) (RoundReport, error) {
 	reg := p.registry()
 	var rep RoundReport
 	var merged []Delta
@@ -219,11 +257,17 @@ func (p *Pipeline) RoundDetailed(ctx context.Context) (RoundReport, error) {
 	if !p.policy.Enabled() {
 		perDet, err := parallel.Map(ctx, p.detectors, parallel.Workers(),
 			func(i int, det Detector) ([]Delta, error) {
+				pctx, psp := trace.Start(ctx, "etl.poll")
+				psp.SetAttr("source", det.Name())
 				p.addAttempts(1)
-				ds, derr := det.Poll(ctx)
+				ds, derr := det.Poll(pctx)
 				if derr != nil {
-					return nil, fmt.Errorf("etl: polling %s: %w", det.Name(), derr)
+					derr = fmt.Errorf("etl: polling %s: %w", det.Name(), derr)
+					psp.EndSpan(derr)
+					return nil, derr
 				}
+				psp.SetAttr("deltas", len(ds))
+				psp.EndOK()
 				return ds, nil
 			})
 		if err != nil {
@@ -235,19 +279,26 @@ func (p *Pipeline) RoundDetailed(ctx context.Context) (RoundReport, error) {
 		perDet, errs := parallel.MapAll(ctx, p.detectors, parallel.Workers(),
 			func(i int, det Detector) ([]Delta, error) {
 				br := p.breakers[i]
+				pctx, psp := trace.Start(ctx, "etl.poll")
+				psp.SetAttr("source", det.Name())
 				if !br.Allow() {
 					p.stats.breakerOpen.Add(1)
 					reg.Counter("etl.breaker_open").Inc()
+					psp.Eventf("breaker open: poll skipped")
+					psp.EndSpan(errBreakerOpen)
 					return nil, errBreakerOpen
 				}
-				ds, derr := PollWithRetry(ctx, det, p.policy, p.jitter.float64, p)
+				ds, derr := PollWithRetry(pctx, det, p.policy, p.jitter.float64, p)
 				if derr != nil {
 					br.Failure()
 					p.stats.sourceFailures.Add(1)
 					reg.Counter("etl.source_failures").Inc()
+					psp.EndSpan(derr)
 					return nil, derr
 				}
 				br.Success()
+				psp.SetAttr("deltas", len(ds))
+				psp.EndOK()
 				return ds, nil
 			})
 		for i, e := range errs {
@@ -266,13 +317,18 @@ func (p *Pipeline) RoundDetailed(ctx context.Context) (RoundReport, error) {
 
 	pollDone()
 	rep.Deltas = len(merged)
+	sctx, ssp := trace.Start(ctx, "etl.sink")
 	sinkDone := reg.Timer("etl.sink.seconds")
-	sinkRep, err := p.sink(merged)
+	sinkRep, err := p.sink(sctx, merged)
 	sinkDone()
 	if err != nil {
 		reg.Counter("etl.sink_failures").Inc()
+		ssp.EndSpan(err)
 		return rep, err
 	}
+	ssp.SetAttr("records_ok", sinkRep.RecordsOK)
+	ssp.SetAttr("quarantined", sinkRep.Quarantined)
+	ssp.EndOK()
 	rep.RecordsOK = sinkRep.RecordsOK
 	rep.Quarantined = sinkRep.Quarantined
 	p.mu.Lock()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"genalg/internal/sources"
+	"genalg/internal/trace"
 )
 
 // RetryPolicy configures the ingest path's fault handling: per-attempt
@@ -236,6 +237,7 @@ func pollOnce(ctx context.Context, det Detector, timeout time.Duration) ([]Delta
 // mid-rotation or corrupted transfer needs.
 func PollWithRetry(ctx context.Context, det Detector, policy RetryPolicy, rng func() float64, counters retryCounters) ([]Delta, error) {
 	policy = policy.withDefaults()
+	sp := trace.FromContext(ctx)
 	var lastErr error
 	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
 		if counters != nil {
@@ -252,7 +254,9 @@ func PollWithRetry(ctx context.Context, det Detector, policy RetryPolicy, rng fu
 		if counters != nil {
 			counters.addRetries(1)
 		}
-		if serr := policy.sleep(ctx, policy.backoff(attempt, rng)); serr != nil {
+		backoff := policy.backoff(attempt, rng)
+		sp.Eventf("attempt %d/%d failed: %v; backing off %s", attempt, policy.MaxAttempts, err, backoff)
+		if serr := policy.sleep(ctx, backoff); serr != nil {
 			return nil, fmt.Errorf("etl: polling %s: %w", det.Name(), serr)
 		}
 	}
@@ -264,6 +268,7 @@ func PollWithRetry(ctx context.Context, det Detector, policy RetryPolicy, rng fu
 // warehouse's initial load uses it so a flaky source still bootstraps.
 func FetchWithRetry(ctx context.Context, src Snapshotter, policy RetryPolicy, rng func() float64) (text string, retries int64, err error) {
 	policy = policy.withDefaults()
+	sp := trace.FromContext(ctx)
 	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
 		actx := ctx
 		var cancel context.CancelFunc
@@ -284,7 +289,9 @@ func FetchWithRetry(ctx context.Context, src Snapshotter, policy RetryPolicy, rn
 			break
 		}
 		retries++
-		if serr := policy.sleep(ctx, policy.backoff(attempt, rng)); serr != nil {
+		backoff := policy.backoff(attempt, rng)
+		sp.Eventf("fetch attempt %d/%d failed: %v; backing off %s", attempt, policy.MaxAttempts, err, backoff)
+		if serr := policy.sleep(ctx, backoff); serr != nil {
 			return "", retries, fmt.Errorf("etl: fetching %s: %w", src.Name(), serr)
 		}
 	}

@@ -13,6 +13,7 @@ import (
 
 	"genalg/internal/parallel"
 	"genalg/internal/seq"
+	"genalg/internal/trace"
 )
 
 // DocID identifies an indexed sequence (the database uses record IDs).
@@ -113,6 +114,16 @@ type Doc struct {
 // or against the index) nothing is inserted and the offending document is
 // named. workers <= 0 selects the default bound (see package parallel).
 func (ix *Index) AddAll(docs []Doc, workers int) error {
+	return ix.AddAllCtx(context.Background(), docs, workers)
+}
+
+// AddAllCtx is AddAll under the caller's context: the build runs inside a
+// "kmeridx.add_all" span when the context carries one, and the chunked
+// extraction observes context cancellation.
+func (ix *Index) AddAllCtx(ctx context.Context, docs []Doc, workers int) (err error) {
+	ctx, sp := trace.Start(ctx, "kmeridx.add_all")
+	sp.SetAttr("docs", len(docs))
+	defer func() { sp.EndSpan(err) }()
 	if len(docs) == 0 {
 		return nil
 	}
@@ -125,8 +136,9 @@ func (ix *Index) AddAll(docs []Doc, workers int) error {
 		seen[d.ID] = true
 	}
 	workers = parallel.Clamp(workers, len(docs))
+	sp.SetAttr("workers", workers)
 	shards := make([]shard, workers)
-	err := parallel.ChunkEach(context.Background(), len(docs), workers, func(part int, sp parallel.Span) error {
+	err = parallel.ChunkEach(ctx, len(docs), workers, func(part int, sp parallel.Span) error {
 		sh := shard{postings: make(map[seq.Kmer][]posting)}
 		for i := sp.Lo; i < sp.Hi; i++ {
 			d := docs[i]
@@ -270,15 +282,26 @@ func (ix *Index) Lookup(pattern string, fetch func(DocID) (seq.NucSeq, error)) (
 // candidate-verification stage. Results are in candidate (ascending DocID)
 // order and identical for any worker count.
 func (ix *Index) LookupWorkers(pattern string, fetch func(DocID) (seq.NucSeq, error), workers int) ([]DocID, error) {
+	return ix.LookupWorkersCtx(context.Background(), pattern, fetch, workers)
+}
+
+// LookupWorkersCtx is LookupWorkers under the caller's context: the lookup
+// runs inside a "kmeridx.lookup" span (candidate count recorded as an
+// event) and verification observes context cancellation.
+func (ix *Index) LookupWorkersCtx(ctx context.Context, pattern string, fetch func(DocID) (seq.NucSeq, error), workers int) (out []DocID, err error) {
+	ctx, sp := trace.Start(ctx, "kmeridx.lookup")
+	sp.SetAttr("pattern", pattern)
+	defer func() { sp.EndSpan(err) }()
 	cands, err := ix.Candidates(pattern)
 	if err != nil {
 		return nil, err
 	}
+	sp.Eventf("%d candidates to verify", len(cands))
 	pat, err := seq.NewNucSeq(seq.AlphaDNA, pattern)
 	if err != nil {
 		return nil, err
 	}
-	verdicts, err := parallel.Map(context.Background(), cands, workers, func(_ int, doc DocID) (bool, error) {
+	verdicts, err := parallel.Map(ctx, cands, workers, func(_ int, doc DocID) (bool, error) {
 		s, err := fetch(doc)
 		if err != nil {
 			return false, fmt.Errorf("kmeridx: verifying doc %d: %w", doc, err)
@@ -288,7 +311,6 @@ func (ix *Index) LookupWorkers(pattern string, fetch func(DocID) (seq.NucSeq, er
 	if err != nil {
 		return nil, err
 	}
-	var out []DocID
 	for i, ok := range verdicts {
 		if ok {
 			out = append(out, cands[i])

@@ -1,0 +1,128 @@
+// Package httpserve embeds an opt-in observability HTTP server: Prometheus
+// and JSON metric exposition, liveness/readiness probes, trace export, and
+// the standard pprof profiling endpoints. Binaries mount it behind an
+// -obs-addr flag; nothing listens unless asked.
+package httpserve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+
+	"genalg/internal/obs"
+	"genalg/internal/trace"
+)
+
+// Check is one named readiness probe: Probe returns nil when the component
+// is ready to serve. Probes run on every /readyz request, so they should be
+// cheap (a breaker count, a loaded flag — not a source fetch).
+type Check struct {
+	Name  string
+	Probe func() error
+}
+
+// Options wires the server to the process's observability state. The zero
+// value serves the default metric registry with no tracer and no readiness
+// checks (readyz always succeeds).
+type Options struct {
+	// Registry supplies /metrics and /metrics.json; nil uses obs.Default.
+	Registry *obs.Registry
+	// Tracer supplies /traces; nil renders an empty export.
+	Tracer *trace.Tracer
+	// Readiness probes gate /readyz; all must pass for a 200.
+	Readiness []Check
+}
+
+func (o Options) registry() *obs.Registry {
+	if o.Registry != nil {
+		return o.Registry
+	}
+	return obs.Default
+}
+
+// NewMux builds the observability handler tree:
+//
+//	/metrics        Prometheus text exposition (0.0.4)
+//	/metrics.json   expvar-style JSON snapshot
+//	/healthz        liveness (200 while the process serves requests)
+//	/readyz         readiness (200 only when every probe passes)
+//	/traces         stored traces as JSONL, or ?format=tree for span trees
+//	/debug/pprof/   the standard runtime profiles
+func NewMux(opts Options) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = opts.registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = opts.registry().WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		type failure struct {
+			name string
+			err  error
+		}
+		var failed []failure
+		for _, c := range opts.Readiness {
+			if err := c.Probe(); err != nil {
+				failed = append(failed, failure{c.Name, err})
+			}
+		}
+		if len(failed) == 0 {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		sort.Slice(failed, func(i, j int) bool { return failed[i].name < failed[j].name })
+		w.WriteHeader(http.StatusServiceUnavailable)
+		for _, f := range failed {
+			fmt.Fprintf(w, "not ready: %s: %v\n", f.name, f.err)
+		}
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "tree" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = opts.Tracer.WriteTrees(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = opts.Tracer.WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (host:port; port 0 picks a free one) and serves the
+// observability mux in a background goroutine until Close.
+func Start(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(opts)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address, useful when Start was given port 0.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

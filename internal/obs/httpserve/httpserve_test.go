@@ -1,0 +1,202 @@
+package httpserve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"genalg/internal/obs"
+	"genalg/internal/trace"
+)
+
+func testOptions() (Options, *obs.Registry, *trace.Tracer) {
+	reg := obs.New()
+	reg.Counter("etl.records.ok").Add(7)
+	reg.Histogram("sqlang.query.seconds", 0.001, 0.01, 0.1).Observe(0.004)
+	tr := trace.New(trace.Sampling{Mode: trace.SampleAlways}, 8)
+	ctx, sp := trace.Start(trace.WithTracer(context.Background(), tr), "request")
+	_, child := trace.Start(ctx, "step")
+	child.EndOK()
+	sp.EndOK()
+	return Options{Registry: reg, Tracer: tr}, reg, tr
+}
+
+func get(t *testing.T, mux *http.ServeMux, path string) (int, string, http.Header) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String(), rec.Header()
+}
+
+func TestMetricsPrometheus(t *testing.T) {
+	opts, _, _ := testOptions()
+	code, body, hdr := get(t, NewMux(opts), "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want the 0.0.4 exposition type", ct)
+	}
+	for _, want := range []string{
+		"# TYPE etl_records_ok counter",
+		"etl_records_ok 7",
+		"# TYPE sqlang_query_seconds histogram",
+		`sqlang_query_seconds_bucket{le="+Inf"} 1`,
+		"sqlang_query_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	// Exposition sanity: every non-comment line is "name[{labels}] value".
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if parts := strings.Fields(line); len(parts) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestMetricsJSON(t *testing.T) {
+	opts, _, _ := testOptions()
+	code, body, hdr := get(t, NewMux(opts), "/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if doc.Counters["etl.records.ok"] != 7 {
+		t.Errorf("counters = %+v", doc.Counters)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	code, body, _ := get(t, NewMux(Options{}), "/healthz")
+	if code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+}
+
+func TestReadyz(t *testing.T) {
+	ready := true
+	mux := NewMux(Options{Readiness: []Check{
+		{Name: "warehouse", Probe: func() error { return nil }},
+		{Name: "etl.breakers", Probe: func() error {
+			if !ready {
+				return fmt.Errorf("2 breaker(s) open")
+			}
+			return nil
+		}},
+	}})
+	if code, body, _ := get(t, mux, "/readyz"); code != 200 || body != "ok\n" {
+		t.Fatalf("ready /readyz = %d %q", code, body)
+	}
+	ready = false
+	code, body, _ := get(t, mux, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /readyz = %d", code)
+	}
+	if !strings.Contains(body, "not ready: etl.breakers: 2 breaker(s) open") {
+		t.Errorf("degraded body %q does not name the failing check", body)
+	}
+	if strings.Contains(body, "warehouse") {
+		t.Errorf("degraded body %q lists a passing check", body)
+	}
+}
+
+func TestReadyzNoChecks(t *testing.T) {
+	if code, _, _ := get(t, NewMux(Options{}), "/readyz"); code != 200 {
+		t.Fatalf("checkless /readyz = %d", code)
+	}
+}
+
+func TestTracesJSONL(t *testing.T) {
+	opts, _, _ := testOptions()
+	code, body, hdr := get(t, NewMux(opts), "/traces")
+	if code != 200 {
+		t.Fatalf("/traces = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d JSONL lines, want 1", len(lines))
+	}
+	var doc struct {
+		TraceID string `json:"trace_id"`
+		Root    string `json:"root"`
+		Spans   []any  `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &doc); err != nil {
+		t.Fatalf("invalid JSONL: %v\n%s", err, lines[0])
+	}
+	if doc.TraceID == "" || doc.Root != "request" || len(doc.Spans) != 2 {
+		t.Errorf("trace doc = %+v", doc)
+	}
+}
+
+func TestTracesTree(t *testing.T) {
+	opts, _, _ := testOptions()
+	code, body, _ := get(t, NewMux(opts), "/traces?format=tree")
+	if code != 200 {
+		t.Fatalf("/traces?format=tree = %d", code)
+	}
+	if !strings.Contains(body, "request") || !strings.Contains(body, "└─ step") {
+		t.Errorf("tree output missing spans:\n%s", body)
+	}
+}
+
+func TestTracesNoTracer(t *testing.T) {
+	if code, body, _ := get(t, NewMux(Options{}), "/traces"); code != 200 || body != "" {
+		t.Fatalf("tracerless /traces = %d %q", code, body)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	code, body, _ := get(t, NewMux(Options{}), "/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestStartServesAndCloses(t *testing.T) {
+	opts, _, _ := testOptions()
+	s, err := Start("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(b) != "ok\n" {
+		t.Fatalf("live /healthz = %d %q", resp.StatusCode, b)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/healthz"); err == nil {
+		t.Error("server still serving after Close")
+	}
+}

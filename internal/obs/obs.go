@@ -135,6 +135,55 @@ func (h *Histogram) Buckets() []BucketCount {
 	return out
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket holding the target rank. The estimate is bounded by
+// the bucket layout: ranks landing in the +Inf overflow bucket are clamped
+// to the last finite bound. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	return bucketQuantile(h.Buckets(), h.Count(), q)
+}
+
+// bucketQuantile estimates a quantile from per-bucket (non-cumulative)
+// counts. Shared by Histogram.Quantile and Metric.Quantile so live metrics
+// and snapshots agree.
+func bucketQuantile(buckets []BucketCount, n int64, q float64) float64 {
+	if n == 0 || len(buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	lastFinite := 0.0
+	for _, b := range buckets {
+		if !math.IsInf(b.Le, 1) {
+			lastFinite = b.Le
+		}
+	}
+	lo := 0.0
+	var cum int64
+	for _, b := range buckets {
+		prev := cum
+		cum += b.N
+		if float64(cum) >= rank {
+			if math.IsInf(b.Le, 1) {
+				return lastFinite
+			}
+			if b.N == 0 {
+				return b.Le
+			}
+			return lo + (b.Le-lo)*(rank-float64(prev))/float64(b.N)
+		}
+		if !math.IsInf(b.Le, 1) {
+			lo = b.Le
+		}
+	}
+	return lastFinite
+}
+
 // Registry holds named metrics. The zero value is not usable; call New.
 type Registry struct {
 	mu       sync.RWMutex
@@ -205,17 +254,22 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 
 // Histogram returns the named histogram, creating it with the given bucket
 // upper bounds on first use (DurationBuckets when none are given). Bounds
-// are fixed at creation; later calls ignore the argument.
+// are fixed at creation: asking for an existing histogram with different
+// explicit bounds panics — returning it silently would hand the caller a
+// histogram with surprising buckets, and the two call sites can never both
+// be right. Calls without bounds always return the existing histogram.
 func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	r.mu.RLock()
 	h, ok := r.hists[name]
 	r.mu.RUnlock()
 	if ok {
+		h.checkBounds(name, bounds)
 		return h
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h, ok = r.hists[name]; ok {
+		h.checkBounds(name, bounds)
 		return h
 	}
 	if len(bounds) == 0 {
@@ -227,6 +281,30 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	h = &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
 	r.hists[name] = h
 	return h
+}
+
+// checkBounds panics when explicitly requested bounds disagree with the
+// histogram's existing layout (after the same sort-and-copy normalisation
+// creation applies). No-bounds lookups always pass.
+func (h *Histogram) checkBounds(name string, bounds []float64) {
+	if len(bounds) == 0 {
+		return
+	}
+	want := make([]float64, len(bounds))
+	copy(want, bounds)
+	sort.Float64s(want)
+	h.mu.Lock()
+	have := make([]float64, len(h.bounds))
+	copy(have, h.bounds)
+	h.mu.Unlock()
+	if len(want) != len(have) {
+		panic(fmt.Sprintf("obs: histogram %q already registered with %d buckets, requested %d", name, len(have), len(want)))
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			panic(fmt.Sprintf("obs: histogram %q already registered with bounds %v, requested %v", name, have, want))
+		}
+	}
 }
 
 // Reset drops every metric. Intended for tests.
@@ -248,6 +326,15 @@ type Metric struct {
 	// Sum and Buckets are set for histograms only.
 	Sum     float64
 	Buckets []BucketCount
+}
+
+// Quantile estimates the q-quantile of a histogram snapshot entry by
+// linear interpolation within its buckets (0 for non-histograms).
+func (m Metric) Quantile(q float64) float64 {
+	if m.Kind != "histogram" {
+		return 0
+	}
+	return bucketQuantile(m.Buckets, int64(m.Value), q)
 }
 
 // Snapshot returns every metric, sorted by name (kind breaks ties), with
@@ -298,7 +385,7 @@ func (r *Registry) Snapshot() []Metric {
 }
 
 // WriteText renders an aligned human-readable snapshot, one metric per
-// line. Histograms show count, sum, and mean.
+// line. Histograms show count, sum, mean, and estimated p50/p95/p99.
 func (r *Registry) WriteText(w io.Writer) error {
 	for _, m := range r.Snapshot() {
 		var err error
@@ -308,8 +395,9 @@ func (r *Registry) WriteText(w io.Writer) error {
 			if m.Value > 0 {
 				mean = m.Sum / m.Value
 			}
-			_, err = fmt.Fprintf(w, "%-9s %-44s count=%d sum=%.6g mean=%.6g\n",
-				m.Kind, m.Name, int64(m.Value), m.Sum, mean)
+			_, err = fmt.Fprintf(w, "%-9s %-44s count=%d sum=%.6g mean=%.6g p50=%.3g p95=%.3g p99=%.3g\n",
+				m.Kind, m.Name, int64(m.Value), m.Sum, mean,
+				m.Quantile(0.50), m.Quantile(0.95), m.Quantile(0.99))
 		default:
 			_, err = fmt.Fprintf(w, "%-9s %-44s %g\n", m.Kind, m.Name, m.Value)
 		}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("q.test", 10, 20, 30)
+	// 10 observations uniform in (0,10], 10 in (10,20].
+	for i := 1; i <= 20; i++ {
+		h.Observe(float64(i))
+	}
+	// p50: rank 10 falls exactly at the top of the first bucket.
+	if got := h.Quantile(0.50); math.Abs(got-10) > 1e-9 {
+		t.Errorf("p50 = %g, want 10", got)
+	}
+	// p75: rank 15 is halfway through the (10,20] bucket.
+	if got := h.Quantile(0.75); math.Abs(got-15) > 1e-9 {
+		t.Errorf("p75 = %g, want 15", got)
+	}
+	// p100 clamps to the containing bucket's upper bound.
+	if got := h.Quantile(1); math.Abs(got-20) > 1e-9 {
+		t.Errorf("p100 = %g, want 20", got)
+	}
+	// Out-of-range q is clamped.
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Errorf("q=-1 not clamped: %g", got)
+	}
+}
+
+func TestHistogramQuantileOverflow(t *testing.T) {
+	r := New()
+	h := r.Histogram("q.inf", 1, 2)
+	h.Observe(100) // lands in +Inf bucket
+	// All mass above the last finite bound: clamp to it.
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("overflow p99 = %g, want 2 (last finite bound)", got)
+	}
+	if got := bucketQuantile(nil, 0, 0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+}
+
+func TestMetricQuantileMatchesHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("q.snap", 1, 10, 100)
+	for i := 0; i < 50; i++ {
+		h.Observe(float64(i))
+	}
+	var m Metric
+	for _, s := range r.Snapshot() {
+		if s.Name == "q.snap" {
+			m = s
+		}
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, want := m.Quantile(q), h.Quantile(q); got != want {
+			t.Errorf("Metric.Quantile(%g) = %g, histogram says %g", q, got, want)
+		}
+	}
+	if (Metric{Kind: "counter"}).Quantile(0.5) != 0 {
+		t.Error("non-histogram Metric.Quantile not 0")
+	}
+}
+
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	r := New()
+	r.Histogram("h.bounds", 1, 2, 3)
+	// Same bounds (any order): fine, creation sorts them.
+	r.Histogram("h.bounds", 3, 2, 1)
+	// No bounds: always returns the existing histogram.
+	r.Histogram("h.bounds")
+	// Different bounds: must panic, not silently hand back 1,2,3.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Histogram with mismatched bounds did not panic")
+		}
+	}()
+	r.Histogram("h.bounds", 1, 2, 4)
+}
+
+func TestHistogramBoundsCountMismatchPanics(t *testing.T) {
+	r := New()
+	r.Histogram("h.count", 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Histogram with different bucket count did not panic")
+		}
+	}()
+	r.Histogram("h.count", 1, 2, 3)
+}
+
+func TestWriteTextQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("sqlang.query.seconds")
+	for i := 0; i < 10; i++ {
+		h.Observe(0.005)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"p50=", "p95=", "p99="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte for a
+// fixed registry: sorted metrics, # TYPE lines, cumulative buckets with a
+// final +Inf, _sum/_count, and dotted names sanitised to underscores.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter("etl.records_ok").Add(7)
+	r.Gauge("storage.pool.hit-ratio").Set(0.75)
+	r.GaugeFunc("warehouse.quarantine.records", func() float64 { return 3 })
+	h := r.Histogram("sqlang.query.seconds", 0.001, 0.01, 0.1)
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(0.002)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE etl_records_ok counter
+etl_records_ok 7
+# TYPE sqlang_query_seconds histogram
+sqlang_query_seconds_bucket{le="0.001"} 1
+sqlang_query_seconds_bucket{le="0.01"} 3
+sqlang_query_seconds_bucket{le="0.1"} 3
+sqlang_query_seconds_bucket{le="+Inf"} 4
+sqlang_query_seconds_sum 5.0045
+sqlang_query_seconds_count 4
+# TYPE storage_pool_hit_ratio gauge
+storage_pool_hit_ratio 0.75
+# TYPE warehouse_quarantine_records gauge
+warehouse_quarantine_records 3
+`
+	if got := b.String(); got != want {
+		t.Fatalf("Prometheus exposition mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"etl.poll.seconds": "etl_poll_seconds",
+		"9lives":           "_lives",
+		"a:b_c9":           "a:b_c9",
+		"hit ratio%":       "hit_ratio_",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

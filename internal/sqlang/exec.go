@@ -14,6 +14,7 @@ import (
 	"genalg/internal/obs"
 	"genalg/internal/parallel"
 	"genalg/internal/storage"
+	"genalg/internal/trace"
 )
 
 // Result is the outcome of executing a statement.
@@ -74,12 +75,19 @@ func (e *Engine) workerBound() int {
 
 // Exec parses and executes one statement.
 func (e *Engine) Exec(sql string) (*Result, error) {
+	return e.ExecCtx(context.Background(), sql)
+}
+
+// ExecCtx parses and executes one statement under the caller's context,
+// participating in any trace carried by it (a "sqlang.statement" span with
+// one child per executed operator).
+func (e *Engine) ExecCtx(ctx context.Context, sql string) (*Result, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
 		e.registry().Counter("sqlang.parse_errors").Inc()
 		return nil, err
 	}
-	return e.ExecStmtSQL(stmt, sql)
+	return e.ExecStmtSQLCtx(ctx, stmt, sql)
 }
 
 // ExecStmt executes a parsed statement. The slow-query log records a
@@ -92,31 +100,43 @@ func (e *Engine) ExecStmt(stmt Stmt) (*Result, error) {
 // ExecStmtSQL executes a parsed statement while retaining its SQL text for
 // the slow-query log, and records the engine's statement metrics.
 func (e *Engine) ExecStmtSQL(stmt Stmt, sql string) (*Result, error) {
+	return e.ExecStmtSQLCtx(context.Background(), stmt, sql)
+}
+
+// ExecStmtSQLCtx is ExecStmtSQL under the caller's context: when the
+// context carries an enabled tracer (or an active parent span), the
+// statement runs inside a "sqlang.statement" span and the slow-query log
+// entry is stamped with the trace ID so the two views link up.
+func (e *Engine) ExecStmtSQLCtx(ctx context.Context, stmt Stmt, sql string) (*Result, error) {
 	reg := e.registry()
+	text := sql
+	if text == "" {
+		text = strings.TrimPrefix(fmt.Sprintf("%T", stmt), "*sqlang.")
+	}
+	ctx, sp := trace.Start(ctx, "sqlang.statement")
+	sp.SetAttr("sql", text)
 	start := time.Now()
-	res, err := e.execStmt(stmt)
+	res, err := e.execStmt(ctx, stmt)
 	d := time.Since(start)
 	reg.Counter("sqlang.statements").Inc()
 	reg.Histogram("sqlang.query.seconds").Observe(d.Seconds())
 	if err != nil {
 		reg.Counter("sqlang.errors").Inc()
+		sp.EndSpan(err)
 		return nil, err
 	}
 	if thr := e.SlowQueryThreshold; thr > 0 && d >= thr {
 		reg.Counter("sqlang.slow_queries").Inc()
-		text := sql
-		if text == "" {
-			text = strings.TrimPrefix(fmt.Sprintf("%T", stmt), "*sqlang.")
-		}
-		e.slow.add(SlowQuery{SQL: text, Duration: d, Plan: res.Plan, At: time.Now()})
+		e.slow.add(SlowQuery{SQL: text, Duration: d, Plan: res.Plan, At: time.Now(), TraceID: sp.TraceID()})
 	}
+	sp.EndOK()
 	return res, nil
 }
 
-func (e *Engine) execStmt(stmt Stmt) (*Result, error) {
+func (e *Engine) execStmt(ctx context.Context, stmt Stmt) (*Result, error) {
 	switch s := stmt.(type) {
 	case *SelectStmt:
-		return e.execSelect(s)
+		return e.execSelect(ctx, s)
 	case *InsertStmt:
 		return e.execInsert(s)
 	case *CreateTableStmt:
@@ -411,7 +431,7 @@ type accessPath struct {
 
 // chooseAccess inspects the conjuncts for an indexable predicate on the
 // driving table.
-func (e *Engine) chooseAccess(tbl *db.Table, tableName string, sc *scope, preds []Expr) (accessPath, error) {
+func (e *Engine) chooseAccess(ctx context.Context, tbl *db.Table, tableName string, sc *scope, preds []Expr) (accessPath, error) {
 	schema := tbl.Schema()
 	colOf := func(x Expr) (string, bool) {
 		c, ok := x.(*ColRef)
@@ -465,7 +485,7 @@ func (e *Engine) chooseAccess(tbl *db.Table, tableName string, sc *scope, preds 
 			pat, okp := litOf(fc.Args[1])
 			pstr, oks := pat.(string)
 			if okc && okp && oks && tbl.HasGenomicIndex(col) {
-				rids, err := tbl.GenomicLookup(col, pstr)
+				rids, err := tbl.GenomicLookupCtx(ctx, col, pstr)
 				if err != nil {
 					var short *kmeridx.ErrPatternTooShort
 					if errors.As(err, &short) {
@@ -480,8 +500,9 @@ func (e *Engine) chooseAccess(tbl *db.Table, tableName string, sc *scope, preds 
 	return accessPath{desc: fmt.Sprintf("scan %s", tableName)}, nil
 }
 
-func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
+func (e *Engine) execSelect(qctx context.Context, s *SelectStmt) (*Result, error) {
 	start := time.Now()
+	sp := trace.FromContext(qctx)
 	if len(s.From) == 0 {
 		return nil, fmt.Errorf("sqlang: SELECT requires FROM")
 	}
@@ -521,7 +542,7 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 
 	// Access path for the driving (first) table.
 	drive := tables[0]
-	path, err := e.chooseAccess(drive.tbl, drive.ref.EffectiveName(), sc, preds)
+	path, err := e.chooseAccess(qctx, drive.tbl, drive.ref.EffectiveName(), sc, preds)
 	if err != nil {
 		return nil, err
 	}
@@ -537,7 +558,7 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 		}
 	}
 	analyze := s.Analyze
-	pi := &planInfo{analyze: analyze, access: path.desc}
+	pi := &planInfo{analyze: analyze, timed: analyze || sp != nil, access: path.desc}
 	if useParallelScan {
 		pi.parallelWorkers = scanWorkers
 	}
@@ -573,7 +594,7 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 		rows := []db.Row{base}
 		if len(tables) > 1 {
 			var tj time.Time
-			if analyze {
+			if pi.timed {
 				tj = time.Now()
 			}
 			for _, bt := range tables[1:] {
@@ -592,14 +613,14 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 				}
 				rows = next
 			}
-			if analyze {
+			if pi.timed {
 				pi.joinNanos += time.Since(tj).Nanoseconds()
 				pi.actJoined += int64(len(rows))
 			}
 		}
 		// Apply residual filters.
 		var tf time.Time
-		if analyze {
+		if pi.timed {
 			tf = time.Now()
 		}
 	rowLoop:
@@ -617,7 +638,7 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 			working = append(working, row)
 			pi.actFilter++
 		}
-		if analyze {
+		if pi.timed {
 			pi.filterNanos += time.Since(tf).Nanoseconds()
 		}
 		return nil
@@ -626,14 +647,14 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 	if path.rids != nil {
 		for _, rid := range path.rids {
 			var t0 time.Time
-			if analyze {
+			if pi.timed {
 				t0 = time.Now()
 			}
 			row, err := drive.tbl.Get(rid)
 			if err != nil {
 				return nil, err
 			}
-			if analyze {
+			if pi.timed {
 				pi.accessNanos += time.Since(t0).Nanoseconds()
 			}
 			pi.actAccess++
@@ -648,20 +669,20 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 		// the serial scan's output exactly.
 		parts := make([][]db.Row, scanWorkers)
 		var scanned, keptRows, filterNanos, accessNanos atomic.Int64
-		err := parallel.ForEach(context.Background(), scanWorkers, scanWorkers, func(part int) error {
+		err := parallel.ForEach(qctx, scanWorkers, scanWorkers, func(part int) error {
 			pctx := &evalCtx{scope: sc, funcs: e.DB.Funcs}
 			var kept []db.Row
 			var innerErr error
 			var localScanned, localFilterNanos int64
 			var tShard time.Time
-			if analyze {
+			if pi.timed {
 				tShard = time.Now()
 			}
 			err := drive.tbl.ScanShard(part, scanWorkers, func(_ storage.RID, row db.Row) bool {
 				localScanned++
 				pctx.row = row
 				var tf time.Time
-				if analyze {
+				if pi.timed {
 					tf = time.Now()
 				}
 				pass := true
@@ -677,7 +698,7 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 						break
 					}
 				}
-				if analyze {
+				if pi.timed {
 					localFilterNanos += time.Since(tf).Nanoseconds()
 				}
 				if innerErr != nil {
@@ -697,7 +718,7 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 			parts[part] = kept
 			scanned.Add(localScanned)
 			keptRows.Add(int64(len(kept)))
-			if analyze {
+			if pi.timed {
 				filterNanos.Add(localFilterNanos)
 				accessNanos.Add(time.Since(tShard).Nanoseconds() - localFilterNanos)
 			}
@@ -716,7 +737,7 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 	} else {
 		var innerErr error
 		var tScan time.Time
-		if analyze {
+		if pi.timed {
 			tScan = time.Now()
 		}
 		err := drive.tbl.Scan(func(_ storage.RID, row db.Row) bool {
@@ -733,7 +754,7 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if analyze {
+		if pi.timed {
 			// The scan callback's elapsed time includes join and filter
 			// work; attribute the remainder to the access operator.
 			pi.accessNanos = time.Since(tScan).Nanoseconds() - pi.joinNanos - pi.filterNanos
@@ -759,14 +780,14 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 	var out []db.Row
 	if hasAgg || len(s.GroupBy) > 0 {
 		var tAgg time.Time
-		if analyze {
+		if pi.timed {
 			tAgg = time.Now()
 		}
 		out, err = e.aggregate(ctx, items, s.GroupBy, s.Having, working)
 		if err != nil {
 			return nil, err
 		}
-		if analyze {
+		if pi.timed {
 			pi.aggregated = true
 			pi.aggGroups = len(out)
 			pi.aggNanos = time.Since(tAgg).Nanoseconds()
@@ -791,13 +812,13 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 	// without aggregation).
 	if len(s.OrderBy) > 0 {
 		var tSort time.Time
-		if analyze {
+		if pi.timed {
 			tSort = time.Now()
 		}
 		if err := e.orderRows(ctx, s, items, cols, working, out, hasAgg); err != nil {
 			return nil, err
 		}
-		if analyze {
+		if pi.timed {
 			pi.sortKeys = len(s.OrderBy)
 			pi.sortNanos = time.Since(tSort).Nanoseconds()
 		}
@@ -808,6 +829,7 @@ func (e *Engine) execSelect(s *SelectStmt) (*Result, error) {
 	if s.Limit >= 0 && len(out) > s.Limit {
 		out = out[:s.Limit]
 	}
+	pi.addOperatorSpans(sp)
 	if analyze {
 		pi.outRows = len(out)
 		pi.totalNanos = time.Since(start).Nanoseconds()

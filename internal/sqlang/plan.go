@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"genalg/internal/db"
+	"genalg/internal/trace"
 )
 
 // filterInfo is one residual predicate with its cost-model numbers, in the
@@ -23,6 +24,11 @@ type filterInfo struct {
 // before storing), so plain fields suffice.
 type planInfo struct {
 	analyze bool
+	// timed turns on per-operator wall-clock collection: under EXPLAIN
+	// ANALYZE (analyze) or when the statement runs inside an active trace
+	// span. Both consumers read the same counters, so a trace tree and an
+	// EXPLAIN ANALYZE of the same execution report identical timings.
+	timed bool
 
 	access      string // chosen access path description
 	estAccess   int    // estimated driving rows
@@ -97,6 +103,29 @@ func (pi *planInfo) render() string {
 		fmt.Fprintf(&sb, "rows: %d (total time=%s)\n", pi.outRows, fmtNanos(pi.totalNanos))
 	}
 	return sb.String()
+}
+
+// addOperatorSpans mirrors the executed operators into the statement's
+// trace span as completed children, reusing the planInfo wall-clock
+// counters verbatim — the trace tree and EXPLAIN ANALYZE therefore report
+// the same per-operator durations for the same execution.
+func (pi *planInfo) addOperatorSpans(sp *trace.Span) {
+	if sp == nil {
+		return
+	}
+	sp.AddTiming("access: "+pi.access, time.Duration(pi.accessNanos))
+	if len(pi.filters) > 0 {
+		sp.AddTiming("filter", time.Duration(pi.filterNanos))
+	}
+	if len(pi.joins) > 0 {
+		sp.AddTiming("nested-loop join: "+strings.Join(pi.joins, ", "), time.Duration(pi.joinNanos))
+	}
+	if pi.aggregated {
+		sp.AddTiming("aggregate", time.Duration(pi.aggNanos))
+	}
+	if pi.sortKeys > 0 {
+		sp.AddTiming("sort", time.Duration(pi.sortNanos))
+	}
 }
 
 // accessEstimate predicts how many driving rows the access path yields:

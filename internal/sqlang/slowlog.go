@@ -14,6 +14,9 @@ type SlowQuery struct {
 	// Plan is the plan text the statement produced, when it was a SELECT.
 	Plan string
 	At   time.Time
+	// TraceID links the entry to its trace ("" when the statement ran
+	// without tracing), so a slow statement can be looked up in /traces.
+	TraceID string
 }
 
 // slowLogCap bounds the retained entries; older entries are dropped first.

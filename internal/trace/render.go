@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// RenderTree renders the trace as an indented ASCII tree, one line per
+// span showing total time and self time (total minus the direct
+// children), attributes inline, and events as timestamped sub-lines:
+//
+//	trace 4f2a... sqlang.statement total=1.48ms spans=4
+//	└─ sqlang.statement  total=1.48ms self=120µs  sql=SELECT ...
+//	   ├─ access: scan  total=900µs self=900µs
+//	   └─ filter  total=460µs self=460µs
+func (tr *Trace) RenderTree() string {
+	var b strings.Builder
+	tr.writeTree(&b)
+	return b.String()
+}
+
+// WriteTrees renders every retained trace, oldest first, separated by
+// blank lines. Safe on a nil tracer (writes nothing).
+func (t *Tracer) WriteTrees(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	for i, tr := range t.Traces() {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		var b strings.Builder
+		tr.writeTree(&b)
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (tr *Trace) writeTree(b *strings.Builder) {
+	spans := tr.Spans()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(spans) == 0 {
+		return
+	}
+	root := spans[0]
+	fmt.Fprintf(b, "trace %s %s total=%s spans=%d\n",
+		tr.ID, root.Name, fmtDur(spanDur(root)), len(spans))
+
+	children := make(map[SpanID][]*Span)
+	for _, sp := range spans[1:] {
+		children[sp.ParentID] = append(children[sp.ParentID], sp)
+	}
+	renderSpan(b, root, children, "", true)
+}
+
+// renderSpan emits one span line plus its events and children. prefix is
+// the indentation accumulated so far; last marks the final sibling.
+func renderSpan(b *strings.Builder, sp *Span, children map[SpanID][]*Span, prefix string, last bool) {
+	branch, childPrefix := "├─ ", prefix+"│  "
+	if last {
+		branch, childPrefix = "└─ ", prefix+"   "
+	}
+	total := spanDur(sp)
+	self := total
+	kids := children[sp.ID]
+	for _, k := range kids {
+		self -= spanDur(k)
+	}
+	if self < 0 {
+		self = 0
+	}
+	fmt.Fprintf(b, "%s%s%s  total=%s self=%s", prefix, branch, sp.Name, fmtDur(total), fmtDur(self))
+	for _, a := range sp.Attrs {
+		fmt.Fprintf(b, "  %s=%s", a.Key, a.Value)
+	}
+	if sp.Err != "" {
+		fmt.Fprintf(b, "  err=%q", sp.Err)
+	}
+	b.WriteByte('\n')
+	for _, ev := range sp.Events {
+		off := ev.At.Sub(sp.Start)
+		if off < 0 {
+			off = 0
+		}
+		fmt.Fprintf(b, "%s· +%s %s\n", childPrefix, fmtDur(off), ev.Msg)
+	}
+	for i, k := range kids {
+		renderSpan(b, k, children, childPrefix, i == len(kids)-1)
+	}
+}
+
+// spanDur reads a span's duration without locking; callers hold the trace
+// mutex or own a completed trace.
+func spanDur(sp *Span) time.Duration {
+	if sp.End.IsZero() {
+		return 0
+	}
+	return sp.End.Sub(sp.Start)
+}
+
+// fmtDur matches the planner's duration formatting (microsecond-rounded)
+// so trace trees and EXPLAIN ANALYZE read the same.
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonSpan is the wire form of one span in the JSONL export.
+type jsonSpan struct {
+	ID          string            `json:"id"`
+	Parent      string            `json:"parent,omitempty"`
+	Name        string            `json:"name"`
+	StartUnixNs int64             `json:"start_unix_ns"`
+	DurNs       int64             `json:"dur_ns"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+	Events      []jsonEvent       `json:"events,omitempty"`
+	Err         string            `json:"err,omitempty"`
+}
+
+type jsonEvent struct {
+	AtNs int64  `json:"at_ns"`
+	Msg  string `json:"msg"`
+}
+
+// jsonTrace is the wire form of one trace: a single JSON object per line.
+type jsonTrace struct {
+	TraceID    string     `json:"trace_id"`
+	Root       string     `json:"root"`
+	DurationNs int64      `json:"duration_ns"`
+	Spans      []jsonSpan `json:"spans"`
+}
+
+// WriteJSONL writes every retained trace as one JSON object per line,
+// oldest first. Safe on a nil tracer (writes nothing).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, tr := range t.Traces() {
+		if err := enc.Encode(tr.toJSON()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (tr *Trace) toJSON() jsonTrace {
+	spans := tr.Spans()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := jsonTrace{TraceID: tr.ID.String()}
+	if len(spans) > 0 {
+		root := spans[0]
+		out.Root = root.Name
+		if !root.End.IsZero() {
+			out.DurationNs = root.End.Sub(root.Start).Nanoseconds()
+		}
+	}
+	for _, sp := range spans {
+		js := jsonSpan{
+			ID:          sp.ID.String(),
+			Parent:      sp.ParentID.String(),
+			Name:        sp.Name,
+			StartUnixNs: sp.Start.UnixNano(),
+			Err:         sp.Err,
+		}
+		if !sp.End.IsZero() {
+			js.DurNs = sp.End.Sub(sp.Start).Nanoseconds()
+		}
+		if len(sp.Attrs) > 0 {
+			js.Attrs = make(map[string]string, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				js.Attrs[a.Key] = a.Value
+			}
+		}
+		for _, ev := range sp.Events {
+			js.Events = append(js.Events, jsonEvent{AtNs: ev.At.UnixNano(), Msg: ev.Msg})
+		}
+		out.Spans = append(out.Spans, js)
+	}
+	return out
+}

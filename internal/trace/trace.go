@@ -1,0 +1,527 @@
+// Package trace is the repository's request-tracing substrate: hierarchical
+// spans carrying trace/span IDs, parent links, attributes, and events,
+// propagated across stage boundaries via context.Context. Where package obs
+// answers "how is the system doing in aggregate", a trace answers "why was
+// this one statement/round slow" — one tree per request, each node timed.
+//
+// Design rules:
+//
+//   - No dependencies beyond the standard library.
+//   - Nil-safe no-op when disabled: Start returns a nil *Span when no
+//     enabled Tracer is reachable from the context, and every Span method
+//     is safe to call on nil, so instrumented code needs no guards and the
+//     disabled hot path costs only two context lookups.
+//   - Sampling decides which traces are retained: always, rate-based, or
+//     errors+slow-only (decided when the root span ends, so a trace that
+//     turns out slow or broken is kept even though that was unknowable at
+//     start).
+//   - Completed traces land in a bounded ring buffer with JSONL export and
+//     a text tree renderer (render.go); nothing is written anywhere unless
+//     the owner asks.
+package trace
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one trace (one request tree).
+type TraceID uint64
+
+// String renders the ID as 16 lowercase hex digits.
+func (id TraceID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// SpanID identifies one span within a trace.
+type SpanID uint64
+
+// String renders the ID as 16 lowercase hex digits (0 renders empty: the
+// root span has no parent).
+func (id SpanID) String() string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", uint64(id))
+}
+
+// idState seeds the lock-free ID generator; the splitmix64 finalizer turns
+// the sequential counter into well-distributed non-zero IDs.
+var idState atomic.Uint64
+
+func init() { idState.Store(uint64(time.Now().UnixNano())) }
+
+func nextID() uint64 {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// randFloat derives a uniform [0,1) sample from the ID stream (no locks,
+// no math/rand global state).
+func randFloat() float64 { return float64(nextID()>>11) / (1 << 53) }
+
+// Mode selects the sampling policy applied to root spans.
+type Mode int
+
+const (
+	// SampleAlways keeps every trace.
+	SampleAlways Mode = iota
+	// SampleRate keeps roughly Sampling.Rate of traces, decided when the
+	// root span starts (an unsampled root suppresses its whole subtree).
+	SampleRate
+	// SampleErrorsSlow keeps only traces that recorded an error or whose
+	// root span took at least Sampling.SlowThreshold, decided when the
+	// root span ends.
+	SampleErrorsSlow
+)
+
+// String names the mode for display.
+func (m Mode) String() string {
+	switch m {
+	case SampleAlways:
+		return "always"
+	case SampleRate:
+		return "rate"
+	case SampleErrorsSlow:
+		return "errors+slow"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Sampling configures which traces a Tracer retains.
+type Sampling struct {
+	Mode Mode
+	// Rate is the keep fraction under SampleRate (0 keeps nothing, 1
+	// everything).
+	Rate float64
+	// SlowThreshold is the root-duration cutoff under SampleErrorsSlow;
+	// 0 keeps every completed trace (any duration qualifies), so use it
+	// with a positive threshold to isolate the slow tail.
+	SlowThreshold time.Duration
+}
+
+// String renders the sampling policy for display.
+func (s Sampling) String() string {
+	switch s.Mode {
+	case SampleRate:
+		return fmt.Sprintf("rate=%g", s.Rate)
+	case SampleErrorsSlow:
+		return fmt.Sprintf("slow=%s", s.SlowThreshold)
+	}
+	return "always"
+}
+
+// ParseSampling parses the command-line form of a sampling policy:
+// "always", "rate=F" (F in [0,1]), or "slow=DUR" (errors+slow-only with
+// DUR as the slow threshold, e.g. "slow=50ms").
+func ParseSampling(s string) (Sampling, error) {
+	switch {
+	case s == "always":
+		return Sampling{Mode: SampleAlways}, nil
+	case strings.HasPrefix(s, "rate="):
+		f, err := strconv.ParseFloat(strings.TrimPrefix(s, "rate="), 64)
+		if err != nil || f < 0 || f > 1 {
+			return Sampling{}, fmt.Errorf("trace: bad rate in %q (want rate=F with F in [0,1])", s)
+		}
+		return Sampling{Mode: SampleRate, Rate: f}, nil
+	case strings.HasPrefix(s, "slow="):
+		d, err := time.ParseDuration(strings.TrimPrefix(s, "slow="))
+		if err != nil || d < 0 {
+			return Sampling{}, fmt.Errorf("trace: bad duration in %q (want slow=DUR, e.g. slow=50ms)", s)
+		}
+		return Sampling{Mode: SampleErrorsSlow, SlowThreshold: d}, nil
+	}
+	return Sampling{}, fmt.Errorf("trace: unknown sampling %q (always, rate=F, slow=DUR)", s)
+}
+
+// DefaultCapacity is the trace ring-buffer size when New is given none.
+const DefaultCapacity = 64
+
+// Tracer owns the sampling policy and the bounded store of completed
+// traces. The zero value is not usable; call New. A nil *Tracer is a valid
+// "tracing off" value everywhere.
+type Tracer struct {
+	enabled atomic.Bool
+
+	mu       sync.Mutex
+	sampling Sampling
+	ring     []*Trace // capacity-bounded, oldest first after reorder
+	next     int
+	full     bool
+
+	started atomic.Int64 // root spans begun
+	kept    atomic.Int64 // traces committed to the ring
+	dropped atomic.Int64 // traces sampled out
+}
+
+// New creates an enabled tracer with the given sampling policy and trace
+// ring capacity (<= 0 selects DefaultCapacity).
+func New(s Sampling, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	t := &Tracer{sampling: s, ring: make([]*Trace, capacity)}
+	t.enabled.Store(true)
+	return t
+}
+
+// SetEnabled turns the tracer on or off. While off, Start returns nil
+// spans and nothing is recorded.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether the tracer records new traces (false for nil).
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetSampling replaces the sampling policy.
+func (t *Tracer) SetSampling(s Sampling) {
+	t.mu.Lock()
+	t.sampling = s
+	t.mu.Unlock()
+}
+
+// Sampling returns the current sampling policy.
+func (t *Tracer) Sampling() Sampling {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sampling
+}
+
+// Stats reports cumulative root-span accounting: roots started, traces
+// kept in the ring, and traces sampled out.
+func (t *Tracer) Stats() (started, kept, dropped int64) {
+	return t.started.Load(), t.kept.Load(), t.dropped.Load()
+}
+
+// Reset drops every stored trace. Intended for tests and \trace off/on
+// cycles.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	for i := range t.ring {
+		t.ring[i] = nil
+	}
+	t.next, t.full = 0, false
+	t.mu.Unlock()
+}
+
+// Attr is one key=value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Event is one timestamped note inside a span (a retry attempt, a breaker
+// opening, a quarantine write).
+type Event struct {
+	At  time.Time
+	Msg string
+}
+
+// Trace is one completed (or in-flight) request tree. Spans appear in
+// start order; Spans[0] is the root.
+type Trace struct {
+	ID TraceID
+
+	tracer *Tracer
+	mu     sync.Mutex
+	spans  []*Span
+	err    bool
+}
+
+// Span is one timed region of a trace. Fields are written under the owning
+// trace's mutex and must be read via the accessor methods (or after the
+// trace is complete). All methods are safe on a nil *Span.
+type Span struct {
+	tr *Trace
+
+	Name     string
+	ID       SpanID
+	ParentID SpanID // 0 for the root
+	Start    time.Time
+	End      time.Time
+	Attrs    []Attr
+	Events   []Event
+	Err      string
+}
+
+// suppressed marks a context subtree whose root was sampled out: children
+// must not start fresh roots of their own. Its nil tr distinguishes it.
+var suppressed = new(Span)
+
+type ctxSpanKey struct{}
+type ctxTracerKey struct{}
+
+// WithTracer attaches t to the context; Start calls below it create root
+// spans on t. A nil tracer returns ctx unchanged.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxTracerKey{}, t)
+}
+
+// TracerFrom returns the tracer attached to ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxTracerKey{}).(*Tracer)
+	return t
+}
+
+// FromContext returns the active span, or nil when the context carries
+// none (or the subtree is sampled out).
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxSpanKey{}).(*Span)
+	if sp == nil || sp.tr == nil {
+		return nil
+	}
+	return sp
+}
+
+// Start begins a span named name: a child of the context's active span
+// when one exists, otherwise a new root on the context's tracer. It
+// returns the derived context (carrying the new span) and the span itself;
+// when tracing is off or sampled out both are pass-throughs — ctx
+// unchanged, span nil — and the call costs two context lookups.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if parent, ok := ctx.Value(ctxSpanKey{}).(*Span); ok && parent != nil {
+		if parent.tr == nil {
+			return ctx, nil // sampled-out subtree
+		}
+		sp := parent.tr.newSpan(name, parent.ID)
+		return context.WithValue(ctx, ctxSpanKey{}, sp), sp
+	}
+	t, _ := ctx.Value(ctxTracerKey{}).(*Tracer)
+	if t == nil || !t.enabled.Load() {
+		return ctx, nil
+	}
+	sp := t.startRoot(name)
+	if sp == nil {
+		// Rate-sampled out: mark the subtree so nested Start calls do not
+		// begin fragment roots of their own.
+		return context.WithValue(ctx, ctxSpanKey{}, suppressed), nil
+	}
+	return context.WithValue(ctx, ctxSpanKey{}, sp), sp
+}
+
+// startRoot begins a new trace, applying start-time sampling.
+func (t *Tracer) startRoot(name string) *Span {
+	t.started.Add(1)
+	t.mu.Lock()
+	s := t.sampling
+	t.mu.Unlock()
+	if s.Mode == SampleRate && randFloat() >= s.Rate {
+		t.dropped.Add(1)
+		return nil
+	}
+	tr := &Trace{ID: TraceID(nextID()), tracer: t}
+	sp := &Span{tr: tr, Name: name, ID: SpanID(nextID()), Start: time.Now()}
+	tr.spans = append(tr.spans, sp)
+	return tr.spans[0]
+}
+
+// newSpan appends a child span to the trace.
+func (tr *Trace) newSpan(name string, parent SpanID) *Span {
+	sp := &Span{tr: tr, Name: name, ID: SpanID(nextID()), ParentID: parent, Start: time.Now()}
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, sp)
+	tr.mu.Unlock()
+	return sp
+}
+
+// Recording reports whether the span records anything (false for nil).
+func (s *Span) Recording() bool { return s != nil }
+
+// TraceID returns the trace's hex ID ("" for a nil span), for stamping
+// into logs so aggregate views link back to the trace.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.tr.ID.String()
+}
+
+// SetAttr annotates the span with key=value; v is rendered with fmt.Sprint.
+func (s *Span) SetAttr(key string, v any) {
+	if s == nil {
+		return
+	}
+	val := fmt.Sprint(v)
+	s.tr.mu.Lock()
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: val})
+	s.tr.mu.Unlock()
+}
+
+// Eventf records a timestamped event on the span.
+func (s *Span) Eventf(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	s.tr.mu.Lock()
+	s.Events = append(s.Events, Event{At: time.Now(), Msg: msg})
+	s.tr.mu.Unlock()
+}
+
+// SetError marks the span (and its trace) failed. Nil err is a no-op.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.Err = err.Error()
+	s.tr.err = true
+	s.tr.mu.Unlock()
+}
+
+// AddTiming attaches an already-measured operation as a completed child
+// span of duration d ending now. The query engine uses it to mirror the
+// planner's per-operator timings into the trace, so EXPLAIN ANALYZE and
+// the trace tree report identical numbers.
+func (s *Span) AddTiming(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	now := time.Now()
+	sp := &Span{
+		tr: s.tr, Name: name, ID: SpanID(nextID()), ParentID: s.ID,
+		Start: now.Add(-d), End: now,
+	}
+	s.tr.mu.Lock()
+	s.tr.spans = append(s.tr.spans, sp)
+	s.tr.mu.Unlock()
+}
+
+// Duration returns the span's elapsed time (0 for nil or unfinished).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.End.IsZero() {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// EndSpan finishes the span; err (may be nil) marks it failed. Ending the
+// root commits the trace to the tracer's ring, subject to end-time
+// sampling (errors+slow mode).
+func (s *Span) EndSpan(err error) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.End.IsZero() {
+		s.End = time.Now()
+	}
+	if err != nil {
+		s.Err = err.Error()
+		s.tr.err = true
+	}
+	isRoot := s.ParentID == 0
+	s.tr.mu.Unlock()
+	if isRoot {
+		s.tr.tracer.commit(s.tr)
+	}
+}
+
+// EndOK finishes the span successfully; shorthand for EndSpan(nil).
+func (s *Span) EndOK() { s.EndSpan(nil) }
+
+// commit applies end-time sampling and stores the completed trace.
+func (t *Tracer) commit(tr *Trace) {
+	tr.mu.Lock()
+	root := tr.spans[0]
+	dur := root.End.Sub(root.Start)
+	errored := tr.err
+	tr.mu.Unlock()
+
+	t.mu.Lock()
+	if t.sampling.Mode == SampleErrorsSlow && !errored && dur < t.sampling.SlowThreshold {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	t.ring[t.next] = tr
+	t.next++
+	if t.next == len(t.ring) {
+		t.next, t.full = 0, true
+	}
+	t.mu.Unlock()
+	t.kept.Add(1)
+}
+
+// Traces returns the retained traces, oldest first.
+func (t *Tracer) Traces() []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*Trace
+	if t.full {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	kept := out[:0]
+	for _, tr := range out {
+		if tr != nil {
+			kept = append(kept, tr)
+		}
+	}
+	return kept
+}
+
+// Root returns the trace's root span.
+func (tr *Trace) Root() *Span {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.spans[0]
+}
+
+// Spans returns a snapshot of the trace's spans in start order (root
+// first).
+func (tr *Trace) Spans() []*Span {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]*Span, len(tr.spans))
+	copy(out, tr.spans)
+	return out
+}
+
+// Duration returns the root span's elapsed time.
+func (tr *Trace) Duration() time.Duration {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	root := tr.spans[0]
+	if root.End.IsZero() {
+		return 0
+	}
+	return root.End.Sub(root.Start)
+}

@@ -1,0 +1,386 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartBuildsHierarchy(t *testing.T) {
+	tr := New(Sampling{Mode: SampleAlways}, 8)
+	ctx := WithTracer(context.Background(), tr)
+
+	rctx, root := Start(ctx, "root")
+	if root == nil {
+		t.Fatal("root span is nil with always sampling")
+	}
+	if got := FromContext(rctx); got != root {
+		t.Fatalf("FromContext = %v, want root", got)
+	}
+	cctx, child := Start(rctx, "child")
+	if child == nil {
+		t.Fatal("child span is nil")
+	}
+	if child.ParentID != root.ID {
+		t.Fatalf("child.ParentID = %v, want %v", child.ParentID, root.ID)
+	}
+	_, grand := Start(cctx, "grandchild")
+	if grand.ParentID != child.ID {
+		t.Fatalf("grandchild.ParentID = %v, want %v", grand.ParentID, child.ID)
+	}
+	grand.EndOK()
+	child.EndOK()
+	root.EndOK()
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	spans := traces[0].Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "root" || spans[0].ParentID != 0 {
+		t.Fatalf("spans[0] = %q parent=%v, want root with no parent", spans[0].Name, spans[0].ParentID)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var sp *Span
+	sp.SetAttr("k", "v")
+	sp.Eventf("boom %d", 1)
+	sp.SetError(errors.New("x"))
+	sp.AddTiming("op", time.Millisecond)
+	sp.EndSpan(errors.New("x"))
+	sp.EndOK()
+	if sp.Recording() {
+		t.Error("nil span reports Recording")
+	}
+	if sp.TraceID() != "" {
+		t.Error("nil span has a trace ID")
+	}
+	if sp.Duration() != 0 {
+		t.Error("nil span has a duration")
+	}
+
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	tr.SetEnabled(true)
+	if tr.Traces() != nil {
+		t.Error("nil tracer has traces")
+	}
+	if err := tr.WriteJSONL(nil); err != nil {
+		t.Error("nil tracer WriteJSONL errored:", err)
+	}
+	if err := tr.WriteTrees(nil); err != nil {
+		t.Error("nil tracer WriteTrees errored:", err)
+	}
+
+	// Contexts without tracers produce nil spans and unchanged flow.
+	ctx, sp2 := Start(context.Background(), "noop")
+	if sp2 != nil {
+		t.Fatal("span created without a tracer")
+	}
+	if got := FromContext(ctx); got != nil {
+		t.Fatal("FromContext returned a span without a tracer")
+	}
+	if got := WithTracer(context.Background(), nil); got != context.Background() {
+		t.Error("WithTracer(nil) changed the context")
+	}
+}
+
+func TestDisabledTracer(t *testing.T) {
+	tr := New(Sampling{Mode: SampleAlways}, 4)
+	tr.SetEnabled(false)
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := Start(ctx, "off")
+	if sp != nil {
+		t.Fatal("disabled tracer produced a span")
+	}
+	tr.SetEnabled(true)
+	_, sp = Start(ctx, "on")
+	if sp == nil {
+		t.Fatal("re-enabled tracer produced no span")
+	}
+	sp.EndOK()
+}
+
+func TestSampleRate(t *testing.T) {
+	tr := New(Sampling{Mode: SampleRate, Rate: 0}, 8)
+	ctx := WithTracer(context.Background(), tr)
+	rctx, sp := Start(ctx, "root")
+	if sp != nil {
+		t.Fatal("rate=0 kept a root span")
+	}
+	// Children under a sampled-out root must not start fresh roots.
+	_, child := Start(rctx, "child")
+	if child != nil {
+		t.Fatal("sampled-out subtree produced a span")
+	}
+	if got := FromContext(rctx); got != nil {
+		t.Fatal("FromContext leaked the suppression sentinel")
+	}
+	if len(tr.Traces()) != 0 {
+		t.Fatal("rate=0 stored traces")
+	}
+
+	tr.SetSampling(Sampling{Mode: SampleRate, Rate: 1})
+	_, sp = Start(ctx, "kept")
+	if sp == nil {
+		t.Fatal("rate=1 dropped a root span")
+	}
+	sp.EndOK()
+	if len(tr.Traces()) != 1 {
+		t.Fatal("rate=1 did not store the trace")
+	}
+}
+
+func TestSampleErrorsSlow(t *testing.T) {
+	tr := New(Sampling{Mode: SampleErrorsSlow, SlowThreshold: time.Hour}, 8)
+	ctx := WithTracer(context.Background(), tr)
+
+	// Fast, clean trace: dropped at commit.
+	_, sp := Start(ctx, "fast")
+	sp.EndOK()
+	if n := len(tr.Traces()); n != 0 {
+		t.Fatalf("fast clean trace was kept (%d stored)", n)
+	}
+
+	// Errored trace: kept regardless of duration.
+	_, sp = Start(ctx, "broken")
+	sp.EndSpan(errors.New("boom"))
+	if n := len(tr.Traces()); n != 1 {
+		t.Fatalf("errored trace not kept (%d stored)", n)
+	}
+
+	// Error on a child marks the whole trace.
+	rctx, root := Start(ctx, "root")
+	_, child := Start(rctx, "child")
+	child.SetError(errors.New("inner"))
+	child.EndOK()
+	root.EndOK()
+	if n := len(tr.Traces()); n != 2 {
+		t.Fatalf("child-errored trace not kept (%d stored)", n)
+	}
+
+	// Slow trace: kept once the threshold is reachable.
+	tr.SetSampling(Sampling{Mode: SampleErrorsSlow, SlowThreshold: time.Nanosecond})
+	_, sp = Start(ctx, "slow")
+	time.Sleep(time.Microsecond)
+	sp.EndOK()
+	if n := len(tr.Traces()); n != 3 {
+		t.Fatalf("slow trace not kept (%d stored)", n)
+	}
+
+	started, kept, dropped := tr.Stats()
+	if started != 4 || kept != 3 || dropped != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 4 started, 3 kept, 1 dropped", started, kept, dropped)
+	}
+}
+
+func TestRingBufferBounded(t *testing.T) {
+	tr := New(Sampling{Mode: SampleAlways}, 3)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 7; i++ {
+		_, sp := Start(ctx, "t")
+		sp.SetAttr("i", i)
+		sp.EndOK()
+	}
+	traces := tr.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("ring holds %d traces, want 3", len(traces))
+	}
+	// Oldest first: the survivors are iterations 4, 5, 6.
+	for i, want := range []string{"4", "5", "6"} {
+		attrs := traces[i].Root().Attrs
+		if len(attrs) != 1 || attrs[0].Value != want {
+			t.Fatalf("trace %d attr = %v, want i=%s", i, attrs, want)
+		}
+	}
+	tr.Reset()
+	if len(tr.Traces()) != 0 {
+		t.Fatal("Reset left traces behind")
+	}
+}
+
+func TestJSONLExport(t *testing.T) {
+	tr := New(Sampling{Mode: SampleAlways}, 4)
+	ctx := WithTracer(context.Background(), tr)
+	rctx, root := Start(ctx, "req")
+	root.SetAttr("sql", "SELECT 1")
+	_, child := Start(rctx, "scan")
+	child.Eventf("row %d", 42)
+	child.EndSpan(errors.New("bad row"))
+	root.EndOK()
+
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d JSONL lines, want 1", len(lines))
+	}
+	var obj struct {
+		TraceID string `json:"trace_id"`
+		Root    string `json:"root"`
+		DurNs   int64  `json:"duration_ns"`
+		Spans   []struct {
+			ID     string            `json:"id"`
+			Parent string            `json:"parent"`
+			Name   string            `json:"name"`
+			Attrs  map[string]string `json:"attrs"`
+			Events []struct {
+				Msg string `json:"msg"`
+			} `json:"events"`
+			Err string `json:"err"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &obj); err != nil {
+		t.Fatalf("bad JSONL line: %v\n%s", err, lines[0])
+	}
+	if obj.Root != "req" || obj.TraceID == "" || obj.DurNs < 0 {
+		t.Fatalf("bad trace header: %+v", obj)
+	}
+	if len(obj.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(obj.Spans))
+	}
+	if obj.Spans[0].Attrs["sql"] != "SELECT 1" {
+		t.Fatalf("root attrs = %v", obj.Spans[0].Attrs)
+	}
+	if obj.Spans[1].Parent != obj.Spans[0].ID {
+		t.Fatal("child does not reference root span ID")
+	}
+	if len(obj.Spans[1].Events) != 1 || obj.Spans[1].Events[0].Msg != "row 42" {
+		t.Fatalf("child events = %v", obj.Spans[1].Events)
+	}
+	if obj.Spans[1].Err != "bad row" {
+		t.Fatalf("child err = %q", obj.Spans[1].Err)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	tr := New(Sampling{Mode: SampleAlways}, 4)
+	ctx := WithTracer(context.Background(), tr)
+	rctx, root := Start(ctx, "sqlang.statement")
+	root.SetAttr("sql", "SELECT id FROM genes")
+	_, scan := Start(rctx, "access: scan")
+	scan.Eventf("breaker open")
+	scan.EndOK()
+	root.AddTiming("filter", 2*time.Millisecond)
+	root.EndOK()
+
+	out := tr.Traces()[0].RenderTree()
+	for _, want := range []string{
+		"sqlang.statement", "total=", "self=", "sql=SELECT id FROM genes",
+		"access: scan", "filter", "└─", "· +", "breaker open", "spans=3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered tree missing %q:\n%s", want, out)
+		}
+	}
+	// The filter child was added via AddTiming with a known duration.
+	if !strings.Contains(out, "filter  total=2ms") {
+		t.Fatalf("AddTiming duration not rendered exactly:\n%s", out)
+	}
+}
+
+func TestAddTimingMatchesDuration(t *testing.T) {
+	tr := New(Sampling{Mode: SampleAlways}, 4)
+	ctx := WithTracer(context.Background(), tr)
+	_, root := Start(ctx, "root")
+	root.AddTiming("op", 1500*time.Microsecond)
+	root.EndOK()
+	spans := tr.Traces()[0].Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if d := spans[1].End.Sub(spans[1].Start); d != 1500*time.Microsecond {
+		t.Fatalf("AddTiming duration = %v, want 1.5ms", d)
+	}
+	if spans[1].ParentID != root.ID {
+		t.Fatal("AddTiming child not parented to the span")
+	}
+}
+
+func TestParseSampling(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Sampling
+		ok   bool
+	}{
+		{"always", Sampling{Mode: SampleAlways}, true},
+		{"rate=0.25", Sampling{Mode: SampleRate, Rate: 0.25}, true},
+		{"slow=50ms", Sampling{Mode: SampleErrorsSlow, SlowThreshold: 50 * time.Millisecond}, true},
+		{"rate=2", Sampling{}, false},
+		{"rate=x", Sampling{}, false},
+		{"slow=-1s", Sampling{}, false},
+		{"never", Sampling{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSampling(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseSampling(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseSampling(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(Sampling{Mode: SampleAlways}, 64)
+	ctx := WithTracer(context.Background(), tr)
+	rctx, root := Start(ctx, "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sp := Start(rctx, "worker")
+			sp.SetAttr("i", i)
+			sp.Eventf("step %d", i)
+			if i%2 == 0 {
+				sp.AddTiming("sub", time.Microsecond)
+			}
+			sp.EndOK()
+		}(i)
+	}
+	wg.Wait()
+	root.EndOK()
+	spans := tr.Traces()[0].Spans()
+	want := 1 + 16 + 8 // root + workers + AddTiming children
+	if len(spans) != want {
+		t.Fatalf("got %d spans, want %d", len(spans), want)
+	}
+	var b strings.Builder
+	if err := tr.WriteTrees(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "worker") {
+		t.Fatal("rendered forest missing worker spans")
+	}
+}
+
+func TestIDStrings(t *testing.T) {
+	if got := TraceID(0xabc).String(); got != "0000000000000abc" {
+		t.Fatalf("TraceID.String() = %q", got)
+	}
+	if got := SpanID(0).String(); got != "" {
+		t.Fatalf("SpanID(0).String() = %q, want empty", got)
+	}
+	if a, b := nextID(), nextID(); a == b || a == 0 || b == 0 {
+		t.Fatalf("nextID not unique/non-zero: %x %x", a, b)
+	}
+	f := randFloat()
+	if f < 0 || f >= 1 {
+		t.Fatalf("randFloat out of range: %v", f)
+	}
+}

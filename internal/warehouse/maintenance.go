@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -10,6 +11,7 @@ import (
 	"genalg/internal/obs"
 	"genalg/internal/sources"
 	"genalg/internal/storage"
+	"genalg/internal/trace"
 )
 
 // SetManualRefresh switches between the paper's refresh modes (Section
@@ -44,6 +46,14 @@ func (w *Warehouse) ApplyDeltas(deltas []etl.Delta) error {
 // (wrap-rejected after-images preserved with reason and raw payload). The
 // error is reserved for storage-side failures, which still abort the batch.
 func (w *Warehouse) ApplyDeltasReport(deltas []etl.Delta) (etl.SinkReport, error) {
+	return w.ApplyDeltasReportCtx(context.Background(), deltas)
+}
+
+// ApplyDeltasReportCtx is ApplyDeltasReport under the caller's context: the
+// batch runs inside a "warehouse.apply_deltas" trace span (with quarantine
+// events) when the context carries a tracer — which lets a traced ETL round
+// show the maintenance work nested under its sink stage.
+func (w *Warehouse) ApplyDeltasReportCtx(ctx context.Context, deltas []etl.Delta) (etl.SinkReport, error) {
 	w.mu.Lock()
 	manual := w.manualRefresh
 	if manual {
@@ -51,9 +61,22 @@ func (w *Warehouse) ApplyDeltasReport(deltas []etl.Delta) (etl.SinkReport, error
 	}
 	w.mu.Unlock()
 	if manual {
+		if sp := trace.FromContext(ctx); sp != nil {
+			sp.Eventf("manual refresh: %d delta(s) queued", len(deltas))
+		}
 		return etl.SinkReport{}, nil
 	}
-	return w.applyNow(deltas)
+	ctx, sp := trace.Start(ctx, "warehouse.apply_deltas")
+	sp.SetAttr("deltas", len(deltas))
+	rep, err := w.applyNow(ctx, deltas)
+	if err != nil {
+		sp.EndSpan(err)
+		return rep, err
+	}
+	sp.SetAttr("applied", rep.RecordsOK)
+	sp.SetAttr("quarantined", rep.Quarantined)
+	sp.EndOK()
+	return rep, nil
 }
 
 // Refresh applies all queued deltas (manual mode's "advance updates").
@@ -62,13 +85,14 @@ func (w *Warehouse) Refresh() (int, error) {
 	queued := w.pending
 	w.pending = nil
 	w.mu.Unlock()
-	if _, err := w.applyNow(queued); err != nil {
+	if _, err := w.applyNow(context.Background(), queued); err != nil {
 		return 0, err
 	}
 	return len(queued), nil
 }
 
-func (w *Warehouse) applyNow(deltas []etl.Delta) (etl.SinkReport, error) {
+func (w *Warehouse) applyNow(ctx context.Context, deltas []etl.Delta) (etl.SinkReport, error) {
+	sp := trace.FromContext(ctx)
 	var rep etl.SinkReport
 	defer func(rep *etl.SinkReport) {
 		obs.Default.Counter("warehouse.maintenance.applied").Add(int64(rep.RecordsOK))
@@ -84,6 +108,7 @@ func (w *Warehouse) applyNow(deltas []etl.Delta) (etl.SinkReport, error) {
 		if errors.As(err, &bad) {
 			// A malformed record is the source's fault, not ours: preserve
 			// it for curators and keep the round going.
+			sp.Eventf("quarantined %s from %s: %v", d.ID, d.Source, bad.err)
 			q := QuarantinedRecord{
 				ID: d.ID, Source: d.Source, Stage: "maintenance",
 				Reason: bad.err.Error(), Tick: d.Tick,

@@ -15,6 +15,7 @@ import (
 	"genalg/internal/parallel"
 	"genalg/internal/sources"
 	"genalg/internal/storage"
+	"genalg/internal/trace"
 )
 
 // quarantineSeq orders quarantine rows when no delta tick is available
@@ -118,6 +119,8 @@ type LoadReport struct {
 // identical to a serial load of the surviving sources.
 func (w *Warehouse) InitialLoadReport(ctx context.Context, repos []sources.Repository, policy etl.RetryPolicy) (etl.IntegrationStats, LoadReport, error) {
 	defer obs.Default.Timer("warehouse.load.seconds")()
+	ctx, sp := trace.Start(ctx, "warehouse.initial_load")
+	sp.SetAttr("sources", len(repos))
 	rep := LoadReport{Sources: len(repos)}
 	jitter := newLoadJitter(policy.Seed)
 	type loaded struct {
@@ -128,17 +131,23 @@ func (w *Warehouse) InitialLoadReport(ctx context.Context, repos []sources.Repos
 	workers := parallel.Clamp(w.Workers, len(repos))
 	perRepo, errs := parallel.MapAll(ctx, repos, workers,
 		func(i int, r sources.Repository) (loaded, error) {
-			text, retries, err := etl.FetchWithRetry(ctx, r, policy, jitter)
+			sctx, ssp := trace.Start(ctx, "warehouse.load.source")
+			ssp.SetAttr("source", r.Name())
+			text, retries, err := etl.FetchWithRetry(sctx, r, policy, jitter)
 			if err != nil {
+				ssp.EndSpan(err)
 				return loaded{retries: retries}, err
 			}
 			recs, err := sources.Parse(r.Format(), text)
 			if err != nil {
-				return loaded{retries: retries}, fmt.Errorf("warehouse: parsing %s: %w", r.Name(), err)
+				err = fmt.Errorf("warehouse: parsing %s: %w", r.Name(), err)
+				ssp.EndSpan(err)
+				return loaded{retries: retries}, err
 			}
 			es, werrs := w.wrapper.WrapAll(recs, r.Name())
 			ld := loaded{entries: es, retries: retries}
 			for _, werr := range werrs {
+				ssp.Eventf("quarantined %s: %v", badRecordID(werr), werr)
 				ld.bad = append(ld.bad, QuarantinedRecord{
 					ID:      badRecordID(werr),
 					Source:  r.Name(),
@@ -148,6 +157,8 @@ func (w *Warehouse) InitialLoadReport(ctx context.Context, repos []sources.Repos
 					Tick:    -quarantineSeq.Add(1),
 				})
 			}
+			ssp.SetAttr("entries", len(es))
+			ssp.EndOK()
 			return ld, nil
 		})
 	var entries []etl.Entry
@@ -162,6 +173,7 @@ func (w *Warehouse) InitialLoadReport(ctx context.Context, repos []sources.Repos
 		entries = append(entries, ld.entries...)
 		for _, q := range ld.bad {
 			if err := w.quarantine(q); err != nil {
+				sp.EndSpan(err)
 				return etl.IntegrationStats{}, rep, err
 			}
 			rep.Quarantined++
@@ -169,11 +181,18 @@ func (w *Warehouse) InitialLoadReport(ctx context.Context, repos []sources.Repos
 	}
 	merged, stats := etl.Integrate(entries)
 	if err := w.Load(merged); err != nil {
+		sp.EndSpan(err)
 		return stats, rep, err
 	}
 	obs.Default.Counter("warehouse.load.entities").Add(int64(len(merged)))
 	obs.Default.Counter("warehouse.load.quarantined").Add(int64(rep.Quarantined))
 	obs.Default.Counter("warehouse.load.source_failures").Add(int64(len(rep.Failed)))
+	sp.SetAttr("loaded", rep.Loaded)
+	sp.SetAttr("quarantined", rep.Quarantined)
+	if len(rep.Failed) > 0 {
+		sp.Eventf("degraded load: %d source(s) failed", len(rep.Failed))
+	}
+	sp.EndOK()
 	return stats, rep, nil
 }
 

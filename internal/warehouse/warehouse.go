@@ -193,6 +193,13 @@ func isPublicTable(name string) bool {
 // the external data is read-only"); user tables are updatable by their
 // owners and readable by everyone when shared.
 func (w *Warehouse) Query(user, sql string) (*sqlang.Result, error) {
+	return w.QueryCtx(context.Background(), user, sql)
+}
+
+// QueryCtx is Query under the caller's context: statements run inside the
+// context's trace (a "sqlang.statement" span with per-operator children)
+// when one is active.
+func (w *Warehouse) QueryCtx(ctx context.Context, user, sql string) (*sqlang.Result, error) {
 	stmt, err := sqlang.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -232,7 +239,7 @@ func (w *Warehouse) Query(user, sql string) (*sqlang.Result, error) {
 			}
 		}
 	}
-	return w.Engine.ExecStmtSQL(stmt, sql)
+	return w.Engine.ExecStmtSQLCtx(ctx, stmt, sql)
 }
 
 func (w *Warehouse) checkWritable(user, table string) error {
@@ -458,11 +465,18 @@ func (w *Warehouse) RestoreFromArchive(source string) ([]gdt.Value, error) {
 // repository order before integration, so the result is identical to a
 // serial load.
 func (w *Warehouse) InitialLoad(repos []*sources.Repo) (etl.IntegrationStats, error) {
+	return w.InitialLoadCtx(context.Background(), repos)
+}
+
+// InitialLoadCtx is InitialLoad under the caller's context: the bootstrap
+// runs inside a "warehouse.initial_load" trace span with one child per
+// source when the context carries a tracer.
+func (w *Warehouse) InitialLoadCtx(ctx context.Context, repos []*sources.Repo) (etl.IntegrationStats, error) {
 	rs := make([]sources.Repository, len(repos))
 	for i, r := range repos {
 		rs[i] = r
 	}
-	stats, rep, err := w.InitialLoadReport(context.Background(), rs, etl.RetryPolicy{})
+	stats, rep, err := w.InitialLoadReport(ctx, rs, etl.RetryPolicy{})
 	if err != nil {
 		return stats, err
 	}

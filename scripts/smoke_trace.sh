@@ -1,0 +1,80 @@
+#!/bin/sh
+# smoke_trace.sh drives the tracing surface end to end:
+#   1. a traced statement through the genalgsh REPL — the span tree must
+#      render and the slow-query log must carry the same trace ID;
+#   2. a traced etlrun — the JSONL export must contain the load and round
+#      traces;
+#   3. the embedded observability server — /metrics must serve Prometheus
+#      exposition with the query histogram, /readyz must report ready, and
+#      /traces must render the statement's span tree.
+# Run from the repository root: ./scripts/smoke_trace.sh (or make smoke-trace).
+set -eu
+
+GO=${GO:-go}
+PORT=${PORT:-19917}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# 1. REPL tracing.
+out=$(printf '\\trace on always\nSELECT source, COUNT(*) FROM fragments GROUP BY source\n\\trace show\n\\slowlog\n\\q\n' \
+	| $GO run ./cmd/genalgsh -lang sql -slow 1ns)
+for want in 'sqlang.statement' 'access: scan fragments' 'self='; do
+	echo "$out" | grep -q "$want" || {
+		echo "smoke-trace: missing '$want' in genalgsh output"
+		echo "$out"
+		exit 1
+	}
+done
+id=$(echo "$out" | grep -o 'trace [0-9a-f]\{16\}' | head -1 | cut -d' ' -f2)
+echo "$out" | grep 'SELECT source' | grep -q "$id" || {
+	echo "smoke-trace: slow log does not carry trace ID $id"
+	echo "$out"
+	exit 1
+}
+
+# 2. ETL round tracing with JSONL export.
+$GO run ./cmd/etlrun -records 60 -rounds 1 -trace always -trace-out "$TMP/traces.jsonl" >/dev/null
+for root in warehouse.initial_load etl.round; do
+	grep -q "\"root\":\"$root\"" "$TMP/traces.jsonl" || {
+		echo "smoke-trace: no $root trace in the JSONL export"
+		cat "$TMP/traces.jsonl"
+		exit 1
+	}
+done
+
+# 3. The observability HTTP server, curled while a REPL holds it open.
+{ printf 'SELECT COUNT(*) FROM fragments\n' && sleep 30; } \
+	| $GO run ./cmd/genalgsh -lang sql -obs-addr "127.0.0.1:$PORT" -trace always >"$TMP/sh.log" 2>&1 &
+SRV=$!
+up=""
+for _ in $(seq 1 100); do
+	if curl -fsS "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; then
+		up=1
+		break
+	fi
+	sleep 0.3
+done
+[ -n "$up" ] || {
+	echo "smoke-trace: observability server never came up"
+	cat "$TMP/sh.log"
+	exit 1
+}
+metrics=$(curl -fsS "http://127.0.0.1:$PORT/metrics")
+for want in '# TYPE sqlang_query_seconds histogram' 'sqlang_query_seconds_bucket{le="+Inf"}' 'sqlang_query_seconds_count'; do
+	echo "$metrics" | grep -qF "$want" || {
+		echo "smoke-trace: /metrics missing '$want'"
+		echo "$metrics"
+		exit 1
+	}
+done
+ready=$(curl -fsS "http://127.0.0.1:$PORT/readyz")
+[ "$ready" = "ok" ] || {
+	echo "smoke-trace: /readyz said '$ready', want ok"
+	exit 1
+}
+curl -fsS "http://127.0.0.1:$PORT/traces?format=tree" | grep -q 'sqlang.statement' || {
+	echo "smoke-trace: /traces?format=tree has no statement span"
+	exit 1
+}
+kill $SRV 2>/dev/null || true
+echo "smoke-trace: ok"
