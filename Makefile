@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check lint ci check bench smoke smoke-obs smoke-trace fuzz-short
+.PHONY: all build test race vet fmt fmt-check lint lint-analyzers ci check bench smoke smoke-obs smoke-trace fuzz-short
 
 all: check
 
@@ -26,9 +26,19 @@ fmt-check:
 
 lint: fmt-check vet
 
+# lint-analyzers runs the project's own go/analysis suite (pin/unpin
+# balance, span lifecycle, context threading, lock-held I/O, metric
+# naming, error classification) over the whole tree, tests included,
+# via the go vet -vettool driver. See internal/analysis/.
+bin/genalgvet: $(shell find cmd/genalgvet internal/analysis -name '*.go' -not -path '*/testdata/*')
+	$(GO) build -o bin/genalgvet ./cmd/genalgvet
+
+lint-analyzers: bin/genalgvet
+	$(GO) vet -vettool=$(CURDIR)/bin/genalgvet ./...
+
 # ci is exactly what the GitHub Actions test job runs; `make ci` locally
 # reproduces it.
-ci: lint build test race
+ci: lint lint-analyzers build test race
 
 # check is the verification gate: lint clean, everything builds, and the
 # full test suite passes under the race detector.

@@ -1,0 +1,125 @@
+// Command genalgvet runs the project's static-analysis suite. It has two
+// modes:
+//
+//   - standalone: `genalgvet ./...` loads packages itself (via `go list`)
+//     and prints findings; this is what `make lint-analyzers` runs.
+//   - vettool:    `go vet -vettool=$(pwd)/bin/genalgvet ./...` — cmd/go
+//     drives the tool through its unitchecker protocol (-V=full probe,
+//     -flags probe, then one JSON config file per package).
+//
+// In both modes //genalgvet:ignore directives suppress findings, and a
+// malformed or unknown directive is itself a finding. Exit status: 0
+// clean, 1 findings, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"genalg/internal/analysis"
+	"genalg/internal/analysis/load"
+	"genalg/internal/analysis/passes"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// cmd/go's tool-identity probe: must print one line and exit 0.
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "-V") {
+		fmt.Println("genalgvet version 1 (genalg static-analysis suite)")
+		return
+	}
+	// cmd/go's flag-discovery probe: we accept no tool-specific flags.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+
+	fs := flag.NewFlagSet("genalgvet", flag.ExitOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: genalgvet [-list] [packages]\n   or: go vet -vettool=$(command -v genalgvet) [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *list {
+		for _, a := range passes.All() {
+			fmt.Printf("%-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		os.Exit(vettoolMode(rest[0]))
+	}
+	os.Exit(standaloneMode(rest))
+}
+
+// standaloneMode loads patterns (default ./...) and reports findings.
+func standaloneMode(patterns []string) int {
+	pkgs, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genalgvet: %v\n", err)
+		return 2
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		if analyzePackage(pkg, os.Stdout) > 0 {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// vettoolMode analyzes the single package a `go vet` invocation
+// describes. Findings go to stderr in the file:line:col format cmd/go
+// relays to the user.
+func vettoolMode(cfgPath string) int {
+	cfg, err := load.ReadUnitConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genalgvet: %v\n", err)
+		return 2
+	}
+	// cmd/go caches and propagates the facts file; this suite does not
+	// use facts but the file must exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "genalgvet: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	pkg, err := load.UnitPackage(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "genalgvet: %v\n", err)
+		return 2
+	}
+	if analyzePackage(pkg, os.Stderr) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func analyzePackage(pkg *load.Package, out *os.File) int {
+	diags, err := analysis.Run(pkg.Package, passes.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genalgvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags = analysis.FilterIgnored(pkg.Package, diags, passes.Known())
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		fmt.Fprintf(out, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	return len(diags)
+}

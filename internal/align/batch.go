@@ -88,7 +88,7 @@ func (db *Database) SearchAllCtx(ctx context.Context, queries []seq.NucSeq, opts
 	ctx, sp := trace.Start(ctx, "align.search_all")
 	sp.SetAttr("queries", len(queries))
 	out, _ := parallel.Map(ctx, queries, workers, func(_ int, q seq.NucSeq) ([]Hit, error) {
-		return db.searchSharded(q, opts, 1), nil
+		return db.searchSharded(ctx, q, opts, 1), nil
 	})
 	hits := 0
 	for _, hs := range out {
@@ -105,19 +105,26 @@ func (db *Database) SearchAllCtx(ctx context.Context, queries []seq.NucSeq, opts
 // because each (subject, diagonal) group is owned by exactly one worker
 // and the merged hit set is sorted with the same comparator.
 func (db *Database) SearchWorkers(query seq.NucSeq, opts SearchOptions, workers int) []Hit {
+	return db.SearchWorkersCtx(context.Background(), query, opts, workers)
+}
+
+// SearchWorkersCtx is SearchWorkers under the caller's context: the shard
+// fan-out honours ctx, so a cancelled search stops instead of scanning
+// every subject on a detached background context.
+func (db *Database) SearchWorkersCtx(ctx context.Context, query seq.NucSeq, opts SearchOptions, workers int) []Hit {
 	workers = parallel.Clamp(workers, len(db.subjects))
-	return db.searchSharded(query, opts, workers)
+	return db.searchSharded(ctx, query, opts, workers)
 }
 
 // searchSharded runs the seed scan restricted to subjects of each shard on
 // its own worker, then merges. shards == 1 is the serial path.
-func (db *Database) searchSharded(query seq.NucSeq, opts SearchOptions, shards int) []Hit {
+func (db *Database) searchSharded(ctx context.Context, query seq.NucSeq, opts SearchOptions, shards int) []Hit {
 	opts.fill()
 	if shards < 1 {
 		shards = 1
 	}
 	perShard := make([]map[diagKey]Hit, shards)
-	_ = parallel.ForEach(context.Background(), shards, shards, func(shard int) error {
+	_ = parallel.ForEach(ctx, shards, shards, func(shard int) error {
 		best := make(map[diagKey]Hit)
 		seq.EachKmer(query, db.k, func(qpos int, km seq.Kmer) bool {
 			for _, p := range db.index[km] {

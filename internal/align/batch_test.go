@@ -1,6 +1,7 @@
 package align
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -147,6 +148,36 @@ func TestSearchWorkersMatchesSerial(t *testing.T) {
 	for _, workers := range []int{2, 4} {
 		if got := dbx.SearchWorkers(q, opts, workers); !reflect.DeepEqual(want, got) {
 			t.Fatalf("MaxHits workers=%d: %v != %v", workers, got, want)
+		}
+	}
+}
+
+// TestSearchWorkersCtxHonoursCancellation is the regression test for the
+// old searchSharded, which fanned the shard scan out on a detached
+// context.Background(): cancelling the caller's context still scanned
+// every subject. A pre-cancelled context must now do no work and return
+// no hits, for both the single-shard and multi-shard paths.
+func TestSearchWorkersCtxHonoursCancellation(t *testing.T) {
+	db, err := NewDatabase(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := randDNA(3, 400)
+	for i := 0; i < 8; i++ {
+		db.Add(subjID(i), s) // identical subjects: every query seeds hits
+	}
+	q := s.Slice(50, 150)
+
+	live := db.SearchWorkersCtx(context.Background(), q, SearchOptions{}, 4)
+	if len(live) == 0 {
+		t.Fatal("live context found no hits; test corpus broken")
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		if hits := db.SearchWorkersCtx(cancelled, q, SearchOptions{}, workers); len(hits) != 0 {
+			t.Errorf("workers=%d: cancelled search returned %d hits, want 0", workers, len(hits))
 		}
 	}
 }

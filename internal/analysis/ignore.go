@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// IgnorePrefix is the directive that suppresses a genalgvet diagnostic:
+//
+//	//genalgvet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the flagged line or on the line directly above it. The reason
+// is mandatory: an ignore without one is itself reported, so every
+// suppression in the tree documents why the invariant does not apply.
+// "all" matches every analyzer.
+const IgnorePrefix = "genalgvet:ignore"
+
+type ignoreDirective struct {
+	pos       token.Pos
+	line      int
+	analyzers []string // lowercase names, or ["all"]
+	hasReason bool
+}
+
+// parseIgnores collects every //genalgvet:ignore directive in the files.
+func parseIgnores(fset *token.FileSet, files []*ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+IgnorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				d := ignoreDirective{pos: c.Pos(), line: fset.Position(c.Pos()).Line}
+				if len(fields) > 0 {
+					for _, name := range strings.Split(fields[0], ",") {
+						if name != "" {
+							d.analyzers = append(d.analyzers, strings.ToLower(name))
+						}
+					}
+					d.hasReason = len(fields) > 1
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+func (d ignoreDirective) matches(analyzer string) bool {
+	for _, a := range d.analyzers {
+		if a == "all" || a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// FilterIgnored drops diagnostics suppressed by //genalgvet:ignore
+// directives and appends a diagnostic (analyzer "genalgvet") for every
+// malformed directive: unknown analyzer name, missing analyzer list, or
+// missing reason. known maps valid analyzer names; pass nil to skip name
+// validation.
+func FilterIgnored(pkg *Package, diags []Diagnostic, known map[string]bool) []Diagnostic {
+	directives := parseIgnores(pkg.Fset, pkg.Files)
+	if len(directives) == 0 {
+		return diags
+	}
+	byLine := map[string][]ignoreDirective{} // "file:line" -> directives
+	lineKey := func(pos token.Pos) string {
+		p := pkg.Fset.Position(pos)
+		return p.Filename + ":" + strconv.Itoa(p.Line)
+	}
+	var kept []Diagnostic
+	for _, d := range directives {
+		switch {
+		case len(d.analyzers) == 0:
+			kept = append(kept, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "genalgvet",
+				Message:  "malformed ignore: want //" + IgnorePrefix + " <analyzer> <reason>",
+			})
+			continue
+		case !d.hasReason:
+			kept = append(kept, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "genalgvet",
+				Message:  "ignore directive for " + strings.Join(d.analyzers, ",") + " is missing a reason",
+			})
+			continue
+		}
+		if known != nil {
+			bad := ""
+			for _, a := range d.analyzers {
+				if a != "all" && !known[a] {
+					bad = a
+					break
+				}
+			}
+			if bad != "" {
+				kept = append(kept, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "genalgvet",
+					Message:  "ignore directive names unknown analyzer " + bad,
+				})
+				continue
+			}
+		}
+		key := lineKey(d.pos)
+		byLine[key] = append(byLine[key], d)
+	}
+	for _, diag := range diags {
+		p := pkg.Fset.Position(diag.Pos)
+		suppressed := false
+		for _, line := range []int{p.Line, p.Line - 1} {
+			for _, d := range byLine[p.Filename+":"+strconv.Itoa(line)] {
+				if d.matches(diag.Analyzer) {
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, diag)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,193 @@
+// Package copylocks is a stdlib-only reimplementation of the stock
+// go/analysis copylocks check, covering the sites this codebase actually
+// hits: passing or returning a lock-containing value, copying one in an
+// assignment or short declaration, and ranging over a slice of them by
+// value. A copied sync.Mutex forks the lock state — both copies unlock
+// independently and the guarded invariant silently evaporates.
+package copylocks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"genalg/internal/analysis"
+)
+
+// Analyzer is the copylocks-lite check.
+var Analyzer = &analysis.Analyzer{
+	Name: "copylocks",
+	Doc: "check for locks erroneously passed, returned, assigned, or ranged over by value\n\n" +
+		"A type contains a lock if it is (or embeds, or has a field/element of) a sync type " +
+		"with a pointer-receiver Lock method.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkFuncType(pass, n.Type)
+		case *ast.FuncLit:
+			checkFuncType(pass, n.Type)
+		case *ast.AssignStmt:
+			checkAssign(pass, n)
+		case *ast.RangeStmt:
+			checkRange(pass, n)
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if path := lockPathOfExpr(pass.TypesInfo, r); path != "" {
+					pass.Reportf(r.Pos(), "return copies lock value: %s", path)
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+func checkFuncType(pass *analysis.Pass, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.TypesInfo.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if path := lockPath(tv.Type); path != "" {
+				pass.Reportf(field.Type.Pos(), "%s passes lock by value: %s", what, path)
+			}
+		}
+	}
+	check(ft.Params, "function")
+	check(ft.Results, "function return")
+}
+
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+			continue // discarding a value does not create a second lock
+		}
+		if !copiesValue(rhs) {
+			continue
+		}
+		if path := lockPathOfExpr(pass.TypesInfo, rhs); path != "" {
+			pass.Reportf(as.Pos(), "assignment copies lock value: %s", path)
+		}
+	}
+}
+
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	if rng.Value == nil {
+		return
+	}
+	var t types.Type
+	if id, ok := ast.Unparen(rng.Value).(*ast.Ident); ok {
+		// Range vars in := form are definitions, absent from Types.
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			t = obj.Type()
+		} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			t = obj.Type()
+		}
+	} else if tv, ok := pass.TypesInfo.Types[rng.Value]; ok {
+		t = tv.Type
+	}
+	if t == nil {
+		return
+	}
+	if path := lockPath(t); path != "" {
+		pass.Reportf(rng.Value.Pos(), "range var copies lock value: %s", path)
+	}
+}
+
+// copiesValue reports whether the expression reads an existing value (as
+// opposed to constructing a fresh one, which is a legal way to obtain a
+// zero-valued lock).
+func copiesValue(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+func lockPathOfExpr(info *types.Info, e ast.Expr) string {
+	tv, ok := info.Types[e]
+	if !ok {
+		return ""
+	}
+	return lockPath(tv.Type)
+}
+
+// lockPath returns a human-readable path to the lock inside t ("" if t
+// contains no lock). Pointers are free to copy.
+func lockPath(t types.Type) string {
+	return lockPathRec(t, 0)
+}
+
+func lockPathRec(t types.Type, depth int) string {
+	if depth > 10 {
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok {
+		if isLockType(named) {
+			return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+		}
+		return prefixNonEmpty(named.Obj().Name(), lockPathRec(named.Underlying(), depth+1))
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if p := lockPathRec(u.Field(i).Type(), depth+1); p != "" {
+				return prefixNonEmpty(u.Field(i).Name(), p)
+			}
+		}
+	case *types.Array:
+		return lockPathRec(u.Elem(), depth+1)
+	}
+	return ""
+}
+
+// isLockType reports whether named is a sync primitive: it has a
+// pointer-receiver Lock method (Mutex, RWMutex) or is one of the
+// well-known uncopyable sync types.
+func isLockType(named *types.Named) bool {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	if obj.Pkg().Path() == "sync" {
+		switch obj.Name() {
+		case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+			return true
+		}
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if m.Name() != "Lock" {
+			continue
+		}
+		sig := m.Type().(*types.Signature)
+		if sig.Params().Len() == 0 && sig.Results().Len() == 0 {
+			if _, ptr := sig.Recv().Type().(*types.Pointer); ptr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func prefixNonEmpty(name, rest string) string {
+	if rest == "" {
+		return ""
+	}
+	if name == "" {
+		return rest
+	}
+	return name + " contains " + rest
+}

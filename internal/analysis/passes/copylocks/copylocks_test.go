@@ -1,0 +1,12 @@
+package copylocks_test
+
+import (
+	"testing"
+
+	"genalg/internal/analysis/atest"
+	"genalg/internal/analysis/passes/copylocks"
+)
+
+func TestCopyLocks(t *testing.T) {
+	atest.Run(t, "testdata", "a", copylocks.Analyzer)
+}

@@ -1,0 +1,50 @@
+// Package a holds copylocks positive and negative cases.
+package a
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(s store) int { // want `function passes lock by value: store contains mu contains sync\.Mutex`
+	return s.n
+}
+
+func byPointer(s *store) int { return s.n }
+
+func copies(s *store) {
+	dup := *s // want `assignment copies lock value: store contains mu contains sync\.Mutex`
+	_ = dup
+}
+
+func returnsLock(s *store) store { // want `function return passes lock by value: store contains mu contains sync\.Mutex`
+	return *s // want `return copies lock value: store contains mu contains sync\.Mutex`
+}
+
+func ranges(items []store) int {
+	total := 0
+	for _, it := range items { // want `range var copies lock value: store contains mu contains sync\.Mutex`
+		total += it.n
+	}
+	return total
+}
+
+func rangesPtr(items []*store) int {
+	total := 0
+	for _, it := range items {
+		total += it.n
+	}
+	return total
+}
+
+func fresh() int {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	s := store{}
+	return s.n
+}
+
+func wgByValue(wg sync.WaitGroup) {} // want `function passes lock by value: sync\.WaitGroup`

@@ -1,0 +1,12 @@
+package ctxpass_test
+
+import (
+	"testing"
+
+	"genalg/internal/analysis/atest"
+	"genalg/internal/analysis/passes/ctxpass"
+)
+
+func TestCtxPass(t *testing.T) {
+	atest.Run(t, "testdata", "a", ctxpass.Analyzer)
+}

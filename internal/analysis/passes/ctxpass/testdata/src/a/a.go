@@ -1,0 +1,77 @@
+// Package a holds ctxpass positive and negative cases.
+package a
+
+import (
+	"context"
+
+	"lib"
+)
+
+// plain has no context: both rules are off here.
+func plain() {
+	ctx := context.Background()
+	_ = ctx
+	_ = lib.Work()
+}
+
+// hasCtx violates both rules.
+func hasCtx(ctx context.Context) {
+	c2 := context.Background() // want `context\.Background\(\) inside a context-bearing function`
+	_ = c2
+	_ = lib.Work() // want `call to Work drops the context: use WorkCtx`
+	_ = lib.WorkCtx(ctx)
+	lib.Solo()
+}
+
+// DoCtx is context-bearing by naming convention alone.
+func DoCtx() {
+	ctx := context.TODO() // want `context\.TODO\(\) inside a context-bearing function`
+	_ = ctx
+}
+
+// normalize uses the sanctioned nil-guard idiom: clean.
+func normalize(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// normalizeDerived nil-guards a derived variable, as retry loops do: clean.
+func normalizeDerived(ctx context.Context) context.Context {
+	actx := ctx
+	if actx == nil {
+		actx = context.Background()
+	}
+	return actx
+}
+
+// closureInherits: a closure inside a ctx function still holds the ctx.
+func closureInherits(ctx context.Context) func() {
+	return func() {
+		_ = context.Background() // want `context\.Background\(\) inside a context-bearing function`
+	}
+}
+
+// methodVariant must use RunCtx.
+func methodVariant(ctx context.Context, c *lib.Client) {
+	c.Run() // want `call to Run drops the context: use RunCtx`
+	c.RunCtx(ctx)
+	c.Stop()
+}
+
+func local() {}
+
+func localCtx(ctx context.Context) {}
+
+// samePkgVariant: unexported pairs in the same package are checked too.
+func samePkgVariant(ctx context.Context) {
+	local() // want `call to local drops the context: use localCtx`
+	localCtx(ctx)
+}
+
+// suppressed documents an intentional detach.
+func suppressed(ctx context.Context) context.Context {
+	//genalgvet:ignore ctxpass fixture: background job must outlive the request
+	return context.Background()
+}

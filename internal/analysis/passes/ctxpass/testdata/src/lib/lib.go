@@ -1,0 +1,25 @@
+// Package lib is a fixture library offering plain/Ctx call pairs.
+package lib
+
+import "context"
+
+// Work is the convenience variant.
+func Work() error { return nil }
+
+// WorkCtx is the context-threading variant.
+func WorkCtx(ctx context.Context) error { return nil }
+
+// Solo has no Ctx variant.
+func Solo() {}
+
+// Client is a fixture receiver with a plain/Ctx method pair.
+type Client struct{}
+
+// Run is the convenience variant.
+func (c *Client) Run() {}
+
+// RunCtx is the context-threading variant.
+func (c *Client) RunCtx(ctx context.Context) {}
+
+// Stop has no Ctx variant.
+func (c *Client) Stop() {}

@@ -1,0 +1,237 @@
+// Package errclass defines the genalgvet analyzer that enforces error
+// classification at the sources.Repository boundary. The ETL retry loop
+// and circuit breakers decide what to do with a failure by asking
+// sources.IsTransient/IsPermanent; an unclassified error falls through to
+// the conservative default and either burns retry budget on a hopeless
+// source or gives up on a recoverable one. The analyzer inspects every
+// method that implements a Repository accessor (Fetch, ReadLog,
+// Subscribe) on a Repository-implementing type and requires each
+// returned error to be nil, wrapped by sources.Transient/Permanent, a
+// context cancellation (ctx.Err() and the context sentinels are
+// design-sanctioned: IsTransient understands deadlines), or delegated
+// from another Repository accessor that already classified it.
+package errclass
+
+import (
+	"go/ast"
+	"go/types"
+
+	"genalg/internal/analysis"
+)
+
+// accessors are the error-returning Repository methods.
+var accessors = map[string]bool{"Fetch": true, "ReadLog": true, "Subscribe": true}
+
+// Analyzer is the errclass check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errclass",
+	Doc: "check that errors returned by sources.Repository implementations are classified Transient or Permanent\n\n" +
+		"Sanctioned returns: nil, sources.Transient(...), sources.Permanent(...), ctx.Err(), the context " +
+		"sentinels, and delegation to another Repository accessor.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	iface := repositoryInterface(pass.Pkg)
+	if iface == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !accessors[fd.Name.Name] {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || !implementsRepository(fn, iface) {
+				continue
+			}
+			checkMethod(pass, fd)
+		}
+	}
+	return nil
+}
+
+// repositoryInterface resolves sources.Repository from the package under
+// analysis or its imports.
+func repositoryInterface(pkg *types.Package) *types.Interface {
+	lookup := func(p *types.Package) *types.Interface {
+		if !analysis.PkgIs(p.Path(), "sources") {
+			return nil
+		}
+		obj, ok := p.Scope().Lookup("Repository").(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	if iface := lookup(pkg); iface != nil {
+		return iface
+	}
+	for _, imp := range pkg.Imports() {
+		if iface := lookup(imp); iface != nil {
+			return iface
+		}
+	}
+	return nil
+}
+
+func implementsRepository(fn *types.Func, iface *types.Interface) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+// checkMethod inspects each return in fd (skipping nested closures) and
+// reports unclassified error results. Identifier results are resolved
+// through a flow-insensitive map of every assignment in the method: the
+// identifier is classified only if all its recorded sources are.
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl) {
+	sig := pass.TypesInfo.Defs[fd.Name].(*types.Func).Type().(*types.Signature)
+	res := sig.Results()
+	if res.Len() == 0 || !isErrorType(res.At(res.Len()-1).Type()) {
+		return
+	}
+	errIdx := res.Len() - 1
+
+	assigns := collectAssigns(pass, fd.Body)
+	walkSkippingFuncLits(fd.Body, func(n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return
+		}
+		var errExpr ast.Expr
+		if len(ret.Results) == res.Len() {
+			errExpr = ret.Results[errIdx]
+		} else if len(ret.Results) == 1 {
+			// return f() forwarding a multi-result call: treat the call
+			// itself as the error source.
+			errExpr = ret.Results[0]
+		} else {
+			return
+		}
+		if !classified(pass, errExpr, assigns, map[types.Object]bool{}) {
+			pass.Reportf(errExpr.Pos(), "error returned across the sources.Repository boundary is not classified: wrap it with sources.Transient or sources.Permanent")
+		}
+	})
+}
+
+func walkSkippingFuncLits(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// collectAssigns records, for every identifier assigned in the method,
+// all right-hand sides feeding it (a multi-value call RHS is recorded
+// for each of its targets).
+func collectAssigns(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object][]ast.Expr {
+	assigns := map[types.Object][]ast.Expr{}
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		var obj types.Object
+		if o := pass.TypesInfo.Defs[id]; o != nil {
+			obj = o
+		} else if o := pass.TypesInfo.Uses[id]; o != nil {
+			obj = o
+		}
+		if obj != nil {
+			assigns[obj] = append(assigns[obj], rhs)
+		}
+	}
+	walkSkippingFuncLits(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+					record(id, as.Rhs[0])
+				}
+			}
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+				record(id, as.Rhs[i])
+			}
+		}
+	})
+	return assigns
+}
+
+// classified reports whether expr is a sanctioned boundary error.
+func classified(pass *analysis.Pass, expr ast.Expr, assigns map[types.Object][]ast.Expr, seen map[types.Object]bool) bool {
+	expr = ast.Unparen(expr)
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil || seen[obj] {
+			return false
+		}
+		srcs := assigns[obj]
+		if len(srcs) == 0 {
+			return false
+		}
+		seen[obj] = true
+		for _, src := range srcs {
+			if !classified(pass, src, assigns, seen) {
+				return false
+			}
+		}
+		return true
+	case *ast.CallExpr:
+		if analysis.IsPkgFuncCall(pass.TypesInfo, e, "sources", "Transient", "Permanent") {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, e)
+		if fn == nil {
+			return false
+		}
+		// ctx.Err(): cancellation crossing the boundary is sanctioned.
+		if fn.Name() == "Err" && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+			return true
+		}
+		// Delegation to another Repository accessor: the inner
+		// implementation already classified its errors.
+		if accessors[fn.Name()] {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+		}
+		return false
+	case *ast.SelectorExpr:
+		// context.Canceled / context.DeadlineExceeded sentinels.
+		if fn := pass.TypesInfo.Uses[e.Sel]; fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+			return fn.Name() == "Canceled" || fn.Name() == "DeadlineExceeded"
+		}
+		return false
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return t.String() == "error"
+}

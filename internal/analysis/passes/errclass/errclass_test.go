@@ -1,0 +1,12 @@
+package errclass_test
+
+import (
+	"testing"
+
+	"genalg/internal/analysis/atest"
+	"genalg/internal/analysis/passes/errclass"
+)
+
+func TestErrClass(t *testing.T) {
+	atest.Run(t, "testdata", "a", errclass.Analyzer)
+}

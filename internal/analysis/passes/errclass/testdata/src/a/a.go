@@ -1,0 +1,114 @@
+// Package a holds errclass positive and negative cases.
+package a
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	"sources"
+)
+
+// base supplies the non-accessor half of the Repository interface.
+type base struct{}
+
+func (base) Name() string                   { return "fixture" }
+func (base) Format() sources.Format         { return 0 }
+func (base) Capability() sources.Capability { return 0 }
+
+// good returns only sanctioned boundary errors.
+type good struct{ base }
+
+func (g *good) Fetch(ctx context.Context) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	b, err := os.ReadFile("dump.fasta")
+	if err != nil {
+		return "", sources.Transient("fetch", "fixture", err)
+	}
+	return string(b), nil
+}
+
+func (g *good) ReadLog(ctx context.Context, afterSeq int) ([]sources.LogEntry, error) {
+	if afterSeq < 0 {
+		return nil, sources.Permanent("read-log", "fixture", errors.New("negative seq"))
+	}
+	return nil, context.Canceled
+}
+
+func (g *good) Subscribe(buffer int) (<-chan sources.Mutation, func(), error) {
+	return nil, nil, nil
+}
+
+// raw leaks unclassified errors across the boundary.
+type raw struct{ base }
+
+func (r *raw) Fetch(ctx context.Context) (string, error) {
+	if ctx.Err() != nil {
+		return "", ctx.Err()
+	}
+	return "", fmt.Errorf("corrupt dump") // want `error returned across the sources\.Repository boundary is not classified`
+}
+
+func (r *raw) ReadLog(ctx context.Context, afterSeq int) ([]sources.LogEntry, error) {
+	b, err := os.ReadFile("dump.log")
+	_ = b
+	if err != nil {
+		return nil, err // want `error returned across the sources\.Repository boundary is not classified`
+	}
+	return nil, nil
+}
+
+func (r *raw) Subscribe(buffer int) (<-chan sources.Mutation, func(), error) {
+	return nil, nil, errors.New("no trigger support") // want `error returned across the sources\.Repository boundary is not classified`
+}
+
+// delegate forwards to an inner Repository: already classified.
+type delegate struct {
+	base
+	inner sources.Repository
+}
+
+func (d *delegate) Fetch(ctx context.Context) (string, error) {
+	dump, err := d.inner.Fetch(ctx)
+	if err != nil {
+		return "", err
+	}
+	return dump, nil
+}
+
+func (d *delegate) ReadLog(ctx context.Context, afterSeq int) ([]sources.LogEntry, error) {
+	return d.inner.ReadLog(ctx, afterSeq)
+}
+
+func (d *delegate) Subscribe(buffer int) (<-chan sources.Mutation, func(), error) {
+	return d.inner.Subscribe(buffer)
+}
+
+// notRepo has a Fetch method but does not implement Repository: the
+// boundary rule does not apply.
+type notRepo struct{}
+
+func (n *notRepo) Fetch(ctx context.Context) (string, error) {
+	return "", fmt.Errorf("raw but fine: not a Repository")
+}
+
+// hushed documents an intentional raw return.
+type hushed struct{ base }
+
+func (h *hushed) Fetch(ctx context.Context) (string, error) {
+	//genalgvet:ignore errclass fixture: sentinel surfaced raw for the driver test
+	return "", errImpossible
+}
+
+func (h *hushed) ReadLog(ctx context.Context, afterSeq int) ([]sources.LogEntry, error) {
+	return nil, nil
+}
+
+func (h *hushed) Subscribe(buffer int) (<-chan sources.Mutation, func(), error) {
+	return nil, nil, nil
+}
+
+var errImpossible = errors.New("unreachable")

@@ -1,0 +1,39 @@
+// Package sources is a fixture stand-in for genalg/internal/sources.
+package sources
+
+import (
+	"context"
+	"fmt"
+)
+
+// Format mimics the dump format enum.
+type Format int
+
+// Capability mimics the source capability bitmask.
+type Capability int
+
+// LogEntry mimics a change-log record.
+type LogEntry struct{ Seq int }
+
+// Mutation mimics an active-source trigger event.
+type Mutation struct{}
+
+// Repository mimics the real error-capable source-access interface.
+type Repository interface {
+	Name() string
+	Format() Format
+	Capability() Capability
+	Fetch(ctx context.Context) (string, error)
+	ReadLog(ctx context.Context, afterSeq int) ([]LogEntry, error)
+	Subscribe(buffer int) (<-chan Mutation, func(), error)
+}
+
+// Transient wraps err as retryable.
+func Transient(op, source string, err error) error {
+	return fmt.Errorf("sources: %s %s: transient: %w", op, source, err)
+}
+
+// Permanent wraps err as unretryable.
+func Permanent(op, source string, err error) error {
+	return fmt.Errorf("sources: %s %s: permanent: %w", op, source, err)
+}

@@ -1,0 +1,12 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"genalg/internal/analysis/atest"
+	"genalg/internal/analysis/passes/lockio"
+)
+
+func TestLockIO(t *testing.T) {
+	atest.Run(t, "testdata", "a", lockio.Analyzer)
+}

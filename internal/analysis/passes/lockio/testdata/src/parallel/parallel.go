@@ -1,0 +1,13 @@
+// Package parallel is a fixture stand-in for genalg/internal/parallel.
+package parallel
+
+import "context"
+
+// Map runs f over n items on the worker pool, failing fast.
+func Map(ctx context.Context, n int, f func(int) error) error { return nil }
+
+// MapAll runs f over n items, collecting all errors.
+func MapAll(ctx context.Context, n int, f func(int) error) []error { return nil }
+
+// ForEach runs f over n items with no error reporting.
+func ForEach(ctx context.Context, n int, f func(int)) {}

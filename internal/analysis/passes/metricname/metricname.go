@@ -1,0 +1,92 @@
+// Package metricname defines the genalgvet analyzer that keeps metric
+// and trace-span names greppable. Every dashboard query, slow-query-log
+// filter, and EXPLAIN ANALYZE row keys on names like
+// "sqlang.query.seconds"; a name assembled with fmt.Sprintf or typo-cased
+// segments silently forks the time series. The analyzer requires names
+// passed to obs.Registry constructors, obs.StartSpan, and trace.Start to
+// be compile-time constants matching the layer.noun[.unit] convention
+// (2-4 lowercase dotted segments). Dynamic names must go through
+// obs.Join, whose constant segments are still checked.
+package metricname
+
+import (
+	"go/ast"
+	"regexp"
+
+	"genalg/internal/analysis"
+)
+
+// nameRE is the layer.noun[.unit] convention: 2-4 lowercase segments.
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*){1,3}$`)
+
+// partRE covers constant obs.Join segments: 1+ lowercase dotted parts.
+var partRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
+
+// registryCtors are the Registry methods whose first argument names a
+// time series.
+var registryCtors = []string{"Counter", "Gauge", "GaugeFunc", "Histogram", "Timer"}
+
+// Analyzer is the metricname check.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "check that obs metric and trace span names are constant strings following layer.noun[.unit]\n\n" +
+		"Names must match " + nameRE.String() + ". Dynamic names must be built with obs.Join; " +
+		"its constant segments are checked against the same lowercase dotted form.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+			// The obs and trace packages themselves plumb caller-supplied
+			// names through; only call sites are checked.
+			return true
+		}
+		switch {
+		case isRegistryCtor(pass, call):
+			checkName(pass, call.Args[0], "metric")
+		case analysis.IsPkgFuncCall(pass.TypesInfo, call, "obs", "StartSpan") && len(call.Args) >= 2:
+			checkName(pass, call.Args[1], "metric")
+		case analysis.IsPkgFuncCall(pass.TypesInfo, call, "trace", "Start") && len(call.Args) >= 2:
+			checkName(pass, call.Args[1], "trace span")
+		}
+		return true
+	})
+	return nil
+}
+
+func isRegistryCtor(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	for _, m := range registryCtors {
+		if analysis.IsMethodCall(pass.TypesInfo, call, "obs", "Registry", m) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkName(pass *analysis.Pass, arg ast.Expr, kind string) {
+	if val, ok := analysis.ConstString(pass.TypesInfo, arg); ok {
+		if !nameRE.MatchString(val) {
+			pass.Reportf(arg.Pos(), "%s name %q does not follow the layer.noun[.unit] convention (2-4 lowercase dotted segments)", kind, val)
+		}
+		return
+	}
+	if join, ok := ast.Unparen(arg).(*ast.CallExpr); ok &&
+		analysis.IsPkgFuncCall(pass.TypesInfo, join, "obs", "Join") {
+		for _, part := range join.Args {
+			if val, ok := analysis.ConstString(pass.TypesInfo, part); ok && !partRE.MatchString(val) {
+				pass.Reportf(part.Pos(), "obs.Join segment %q does not follow the lowercase dotted convention", val)
+			}
+		}
+		return
+	}
+	pass.Reportf(arg.Pos(), "dynamic %s name: use a constant string or build it with obs.Join", kind)
+}

@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"genalg/internal/analysis/atest"
+	"genalg/internal/analysis/passes/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	atest.Run(t, "testdata", "a", metricname.Analyzer)
+}

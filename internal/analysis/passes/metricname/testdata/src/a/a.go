@@ -1,0 +1,57 @@
+// Package a holds metricname positive and negative cases.
+package a
+
+import (
+	"context"
+	"fmt"
+
+	"obs"
+	"trace"
+)
+
+const poolMetric = "storage.pool.hits"
+
+func good(r *obs.Registry, ctx context.Context) {
+	r.Counter("etl.rounds").Inc()
+	r.Histogram("sqlang.query.seconds")
+	r.GaugeFunc("warehouse.quarantine.records", func() float64 { return 0 })
+	_ = r.Timer("etl.poll.seconds")
+	r.Gauge(poolMetric)
+	_ = obs.StartSpan(r, "align.batch.seconds")
+	_, sp := trace.Start(ctx, "warehouse.apply_deltas")
+	sp.EndOK()
+}
+
+func badCase(r *obs.Registry) {
+	r.Counter("ETL.Rounds") // want `metric name "ETL\.Rounds" does not follow the layer\.noun\[\.unit\] convention`
+}
+
+func tooFewSegments(r *obs.Registry) {
+	r.Gauge("etl") // want `metric name "etl" does not follow`
+}
+
+func tooManySegments(r *obs.Registry) {
+	r.Histogram("a.b.c.d.e") // want `metric name "a\.b\.c\.d\.e" does not follow`
+}
+
+func badSpanName(ctx context.Context) {
+	_, sp := trace.Start(ctx, "Apply Deltas") // want `trace span name "Apply Deltas" does not follow`
+	sp.EndOK()
+}
+
+func dynamicName(r *obs.Registry, source string) {
+	r.Counter(fmt.Sprintf("etl.%s.rows", source)).Inc() // want `dynamic metric name: use a constant string or build it with obs\.Join`
+}
+
+func joinedName(r *obs.Registry, source string) {
+	r.Counter(obs.Join("etl.source", source, "rows")).Inc()
+}
+
+func joinedBadSegment(r *obs.Registry, source string) {
+	r.Counter(obs.Join("ETL-Source", source)).Inc() // want `obs\.Join segment "ETL-Source" does not follow the lowercase dotted convention`
+}
+
+func suppressed(r *obs.Registry) {
+	//genalgvet:ignore metricname fixture: legacy dashboard name kept for continuity
+	r.Counter("Legacy_Series").Inc()
+}

@@ -1,0 +1,51 @@
+// Package obs is a fixture stand-in for genalg/internal/obs.
+package obs
+
+import (
+	"strings"
+	"time"
+)
+
+// Registry mimics the metrics registry.
+type Registry struct{}
+
+// Counter is a fixture counter.
+type Counter struct{}
+
+// Inc bumps the counter.
+func (c *Counter) Inc() {}
+
+// Gauge is a fixture gauge.
+type Gauge struct{}
+
+// Histogram is a fixture histogram.
+type Histogram struct{}
+
+// Span mimics the histogram-backed timing span.
+type Span struct{}
+
+// End retires the span.
+func (s Span) End() time.Duration { return 0 }
+
+// Counter registers or fetches a counter.
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+// Gauge registers or fetches a gauge.
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+// GaugeFunc registers a computed gauge.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {}
+
+// Histogram registers or fetches a histogram.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram { return &Histogram{} }
+
+// Timer returns a stop func recording elapsed seconds.
+func (r *Registry) Timer(name string) func() time.Duration {
+	return func() time.Duration { return 0 }
+}
+
+// StartSpan begins timing against r.
+func StartSpan(r *Registry, name string) Span { return Span{} }
+
+// Join builds a dotted metric name, dropping empty parts.
+func Join(parts ...string) string { return strings.Join(parts, ".") }

@@ -1,0 +1,108 @@
+// Package nilness is a stdlib-only, structural subset of the stock SSA
+// nilness analyzer (go vet does not run the stock one by default, and
+// x/tools is unavailable offline). It reports the high-confidence core:
+// dereferencing a pointer inside the then-branch of `if x == nil`, where
+// the branch neither reassigns x nor returns first. Method calls on nil
+// receivers are deliberately NOT flagged — this codebase's trace.Span is
+// nil-safe by design and calling methods on a nil *Span is idiomatic.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"genalg/internal/analysis"
+)
+
+// Analyzer is the nilness-lite check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc: "check for dereferences of pointers the enclosing branch proved nil\n\n" +
+		"Flags *x and x.field loads inside `if x == nil { ... }` before any reassignment of x.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		obj := nilCheckedObj(pass.TypesInfo, ifs.Cond)
+		if obj == nil {
+			return true
+		}
+		if _, isPtr := obj.Type().Underlying().(*types.Pointer); !isPtr {
+			return true
+		}
+		checkBranch(pass, ifs.Body, obj)
+		return true
+	})
+	return nil
+}
+
+// nilCheckedObj returns the object X when cond is exactly `X == nil` (or
+// `nil == X`) for a plain identifier X.
+func nilCheckedObj(info *types.Info, cond ast.Expr) types.Object {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return nil
+	}
+	ident := func(e ast.Expr) *ast.Ident {
+		id, _ := ast.Unparen(e).(*ast.Ident)
+		return id
+	}
+	x, y := ident(be.X), ident(be.Y)
+	switch {
+	case x != nil && y != nil && y.Name == "nil":
+		return info.Uses[x]
+	case x != nil && y != nil && x.Name == "nil":
+		return info.Uses[y]
+	}
+	return nil
+}
+
+// checkBranch reports loads through obj inside body, stopping at the
+// first reassignment of obj (and not descending into nested functions,
+// which may run after obj is set).
+func checkBranch(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) {
+	reassigned := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reassigned {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					reassigned = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				// &x.f only computes an address; no load happens.
+				return false
+			}
+		case *ast.StarExpr:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				pass.Reportf(n.Pos(), "nil dereference: *%s inside a branch where %s == nil", obj.Name(), obj.Name())
+			}
+		case *ast.SelectorExpr:
+			id, ok := ast.Unparen(n.X).(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != obj {
+				return true
+			}
+			// Field access loads through the nil pointer; a method value
+			// does not (nil-receiver methods are legal and used here).
+			if sel := pass.TypesInfo.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+				pass.Reportf(n.Pos(), "nil dereference: %s.%s inside a branch where %s == nil", obj.Name(), n.Sel.Name, obj.Name())
+			}
+		}
+		return true
+	})
+	return
+}

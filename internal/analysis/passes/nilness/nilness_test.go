@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"genalg/internal/analysis/atest"
+	"genalg/internal/analysis/passes/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	atest.Run(t, "testdata", "a", nilness.Analyzer)
+}

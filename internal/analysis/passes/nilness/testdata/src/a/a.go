@@ -1,0 +1,54 @@
+// Package a holds nilness positive and negative cases.
+package a
+
+type node struct {
+	next *node
+	val  int
+}
+
+type span struct{ n int }
+
+// End is nil-safe, like the real trace.Span methods.
+func (s *span) End() {}
+
+func fieldDeref(p *node) int {
+	if p == nil {
+		return p.val // want `nil dereference: p\.val inside a branch where p == nil`
+	}
+	return p.val
+}
+
+func starDeref(p *int) int {
+	if p == nil {
+		return *p // want `nil dereference: \*p inside a branch where p == nil`
+	}
+	return *p
+}
+
+func reassignedFirst(p *node) int {
+	if p == nil {
+		p = &node{}
+		return p.val
+	}
+	return p.val
+}
+
+func nilSafeMethod(s *span) {
+	if s == nil {
+		s.End()
+	}
+}
+
+func notNilBranch(p *node) int {
+	if p != nil {
+		return p.val
+	}
+	return 0
+}
+
+func nonPointer(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return err.Error()
+}

@@ -1,0 +1,43 @@
+// Package passes registers every genalgvet analyzer. The project checks
+// encode invariants from earlier PRs (pin/unpin discipline, span
+// lifecycle, context threading, lock hygiene, metric naming, boundary
+// error classification); the stock-lite checks reimplement the useful
+// core of vet passes this offline build cannot import from x/tools.
+package passes
+
+import (
+	"genalg/internal/analysis"
+	"genalg/internal/analysis/passes/copylocks"
+	"genalg/internal/analysis/passes/ctxpass"
+	"genalg/internal/analysis/passes/errclass"
+	"genalg/internal/analysis/passes/lockio"
+	"genalg/internal/analysis/passes/metricname"
+	"genalg/internal/analysis/passes/nilness"
+	"genalg/internal/analysis/passes/pinunpin"
+	"genalg/internal/analysis/passes/spanend"
+	"genalg/internal/analysis/passes/unusedresult"
+)
+
+// All returns every analyzer in the suite, project checks first.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		pinunpin.Analyzer,
+		spanend.Analyzer,
+		ctxpass.Analyzer,
+		lockio.Analyzer,
+		metricname.Analyzer,
+		errclass.Analyzer,
+		copylocks.Analyzer,
+		nilness.Analyzer,
+		unusedresult.Analyzer,
+	}
+}
+
+// Known maps analyzer names to true, for validating ignore directives.
+func Known() map[string]bool {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	return known
+}

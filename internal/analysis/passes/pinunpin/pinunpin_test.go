@@ -1,0 +1,16 @@
+package pinunpin_test
+
+import (
+	"testing"
+
+	"genalg/internal/analysis/atest"
+	"genalg/internal/analysis/passes/pinunpin"
+)
+
+func TestPinUnpin(t *testing.T) {
+	atest.Run(t, "testdata", "a", pinunpin.Analyzer)
+}
+
+func TestPinUnpinClean(t *testing.T) {
+	atest.Run(t, "testdata", "clean", pinunpin.Analyzer)
+}

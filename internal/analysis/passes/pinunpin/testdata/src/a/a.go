@@ -1,0 +1,162 @@
+// Package a holds pinunpin positive and negative cases.
+package a
+
+import (
+	"fmt"
+
+	"storage"
+)
+
+type holder struct {
+	pool *storage.BufferPool
+	page *storage.Page
+}
+
+// missingUnpin never releases: reported at the Pin.
+func missingUnpin(pool *storage.BufferPool, id storage.PageID) {
+	pg, err := pool.Pin(id) // want `pinned page is not released by pool\.Unpin\(id, \.\.\.\) on every path \(function end`
+	if err != nil {
+		return
+	}
+	_ = pg
+}
+
+// earlyReturnLeak releases on the happy path but leaks on the error
+// return in the middle.
+func earlyReturnLeak(pool *storage.BufferPool, id storage.PageID) error {
+	pg, err := pool.Pin(id) // want `pinned page is not released by pool\.Unpin\(id, \.\.\.\) on every path \(return`
+	if err != nil {
+		return err
+	}
+	if pg.Data[0] == 0 {
+		return fmt.Errorf("empty page %d", id)
+	}
+	return pool.Unpin(id, false)
+}
+
+// pairedHappyAndError is clean: both paths release.
+func pairedHappyAndError(pool *storage.BufferPool, id storage.PageID) error {
+	pg, err := pool.Pin(id)
+	if err != nil {
+		return err
+	}
+	if pg.Data[0] == 0 {
+		pool.Unpin(id, false)
+		return fmt.Errorf("empty page %d", id)
+	}
+	return pool.Unpin(id, true)
+}
+
+// deferredUnpin is clean: defer discharges every path.
+func deferredUnpin(pool *storage.BufferPool, id storage.PageID) error {
+	_, err := pool.Pin(id)
+	if err != nil {
+		return err
+	}
+	defer pool.Unpin(id, false)
+	return nil
+}
+
+// loopIterationLeak re-pins every iteration without releasing.
+func loopIterationLeak(pool *storage.BufferPool, ids []storage.PageID) {
+	for _, id := range ids {
+		pg, err := pool.Pin(id) // want `on every path \(loop iteration end`
+		if err != nil {
+			return
+		}
+		_ = pg.Data[0]
+	}
+}
+
+// loopPaired is clean: each iteration releases before the next pin.
+func loopPaired(pool *storage.BufferPool, ids []storage.PageID) error {
+	for _, id := range ids {
+		pg, err := pool.Pin(id)
+		if err != nil {
+			return err
+		}
+		_ = pg.Data[0]
+		if err := pool.Unpin(id, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// droppedResult discards the pinned page entirely.
+func droppedResult(pool *storage.BufferPool, id storage.PageID) {
+	pool.Pin(id) // want `result of BufferPool\.Pin dropped`
+}
+
+// allocateLeak pins through Allocate and loses the page on the error
+// path of the follow-up work.
+func allocateLeak(pool *storage.BufferPool, fill func(*storage.Page) error) error {
+	id, pg, err := pool.Allocate() // want `pinned page is not released by pool\.Unpin\(id, \.\.\.\) on every path \(return`
+	if err != nil {
+		return err
+	}
+	if err := fill(pg); err != nil {
+		return err
+	}
+	return pool.Unpin(id, true)
+}
+
+// allocatePaired is clean.
+func allocatePaired(pool *storage.BufferPool, fill func(*storage.Page) error) error {
+	id, pg, err := pool.Allocate()
+	if err != nil {
+		return err
+	}
+	if err := fill(pg); err != nil {
+		pool.Unpin(id, false)
+		return err
+	}
+	return pool.Unpin(id, true)
+}
+
+// returnsPage hands the pinned page (and obligation) to the caller: not a
+// leak here.
+func returnsPage(pool *storage.BufferPool, id storage.PageID) (*storage.Page, error) {
+	pg, err := pool.Pin(id)
+	if err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// storesPage parks the page in a struct for a later Unpin elsewhere: the
+// store discharges the local obligation.
+func (h *holder) storesPage(id storage.PageID) error {
+	pg, err := h.pool.Pin(id)
+	if err != nil {
+		return err
+	}
+	h.page = pg
+	return nil
+}
+
+// errReassigned: after err is reused for other work, a bare `if err !=
+// nil` no longer exempts the path.
+func errReassigned(pool *storage.BufferPool, id storage.PageID, work func() error) error {
+	pg, err := pool.Pin(id) // want `on every path \(return`
+	if err != nil {
+		return err
+	}
+	_ = pg
+	err = work()
+	if err != nil {
+		return err // leaks: the pin succeeded
+	}
+	return pool.Unpin(id, false)
+}
+
+// suppressed demonstrates the ignore directive: the leak is intentional
+// (a pin cache owns it) and documented.
+func suppressed(pool *storage.BufferPool, id storage.PageID) {
+	//genalgvet:ignore pinunpin fixture: pretend a pin cache owns this page
+	pg, err := pool.Pin(id)
+	if err != nil {
+		return
+	}
+	_ = pg
+}

@@ -1,0 +1,60 @@
+// Package clean is an all-negative pinunpin fixture: idiomatic pairing
+// patterns taken from the real heap-file code, none of which may fire.
+package clean
+
+import "storage"
+
+// scanPages mirrors HeapFile.ScanPageRange: pin, copy, unpin, then use
+// the copies.
+func scanPages(pool *storage.BufferPool, ids []storage.PageID, fn func([]byte) bool) error {
+	for _, id := range ids {
+		pg, err := pool.Pin(id)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, len(pg.Data))
+		copy(buf, pg.Data[:])
+		if err := pool.Unpin(id, false); err != nil {
+			return err
+		}
+		if !fn(buf) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// chainWalk mirrors HeapFile.unframe's overflow-chain walk, where the key
+// variable is rebound after the release.
+func chainWalk(pool *storage.BufferPool, next storage.PageID) ([]byte, error) {
+	var out []byte
+	for next != 0 {
+		pg, err := pool.Pin(next)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pg.Data[:]...)
+		nn := storage.PageID(pg.Data[0])
+		if err := pool.Unpin(next, false); err != nil {
+			return nil, err
+		}
+		next = nn
+	}
+	return out, nil
+}
+
+// insertFresh mirrors HeapFile.insertPrimary's allocate path.
+func insertFresh(pool *storage.BufferPool, put func(*storage.Page) error) (storage.PageID, error) {
+	id, pg, err := pool.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	if err := put(pg); err != nil {
+		pool.Unpin(id, false)
+		return 0, err
+	}
+	if err := pool.Unpin(id, true); err != nil {
+		return 0, err
+	}
+	return id, nil
+}

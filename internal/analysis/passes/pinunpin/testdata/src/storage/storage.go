@@ -1,0 +1,27 @@
+// Package storage is a fixture stand-in for genalg/internal/storage: the
+// pinunpin analyzer matches the BufferPool type by name and package
+// suffix, so this stub exercises it without export data.
+package storage
+
+// PageID identifies a page.
+type PageID uint32
+
+// Page is a fixed page image.
+type Page struct {
+	Data [64]byte
+}
+
+// BufferPool mimics the real pool's pin API.
+type BufferPool struct{}
+
+// Pin pins a page.
+func (bp *BufferPool) Pin(id PageID) (*Page, error) { return &Page{}, nil }
+
+// Unpin releases a pin.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) error { return nil }
+
+// Allocate creates and pins a fresh page.
+func (bp *BufferPool) Allocate() (PageID, *Page, error) { return 0, &Page{}, nil }
+
+// FlushAll flushes.
+func (bp *BufferPool) FlushAll() error { return nil }

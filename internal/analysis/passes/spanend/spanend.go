@@ -1,0 +1,208 @@
+// Package spanend defines the genalgvet analyzer that enforces span
+// termination: every span or timer the tracing/metrics substrate hands
+// out must be ended on every execution path.
+//
+//   - trace.Start returns a *Span that must see EndSpan or EndOK;
+//     an unended span never commits, so the whole trace (and its
+//     errors+slow sampling decision) silently vanishes from the ring.
+//   - obs.StartSpan returns an obs.Span whose End records the duration
+//     histogram sample; a missed End on an error path biases latency
+//     metrics toward the happy path.
+//   - Registry.Timer returns a stop func with the same contract.
+package spanend
+
+import (
+	"go/ast"
+	"go/types"
+
+	"genalg/internal/analysis"
+	"genalg/internal/analysis/pathflow"
+)
+
+// Analyzer is the spanend check.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc: "check that trace.Start spans, obs.StartSpan spans, and Registry.Timer stop funcs are ended on all paths\n\n" +
+		"A span left open never reaches the trace ring and skews duration metrics. Ending may be direct, " +
+		"deferred (including `defer func() { sp.EndSpan(err) }()`), or delegated by passing/returning/storing " +
+		"the span.",
+	Run: run,
+}
+
+// endMethods are the Span methods that retire a span.
+var endMethods = map[string]bool{"EndSpan": true, "EndOK": true, "End": true}
+
+func run(pass *analysis.Pass) error {
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				if name, _, is := spanCall(pass.TypesInfo, call); is {
+					pass.Reportf(call.Pos(), "result of %s dropped: the span can never be ended", name)
+				}
+			}
+		case *ast.AssignStmt:
+			checkAcquire(pass, s, stack)
+		}
+		return true
+	})
+	return nil
+}
+
+// spanCall classifies an acquisition call. resultIdx is the index of the
+// span/stop-func value among the call's results.
+func spanCall(info *types.Info, call *ast.CallExpr) (name string, resultIdx int, ok bool) {
+	switch {
+	case analysis.IsPkgFuncCall(info, call, "trace", "Start"):
+		return "trace.Start", 1, true
+	case analysis.IsPkgFuncCall(info, call, "obs", "StartSpan"):
+		return "obs.StartSpan", 0, true
+	case analysis.IsMethodCall(info, call, "obs", "Registry", "Timer"):
+		return "Registry.Timer", 0, true
+	}
+	return "", 0, false
+}
+
+func checkAcquire(pass *analysis.Pass, s *ast.AssignStmt, stack []ast.Node) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, resultIdx, is := spanCall(pass.TypesInfo, call)
+	if !is {
+		return
+	}
+	if len(s.Lhs) <= resultIdx {
+		return
+	}
+	spanObj := lhsObj(pass.TypesInfo, s.Lhs[resultIdx])
+	if spanObj == nil {
+		pass.Reportf(call.Pos(), "span from %s assigned to _: it can never be ended", name)
+		return
+	}
+	fn := analysis.EnclosingFunc(stack)
+	if fn == nil {
+		return
+	}
+
+	isTimer := name == "Registry.Timer"
+	ob := &pathflow.Obligation{
+		Info: pass.TypesInfo,
+		Releases: func(rel *ast.CallExpr) bool {
+			if isTimer {
+				// done() — calling the stop func.
+				return identIs(pass.TypesInfo, rel.Fun, spanObj)
+			}
+			sel, ok := ast.Unparen(rel.Fun).(*ast.SelectorExpr)
+			if !ok || !endMethods[sel.Sel.Name] {
+				return false
+			}
+			return identIs(pass.TypesInfo, sel.X, spanObj)
+		},
+		Escapes: func(n ast.Node) bool {
+			return escapesThrough(pass.TypesInfo, n, spanObj, isTimer)
+		},
+	}
+	leak, ok := ob.Check(fn, s)
+	if !ok || leak == nil {
+		return
+	}
+	verb := "EndSpan/EndOK"
+	switch name {
+	case "obs.StartSpan":
+		verb = "End"
+	case "Registry.Timer":
+		verb = "a call of the stop func"
+	}
+	line := pass.Fset.Position(leak.At.End()).Line
+	pass.Reportf(call.Pos(), "span from %s is not ended by %s on every path (%s, line %d)",
+		name, verb, leak.Kind, line)
+}
+
+func lhsObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if def, ok := info.Defs[id]; ok && def != nil {
+		return def
+	}
+	return info.Uses[id]
+}
+
+// escapesThrough: returning, storing, aliasing, or passing the span to
+// another function hands the End obligation onward.
+func escapesThrough(info *types.Info, n ast.Node, spanObj types.Object, isTimer bool) bool {
+	switch n := n.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			if exprMentions(info, r, spanObj) {
+				return true
+			}
+		}
+		return false
+	case ast.Stmt:
+		escaped := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if escaped {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.AssignStmt:
+				for i, r := range m.Rhs {
+					if i < len(m.Lhs) && isBlank(m.Lhs[i]) {
+						continue
+					}
+					if exprMentions(info, r, spanObj) {
+						escaped = true
+					}
+				}
+			case *ast.CallExpr:
+				if isTimer && identIs(info, m.Fun, spanObj) {
+					return true // the release itself, not an escape
+				}
+				for _, arg := range m.Args {
+					if identIs(info, arg, spanObj) {
+						escaped = true
+					}
+				}
+			}
+			return true
+		})
+		return escaped
+	}
+	return false
+}
+
+func identIs(info *types.Info, e ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+func exprMentions(info *types.Info, e ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"genalg/internal/analysis/atest"
+	"genalg/internal/analysis/passes/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	atest.Run(t, "testdata", "a", spanend.Analyzer)
+}

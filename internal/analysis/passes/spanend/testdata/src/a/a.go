@@ -1,0 +1,109 @@
+// Package a holds spanend positive and negative cases.
+package a
+
+import (
+	"context"
+	"errors"
+
+	"obs"
+	"trace"
+)
+
+// missingEnd opens a span and never ends it.
+func missingEnd(ctx context.Context) {
+	_, sp := trace.Start(ctx, "layer.op") // want `span from trace\.Start is not ended .* \(function end`
+	sp.SetAttr("k", 1)
+}
+
+// errorPathLeak ends the happy path only.
+func errorPathLeak(ctx context.Context, work func(context.Context) error) error {
+	ctx, sp := trace.Start(ctx, "layer.op") // want `span from trace\.Start is not ended by EndSpan/EndOK on every path \(return`
+	if err := work(ctx); err != nil {
+		return err
+	}
+	sp.EndOK()
+	return nil
+}
+
+// deferClosureEnd is the repo's standard named-return idiom: clean.
+func deferClosureEnd(ctx context.Context, work func(context.Context) error) (err error) {
+	ctx, sp := trace.Start(ctx, "layer.op")
+	defer func() { sp.EndSpan(err) }()
+	return work(ctx)
+}
+
+// branchesEnd ends on both branches: clean.
+func branchesEnd(ctx context.Context, work func(context.Context) error) error {
+	ctx, sp := trace.Start(ctx, "layer.op")
+	if err := work(ctx); err != nil {
+		sp.EndSpan(err)
+		return err
+	}
+	sp.EndOK()
+	return nil
+}
+
+// droppedSpan discards the span value outright.
+func droppedSpan(ctx context.Context) context.Context {
+	ctx, _ = trace.Start(ctx, "layer.op") // want `span from trace\.Start assigned to _`
+	return ctx
+}
+
+// bareStart drops both results.
+func bareStart(ctx context.Context) {
+	trace.Start(ctx, "layer.op") // want `result of trace\.Start dropped`
+}
+
+// obsSpanLeak forgets End on the error path.
+func obsSpanLeak(r *obs.Registry, work func() error) error {
+	s := obs.StartSpan(r, "layer.op.seconds") // want `span from obs\.StartSpan is not ended by End on every path \(return`
+	if err := work(); err != nil {
+		return err
+	}
+	s.End()
+	return nil
+}
+
+// obsSpanDefer is clean via method-value defer.
+func obsSpanDefer(r *obs.Registry, work func() error) error {
+	s := obs.StartSpan(r, "layer.op.seconds")
+	defer s.End()
+	return work()
+}
+
+// timerLeak never invokes the stop func on the error path.
+func timerLeak(r *obs.Registry, work func() error) error {
+	done := r.Timer("layer.op.seconds") // want `span from Registry\.Timer is not ended by a call of the stop func on every path \(return`
+	if err := work(); err != nil {
+		return err
+	}
+	done()
+	return nil
+}
+
+// timerDefer is the canonical immediate-defer form: nothing tracked.
+func timerDefer(r *obs.Registry, work func() error) error {
+	defer r.Timer("layer.op.seconds")()
+	return work()
+}
+
+// timerDeferred defers the named stop func: clean.
+func timerDeferred(r *obs.Registry, work func() error) error {
+	done := r.Timer("layer.op.seconds")
+	defer done()
+	return work()
+}
+
+// handoff passes the span to a helper that owns ending it: clean here.
+func handoff(ctx context.Context, finish func(*trace.Span, error)) error {
+	_, sp := trace.Start(ctx, "layer.op")
+	err := errors.New("boom")
+	finish(sp, err)
+	return err
+}
+
+// suppressed documents an intentional leak.
+func suppressed(ctx context.Context) {
+	_, sp := trace.Start(ctx, "layer.op") //genalgvet:ignore spanend fixture: span intentionally owned by a background committer
+	sp.SetAttr("k", 1)
+}

@@ -1,0 +1,22 @@
+// Package obs is a fixture stand-in for genalg/internal/obs.
+package obs
+
+import "time"
+
+// Registry mimics the metrics registry.
+type Registry struct{}
+
+// Span mimics the histogram-backed timing span.
+type Span struct{}
+
+// End retires the span.
+func (s Span) End() time.Duration { return 0 }
+
+// StartSpan begins timing against r.
+func StartSpan(r *Registry, name string) Span { return Span{} }
+
+// Timer returns a stop func recording elapsed seconds.
+func (r *Registry) Timer(name string) func() time.Duration {
+	s := StartSpan(r, name)
+	return s.End
+}

@@ -1,0 +1,24 @@
+// Package trace is a fixture stand-in for genalg/internal/trace.
+package trace
+
+import "context"
+
+// Span mimics the real nil-safe span handle.
+type Span struct{}
+
+// Start begins a child span.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{}
+}
+
+// SetAttr records an attribute.
+func (s *Span) SetAttr(key string, v any) {}
+
+// Eventf records an event.
+func (s *Span) Eventf(format string, args ...any) {}
+
+// EndSpan retires the span with an error.
+func (s *Span) EndSpan(err error) {}
+
+// EndOK retires the span successfully.
+func (s *Span) EndOK() {}

@@ -1,0 +1,32 @@
+// Package a holds unusedresult positive and negative cases.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"obs"
+)
+
+func drops() {
+	fmt.Sprintf("x=%d", 1)   // want `result of fmt\.Sprintf call not used`
+	errors.New("boom")       // want `result of errors\.New call not used`
+	strings.TrimSpace(" x ") // want `result of strings\.TrimSpace call not used`
+}
+
+func dropsMethod() {
+	var sb strings.Builder
+	sb.WriteString("ok")
+	sb.String() // want `result of \(strings\.Builder\)\.String call not used`
+}
+
+func dropsJoin(prefix string) {
+	obs.Join(prefix, "hits") // want `result of obs\.Join call not used`
+}
+
+func uses(prefix string) string {
+	s := fmt.Sprintf("x=%d", 1)
+	fmt.Println(s)
+	return obs.Join(prefix, strings.TrimSpace(" hits "))
+}

@@ -1,0 +1,7 @@
+// Package obs is a fixture stand-in for genalg/internal/obs.
+package obs
+
+import "strings"
+
+// Join builds a dotted metric name, dropping empty parts.
+func Join(parts ...string) string { return strings.Join(parts, ".") }

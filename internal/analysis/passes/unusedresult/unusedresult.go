@@ -1,0 +1,90 @@
+// Package unusedresult is a stdlib-only reimplementation of the stock
+// go/analysis unusedresult check: calling a side-effect-free function as
+// a statement silently discards its only product. On top of the stock
+// stdlib list it knows this repo's own pure helpers (obs.Join).
+package unusedresult
+
+import (
+	"go/ast"
+	"go/types"
+
+	"genalg/internal/analysis"
+)
+
+// pureFuncs maps package path -> function names whose results must be
+// used. Matching for repo-local packages is by path suffix.
+var pureFuncs = map[string][]string{
+	"errors":  {"New", "Unwrap", "Join"},
+	"fmt":     {"Errorf", "Sprint", "Sprintf", "Sprintln"},
+	"sort":    {"Reverse"},
+	"context": {"Background", "TODO", "WithValue"},
+	"strings": {
+		"Clone", "Compare", "Contains", "Count", "Fields", "Index", "Join",
+		"Repeat", "Replace", "ReplaceAll", "Split", "SplitN", "Title",
+		"ToLower", "ToUpper", "TrimSpace", "TrimPrefix", "TrimSuffix",
+	},
+	"obs": {"Join"},
+}
+
+// pureMethods maps receiver type (in the named package) -> methods.
+var pureMethods = map[string]map[string][]string{
+	"strings": {"Builder": {"String"}, "Replacer": {"Replace"}},
+	"bytes":   {"Buffer": {"String", "Bytes"}},
+}
+
+// Analyzer is the unusedresult check.
+var Analyzer = &analysis.Analyzer{
+	Name: "unusedresult",
+	Doc:  "check for unused results of calls to pure functions (stock list plus obs.Join)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path, name := fn.Pkg().Path(), fn.Name()
+		if recv := recvNamed(fn); recv != nil {
+			if methods, ok := pureMethods[path]; ok {
+				for _, m := range methods[recv.Obj().Name()] {
+					if m == name {
+						pass.Reportf(call.Pos(), "result of (%s.%s).%s call not used", path, recv.Obj().Name(), name)
+						return true
+					}
+				}
+			}
+			return true
+		}
+		for pkg, names := range pureFuncs {
+			if !analysis.PkgIs(path, pkg) {
+				continue
+			}
+			for _, n := range names {
+				if n == name {
+					pass.Reportf(call.Pos(), "result of %s.%s call not used", pkg, name)
+					return true
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return analysis.NamedRecv(sig.Recv().Type())
+}

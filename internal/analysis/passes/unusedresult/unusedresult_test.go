@@ -1,0 +1,12 @@
+package unusedresult_test
+
+import (
+	"testing"
+
+	"genalg/internal/analysis/atest"
+	"genalg/internal/analysis/passes/unusedresult"
+)
+
+func TestUnusedResult(t *testing.T) {
+	atest.Run(t, "testdata", "a", unusedresult.Analyzer)
+}

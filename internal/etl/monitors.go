@@ -115,7 +115,14 @@ type SnapshotDiffMonitor struct {
 // state (the initial snapshot produces no deltas; the warehouse's initial
 // load uses the snapshot directly).
 func NewSnapshotDiffMonitor(src Snapshotter) (*SnapshotDiffMonitor, error) {
-	text, err := src.Fetch(context.Background())
+	return NewSnapshotDiffMonitorCtx(context.Background(), src)
+}
+
+// NewSnapshotDiffMonitorCtx is NewSnapshotDiffMonitor under the caller's
+// context: the priming snapshot fetch honours ctx, so a cancelled or
+// deadlined setup aborts instead of hanging on a slow source.
+func NewSnapshotDiffMonitorCtx(ctx context.Context, src Snapshotter) (*SnapshotDiffMonitor, error) {
+	text, err := src.Fetch(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("etl: priming snapshot of %s: %w", src.Name(), err)
 	}
@@ -165,7 +172,12 @@ type LCSDiffMonitor struct {
 
 // NewLCSDiffMonitor primes the monitor with the current dump.
 func NewLCSDiffMonitor(src Snapshotter) (*LCSDiffMonitor, error) {
-	text, err := src.Fetch(context.Background())
+	return NewLCSDiffMonitorCtx(context.Background(), src)
+}
+
+// NewLCSDiffMonitorCtx is NewLCSDiffMonitor under the caller's context.
+func NewLCSDiffMonitorCtx(ctx context.Context, src Snapshotter) (*LCSDiffMonitor, error) {
+	text, err := src.Fetch(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("etl: priming snapshot of %s: %w", src.Name(), err)
 	}
@@ -309,10 +321,15 @@ type TreeDiffMonitor struct {
 
 // NewTreeDiffMonitor primes the monitor.
 func NewTreeDiffMonitor(src Snapshotter) (*TreeDiffMonitor, error) {
+	return NewTreeDiffMonitorCtx(context.Background(), src)
+}
+
+// NewTreeDiffMonitorCtx is NewTreeDiffMonitor under the caller's context.
+func NewTreeDiffMonitorCtx(ctx context.Context, src Snapshotter) (*TreeDiffMonitor, error) {
 	if src.Format() != sources.FormatACeDB {
 		return nil, fmt.Errorf("etl: tree diff requires a hierarchical source, %s is %v", src.Name(), src.Format())
 	}
-	text, err := src.Fetch(context.Background())
+	text, err := src.Fetch(ctx)
 	if err != nil {
 		return nil, err
 	}

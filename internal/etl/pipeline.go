@@ -22,15 +22,27 @@ import (
 // polling that survives individual source failures, use a Pipeline with a
 // RetryPolicy.
 func PollAll(detectors []Detector) ([]Delta, error) {
-	return PollAllWorkers(detectors, parallel.Workers())
+	return PollAllCtx(context.Background(), detectors)
+}
+
+// PollAllCtx is PollAll under the caller's context.
+func PollAllCtx(ctx context.Context, detectors []Detector) ([]Delta, error) {
+	return PollAllWorkersCtx(ctx, detectors, parallel.Workers())
 }
 
 // PollAllWorkers is PollAll with an explicit worker bound (0 = default,
 // 1 = serial).
 func PollAllWorkers(detectors []Detector, workers int) ([]Delta, error) {
-	perDet, err := parallel.Map(context.Background(), detectors, workers,
+	return PollAllWorkersCtx(context.Background(), detectors, workers)
+}
+
+// PollAllWorkersCtx is PollAllWorkers under the caller's context: the
+// fan-out and every per-detector poll honour ctx, so cancelling it stops
+// the round instead of silently detaching the polls.
+func PollAllWorkersCtx(ctx context.Context, detectors []Detector, workers int) ([]Delta, error) {
+	perDet, err := parallel.Map(ctx, detectors, workers,
 		func(i int, det Detector) ([]Delta, error) {
-			ds, err := det.Poll(context.Background())
+			ds, err := det.Poll(ctx)
 			if err != nil {
 				return nil, fmt.Errorf("etl: polling %s: %w", det.Name(), err)
 			}
@@ -271,6 +283,7 @@ func (p *Pipeline) roundDetailed(ctx context.Context) (RoundReport, error) {
 				return ds, nil
 			})
 		if err != nil {
+			pollDone()
 			return rep, err
 		}
 		rep.Polled = len(p.detectors)

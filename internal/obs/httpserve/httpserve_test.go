@@ -20,8 +20,8 @@ func testOptions() (Options, *obs.Registry, *trace.Tracer) {
 	reg.Counter("etl.records.ok").Add(7)
 	reg.Histogram("sqlang.query.seconds", 0.001, 0.01, 0.1).Observe(0.004)
 	tr := trace.New(trace.Sampling{Mode: trace.SampleAlways}, 8)
-	ctx, sp := trace.Start(trace.WithTracer(context.Background(), tr), "request")
-	_, child := trace.Start(ctx, "step")
+	ctx, sp := trace.Start(trace.WithTracer(context.Background(), tr), "httpserve.request")
+	_, child := trace.Start(ctx, "httpserve.step")
 	child.EndOK()
 	sp.EndOK()
 	return Options{Registry: reg, Tracer: tr}, reg, tr
@@ -148,7 +148,7 @@ func TestTracesJSONL(t *testing.T) {
 	if err := json.Unmarshal([]byte(lines[0]), &doc); err != nil {
 		t.Fatalf("invalid JSONL: %v\n%s", err, lines[0])
 	}
-	if doc.TraceID == "" || doc.Root != "request" || len(doc.Spans) != 2 {
+	if doc.TraceID == "" || doc.Root != "httpserve.request" || len(doc.Spans) != 2 {
 		t.Errorf("trace doc = %+v", doc)
 	}
 }
@@ -159,7 +159,7 @@ func TestTracesTree(t *testing.T) {
 	if code != 200 {
 		t.Fatalf("/traces?format=tree = %d", code)
 	}
-	if !strings.Contains(body, "request") || !strings.Contains(body, "└─ step") {
+	if !strings.Contains(body, "httpserve.request") || !strings.Contains(body, "└─ httpserve.step") {
 		t.Errorf("tree output missing spans:\n%s", body)
 	}
 }

@@ -200,7 +200,7 @@ func (r *Repo) Log(afterSeq int) ([]LogEntry, error) {
 // The returned cancel function unsubscribes.
 func (r *Repo) Subscribe(buffer int) (<-chan Mutation, func(), error) {
 	if r.cap != CapActive {
-		return nil, nil, fmt.Errorf("sources: %s has no trigger capability (%v)", r.name, r.cap)
+		return nil, nil, Permanent("subscribe", r.name, fmt.Errorf("no trigger capability (%v)", r.cap))
 	}
 	ch := make(chan Mutation, buffer)
 	r.mu.Lock()

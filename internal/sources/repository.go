@@ -36,14 +36,19 @@ func (r *Repo) Fetch(ctx context.Context) (string, error) {
 	return r.Snapshot(), nil
 }
 
-// ReadLog implements Repository.
+// ReadLog implements Repository. A capability mismatch (the source keeps
+// no change log) is wrapped Permanent: retrying cannot grow a log.
 func (r *Repo) ReadLog(ctx context.Context, afterSeq int) ([]LogEntry, error) {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 	}
-	return r.Log(afterSeq)
+	entries, err := r.Log(afterSeq)
+	if err != nil {
+		return nil, Permanent("read-log", r.name, err)
+	}
+	return entries, nil
 }
 
 // Fetch implements Repository for remote sources, paying the latency model

@@ -13,6 +13,7 @@ import (
 
 func tracedCtx(sampling trace.Sampling) (context.Context, *trace.Tracer) {
 	tr := trace.New(sampling, 16)
+	//genalgvet:ignore ctxpass test helper fabricates the root context rather than threading one
 	return trace.WithTracer(context.Background(), tr), tr
 }
 

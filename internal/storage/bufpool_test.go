@@ -101,10 +101,11 @@ func TestAllocateDoesNotReadPager(t *testing.T) {
 // frame is zero-valued even when the pool never consults the pager.
 func TestAllocatedPageIsZeroed(t *testing.T) {
 	bp, _ := NewBufferPool(newStrictPager(), 4)
-	_, pg, err := bp.Allocate()
+	id, pg, err := bp.Allocate()
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer bp.Unpin(id, false)
 	for i, b := range pg.Data {
 		if b != 0 {
 			t.Fatalf("byte %d of fresh page = %x, want 0", i, b)
@@ -193,7 +194,10 @@ func TestRegisterMetricsPerPool(t *testing.T) {
 
 	id, _, _ := bpA.Allocate()
 	bpA.Unpin(id, false)
-	bpA.Pin(id)
+	pg, err := bpA.Pin(id)
+	if err != nil || pg == nil {
+		t.Fatalf("re-pin page %d: %v", id, err)
+	}
 	bpA.Unpin(id, false)
 
 	vals := map[string]float64{}

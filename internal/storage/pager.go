@@ -54,6 +54,7 @@ func (p *FilePager) Allocate() (PageID, error) {
 	defer p.mu.Unlock()
 	id := PageID(p.pages)
 	var zero Page
+	//genalgvet:ignore lockio p.mu exists to serialize exactly this file extension: two racing Allocates must not hand out the same page id
 	if _, err := p.f.WriteAt(zero.Data[:], int64(id)*PageSize); err != nil {
 		return InvalidPage, fmt.Errorf("storage: allocate page %d: %w", id, err)
 	}

@@ -81,11 +81,18 @@ func (w *Warehouse) ApplyDeltasReportCtx(ctx context.Context, deltas []etl.Delta
 
 // Refresh applies all queued deltas (manual mode's "advance updates").
 func (w *Warehouse) Refresh() (int, error) {
+	return w.RefreshCtx(context.Background())
+}
+
+// RefreshCtx is Refresh under the caller's context: quarantine events
+// from the apply land on the caller's trace span instead of vanishing
+// onto a detached background context.
+func (w *Warehouse) RefreshCtx(ctx context.Context) (int, error) {
 	w.mu.Lock()
 	queued := w.pending
 	w.pending = nil
 	w.mu.Unlock()
-	if _, err := w.applyNow(context.Background(), queued); err != nil {
+	if _, err := w.applyNow(ctx, queued); err != nil {
 		return 0, err
 	}
 	return len(queued), nil
