@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check lint lint-analyzers ci check bench smoke smoke-obs smoke-trace fuzz-short
+.PHONY: all build test race vet fmt fmt-check lint lint-analyzers ci check bench bench-smoke smoke smoke-obs smoke-trace fuzz-short
 
 all: check
 
@@ -46,6 +46,19 @@ check: ci
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-smoke runs the measured benchtab experiments once at small scale
+# and writes throwaway BENCH_*.json snapshots — CI proof that both the
+# experiments and the -bench-json emitter stay runnable. The committed
+# BENCH_e12.json / BENCH_e16.json at the repo root are regenerated at
+# full scale with `go run ./cmd/benchtab -only <exp> -bench-json .`.
+bench-smoke:
+	mkdir -p bin/bench-smoke
+	$(GO) run ./cmd/benchtab -only e12 -quick -bench-json bin/bench-smoke
+	$(GO) run ./cmd/benchtab -only e16 -quick -bench-json bin/bench-smoke
+	@for f in BENCH_e12.json BENCH_e16.json; do \
+		test -s bin/bench-smoke/$$f || { echo "bench-smoke: missing $$f"; exit 1; }; done
+	@echo "bench-smoke: ok"
 
 # smoke drives the two binaries end to end with small fixtures — the CI
 # smoke job, runnable locally.

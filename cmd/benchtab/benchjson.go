@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// benchJSONDir is where -bench-json writes machine-readable snapshots
+// (BENCH_<experiment>.json); empty disables them.
+var benchJSONDir string
+
+// BenchResult is one measured variant within a snapshot.
+type BenchResult struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers,omitempty"`
+	Nanos   int64   `json:"nanos"`
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// BenchSnapshot is the machine-readable record of one benchtab experiment
+// run, committed as BENCH_<experiment>.json so the perf trajectory is
+// tracked per change rather than only printed. Timings are host-dependent;
+// the speedup columns are the comparable signal.
+type BenchSnapshot struct {
+	Experiment string        `json:"experiment"`
+	Quick      bool          `json:"quick"`
+	GoOS       string        `json:"goos"`
+	GoArch     string        `json:"goarch"`
+	MaxProcs   int           `json:"gomaxprocs"`
+	Results    []BenchResult `json:"results"`
+}
+
+// writeBenchJSON persists one experiment's results under benchJSONDir; a
+// no-op when -bench-json was not given.
+func writeBenchJSON(exp string, results []BenchResult) error {
+	if benchJSONDir == "" {
+		return nil
+	}
+	snap := BenchSnapshot{
+		Experiment: exp,
+		Quick:      quick,
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		MaxProcs:   runtime.GOMAXPROCS(0),
+		Results:    results,
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(benchJSONDir, "BENCH_"+exp+".json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"genalg/internal/db"
+	"genalg/internal/sqlang"
+)
+
+// e16CostBasedExecution measures the cost-based planner plus batched
+// executor against the pre-optimizer baseline (DisableCBO + BatchSize=1:
+// declared join order, per-probe-row nested-loop rescans, row-at-a-time
+// filters). The join-heavy aggregate is the headline number; the indexed
+// point lookup is the no-regression control. Workers are pinned to 1 so
+// the delta isolates planning + batching from scan parallelism. This is
+// the benchtab twin of BenchmarkE16 (go test -bench=E16); under -quick
+// the fixture shrinks so CI can smoke it.
+func e16CostBasedExecution() error {
+	reps := 3
+	if quick {
+		reps = 1
+	}
+	nGenes, nFrags := scaled(200), scaled(4000)
+	d, err := db.OpenMemory(32768)
+	if err != nil {
+		return err
+	}
+	genes, err := d.CreateTable(db.Schema{
+		Table: "genes",
+		Columns: []db.Column{
+			{Name: "gid", Type: db.TString},
+			{Name: "organism", Type: db.TString},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nGenes; i++ {
+		if _, err := genes.Insert(db.Row{fmt.Sprintf("G%03d", i), fmt.Sprintf("org%d", i%10)}); err != nil {
+			return err
+		}
+	}
+	frags, err := d.CreateTable(db.Schema{
+		Table: "frags",
+		Columns: []db.Column{
+			{Name: "id", Type: db.TString},
+			{Name: "gene", Type: db.TString},
+			{Name: "quality", Type: db.TFloat},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nFrags; i++ {
+		row := db.Row{fmt.Sprintf("F%04d", i), fmt.Sprintf("G%03d", i%nGenes), float64(i%100) / 100}
+		if _, err := frags.Insert(row); err != nil {
+			return err
+		}
+	}
+	if err := frags.CreateBTreeIndex("id"); err != nil {
+		return err
+	}
+
+	legacy := sqlang.NewEngine(d)
+	legacy.DisableCBO = true
+	legacy.BatchSize = 1
+	legacy.Workers = 1
+	cbo := sqlang.NewEngine(d)
+	cbo.Workers = 1
+	if _, err := cbo.Exec(`ANALYZE genes`); err != nil {
+		return err
+	}
+	if _, err := cbo.Exec(`ANALYZE frags`); err != nil {
+		return err
+	}
+
+	// The point lookup finishes in microseconds, so it gets far more reps
+	// than the join to keep the measurement out of cold-start noise.
+	queries := []struct {
+		name, sql string
+		reps      int
+	}{
+		{"join-agg", `SELECT genes.organism, COUNT(*) AS n FROM frags JOIN genes ON frags.gene = genes.gid WHERE frags.quality >= 0.5 GROUP BY genes.organism ORDER BY n DESC, genes.organism`, reps},
+		{"point-lookup", fmt.Sprintf(`SELECT quality FROM frags WHERE id = 'F%04d'`, nFrags/2), reps * 200},
+	}
+	engines := []struct {
+		name string
+		e    *sqlang.Engine
+	}{{"legacy", legacy}, {"cbo-batch", cbo}}
+
+	var results []BenchResult
+	fmt.Printf("genes=%d frags=%d\n", nGenes, nFrags)
+	fmt.Printf("%-14s %12s %14s %10s\n", "query", "variant", "time", "speedup")
+	for _, q := range queries {
+		var base time.Duration
+		for _, eng := range engines {
+			if _, err := eng.e.Exec(q.sql); err != nil { // warmup
+				return err
+			}
+			start := time.Now()
+			for r := 0; r < q.reps; r++ {
+				if _, err := eng.e.Exec(q.sql); err != nil {
+					return err
+				}
+			}
+			elapsed := time.Since(start) / time.Duration(q.reps)
+			if eng.name == "legacy" {
+				base = elapsed
+			}
+			speedup := float64(base) / float64(elapsed)
+			fmt.Printf("%-14s %12s %14v %9.2fx\n", q.name, eng.name,
+				elapsed.Round(time.Microsecond), speedup)
+			results = append(results, BenchResult{
+				Name:    q.name + "/" + eng.name,
+				Nanos:   elapsed.Nanoseconds(),
+				Speedup: speedup,
+			})
+		}
+	}
+	fmt.Println("speedup is relative to the legacy planner/executor on the same host;")
+	fmt.Println("both variants return identical rows (see TestLegacyExecutorMatchesCBO).")
+	return writeBenchJSON("e16", results)
+}

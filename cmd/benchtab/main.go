@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	benchtab [-only table1|fig2|e1|e2|e3|e4|e11|e12]
+//	benchtab [-only table1|fig2|e1|e2|e3|e4|e11|e12|e16] [-bench-json DIR]
+//
+// With -bench-json DIR, the measured experiments additionally write
+// machine-readable BENCH_<experiment>.json snapshots into DIR (currently
+// e12 and e16), so the repository can track the perf trajectory in files
+// rather than only in EXPERIMENTS.md prose.
 package main
 
 import (
@@ -32,8 +37,9 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment: table1, fig2, e1, e2, e3, e4, e11, e12")
+	only := flag.String("only", "", "run a single experiment: table1, fig2, e1, e2, e3, e4, e11, e12, e16")
 	flag.BoolVar(&quick, "quick", false, "shrink fixtures for CI smoke runs")
+	flag.StringVar(&benchJSONDir, "bench-json", "", "write BENCH_<experiment>.json snapshots into this directory")
 	metrics := flag.Bool("metrics", false, "dump the metrics registry after the experiments")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics and /debug/pprof on this address while the experiments run")
 	flag.Parse()
@@ -65,6 +71,7 @@ func main() {
 	run("e4", e4IndexVsScan)
 	run("e11", e11EntityMatching)
 	run("e12", e12ParallelSpeedup)
+	run("e16", e16CostBasedExecution)
 	if *metrics {
 		fmt.Println("==== metrics ====")
 		if err := obs.Default.WriteText(os.Stdout); err != nil {
@@ -175,6 +182,7 @@ func e12ParallelSpeedup() error {
 		}},
 	}
 
+	var results []BenchResult
 	fmt.Printf("%-16s %8s %14s %10s\n", "layer", "workers", "time", "speedup")
 	for _, v := range variants {
 		var serial time.Duration
@@ -189,13 +197,20 @@ func e12ParallelSpeedup() error {
 			if workers == 1 {
 				serial = elapsed
 			}
+			speedup := float64(serial) / float64(elapsed)
 			fmt.Printf("%-16s %8d %14v %9.2fx\n", v.name, workers,
-				elapsed.Round(time.Microsecond), float64(serial)/float64(elapsed))
+				elapsed.Round(time.Microsecond), speedup)
+			results = append(results, BenchResult{
+				Name:    v.name,
+				Workers: workers,
+				Nanos:   elapsed.Nanoseconds(),
+				Speedup: speedup,
+			})
 		}
 	}
 	fmt.Println("speedup is relative to workers=1 on the same host; parallel and serial")
 	fmt.Println("runs produce byte-identical results (see TestParallelMatchesSerial).")
-	return nil
+	return writeBenchJSON("e12", results)
 }
 
 // e11EntityMatching measures content-based cross-accession entity matching

@@ -17,6 +17,12 @@ func good(r *obs.Registry, ctx context.Context) {
 	r.GaugeFunc("warehouse.quarantine.records", func() float64 { return 0 })
 	_ = r.Timer("etl.poll.seconds")
 	r.Gauge(poolMetric)
+	// Planner and batched-executor counters stamped by the sqlang engine.
+	r.Counter("sqlang.plan.cbo").Inc()
+	r.Counter("sqlang.plan.hash_joins").Inc()
+	r.Counter("sqlang.plan.reordered").Inc()
+	r.Counter("sqlang.batch.count").Inc()
+	r.Counter("sqlang.batch.rows").Inc()
 	_ = obs.StartSpan(r, "align.batch.seconds")
 	_, sp := trace.Start(ctx, "warehouse.apply_deltas")
 	sp.EndOK()

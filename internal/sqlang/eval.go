@@ -2,6 +2,8 @@ package sqlang
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
 
 	"genalg/internal/db"
@@ -308,4 +310,61 @@ func toFloat(v any) (float64, error) {
 func truthy(v any) bool {
 	b, ok := v.(bool)
 	return ok && b
+}
+
+// joinKey evaluates the equi-join key expressions against the current row
+// and encodes them into buf. ok=false reports a NULL key component: the row
+// joins nothing, matching `=` three-valued semantics.
+func joinKey(ctx *evalCtx, keys []Expr, buf []byte) ([]byte, bool, error) {
+	for _, kx := range keys {
+		v, err := eval(ctx, kx)
+		if err != nil {
+			return buf, false, err
+		}
+		if v == nil {
+			return buf, false, nil
+		}
+		buf, err = appendJoinKeyVal(buf, v)
+		if err != nil {
+			return buf, false, err
+		}
+	}
+	return buf, true, nil
+}
+
+// appendJoinKeyVal encodes one scalar into a hash-join key. The encoding
+// must equate exactly the value pairs compareVals calls equal: integral
+// floats within the exact-int64 window (±2^53) key as integers so
+// int64/float64 mixes hash together. (An int64 beyond 2^53 joined against
+// its rounded float64 image is the one divergence from compareVals'
+// lossy float coercion; that coercion is itself the approximation.)
+func appendJoinKeyVal(b []byte, v any) ([]byte, error) {
+	const exactInt = 1 << 53
+	switch x := v.(type) {
+	case int64:
+		b = append(b, 'i')
+		b = strconv.AppendInt(b, x, 10)
+	case float64:
+		if x == math.Trunc(x) && x >= -exactInt && x <= exactInt {
+			b = append(b, 'i')
+			b = strconv.AppendInt(b, int64(x), 10)
+		} else {
+			b = append(b, 'f')
+			b = strconv.AppendFloat(b, x, 'b', -1, 64)
+		}
+	case string:
+		b = append(b, 's')
+		b = strconv.AppendInt(b, int64(len(x)), 10)
+		b = append(b, ':')
+		b = append(b, x...)
+	case bool:
+		if x {
+			b = append(b, 'T')
+		} else {
+			b = append(b, 'F')
+		}
+	default:
+		return b, fmt.Errorf("sqlang: cannot compare %T in join key", v)
+	}
+	return b, nil
 }

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"genalg/internal/db"
@@ -51,7 +50,23 @@ type Engine struct {
 	// SlowQueryThreshold enables the slow-query log: statements at least
 	// this slow are recorded (retrievable via SlowQueries). 0 disables.
 	SlowQueryThreshold time.Duration
-	slow               slowLog
+	// BatchSize is the executor's rows-per-batch: 0 selects the default
+	// (defaultBatchSize); 1 degenerates to row-at-a-time execution, which
+	// the differential tests use as the baseline. Results are identical at
+	// any size. Set at construction time; not synchronized.
+	BatchSize int
+	// DisableCBO reverts to the pre-cost-model planner (declared join
+	// order, first-match access path, nested-loop joins that re-scan the
+	// inner table, all filters after the full join) — the benchmark
+	// baseline the cost-based planner is measured against. Set at
+	// construction time; not synchronized.
+	DisableCBO bool
+	// ParallelScanMinRows is the driving-table row count above which a
+	// single-table filter scan partitions across workers: 0 selects the
+	// GENALG_PARSCAN_MINROWS env var, then parallelScanThreshold. Set at
+	// construction time; not synchronized.
+	ParallelScanMinRows int
+	slow                slowLog
 }
 
 // NewEngine wraps an engine instance.
@@ -506,266 +521,27 @@ func (e *Engine) execSelect(qctx context.Context, s *SelectStmt) (*Result, error
 	if len(s.From) == 0 {
 		return nil, fmt.Errorf("sqlang: SELECT requires FROM")
 	}
-	// Bind tables: FROM list then JOINs.
-	type boundTable struct {
-		ref TableRef
-		tbl *db.Table
-	}
-	var tables []boundTable
-	for _, tr := range s.From {
-		tbl, ok := e.DB.Table(tr.Name)
-		if !ok {
-			return nil, fmt.Errorf("sqlang: unknown table %q", tr.Name)
-		}
-		tables = append(tables, boundTable{ref: tr, tbl: tbl})
-	}
-	where := s.Where
-	for _, j := range s.Joins {
-		tbl, ok := e.DB.Table(j.Table.Name)
-		if !ok {
-			return nil, fmt.Errorf("sqlang: unknown table %q", j.Table.Name)
-		}
-		tables = append(tables, boundTable{ref: j.Table, tbl: tbl})
-		// Fold ON conditions into WHERE (inner joins only).
-		if where == nil {
-			where = j.On
-		} else {
-			where = &BinOp{Op: "AND", L: where, R: j.On}
-		}
-	}
-
-	sc := newScope()
-	for _, bt := range tables {
-		sc.add(bt.ref.EffectiveName(), bt.tbl.Schema())
-	}
-	preds := e.orderPredicates(conjuncts(where))
-
-	// Access path for the driving (first) table.
-	drive := tables[0]
-	path, err := e.chooseAccess(qctx, drive.tbl, drive.ref.EffectiveName(), sc, preds)
+	// Plan: bind tables, choose access paths and join order by estimated
+	// cost (see cost.go), then execute batch-at-a-time (see batch.go).
+	pl, err := e.planSelect(qctx, s, s.Analyze || sp != nil)
 	if err != nil {
 		return nil, err
 	}
-	// A large unindexed single-table scan is partitioned across workers;
-	// results stay in heap order, identical to the serial scan.
-	scanWorkers := e.workerBound()
-	useParallelScan := path.rids == nil && len(tables) == 1 &&
-		scanWorkers > 1 && drive.tbl.RowCount() >= parallelScanThreshold
-	var filters []Expr
-	for _, p := range preds {
-		if p != path.used {
-			filters = append(filters, p)
-		}
-	}
-	analyze := s.Analyze
-	pi := &planInfo{analyze: analyze, timed: analyze || sp != nil, access: path.desc}
-	if useParallelScan {
-		pi.parallelWorkers = scanWorkers
-	}
-	for _, f := range filters {
-		sel, cost := e.predicateStats(f)
-		pi.filters = append(pi.filters, filterInfo{expr: f, sel: sel, cost: cost})
-	}
-	for _, bt := range tables[1:] {
-		pi.joins = append(pi.joins, bt.ref.EffectiveName())
-	}
-	// Cardinality estimates: driving rows, then the join cross product,
-	// then each residual filter's selectivity.
-	pi.estAccess = e.accessEstimate(path, drive.tbl, drive.ref.Name)
-	est := float64(pi.estAccess)
-	for _, bt := range tables[1:] {
-		est *= float64(bt.tbl.RowCount())
-	}
-	for _, f := range pi.filters {
-		est *= f.sel
-	}
-	pi.estFilter = int(est + 0.5)
+	pi := pl.pi
 
-	if s.Explain && !analyze {
+	if s.Explain && !s.Analyze {
 		plan := pi.render()
 		return &Result{Cols: []string{"plan"}, Rows: []db.Row{{plan}}, Plan: plan}, nil
 	}
 
-	// Produce driving rows.
-	ctx := &evalCtx{scope: sc, funcs: e.DB.Funcs}
-	var working []db.Row
-	appendJoined := func(base db.Row) error {
-		// Nested-loop join the remaining tables.
-		rows := []db.Row{base}
-		if len(tables) > 1 {
-			var tj time.Time
-			if pi.timed {
-				tj = time.Now()
-			}
-			for _, bt := range tables[1:] {
-				var next []db.Row
-				for _, left := range rows {
-					err := bt.tbl.Scan(func(_ storage.RID, right db.Row) bool {
-						joined := make(db.Row, 0, len(left)+len(right))
-						joined = append(joined, left...)
-						joined = append(joined, right...)
-						next = append(next, joined)
-						return true
-					})
-					if err != nil {
-						return err
-					}
-				}
-				rows = next
-			}
-			if pi.timed {
-				pi.joinNanos += time.Since(tj).Nanoseconds()
-				pi.actJoined += int64(len(rows))
-			}
-		}
-		// Apply residual filters.
-		var tf time.Time
-		if pi.timed {
-			tf = time.Now()
-		}
-	rowLoop:
-		for _, row := range rows {
-			ctx.row = row
-			for _, f := range filters {
-				v, err := eval(ctx, f)
-				if err != nil {
-					return err
-				}
-				if !truthy(v) {
-					continue rowLoop
-				}
-			}
-			working = append(working, row)
-			pi.actFilter++
-		}
-		if pi.timed {
-			pi.filterNanos += time.Since(tf).Nanoseconds()
-		}
-		return nil
-	}
-
-	if path.rids != nil {
-		for _, rid := range path.rids {
-			var t0 time.Time
-			if pi.timed {
-				t0 = time.Now()
-			}
-			row, err := drive.tbl.Get(rid)
-			if err != nil {
-				return nil, err
-			}
-			if pi.timed {
-				pi.accessNanos += time.Since(t0).Nanoseconds()
-			}
-			pi.actAccess++
-			if err := appendJoined(row); err != nil {
-				return nil, err
-			}
-		}
-	} else if useParallelScan {
-		// Partitioned filter scan: each worker owns a contiguous page
-		// range and evaluates the residual filters with its own evalCtx;
-		// per-partition row lists concatenated in partition order equal
-		// the serial scan's output exactly.
-		parts := make([][]db.Row, scanWorkers)
-		var scanned, keptRows, filterNanos, accessNanos atomic.Int64
-		err := parallel.ForEach(qctx, scanWorkers, scanWorkers, func(part int) error {
-			pctx := &evalCtx{scope: sc, funcs: e.DB.Funcs}
-			var kept []db.Row
-			var innerErr error
-			var localScanned, localFilterNanos int64
-			var tShard time.Time
-			if pi.timed {
-				tShard = time.Now()
-			}
-			err := drive.tbl.ScanShard(part, scanWorkers, func(_ storage.RID, row db.Row) bool {
-				localScanned++
-				pctx.row = row
-				var tf time.Time
-				if pi.timed {
-					tf = time.Now()
-				}
-				pass := true
-				for _, f := range filters {
-					v, err := eval(pctx, f)
-					if err != nil {
-						innerErr = err
-						pass = false
-						break
-					}
-					if !truthy(v) {
-						pass = false
-						break
-					}
-				}
-				if pi.timed {
-					localFilterNanos += time.Since(tf).Nanoseconds()
-				}
-				if innerErr != nil {
-					return false
-				}
-				if pass {
-					kept = append(kept, row)
-				}
-				return true
-			})
-			if innerErr != nil {
-				return innerErr
-			}
-			if err != nil {
-				return err
-			}
-			parts[part] = kept
-			scanned.Add(localScanned)
-			keptRows.Add(int64(len(kept)))
-			if pi.timed {
-				filterNanos.Add(localFilterNanos)
-				accessNanos.Add(time.Since(tShard).Nanoseconds() - localFilterNanos)
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range parts {
-			working = append(working, p...)
-		}
-		pi.actAccess = scanned.Load()
-		pi.actFilter = keptRows.Load()
-		pi.filterNanos = filterNanos.Load()
-		pi.accessNanos = accessNanos.Load()
-	} else {
-		var innerErr error
-		var tScan time.Time
-		if pi.timed {
-			tScan = time.Now()
-		}
-		err := drive.tbl.Scan(func(_ storage.RID, row db.Row) bool {
-			pi.actAccess++
-			if err := appendJoined(row); err != nil {
-				innerErr = err
-				return false
-			}
-			return true
-		})
-		if innerErr != nil {
-			return nil, innerErr
-		}
-		if err != nil {
-			return nil, err
-		}
-		if pi.timed {
-			// The scan callback's elapsed time includes join and filter
-			// work; attribute the remainder to the access operator.
-			pi.accessNanos = time.Since(tScan).Nanoseconds() - pi.joinNanos - pi.filterNanos
-			if pi.accessNanos < 0 {
-				pi.accessNanos = 0
-			}
-		}
+	ctx := &evalCtx{scope: pl.sc, funcs: e.DB.Funcs}
+	working, err := e.runPlan(qctx, pl, ctx)
+	if err != nil {
+		return nil, err
 	}
 
 	// Expand SELECT * and name outputs.
-	items, cols, err := e.expandItems(s, sc, tables[0].ref.EffectiveName())
+	items, cols, err := e.expandItems(s, pl.sc, pl.tables[0].ref.EffectiveName())
 	if err != nil {
 		return nil, err
 	}
@@ -830,7 +606,7 @@ func (e *Engine) execSelect(qctx context.Context, s *SelectStmt) (*Result, error
 		out = out[:s.Limit]
 	}
 	pi.addOperatorSpans(sp)
-	if analyze {
+	if s.Analyze {
 		pi.outRows = len(out)
 		pi.totalNanos = time.Since(start).Nanoseconds()
 		plan := pi.render()

@@ -17,6 +17,18 @@ type filterInfo struct {
 	cost float64
 }
 
+// joinInfo is one join step as rendered by EXPLAIN: the joined table, the
+// chosen strategy, its equi-key condition (hash joins), any single-table
+// predicates pushed into the build-side scan, and the estimated output
+// cardinality of the step.
+type joinInfo struct {
+	table  string
+	hash   bool
+	cond   string
+	pushed []filterInfo
+	est    int
+}
+
 // planInfo accumulates the plan tree for a SELECT: the chosen access path
 // and predicate order always, plus — under EXPLAIN ANALYZE — actual row
 // counts and per-operator wall time. Actual counters are written only by
@@ -42,9 +54,16 @@ type planInfo struct {
 	actFilter   int64 // rows actually surviving
 	filterNanos int64 // cumulative across workers under a parallel scan
 
-	joins     []string // joined table names, in join order
-	actJoined int64    // rows produced by the join stage
+	joins     []joinInfo // join steps, in execution order
+	actJoined int64      // rows produced by the join stage
 	joinNanos int64
+
+	// costed marks a cost-based plan: render appends the chosen plan's
+	// total cost and the rejected alternatives (absent under
+	// Engine.DisableCBO, whose heuristic plan has no cost to report).
+	costed   bool
+	planCost float64
+	alts     []planAlt
 
 	aggregated bool
 	aggGroups  int
@@ -87,11 +106,25 @@ func (pi *planInfo) render() string {
 		fmt.Fprintf(&sb, "%s\n", pi.annotate(pi.estFilter, pi.actFilter, pi.filterNanos))
 	}
 	for i, j := range pi.joins {
-		fmt.Fprintf(&sb, "nested-loop join: %s", j)
+		if j.hash {
+			fmt.Fprintf(&sb, "hash join: %s on %s", j.table, j.cond)
+		} else {
+			fmt.Fprintf(&sb, "nested-loop join: %s", j.table)
+		}
+		for _, f := range j.pushed {
+			fmt.Fprintf(&sb, " [push %s sel=%.3g cost=%.3g]", f.expr, f.sel, f.cost)
+		}
+		fmt.Fprintf(&sb, " (est=%d)", j.est)
 		if pi.analyze && i == len(pi.joins)-1 {
 			fmt.Fprintf(&sb, " (act=%d time=%s)", pi.actJoined, fmtNanos(pi.joinNanos))
 		}
 		sb.WriteByte('\n')
+	}
+	if pi.costed {
+		fmt.Fprintf(&sb, "plan cost: %.4g\n", pi.planCost)
+		for _, a := range pi.alts {
+			fmt.Fprintf(&sb, "rejected plan: %s (cost=%.4g)\n", a.desc, a.cost)
+		}
 	}
 	if pi.analyze {
 		if pi.aggregated {
@@ -118,7 +151,11 @@ func (pi *planInfo) addOperatorSpans(sp *trace.Span) {
 		sp.AddTiming("filter", time.Duration(pi.filterNanos))
 	}
 	if len(pi.joins) > 0 {
-		sp.AddTiming("nested-loop join: "+strings.Join(pi.joins, ", "), time.Duration(pi.joinNanos))
+		names := make([]string, len(pi.joins))
+		for i, j := range pi.joins {
+			names[i] = j.table
+		}
+		sp.AddTiming("join: "+strings.Join(names, ", "), time.Duration(pi.joinNanos))
 	}
 	if pi.aggregated {
 		sp.AddTiming("aggregate", time.Duration(pi.aggNanos))

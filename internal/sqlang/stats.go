@@ -95,6 +95,22 @@ func (e *Engine) execAnalyze(s *AnalyzeStmt) (*Result, error) {
 	return &Result{Affected: rows}, nil
 }
 
+// distinctFor returns the ANALYZE distinct count for table.col, 0 when the
+// table or column has no statistics. The planner's equi-join estimates
+// divide by this (1/max(d_l, d_r) per key), so ANALYZE directly sharpens
+// join ordering.
+func (e *Engine) distinctFor(table, col string) int {
+	st, ok := e.stats.get(table)
+	if !ok {
+		return 0
+	}
+	cs, ok := st.Cols[col]
+	if !ok {
+		return 0
+	}
+	return cs.Distinct
+}
+
 // statsSelectivity refines a comparison predicate's selectivity using
 // ANALYZE results, when the predicate is colRef-vs-literal and the column
 // was analyzed. ok=false falls back to the static defaults.
