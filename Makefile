@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check lint lint-analyzers ci check bench bench-smoke smoke smoke-obs smoke-trace fuzz-short
+.PHONY: all build test race vet fmt fmt-check lint lint-analyzers ci check bench bench-smoke smoke smoke-obs smoke-trace fuzz-short check-baselines update-baselines fuzz-sql-short fuzz-sql
 
 all: check
 
@@ -38,7 +38,7 @@ lint-analyzers: bin/genalgvet
 
 # ci is exactly what the GitHub Actions test job runs; `make ci` locally
 # reproduces it.
-ci: lint lint-analyzers build test race
+ci: lint lint-analyzers build test race check-baselines
 
 # check is the verification gate: lint clean, everything builds, and the
 # full test suite passes under the race detector.
@@ -88,3 +88,25 @@ smoke-trace:
 # fuzz-short runs the sources parser fuzzer briefly (CI budget).
 fuzz-short:
 	$(GO) test ./internal/sources -run='^$$' -fuzz=FuzzParseFormats -fuzztime=10s
+
+# fuzz-sql-short runs the SQL parser fuzzer briefly (CI budget). Seeds
+# come from the regression corpus; the target also checks the
+# String() round-trip property the shrinker depends on.
+fuzz-sql-short:
+	$(GO) test ./internal/sqlang -run='^$$' -fuzz=FuzzParseSQL -fuzztime=10s
+
+# check-baselines diffs the sqlang regression corpus against its
+# committed result/plan golden files (see internal/sqlang/regress).
+check-baselines:
+	$(GO) run ./cmd/sqlregress check
+
+# update-baselines re-blesses the golden files after an intended
+# planner or executor change; review the resulting diff before commit.
+update-baselines:
+	$(GO) run ./cmd/sqlregress update
+
+# fuzz-sql runs the differential SQL fuzzer for a few minutes — the
+# nightly CI job; any divergence fails and leaves a corpus-ready
+# reproducer under bin/fuzz-repro.
+fuzz-sql:
+	$(GO) run ./cmd/sqlregress fuzz -seed $$(date +%s) -duration 5m -out bin/fuzz-repro

@@ -113,6 +113,17 @@ type SelectItem struct {
 	Star  bool // SELECT *
 }
 
+// String renders the item back to SQL.
+func (it SelectItem) String() string {
+	if it.Star {
+		return "*"
+	}
+	if it.Alias != "" {
+		return fmt.Sprintf("%s AS %s", it.Expr, it.Alias)
+	}
+	return it.Expr.String()
+}
+
 // TableRef names a FROM table with an optional alias.
 type TableRef struct {
 	Name  string
@@ -123,6 +134,14 @@ type TableRef struct {
 func (t TableRef) EffectiveName() string {
 	if t.Alias != "" {
 		return t.Alias
+	}
+	return t.Name
+}
+
+// String renders the reference back to SQL.
+func (t TableRef) String() string {
+	if t.Alias != "" {
+		return t.Name + " AS " + t.Alias
 	}
 	return t.Name
 }
@@ -200,6 +219,158 @@ type SetClause struct {
 	Col  string
 	Expr Expr
 }
+
+// String renders the statement back to parseable SQL. Round-tripping is
+// exact up to whitespace and redundant parentheses: Parse(s.String())
+// yields a statement that plans and executes identically to s. The
+// regression harness's shrinker relies on this to re-emit minimized
+// statements as corpus entries.
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	if s.Explain {
+		sb.WriteString("EXPLAIN ")
+		if s.Analyze {
+			sb.WriteString("ANALYZE ")
+		}
+	}
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.String())
+	}
+	sb.WriteString(" FROM ")
+	for i, tr := range s.From {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(tr.String())
+	}
+	for _, j := range s.Joins {
+		fmt.Fprintf(&sb, " JOIN %s ON %s", j.Table, j.On)
+	}
+	if s.Where != nil {
+		fmt.Fprintf(&sb, " WHERE %s", s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		fmt.Fprintf(&sb, " HAVING %s", s.Having)
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, k := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(k.Expr.String())
+			if k.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", s.Limit)
+	}
+	return sb.String()
+}
+
+// String renders the statement back to parseable SQL.
+func (s *InsertStmt) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "INSERT INTO %s", s.Table)
+	if len(s.Cols) > 0 {
+		fmt.Fprintf(&sb, " (%s)", strings.Join(s.Cols, ", "))
+	}
+	sb.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteByte('(')
+		for j, ex := range row {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(ex.String())
+		}
+		sb.WriteByte(')')
+	}
+	return sb.String()
+}
+
+// String renders the statement back to parseable SQL.
+func (s *DeleteStmt) String() string {
+	if s.Where != nil {
+		return fmt.Sprintf("DELETE FROM %s WHERE %s", s.Table, s.Where)
+	}
+	return "DELETE FROM " + s.Table
+}
+
+// String renders the statement back to parseable SQL.
+func (s *UpdateStmt) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "UPDATE %s SET ", s.Table)
+	for i, set := range s.Sets {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s = %s", set.Col, set.Expr)
+	}
+	if s.Where != nil {
+		fmt.Fprintf(&sb, " WHERE %s", s.Where)
+	}
+	return sb.String()
+}
+
+// String renders the statement back to parseable SQL.
+func (s *CreateTableStmt) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CREATE TABLE %s (", s.Schema.Table)
+	for i, c := range s.Schema.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		typ := c.Type.String()
+		if c.Type == db.TOpaque {
+			typ = c.UDTName
+		}
+		fmt.Fprintf(&sb, "%s %s", c.Name, typ)
+		if c.NotNull {
+			sb.WriteString(" NOT NULL")
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// String renders the statement back to parseable SQL.
+func (s *CreateIndexStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("CREATE ")
+	if s.Genomic {
+		sb.WriteString("GENOMIC ")
+	}
+	fmt.Fprintf(&sb, "INDEX ON %s (%s)", s.Table, s.Col)
+	if s.K > 0 {
+		fmt.Fprintf(&sb, " USING %d", s.K)
+	}
+	return sb.String()
+}
+
+// String renders the statement back to parseable SQL.
+func (s *AnalyzeStmt) String() string { return "ANALYZE " + s.Table }
 
 // Stmt is any parsed statement.
 type Stmt interface{ stmt() }

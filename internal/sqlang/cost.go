@@ -42,6 +42,16 @@ const (
 	defaultEqJoinSel = 0.1
 )
 
+// indexSeekCost resolves the fixed index-descent charge: the
+// Engine.CostIndexSeek override when set (the regression harness perturbs
+// it in self-tests), else the calibrated constant.
+func (e *Engine) indexSeekCost() float64 {
+	if e.CostIndexSeek > 0 {
+		return e.CostIndexSeek
+	}
+	return costIndexSeek
+}
+
 // tableSlot binds one FROM/JOIN table to its column segment in the working
 // row. The working-row layout always follows the declared table order, so
 // scope resolution and output columns are independent of the join order the
@@ -259,7 +269,7 @@ func (e *Engine) enumerateAccess(slot tableSlot, singles []Expr) []accessCand {
 			desc: fmt.Sprintf("index eq %s.%s", name, col),
 			used: p, col: col, val: val,
 			est:  est,
-			cost: costIndexSeek + est*(costScanRow+e.predCostSum(singles, p)),
+			cost: e.indexSeekCost() + est*(costScanRow+e.predCostSum(singles, p)),
 		})
 	}
 	for _, p := range singles {
@@ -305,7 +315,7 @@ func (e *Engine) enumerateAccess(slot tableSlot, singles []Expr) []accessCand {
 				desc: fmt.Sprintf("genomic index %s.%s pattern=%q", name, col, pstr),
 				used: p, col: col, pat: pstr,
 				est:  est,
-				cost: costIndexSeek + est*(costScanRow+fnCost+e.predCostSum(singles, p)),
+				cost: e.indexSeekCost() + est*(costScanRow+fnCost+e.predCostSum(singles, p)),
 			})
 		}
 	}

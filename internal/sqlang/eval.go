@@ -57,6 +57,9 @@ type evalCtx struct {
 	scope *scope
 	funcs *db.FuncRegistry
 	row   db.Row
+	// breakJoinKeys mirrors Engine.UnsafeBreakJoinKeys into join-key
+	// encoding (fault injection for the regression harness).
+	breakJoinKeys bool
 }
 
 // eval evaluates an expression against the current row. Aggregates are
@@ -324,7 +327,7 @@ func joinKey(ctx *evalCtx, keys []Expr, buf []byte) ([]byte, bool, error) {
 		if v == nil {
 			return buf, false, nil
 		}
-		buf, err = appendJoinKeyVal(buf, v)
+		buf, err = appendJoinKeyVal(buf, v, ctx.breakJoinKeys)
 		if err != nil {
 			return buf, false, err
 		}
@@ -338,14 +341,18 @@ func joinKey(ctx *evalCtx, keys []Expr, buf []byte) ([]byte, bool, error) {
 // int64/float64 mixes hash together. (An int64 beyond 2^53 joined against
 // its rounded float64 image is the one divergence from compareVals'
 // lossy float coercion; that coercion is itself the approximation.)
-func appendJoinKeyVal(b []byte, v any) ([]byte, error) {
+//
+// breakUnify (Engine.UnsafeBreakJoinKeys) deliberately skips the
+// int/float unification — the seeded executor bug the regression
+// harness's differential fuzzer proves it can catch.
+func appendJoinKeyVal(b []byte, v any, breakUnify bool) ([]byte, error) {
 	const exactInt = 1 << 53
 	switch x := v.(type) {
 	case int64:
 		b = append(b, 'i')
 		b = strconv.AppendInt(b, x, 10)
 	case float64:
-		if x == math.Trunc(x) && x >= -exactInt && x <= exactInt {
+		if !breakUnify && x == math.Trunc(x) && x >= -exactInt && x <= exactInt {
 			b = append(b, 'i')
 			b = strconv.AppendInt(b, int64(x), 10)
 		} else {

@@ -66,6 +66,20 @@ type Engine struct {
 	// GENALG_PARSCAN_MINROWS env var, then parallelScanThreshold. Set at
 	// construction time; not synchronized.
 	ParallelScanMinRows int
+	// CostIndexSeek overrides the planner's fixed index-descent charge
+	// (costIndexSeek) when > 0. The regression harness's self-tests
+	// (internal/sqlang/regress) perturb it to prove that cost-model drift
+	// surfaces as a plan-baseline diff; deployments leave it zero. Set at
+	// construction time; not synchronized.
+	CostIndexSeek float64
+	// UnsafeBreakJoinKeys is a fault-injection hook for the regression
+	// harness: it disables int/float unification when encoding hash-join
+	// keys, so an int64 column equi-joined against a float64 column stops
+	// matching under hash joins while nested-loop comparison still
+	// matches — a deliberate executor bug the differential fuzzer must
+	// catch. Never set outside harness self-tests. Set at construction
+	// time; not synchronized.
+	UnsafeBreakJoinKeys bool
 	slow                slowLog
 }
 
@@ -534,7 +548,7 @@ func (e *Engine) execSelect(qctx context.Context, s *SelectStmt) (*Result, error
 		return &Result{Cols: []string{"plan"}, Rows: []db.Row{{plan}}, Plan: plan}, nil
 	}
 
-	ctx := &evalCtx{scope: pl.sc, funcs: e.DB.Funcs}
+	ctx := &evalCtx{scope: pl.sc, funcs: e.DB.Funcs, breakJoinKeys: e.UnsafeBreakJoinKeys}
 	working, err := e.runPlan(qctx, pl, ctx)
 	if err != nil {
 		return nil, err

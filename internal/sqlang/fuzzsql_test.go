@@ -1,0 +1,57 @@
+package sqlang_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"genalg/internal/sqlang"
+	"genalg/internal/sqlang/regress"
+)
+
+// FuzzParseSQL fuzzes the SQL parser seeded from the regression corpus
+// (every statement the baseline harness executes is a seed), checking
+// two properties beyond "no panic":
+//
+//  1. a parse error and a statement are mutually exclusive, and
+//  2. String() round-trips: rendering a parsed statement yields SQL
+//     that parses again, and the re-parse renders to the same text (the
+//     shrinker depends on this to re-emit minimized statements).
+func FuzzParseSQL(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("regress", "testdata", "corpus", "*.sql"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, stmt := range regress.SplitStatements(string(data)) {
+			f.Add(stmt)
+		}
+	}
+	f.Add(`SELECT frags.id FROM frags WHERE frags.quality > 2.5e-3 LIMIT 1`)
+	f.Add(`SELECT 1e6 + 1E-2 FROM t`)
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := sqlang.Parse(input)
+		if err != nil {
+			if stmt != nil {
+				t.Fatalf("Parse(%q) returned both a statement and error %v", input, err)
+			}
+			return
+		}
+		s, ok := stmt.(interface{ String() string })
+		if !ok {
+			return
+		}
+		first := s.String()
+		stmt2, err := sqlang.Parse(first)
+		if err != nil {
+			t.Fatalf("String() of parsed %q does not re-parse: %q: %v", input, first, err)
+		}
+		if second := stmt2.(interface{ String() string }).String(); second != first {
+			t.Fatalf("String() not stable for %q:\n  first:  %s\n  second: %s", input, first, second)
+		}
+	})
+}

@@ -93,6 +93,7 @@ func lex(input string) ([]token, error) {
 		case ch >= '0' && ch <= '9' || ch == '.' && i+1 < len(input) && input[i+1] >= '0' && input[i+1] <= '9':
 			start := i
 			seenDot := false
+			seenExp := false
 			for i < len(input) {
 				c := input[i]
 				if c >= '0' && c <= '9' {
@@ -103,6 +104,19 @@ func lex(input string) ([]token, error) {
 					seenDot = true
 					i++
 					continue
+				}
+				// Exponent suffix (1e6, 2.5E-3): only when digits follow,
+				// so `1e` still lexes as number + identifier.
+				if (c == 'e' || c == 'E') && !seenExp {
+					j := i + 1
+					if j < len(input) && (input[j] == '+' || input[j] == '-') {
+						j++
+					}
+					if j < len(input) && input[j] >= '0' && input[j] <= '9' {
+						seenExp = true
+						i = j
+						continue
+					}
 				}
 				break
 			}

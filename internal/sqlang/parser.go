@@ -614,7 +614,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 	t := p.next()
 	switch t.kind {
 	case tokNumber:
-		if strings.Contains(t.text, ".") {
+		if strings.ContainsAny(t.text, ".eE") {
 			f, err := strconv.ParseFloat(t.text, 64)
 			if err != nil {
 				return nil, &ParseError{Pos: t.pos, Msg: "invalid float literal"}

@@ -1,0 +1,130 @@
+package regress
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CorpusFile is one loaded corpus script: an optional fixture directive
+// plus the statements to snapshot, in file order.
+type CorpusFile struct {
+	// Name is the file stem ("joins" for joins.sql); the baseline lives
+	// at <BaselineDir>/<Name>.golden.
+	Name string
+	Path string
+	// Fixture names the shared fixture the file declared via a
+	// `-- fixture: <name>` directive ("" = none). Fixture statements are
+	// executed before the file's own statements but are not snapshotted.
+	Fixture string
+	// Stmts are the file's own statements, comments stripped.
+	Stmts []string
+}
+
+// LoadCorpus reads every .sql file under dir, in lexical order.
+func LoadCorpus(dir string) ([]CorpusFile, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.sql"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("regress: no .sql files under %s", dir)
+	}
+	sort.Strings(paths)
+	var out []CorpusFile
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		cf, err := parseCorpusFile(p, string(data))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cf)
+	}
+	return out, nil
+}
+
+// parseCorpusFile extracts directives and splits statements.
+func parseCorpusFile(path, text string) (CorpusFile, error) {
+	cf := CorpusFile{
+		Name: strings.TrimSuffix(filepath.Base(path), ".sql"),
+		Path: path,
+	}
+	for _, line := range strings.Split(text, "\n") {
+		t := strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(t, "-- fixture:"); ok {
+			name := strings.TrimSpace(rest)
+			if name != "standard" {
+				return cf, fmt.Errorf("%s: unknown fixture %q (only \"standard\" exists)", path, name)
+			}
+			if cf.Fixture != "" {
+				return cf, fmt.Errorf("%s: duplicate fixture directive", path)
+			}
+			cf.Fixture = name
+		}
+	}
+	cf.Stmts = SplitStatements(text)
+	return cf, nil
+}
+
+// SplitStatements splits a SQL script into individual statements:
+// `--` line comments are stripped (outside string literals) and
+// statements separated on `;` (outside string literals, where `”` is
+// the quote escape). Empty statements are dropped. The splitter is also
+// what seeds FuzzParseSQL from the corpus files.
+func SplitStatements(text string) []string {
+	var stmts []string
+	var cur strings.Builder
+	inStr := false
+	flush := func() {
+		s := strings.TrimSpace(cur.String())
+		cur.Reset()
+		if s != "" {
+			stmts = append(stmts, s)
+		}
+	}
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if inStr {
+			cur.WriteByte(c)
+			if c == '\'' {
+				if i+1 < len(text) && text[i+1] == '\'' {
+					cur.WriteByte(text[i+1])
+					i++
+					continue
+				}
+				inStr = false
+			}
+			continue
+		}
+		switch {
+		case c == '\'':
+			inStr = true
+			cur.WriteByte(c)
+		case c == '-' && i+1 < len(text) && text[i+1] == '-':
+			for i < len(text) && text[i] != '\n' {
+				i++
+			}
+			cur.WriteByte('\n')
+		case c == ';':
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return stmts
+}
+
+// FixtureStatements resolves a CorpusFile's fixture directive to its
+// statement script.
+func (cf CorpusFile) FixtureStatements() []string {
+	if cf.Fixture == "standard" {
+		return FixtureSQL()
+	}
+	return nil
+}

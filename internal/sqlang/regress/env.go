@@ -1,0 +1,109 @@
+// Package regress is the sqlang regression harness: a corpus-driven
+// baseline checker that snapshots query results and EXPLAIN plans into
+// committed golden files (regresql-style), plus a schema-aware random
+// query generator that differentially checks the engine's executors
+// against each other and shrinks diverging statements into corpus
+// entries.
+//
+// The harness is what lets the planner and executor keep being rewritten
+// aggressively: any silent change to a result set or a chosen plan fails
+// CI, and the fuzzer hunts for semantic divergence between the
+// cost-based batched executor and its row-at-a-time, legacy-planner,
+// serial, and parallel-scan siblings.
+package regress
+
+import (
+	"genalg/internal/adapter"
+	"genalg/internal/db"
+	"genalg/internal/genops"
+	"genalg/internal/obs"
+	"genalg/internal/sqlang"
+)
+
+// NewDB opens an in-memory database with the full genomics-algebra
+// environment installed: GDT user-defined types (dna, rna, protein,
+// gene, annotation), their constructors, and the kernel's external
+// functions (contains, gccontent, length, resembles, ...).
+func NewDB() (*db.DB, error) {
+	d, err := db.OpenMemory(2048)
+	if err != nil {
+		return nil, err
+	}
+	if err := adapter.Install(d, genops.NewKernel()); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Runner is one executor configuration under differential test. All
+// runners of a set share one *db.DB; only the Engine knobs differ.
+type Runner struct {
+	Name string
+	Eng  *sqlang.Engine
+}
+
+// BaselineEngines returns the two engines the corpus harness snapshots
+// plans from: the cost-based planner and the legacy (DisableCBO)
+// heuristic planner. Both are pinned to Workers=1 and given private
+// metrics registries so baselines are machine-independent and runs don't
+// pollute obs.Default.
+func BaselineEngines(d *db.DB) (cbo, legacy *sqlang.Engine) {
+	cbo = sqlang.NewEngine(d)
+	cbo.Workers = 1
+	cbo.Obs = obs.New()
+	legacy = sqlang.NewEngine(d)
+	legacy.DisableCBO = true
+	legacy.Workers = 1
+	legacy.Obs = obs.New()
+	return cbo, legacy
+}
+
+// Runners builds the differential-fuzzing executor matrix over one
+// shared database. The first runner is the reference (cost-based
+// planner, default batch size, serial); every other runner must produce
+// an identical result multiset for any SELECT:
+//
+//   - legacy: the pre-cost-model planner (declared join order,
+//     nested-loop joins, post-join filters)
+//   - row-at-a-time: BatchSize=1, degenerating the batch pipeline to the
+//     old row-at-a-time executor
+//   - parallel-scan: partitioned scans forced on from the first row
+//
+// The reference runs serial (Workers=1) so parallel-vs-serial is itself
+// one of the differential axes.
+func Runners(d *db.DB) []Runner {
+	ref := sqlang.NewEngine(d)
+	ref.Workers = 1
+	ref.Obs = obs.New()
+	legacy := sqlang.NewEngine(d)
+	legacy.DisableCBO = true
+	legacy.Workers = 1
+	legacy.Obs = obs.New()
+	row := sqlang.NewEngine(d)
+	row.BatchSize = 1
+	row.Workers = 1
+	row.Obs = obs.New()
+	par := sqlang.NewEngine(d)
+	par.Workers = 4
+	par.ParallelScanMinRows = 1
+	par.Obs = obs.New()
+	return []Runner{
+		{Name: "cbo-batched", Eng: ref},
+		{Name: "legacy-planner", Eng: legacy},
+		{Name: "row-at-a-time", Eng: row},
+		{Name: "parallel-scan", Eng: par},
+	}
+}
+
+// AnalyzeAll runs ANALYZE for every table on every runner, so each
+// engine's planner sees identical statistics.
+func AnalyzeAll(d *db.DB, runners []Runner) error {
+	for _, t := range d.Tables() {
+		for _, r := range runners {
+			if _, err := r.Eng.Exec("ANALYZE " + t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package regress
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// fixtureSeed fixes the standard fixture's content. Changing it (or any
+// of the generation code below) changes every committed baseline that
+// uses the "-- fixture: standard" directive, so bump it only alongside
+// `sqlregress update`.
+const fixtureSeed = 1803
+
+// FixtureSQL returns the standard fixture script: three related tables
+// (DNA fragments, sequencing reads, read groups) with B-tree and genomic
+// indexes and ANALYZE statistics. The script is deterministic — the same
+// statements in the same order on every machine — and is shared by three
+// consumers: corpus files declaring `-- fixture: standard`, the
+// differential fuzzer's environment, and the corpus-ready reproducer
+// files the shrinker emits.
+//
+// The schema is deliberately adversarial for the planner:
+//   - frags carries a genomic index (k=8) and a B-tree on id
+//   - reads.frag_id references frags.id with some dangling keys
+//   - grp_info duplicates its int group key as a float column (fgrp), so
+//     int-vs-float equi-joins exercise join-key type unification
+//   - reads.tag contains NULLs, so predicates hit three-valued logic
+func FixtureSQL() []string {
+	r := rand.New(rand.NewSource(fixtureSeed))
+	letters := []byte("ACGT")
+	randSeq := func(n int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(letters[r.Intn(4)])
+		}
+		return sb.String()
+	}
+	var out []string
+	add := func(s string) { out = append(out, s) }
+
+	add(`CREATE TABLE frags (id string NOT NULL, src string, quality float, flen int, fragment dna)`)
+	add(`CREATE INDEX ON frags (id)`)
+	add(`CREATE GENOMIC INDEX ON frags (fragment) USING 8`)
+	srcs := []string{"genbank", "embl", "ddbj"}
+	var rows []string
+	flush := func(table string) {
+		if len(rows) > 0 {
+			add(fmt.Sprintf("INSERT INTO %s VALUES %s", table, strings.Join(rows, ", ")))
+			rows = nil
+		}
+	}
+	for i := 0; i < 96; i++ {
+		flen := 60 + (i%7)*10
+		rows = append(rows, fmt.Sprintf(`('F%03d', '%s', %0.2f, %d, dna('F%03d', '%s'))`,
+			i, srcs[i%3], float64(i%40)/40, flen, i, randSeq(flen)))
+		if len(rows) == 8 {
+			flush("frags")
+		}
+	}
+	flush("frags")
+
+	add(`CREATE TABLE reads (rid int NOT NULL, frag_id string, score float, grp int, tag string)`)
+	add(`CREATE INDEX ON reads (frag_id)`)
+	tags := []string{"'ok'", "'dup'", "'low'", "NULL"}
+	for i := 0; i < 150; i++ {
+		// frag_id 0..119: ids above F095 dangle (no matching fragment).
+		rows = append(rows, fmt.Sprintf(`(%d, 'F%03d', %0.3f, %d, %s)`,
+			i, r.Intn(120), r.Float64()*10, r.Intn(10), tags[r.Intn(len(tags))]))
+		if len(rows) == 10 {
+			flush("reads")
+		}
+	}
+	flush("reads")
+
+	add(`CREATE TABLE grp_info (grp int NOT NULL, fgrp float, label string, weight float)`)
+	add(`CREATE INDEX ON grp_info (grp)`)
+	for g := 0; g < 10; g++ {
+		rows = append(rows, fmt.Sprintf(`(%d, %d.0, 'G%d', %0.2f)`, g, g, g, 0.5+float64(g)/8))
+	}
+	flush("grp_info")
+
+	add(`ANALYZE frags`)
+	add(`ANALYZE reads`)
+	add(`ANALYZE grp_info`)
+	return out
+}

@@ -1,0 +1,103 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"genalg/internal/db"
+	"genalg/internal/sqlang"
+)
+
+// SnapshotPrec is the float precision (significant digits) used in
+// committed baselines. Full-precision floats leak platform noise (FMA
+// contraction, libm differences across architectures) into golden files;
+// six significant digits is far below any real semantic change the
+// harness wants to catch and far above the last-ulp wobble it must
+// ignore.
+const SnapshotPrec = 6
+
+// FullPrec requests exact float formatting (strconv shortest
+// round-trip); the differential checker uses it so executor divergence
+// in any bit of a result surfaces.
+const FullPrec = -1
+
+// formatVal renders one result value canonically:
+//   - nil → NULL
+//   - floats → %.<prec>g (FullPrec: shortest round-trip), with -0
+//     normalized to 0 and NaN/±Inf spelled out
+//   - strings escape the separator and newlines so row lines stay
+//     one-per-row and unambiguous
+//   - everything else (bools, opaque GDT values) via its natural format
+func formatVal(v any, prec int) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case float64:
+		if math.IsNaN(x) {
+			return "NaN"
+		}
+		if math.IsInf(x, 1) {
+			return "+Inf"
+		}
+		if math.IsInf(x, -1) {
+			return "-Inf"
+		}
+		if x == 0 {
+			x = 0 // collapse -0 to 0
+		}
+		if prec <= 0 {
+			return strconv.FormatFloat(x, 'g', -1, 64)
+		}
+		return strconv.FormatFloat(x, 'g', prec, 64)
+	case string:
+		r := strings.NewReplacer("\\", `\\`, "|", `\|`, "\n", `\n`, "\r", `\r`)
+		return r.Replace(x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// formatRow renders one row as a single line.
+func formatRow(row db.Row, prec int) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = formatVal(v, prec)
+	}
+	return strings.Join(parts, " | ")
+}
+
+// NormalizeRows formats a result's rows one line each. Without an ORDER
+// BY the engine's row order is an implementation detail (heap order,
+// join order, parallel-partition concatenation), so unordered results
+// are sorted lexically — a parallel scan and a reordered join then
+// snapshot identically to the serial plan.
+func NormalizeRows(rows []db.Row, ordered bool, prec int) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = formatRow(r, prec)
+	}
+	if !ordered {
+		sort.Strings(out)
+	}
+	return out
+}
+
+// NormalizeResult renders a statement result in snapshot form: a
+// `cols:` header and one `row:` line per tuple (sorted unless the
+// statement carried an ORDER BY), or an `affected:` count for DDL/DML
+// (CREATE snapshots as `affected: 0`, ANALYZE as its row count).
+func NormalizeResult(res *sqlang.Result, ordered bool, prec int) string {
+	var sb strings.Builder
+	if len(res.Cols) == 0 {
+		fmt.Fprintf(&sb, "affected: %d\n", res.Affected)
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "cols: %s\n", strings.Join(res.Cols, " | "))
+	for _, line := range NormalizeRows(res.Rows, ordered, prec) {
+		fmt.Fprintf(&sb, "row: %s\n", line)
+	}
+	return sb.String()
+}

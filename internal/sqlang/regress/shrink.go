@@ -1,0 +1,333 @@
+package regress
+
+import (
+	"math"
+
+	"genalg/internal/sqlang"
+)
+
+// ShrinkSelect minimizes a diverging SELECT while preserving the
+// divergence: it greedily applies the first structural reduction (drop
+// a join, a conjunct, a clause, an output column) or literal
+// minimization that still makes diverges() return true, and repeats to
+// a fixpoint. Every candidate is strictly smaller than its parent, so
+// the loop terminates; the iteration cap is a backstop against a
+// pathological diverges predicate.
+//
+// The predicate sees a fresh AST each probe (candidates never alias the
+// current statement's mutable slices), so it can safely render with
+// String() and re-execute.
+func ShrinkSelect(s *sqlang.SelectStmt, diverges func(*sqlang.SelectStmt) bool) *sqlang.SelectStmt {
+	cur := s
+	for iter := 0; iter < 400; iter++ {
+		var next *sqlang.SelectStmt
+		for _, cand := range shrinkCandidates(cur) {
+			if diverges(cand) {
+				next = cand
+				break
+			}
+		}
+		if next == nil {
+			return cur
+		}
+		cur = next
+	}
+	return cur
+}
+
+// ShrinkSQL is ShrinkSelect over SQL text. Non-SELECT or unparseable
+// input is returned unchanged.
+func ShrinkSQL(sql string, diverges func(sql string) bool) string {
+	stmt, err := sqlang.Parse(sql)
+	if err != nil {
+		return sql
+	}
+	sel, ok := stmt.(*sqlang.SelectStmt)
+	if !ok {
+		return sql
+	}
+	min := ShrinkSelect(sel, func(c *sqlang.SelectStmt) bool { return diverges(c.String()) })
+	return min.String()
+}
+
+// cloneSel copies the statement header and slices; expression trees are
+// shared (they are only ever replaced wholesale, never mutated).
+func cloneSel(s *sqlang.SelectStmt) *sqlang.SelectStmt {
+	c := *s
+	c.Items = append([]sqlang.SelectItem(nil), s.Items...)
+	c.From = append([]sqlang.TableRef(nil), s.From...)
+	c.Joins = append([]sqlang.JoinClause(nil), s.Joins...)
+	c.GroupBy = append([]sqlang.Expr(nil), s.GroupBy...)
+	c.OrderBy = append([]sqlang.OrderKey(nil), s.OrderBy...)
+	return &c
+}
+
+// shrinkCandidates enumerates strictly smaller variants of s, cheapest
+// big wins first: structural drops before literal tweaks. Candidates
+// that break name resolution (e.g. dropping a join a predicate still
+// references) simply error on both sides of the differential — equal,
+// hence rejected — so no validity analysis is needed here.
+func shrinkCandidates(s *sqlang.SelectStmt) []*sqlang.SelectStmt {
+	var out []*sqlang.SelectStmt
+	add := func(c *sqlang.SelectStmt) { out = append(out, c) }
+
+	// Drop one join (later joins first: the tail is most likely noise).
+	for i := len(s.Joins) - 1; i >= 0; i-- {
+		c := cloneSel(s)
+		c.Joins = append(append([]sqlang.JoinClause(nil), s.Joins[:i]...), s.Joins[i+1:]...)
+		add(c)
+	}
+	// Drop WHERE entirely, then one conjunct at a time.
+	if s.Where != nil {
+		c := cloneSel(s)
+		c.Where = nil
+		add(c)
+		if conj := conjuncts(s.Where); len(conj) > 1 {
+			for i := range conj {
+				c := cloneSel(s)
+				rest := append(append([]sqlang.Expr(nil), conj[:i]...), conj[i+1:]...)
+				c.Where = andJoin(rest)
+				add(c)
+			}
+		}
+	}
+	if s.Having != nil {
+		c := cloneSel(s)
+		c.Having = nil
+		add(c)
+	}
+	if len(s.GroupBy) > 0 && s.Having == nil {
+		c := cloneSel(s)
+		c.GroupBy = nil
+		add(c)
+	}
+	if len(s.OrderBy) > 0 && s.Limit < 0 {
+		// ORDER BY without LIMIT never changes the result multiset; with a
+		// LIMIT it selects which rows survive, so drop it only when free.
+		c := cloneSel(s)
+		c.OrderBy = nil
+		add(c)
+	}
+	if s.Limit >= 0 {
+		c := cloneSel(s)
+		c.Limit = -1
+		add(c)
+	}
+	if s.Distinct {
+		c := cloneSel(s)
+		c.Distinct = false
+		add(c)
+	}
+	// Drop one output column (keep at least one).
+	if len(s.Items) > 1 {
+		for i := len(s.Items) - 1; i >= 0; i-- {
+			c := cloneSel(s)
+			c.Items = append(append([]sqlang.SelectItem(nil), s.Items[:i]...), s.Items[i+1:]...)
+			add(c)
+		}
+	}
+	// Minimize literals in predicate positions (WHERE, HAVING, join ON).
+	out = append(out, litCandidates(s)...)
+	return out
+}
+
+// conjuncts flattens a top-level AND tree.
+func conjuncts(e sqlang.Expr) []sqlang.Expr {
+	if b, ok := e.(*sqlang.BinOp); ok && b.Op == "AND" {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []sqlang.Expr{e}
+}
+
+// andJoin rebuilds an AND tree (nil for an empty list).
+func andJoin(es []sqlang.Expr) sqlang.Expr {
+	if len(es) == 0 {
+		return nil
+	}
+	out := es[0]
+	for _, e := range es[1:] {
+		out = &sqlang.BinOp{Op: "AND", L: out, R: e}
+	}
+	return out
+}
+
+// litCandidates proposes statements with one literal replaced by a
+// strictly simpler value: 0 / the halved magnitude for numbers, the
+// empty / halved string for strings.
+func litCandidates(s *sqlang.SelectStmt) []*sqlang.SelectStmt {
+	type site struct {
+		get func(*sqlang.SelectStmt) sqlang.Expr
+		set func(*sqlang.SelectStmt, sqlang.Expr)
+	}
+	sites := []site{
+		{func(c *sqlang.SelectStmt) sqlang.Expr { return c.Where },
+			func(c *sqlang.SelectStmt, e sqlang.Expr) { c.Where = e }},
+		{func(c *sqlang.SelectStmt) sqlang.Expr { return c.Having },
+			func(c *sqlang.SelectStmt, e sqlang.Expr) { c.Having = e }},
+	}
+	for i := range s.Joins {
+		i := i
+		sites = append(sites, site{
+			func(c *sqlang.SelectStmt) sqlang.Expr { return c.Joins[i].On },
+			func(c *sqlang.SelectStmt, e sqlang.Expr) { c.Joins[i].On = e }})
+	}
+	var out []*sqlang.SelectStmt
+	for _, st := range sites {
+		root := st.get(s)
+		if root == nil {
+			continue
+		}
+		n := countLits(root)
+		for li := 0; li < n; li++ {
+			for _, nv := range simplerValues(litAt(root, li)) {
+				c := cloneSel(s)
+				repl, _ := replaceLit(root, li, nv)
+				st.set(c, repl)
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// simplerValues lists strictly simpler replacements for a literal.
+func simplerValues(v any) []any {
+	switch x := v.(type) {
+	case int64:
+		if x == 0 {
+			return nil
+		}
+		out := []any{int64(0)}
+		if h := x / 2; h != 0 {
+			out = append(out, h)
+		}
+		return out
+	case float64:
+		if x == 0 {
+			return nil
+		}
+		out := []any{float64(0)}
+		if t := math.Trunc(x); t != x && t != 0 {
+			out = append(out, t)
+		}
+		return out
+	case string:
+		if x == "" {
+			return nil
+		}
+		out := []any{""}
+		if len(x) > 1 {
+			out = append(out, x[:len(x)/2])
+		}
+		return out
+	}
+	return nil
+}
+
+// countLits counts Lit nodes in walk order (L before R, args in order).
+func countLits(e sqlang.Expr) int {
+	switch x := e.(type) {
+	case *sqlang.Lit:
+		return 1
+	case *sqlang.BinOp:
+		return countLits(x.L) + countLits(x.R)
+	case *sqlang.UnOp:
+		return countLits(x.E)
+	case *sqlang.IsNull:
+		return countLits(x.E)
+	case *sqlang.FuncCall:
+		n := 0
+		for _, a := range x.Args {
+			n += countLits(a)
+		}
+		return n
+	case *sqlang.Aggregate:
+		if x.Arg != nil {
+			return countLits(x.Arg)
+		}
+	}
+	return 0
+}
+
+// litAt returns the value of the idx-th literal in walk order (nil when
+// out of range).
+func litAt(e sqlang.Expr, idx int) any {
+	v, _ := litAtRec(e, &idx)
+	return v
+}
+
+func litAtRec(e sqlang.Expr, idx *int) (any, bool) {
+	switch x := e.(type) {
+	case *sqlang.Lit:
+		if *idx == 0 {
+			return x.Val, true
+		}
+		*idx--
+	case *sqlang.BinOp:
+		if v, ok := litAtRec(x.L, idx); ok {
+			return v, true
+		}
+		return litAtRec(x.R, idx)
+	case *sqlang.UnOp:
+		return litAtRec(x.E, idx)
+	case *sqlang.IsNull:
+		return litAtRec(x.E, idx)
+	case *sqlang.FuncCall:
+		for _, a := range x.Args {
+			if v, ok := litAtRec(a, idx); ok {
+				return v, true
+			}
+		}
+	case *sqlang.Aggregate:
+		if x.Arg != nil {
+			return litAtRec(x.Arg, idx)
+		}
+	}
+	return nil, false
+}
+
+// replaceLit rebuilds e with the idx-th literal replaced by newVal,
+// sharing all untouched subtrees. Reports whether the index was found.
+func replaceLit(e sqlang.Expr, idx int, newVal any) (sqlang.Expr, bool) {
+	return replaceLitRec(e, &idx, newVal)
+}
+
+func replaceLitRec(e sqlang.Expr, idx *int, newVal any) (sqlang.Expr, bool) {
+	switch x := e.(type) {
+	case *sqlang.Lit:
+		if *idx == 0 {
+			return &sqlang.Lit{Val: newVal}, true
+		}
+		*idx--
+	case *sqlang.BinOp:
+		if l, ok := replaceLitRec(x.L, idx, newVal); ok {
+			return &sqlang.BinOp{Op: x.Op, L: l, R: x.R}, true
+		}
+		if r, ok := replaceLitRec(x.R, idx, newVal); ok {
+			return &sqlang.BinOp{Op: x.Op, L: x.L, R: r}, true
+		}
+	case *sqlang.UnOp:
+		if sub, ok := replaceLitRec(x.E, idx, newVal); ok {
+			return &sqlang.UnOp{Op: x.Op, E: sub}, true
+		}
+	case *sqlang.IsNull:
+		if sub, ok := replaceLitRec(x.E, idx, newVal); ok {
+			return &sqlang.IsNull{E: sub, Negate: x.Negate}, true
+		}
+	case *sqlang.FuncCall:
+		for i, a := range x.Args {
+			if sub, ok := replaceLitRec(a, idx, newVal); ok {
+				args := append([]sqlang.Expr(nil), x.Args...)
+				args[i] = sub
+				return &sqlang.FuncCall{Name: x.Name, Args: args}, true
+			}
+		}
+	case *sqlang.Aggregate:
+		if x.Arg != nil {
+			if sub, ok := replaceLitRec(x.Arg, idx, newVal); ok {
+				return &sqlang.Aggregate{Fn: x.Fn, Arg: sub}, true
+			}
+		}
+	}
+	return e, false
+}

@@ -1,0 +1,21 @@
+-- Aggregation over the standard fixture: grouping, HAVING, every
+-- aggregate function, and aggregation above a join.
+-- fixture: standard
+
+SELECT reads.grp, COUNT(*) FROM reads GROUP BY reads.grp;
+
+SELECT reads.tag, COUNT(reads.tag), AVG(reads.score)
+FROM reads GROUP BY reads.tag;
+
+SELECT frags.src, MIN(frags.quality), MAX(frags.quality), SUM(frags.flen)
+FROM frags GROUP BY frags.src;
+
+SELECT reads.grp, COUNT(*) FROM reads
+GROUP BY reads.grp HAVING COUNT(*) >= 18;
+
+SELECT grp_info.label, COUNT(*), AVG(reads.score)
+FROM reads JOIN grp_info ON reads.grp = grp_info.grp
+WHERE reads.tag IS NOT NULL
+GROUP BY grp_info.label;
+
+SELECT COUNT(*), AVG(frags.quality) FROM frags WHERE frags.flen >= 100;

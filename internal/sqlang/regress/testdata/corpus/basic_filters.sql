@@ -1,0 +1,23 @@
+-- Scans and filters over an inline fixture (no shared-fixture
+-- directive: this file builds its own table, and the DDL/DML rows are
+-- part of the snapshot).
+
+CREATE TABLE probes (pid int NOT NULL, name string, hits int, ratio float, live bool);
+
+INSERT INTO probes VALUES
+  (1, 'alpha', 10, 0.25, TRUE),
+  (2, 'beta', 0, 0.5, FALSE),
+  (3, 'gamma', 7, 0.125, TRUE),
+  (4, 'delta', 7, 2.5, FALSE),
+  (5, 'epsilon', 42, 0.0, TRUE);
+
+SELECT * FROM probes WHERE probes.hits > 5;
+
+SELECT probes.name, probes.hits * 2 + 1 FROM probes WHERE probes.live = TRUE;
+
+SELECT probes.name FROM probes WHERE probes.hits = 7 AND probes.ratio < 1.0;
+
+SELECT probes.pid, probes.ratio FROM probes
+WHERE probes.ratio >= 0.25 OR probes.name = 'gamma';
+
+SELECT probes.name, -probes.hits FROM probes WHERE NOT probes.live;

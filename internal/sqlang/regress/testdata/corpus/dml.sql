@@ -1,0 +1,18 @@
+-- DML round-trip: INSERT / UPDATE / DELETE with SELECT checks between
+-- mutations. Affected-row counts are part of the baseline.
+
+CREATE TABLE stock (sku string NOT NULL, qty int, price float);
+
+INSERT INTO stock VALUES ('a1', 5, 9.99), ('b2', 0, 1.5), ('c3', 12, 0.75);
+
+UPDATE stock SET qty = qty + 10 WHERE stock.qty < 6;
+
+SELECT * FROM stock;
+
+DELETE FROM stock WHERE stock.price > 5.0;
+
+SELECT stock.sku, stock.qty FROM stock;
+
+UPDATE stock SET price = price * 2.0, qty = 0 WHERE stock.sku = 'c3';
+
+SELECT * FROM stock;

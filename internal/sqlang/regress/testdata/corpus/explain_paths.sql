@@ -1,0 +1,19 @@
+-- Access-path and join-order plans over the standard fixture. These
+-- statements are EXPLAIN-only: the baseline pins the chosen index, the
+-- join order, and the estimated plan cost, so a planner change that
+-- silently flips an access path fails the check.
+-- fixture: standard
+
+EXPLAIN SELECT * FROM frags WHERE frags.id = 'F042';
+
+EXPLAIN SELECT frags.id FROM frags WHERE contains(frags.fragment, 'ACGTACGT');
+
+EXPLAIN SELECT reads.rid, frags.src FROM reads
+JOIN frags ON reads.frag_id = frags.id WHERE frags.src = 'embl';
+
+EXPLAIN SELECT reads.rid FROM reads
+JOIN grp_info ON reads.grp = grp_info.grp
+WHERE grp_info.weight > 1.0 AND reads.score < 5.0;
+
+EXPLAIN SELECT frags.src, COUNT(*) FROM frags
+WHERE frags.quality >= 0.5 GROUP BY frags.src;

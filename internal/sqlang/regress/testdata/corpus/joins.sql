@@ -1,0 +1,27 @@
+-- Join semantics over the standard fixture: two- and three-way joins,
+-- dangling foreign keys (reads.frag_id above F095 match nothing), and
+-- the int-vs-float equi-join that exercises join-key type unification.
+-- fixture: standard
+
+SELECT reads.rid, frags.src FROM reads
+JOIN frags ON reads.frag_id = frags.id
+WHERE frags.quality > 0.9;
+
+SELECT frags.id, reads.score FROM frags
+JOIN reads ON frags.id = reads.frag_id
+WHERE reads.tag = 'dup' AND frags.flen = 120;
+
+SELECT reads.rid, grp_info.label FROM reads
+JOIN grp_info ON reads.grp = grp_info.grp
+WHERE reads.score >= 9.5;
+
+SELECT reads.rid, grp_info.label FROM reads
+JOIN grp_info ON reads.grp = grp_info.fgrp
+WHERE reads.score >= 9.5;
+
+SELECT frags.id, reads.rid, grp_info.label FROM frags
+JOIN reads ON frags.id = reads.frag_id
+JOIN grp_info ON reads.grp = grp_info.grp
+WHERE frags.src = 'ddbj' AND reads.tag = 'ok' AND grp_info.weight >= 1.5;
+
+SELECT COUNT(*) FROM reads JOIN frags ON reads.frag_id = frags.id;

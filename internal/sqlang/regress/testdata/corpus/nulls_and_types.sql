@@ -1,0 +1,17 @@
+-- Three-valued logic and value formatting: NULL predicates, NULLs
+-- flowing through aggregates and joins, float snapshot rounding.
+-- fixture: standard
+
+SELECT COUNT(*) FROM reads WHERE reads.tag IS NULL;
+
+SELECT reads.rid, reads.tag FROM reads
+WHERE reads.tag IS NOT NULL AND reads.grp = 3;
+
+SELECT COUNT(*) FROM reads WHERE reads.tag = 'ok' OR reads.tag <> 'ok';
+
+SELECT reads.grp, COUNT(reads.tag), COUNT(*) FROM reads
+WHERE reads.grp <= 2 GROUP BY reads.grp;
+
+SELECT frags.quality, frags.quality * 0.1 FROM frags WHERE frags.id = 'F033';
+
+SELECT AVG(reads.score), SUM(reads.score) FROM reads WHERE reads.grp = 5;

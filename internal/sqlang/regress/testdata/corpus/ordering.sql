@@ -1,0 +1,20 @@
+-- Ordering, LIMIT, and DISTINCT. ORDER BY results are snapshotted in
+-- query order (not re-sorted); LIMIT statements order by every output
+-- column so the selected top-N is deterministic across executors.
+-- fixture: standard
+
+SELECT frags.id, frags.quality FROM frags
+WHERE frags.src = 'genbank' AND frags.quality > 0.8
+ORDER BY frags.quality DESC, frags.id;
+
+SELECT reads.score, reads.rid FROM reads
+ORDER BY reads.score DESC, reads.rid LIMIT 5;
+
+SELECT DISTINCT frags.src FROM frags;
+
+SELECT DISTINCT reads.grp, reads.tag FROM reads WHERE reads.grp < 3;
+
+SELECT frags.flen, frags.id FROM frags
+WHERE frags.flen >= 110 ORDER BY frags.flen, frags.id LIMIT 8;
+
+SELECT grp_info.label FROM grp_info ORDER BY grp_info.weight DESC LIMIT 3;

@@ -1,0 +1,18 @@
+-- Genomic predicates through the algebra kernel: contains() with and
+-- without the k=8 genomic index, gccontent() and length() projections.
+-- fixture: standard
+
+SELECT frags.id FROM frags WHERE contains(frags.fragment, 'ACGTACGTA');
+
+SELECT COUNT(*) FROM frags WHERE contains(frags.fragment, 'GGG');
+
+SELECT frags.id, length(frags.fragment) FROM frags WHERE frags.flen = 60 AND frags.src = 'embl';
+
+SELECT frags.id, gccontent(frags.fragment) FROM frags WHERE frags.id = 'F007';
+
+SELECT frags.src, COUNT(*) FROM frags
+WHERE gccontent(frags.fragment) > 0.55 GROUP BY frags.src;
+
+SELECT frags.id FROM frags
+JOIN reads ON frags.id = reads.frag_id
+WHERE contains(frags.fragment, 'TTTT') AND reads.tag = 'low';

@@ -2,6 +2,7 @@ package sqlang
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"genalg/internal/db"
@@ -113,7 +114,11 @@ func (e *Engine) distinctFor(table, col string) int {
 
 // statsSelectivity refines a comparison predicate's selectivity using
 // ANALYZE results, when the predicate is colRef-vs-literal and the column
-// was analyzed. ok=false falls back to the static defaults.
+// was analyzed. ok=false falls back to the static defaults. Tables are
+// consulted in lexical order so an unqualified column name matching
+// several analyzed tables resolves deterministically — map-iteration
+// order here used to leak into plan costs, which the plan-baseline
+// harness would flag as flaky diffs.
 func (e *Engine) statsSelectivity(op string, l, r Expr) (float64, bool) {
 	col, okc := asColRef(l, r)
 	if !okc {
@@ -121,7 +126,13 @@ func (e *Engine) statsSelectivity(op string, l, r Expr) (float64, bool) {
 	}
 	e.stats.mu.RLock()
 	defer e.stats.mu.RUnlock()
-	for table, st := range e.stats.tables {
+	names := make([]string, 0, len(e.stats.tables))
+	for t := range e.stats.tables {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, table := range names {
+		st := e.stats.tables[table]
 		if col.Table != "" && col.Table != table {
 			continue
 		}
