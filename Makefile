@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check lint lint-analyzers ci check bench bench-smoke smoke smoke-obs smoke-trace fuzz-short check-baselines update-baselines fuzz-sql-short fuzz-sql
+.PHONY: all build test race vet fmt fmt-check lint lint-analyzers ci check bench bench-smoke smoke smoke-obs smoke-trace smoke-genalgd fuzz-short check-baselines update-baselines fuzz-sql-short fuzz-sql
 
 all: check
 
@@ -38,7 +38,7 @@ lint-analyzers: bin/genalgvet
 
 # ci is exactly what the GitHub Actions test job runs; `make ci` locally
 # reproduces it.
-ci: lint lint-analyzers build test race check-baselines
+ci: lint lint-analyzers build test race check-baselines smoke-genalgd
 
 # check is the verification gate: lint clean, everything builds, and the
 # full test suite passes under the race detector.
@@ -84,6 +84,13 @@ smoke-obs:
 # export, and the embedded observability HTTP server's endpoints.
 smoke-trace:
 	./scripts/smoke_trace.sh
+
+# smoke-genalgd drives the network daemon end to end: a wire-protocol
+# session through genalgsh -connect, kill -9 in the middle of a
+# concurrent write burst, restart, and proof that every acknowledged
+# statement survived (WAL recovery), then a clean SIGTERM drain.
+smoke-genalgd:
+	./scripts/smoke_genalgd.sh
 
 # fuzz-short runs the sources parser fuzzer briefly (CI budget).
 fuzz-short:

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"genalg/internal/wire"
+)
+
+// runConnect is genalgsh's client mode: statements are shipped to a
+// genalgd server over the wire protocol instead of executing in-process.
+// Statements come from the command line when given, otherwise one per
+// line from stdin. Every successful statement prints an "ok" line after
+// the server's acknowledgement (which, for DML on a durable server, means
+// the statement is fsynced into the WAL) — scripts count those lines to
+// know exactly how many statements survived a crash.
+func runConnect(addr string, queries []string) error {
+	c, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	interactive := len(queries) == 0 && isTerminal(os.Stdin)
+	if interactive {
+		fmt.Printf("connected to %s (%s); one statement per line, \\q quits\n", addr, c.Banner)
+	}
+
+	exec := func(sql string) error {
+		res, err := c.Exec(sql)
+		if err != nil {
+			return err
+		}
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				if v == nil {
+					cells[i] = "NULL"
+					continue
+				}
+				cells[i] = fmt.Sprintf("%v", v)
+			}
+			fmt.Println(strings.Join(cells, "\t"))
+		}
+		if len(res.Cols) > 0 {
+			fmt.Printf("ok %d rows\n", len(res.Rows))
+		} else {
+			fmt.Printf("ok %d affected\n", res.Affected)
+		}
+		return nil
+	}
+
+	if len(queries) > 0 {
+		for _, q := range queries {
+			if err := exec(q); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		if interactive {
+			fmt.Print("sql> ")
+		}
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || line == `\quit`:
+			return nil
+		case line == `\ping`:
+			if err := c.Ping(); err != nil {
+				return err
+			}
+			fmt.Println("ok ping")
+			continue
+		}
+		if err := exec(line); err != nil {
+			// In stream mode a statement error is fatal: scripts feeding
+			// statements need the ok-count to mean "acknowledged prefix".
+			if !interactive {
+				return err
+			}
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func isTerminal(f *os.File) bool {
+	fi, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

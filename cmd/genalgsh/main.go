@@ -6,6 +6,7 @@
 //
 //	genalgsh [-records N] [-noisy] [-lang biql|sql|term] [-user NAME] QUERY...
 //	genalgsh -catalog        # list sorts, operations, and tables
+//	genalgsh -connect ADDR   # client mode: run statements on a genalgd server
 //
 // Examples:
 //
@@ -47,8 +48,16 @@ func main() {
 	slow := flag.Duration("slow", 0, "slow-query log threshold (0 disables), e.g. 50ms")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /traces, /healthz, /readyz, /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	traceSpec := flag.String("trace", "", "enable statement tracing: always, rate=F, or slow=DUR")
+	connect := flag.String("connect", "", "client mode: execute statements on a genalgd server at this address instead of in-process")
 	flag.Parse()
 
+	if *connect != "" {
+		if err := runConnect(*connect, flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "genalgsh:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*records, *noisy, *lang, *user, *geneID, *catalog, *slow, *obsAddr, *traceSpec, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "genalgsh:", err)
 		os.Exit(1)

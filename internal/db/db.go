@@ -9,11 +9,12 @@ import (
 	"genalg/internal/kmeridx"
 	"genalg/internal/obs"
 	"genalg/internal/storage"
+	"genalg/internal/wal"
 )
 
 // DB is an engine instance: a catalog of tables over a shared buffer pool,
 // a UDT registry, and an external-function registry. Create one with Open
-// (file-backed) or OpenMemory.
+// (file-backed), OpenMemory, or OpenDurable (WAL-backed crash recovery).
 type DB struct {
 	pool  *storage.BufferPool
 	pager storage.Pager
@@ -22,6 +23,20 @@ type DB struct {
 
 	mu     sync.RWMutex
 	tables map[string]*Table
+
+	// wal is the write-ahead log of a durable engine (nil otherwise); set
+	// once by OpenDurable after replay, before the engine is shared.
+	wal *wal.Log
+	// dmlMu serializes DML statements and logged DDL so WAL append order
+	// equals in-memory apply order (and so one statement's row loop can't
+	// interleave with another's). Reads never take it.
+	dmlMu sync.Mutex
+	// checkpointBytes triggers auto-compaction of the WAL when its size
+	// crosses the threshold; 0 disables. Set once by OpenDurable.
+	checkpointBytes int64
+	// checkpointing keeps a commit burst from stacking redundant
+	// checkpoints.
+	checkpointing checkpointingFlag
 }
 
 // OpenMemory creates an ephemeral in-memory engine; poolPages bounds the
@@ -65,8 +80,13 @@ func Open(path string, poolPages int) (*DB, error) {
 	}, nil
 }
 
-// Close flushes and closes the engine.
+// Close flushes and closes the engine (including its WAL, if durable).
 func (d *DB) Close() error {
+	if d.wal != nil {
+		if err := d.wal.Close(); err != nil {
+			return err
+		}
+	}
 	if err := d.pool.FlushAll(); err != nil {
 		return err
 	}

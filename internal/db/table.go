@@ -59,7 +59,13 @@ func (t *Table) Insert(row Row) (storage.RID, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	rid, err := t.heap.Insert(buf)
+	return t.insertRawLocked(buf, row)
+}
+
+// insertRawLocked stores pre-encoded row bytes and indexes the decoded
+// row. It is the shared core of Insert, WAL replay, and the DML undo path.
+func (t *Table) insertRawLocked(raw []byte, row Row) (storage.RID, error) {
+	rid, err := t.heap.Insert(raw)
 	if err != nil {
 		return storage.RID{}, err
 	}
@@ -123,22 +129,30 @@ func (t *Table) Get(rid storage.RID) (Row, error) {
 func (t *Table) Delete(rid storage.RID) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	_, _, err := t.deleteLocked(rid)
+	return err
+}
+
+// deleteLocked removes the row at rid, returning its stored bytes and
+// decoded form so callers (WAL logging, the DML undo path) can restore or
+// re-log it.
+func (t *Table) deleteLocked(rid storage.RID) ([]byte, Row, error) {
 	buf, err := t.heap.Get(rid)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	row, err := DecodeRow(&t.schema, t.reg, buf)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	if err := t.heap.Delete(rid); err != nil {
-		return err
+		return nil, nil, err
 	}
 	if err := t.indexRowLocked(rid, row, false); err != nil {
-		return err
+		return nil, nil, err
 	}
 	t.rows--
-	return nil
+	return buf, row, nil
 }
 
 // Update replaces the row at rid, returning the new RID.

@@ -5,11 +5,15 @@
 package httpserve
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"sync"
 
 	"genalg/internal/obs"
 	"genalg/internal/trace"
@@ -107,22 +111,69 @@ func NewMux(opts Options) *http.ServeMux {
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
+
+	mu       sync.Mutex
+	serveErr error
+	done     chan struct{}
 }
 
 // Start listens on addr (host:port; port 0 picks a free one) and serves the
-// observability mux in a background goroutine until Close.
+// observability mux in a background goroutine until Close or Shutdown. If
+// the serve loop dies unexpectedly its error is logged, retrievable via
+// Err, and surfaces as a failing "obs.http" probe on /readyz of any other
+// observability endpoint sharing the options' Readiness list (use
+// ServeCheck to wire that).
 func Start(addr string, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: NewMux(opts)}
-	go func() { _ = srv.Serve(ln) }()
-	return &Server{ln: ln, srv: srv}, nil
+	s := &Server{ln: ln, srv: srv, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		err := srv.Serve(ln)
+		// ErrServerClosed is the orderly Close/Shutdown outcome, not a
+		// failure; anything else means the endpoint silently vanished.
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.mu.Lock()
+			s.serveErr = err
+			s.mu.Unlock()
+			log.Printf("obs: http server on %s died: %v", ln.Addr(), err)
+		}
+	}()
+	return s, nil
 }
 
 // Addr returns the bound address, useful when Start was given port 0.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and any in-flight handlers.
-func (s *Server) Close() error { return s.srv.Close() }
+// Err reports why the serve loop died, or nil while it is healthy (or was
+// shut down in an orderly fashion).
+func (s *Server) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serveErr
+}
+
+// ServeCheck is a readiness probe that fails once the serve loop has died,
+// so an unexpected exposition outage is visible instead of silent.
+func (s *Server) ServeCheck() Check {
+	return Check{Name: "obs.http", Probe: s.Err}
+}
+
+// Close stops the listener and any in-flight handlers immediately.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately,
+// in-flight handlers get until ctx expires to finish. Used by genalgd's
+// drain path so a final metrics scrape isn't cut off mid-response.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"genalg/internal/obs"
 	"genalg/internal/trace"
@@ -198,5 +199,49 @@ func TestStartServesAndCloses(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + s.Addr() + "/healthz"); err == nil {
 		t.Error("server still serving after Close")
+	}
+}
+
+func TestShutdownGraceful(t *testing.T) {
+	opts, _, _ := testOptions()
+	s, err := Start("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// Orderly shutdown is not a serve failure.
+	if err := s.Err(); err != nil {
+		t.Fatalf("Err after clean Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/healthz"); err == nil {
+		t.Error("server still serving after Shutdown")
+	}
+}
+
+func TestServeErrRecordedAndProbeVisible(t *testing.T) {
+	opts, _, _ := testOptions()
+	s, err := Start("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("healthy server reports Err: %v", err)
+	}
+	if err := s.ServeCheck().Probe(); err != nil {
+		t.Fatalf("healthy server fails its probe: %v", err)
+	}
+	// Yank the listener out from under Serve: the loop dies with a real
+	// error (not ErrServerClosed), which must be recorded, not discarded.
+	s.ln.Close()
+	<-s.done
+	if err := s.Err(); err == nil {
+		t.Fatal("listener failure discarded: Err() == nil")
+	}
+	if err := s.ServeCheck().Probe(); err == nil {
+		t.Fatal("ServeCheck passes after the serve loop died")
 	}
 }

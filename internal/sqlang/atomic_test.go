@@ -1,0 +1,118 @@
+package sqlang
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func countRows(t *testing.T, e *Engine, table string) int {
+	t.Helper()
+	res := mustExec(t, e, "SELECT * FROM "+table)
+	return len(res.Rows)
+}
+
+// TestUpdateAtomicOnMidStatementError is the regression for the
+// partial-application bug: UPDATE used to mutate rows one by one, so a SET
+// expression erroring on the Nth row left rows 1..N-1 updated. The
+// statement must now leave the table completely untouched.
+func TestUpdateAtomicOnMidStatementError(t *testing.T) {
+	e := testEngine(t)
+	mustExec(t, e, "CREATE TABLE acc (id int NOT NULL, v int)")
+	mustExec(t, e, "INSERT INTO acc (id, v) VALUES (1, 10), (2, 20), (3, 30)")
+
+	// 100 / (id - 2) evaluates fine for id=1, divides by zero for id=2.
+	if _, err := e.Exec("UPDATE acc SET v = 100 / (id - 2)"); err == nil {
+		t.Fatal("poisoned UPDATE did not error")
+	}
+	res := mustExec(t, e, "SELECT id, v FROM acc ORDER BY id")
+	want := [][2]int64{{1, 10}, {2, 20}, {3, 30}}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("row count changed: %v", res.Rows)
+	}
+	for i, w := range want {
+		if res.Rows[i][0] != w[0] || res.Rows[i][1] != w[1] {
+			t.Fatalf("row %d mutated by failed UPDATE: %v (want %v)", i, res.Rows[i], w)
+		}
+	}
+}
+
+// TestInsertAtomicOnMidStatementError: a multi-row INSERT with a poisoned
+// row anywhere in the VALUES list must insert nothing.
+func TestInsertAtomicOnMidStatementError(t *testing.T) {
+	e := testEngine(t)
+	mustExec(t, e, "CREATE TABLE acc (id int NOT NULL, v int)")
+	if _, err := e.Exec("INSERT INTO acc (id, v) VALUES (1, 1), (2, 1 / 0), (3, 3)"); err == nil {
+		t.Fatal("poisoned INSERT did not error")
+	}
+	if n := countRows(t, e, "acc"); n != 0 {
+		t.Fatalf("failed INSERT left %d rows behind", n)
+	}
+}
+
+// TestDeleteAtomicOnPredicateError: a DELETE whose WHERE clause errors on
+// some row must delete nothing.
+func TestDeleteAtomicOnPredicateError(t *testing.T) {
+	e := testEngine(t)
+	mustExec(t, e, "CREATE TABLE acc (id int NOT NULL, v int)")
+	mustExec(t, e, "INSERT INTO acc (id, v) VALUES (1, 10), (2, 20), (3, 30)")
+	if _, err := e.Exec("DELETE FROM acc WHERE 100 / (id - 2) > 0"); err == nil {
+		t.Fatal("poisoned DELETE did not error")
+	}
+	if n := countRows(t, e, "acc"); n != 3 {
+		t.Fatalf("failed DELETE removed rows: %d left", n)
+	}
+}
+
+// TestConcurrentSessions shares one Engine across goroutines mixing DML,
+// queries, DDL-adjacent ANALYZE, and slow-log/stats reads — the genalgd
+// usage pattern. Run under -race this proves the Engine's concurrency
+// contract; the final row count proves DML statements don't interleave.
+func TestConcurrentSessions(t *testing.T) {
+	e := testEngine(t)
+	mustExec(t, e, "CREATE TABLE acc (id int NOT NULL, v int)")
+	mustExec(t, e, "INSERT INTO acc (id, v) VALUES (0, 0)")
+
+	const (
+		sessions = 8
+		perSess  = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSess; i++ {
+				id := s*perSess + i + 1
+				if _, err := e.Exec(fmt.Sprintf("INSERT INTO acc (id, v) VALUES (%d, %d)", id, id)); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := e.Exec("SELECT count(*) FROM acc"); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := e.Exec(fmt.Sprintf("UPDATE acc SET v = v + 1 WHERE id = %d", id)); err != nil {
+					errs <- err
+					return
+				}
+				if i%10 == 0 {
+					if _, err := e.Exec("ANALYZE acc"); err != nil {
+						errs <- err
+						return
+					}
+					e.SlowQueries() // concurrent slow-log read
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := countRows(t, e, "acc"); n != sessions*perSess+1 {
+		t.Fatalf("lost writes under concurrency: %d rows, want %d", n, sessions*perSess+1)
+	}
+}

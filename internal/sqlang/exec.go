@@ -36,6 +36,15 @@ const parallelScanThreshold = 256
 
 // Engine executes SQL statements against a db.DB. It keeps the ANALYZE
 // statistics the planner consults.
+//
+// Concurrency: one Engine may be shared by concurrent sessions (genalgd
+// runs every connection against a single Engine). The exported
+// configuration fields are construction-time only — set them before the
+// Engine is shared and never write them afterwards; they are read without
+// synchronization. All internal mutable state (ANALYZE statistics, the
+// slow-query log) is synchronized, statement execution against the
+// underlying tables is guarded by the db layer's locks, and DML
+// statements are serialized by the engine's writer lock (db.DB.ApplyDML).
 type Engine struct {
 	DB    *db.DB
 	stats statsStore
@@ -169,23 +178,21 @@ func (e *Engine) execStmt(ctx context.Context, stmt Stmt) (*Result, error) {
 	case *InsertStmt:
 		return e.execInsert(s)
 	case *CreateTableStmt:
-		if _, err := e.DB.CreateTable(s.Schema); err != nil {
+		// The durable wrapper logs the DDL on WAL-backed engines and is a
+		// plain CreateTable otherwise.
+		if _, err := e.DB.CreateTableDurable(s.Schema); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
 	case *CreateIndexStmt:
-		tbl, ok := e.DB.Table(s.Table)
-		if !ok {
-			return nil, fmt.Errorf("sqlang: unknown table %q", s.Table)
-		}
 		if s.Genomic {
 			k := s.K
 			if k == 0 {
 				k = 8
 			}
-			return &Result{}, tbl.CreateGenomicIndex(s.Col, k)
+			return &Result{}, e.DB.CreateGenomicIndexOn(s.Table, s.Col, k)
 		}
-		return &Result{}, tbl.CreateBTreeIndex(s.Col)
+		return &Result{}, e.DB.CreateBTreeIndexOn(s.Table, s.Col)
 	case *DeleteStmt:
 		return e.execDelete(s)
 	case *UpdateStmt:
@@ -242,6 +249,10 @@ func (e *Engine) execUpdate(s *UpdateStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Evaluate every replacement row before touching the table, then apply
+	// the whole statement as one atomic batch: an evaluation error on any
+	// row leaves the table untouched, and a mid-apply failure is undone.
+	muts := make([]db.Mutation, 0, 2*len(targets))
 	for _, t := range targets {
 		newRow := make(db.Row, len(t.row))
 		copy(newRow, t.row)
@@ -256,9 +267,12 @@ func (e *Engine) execUpdate(s *UpdateStmt) (*Result, error) {
 			}
 			newRow[setPos[i]] = v
 		}
-		if _, err := tbl.Update(t.rid, newRow); err != nil {
-			return nil, err
-		}
+		muts = append(muts,
+			db.Mutation{Kind: db.MutDelete, RID: t.rid},
+			db.Mutation{Kind: db.MutInsert, Row: newRow})
+	}
+	if err := e.DB.ApplyDML(s.Table, muts); err != nil {
+		return nil, err
 	}
 	return &Result{Affected: len(targets)}, nil
 }
@@ -284,7 +298,10 @@ func (e *Engine) execInsert(s *InsertStmt) (*Result, error) {
 		}
 	}
 	ctx := &evalCtx{scope: newScope(), funcs: e.DB.Funcs}
-	n := 0
+	// Evaluate every VALUES row before inserting any, then apply the
+	// statement as one atomic batch: a bad row anywhere in the list leaves
+	// the table untouched.
+	muts := make([]db.Mutation, 0, len(s.Rows))
 	for _, exprRow := range s.Rows {
 		if len(exprRow) != len(colPos) {
 			return nil, fmt.Errorf("sqlang: INSERT row has %d values, expected %d", len(exprRow), len(colPos))
@@ -301,12 +318,12 @@ func (e *Engine) execInsert(s *InsertStmt) (*Result, error) {
 			}
 			row[colPos[j]] = v
 		}
-		if _, err := tbl.Insert(row); err != nil {
-			return nil, err
-		}
-		n++
+		muts = append(muts, db.Mutation{Kind: db.MutInsert, Row: row})
 	}
-	return &Result{Affected: n}, nil
+	if err := e.DB.ApplyDML(s.Table, muts); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: len(muts)}, nil
 }
 
 func (e *Engine) execDelete(s *DeleteStmt) (*Result, error) {
@@ -340,10 +357,12 @@ func (e *Engine) execDelete(s *DeleteStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	muts := make([]db.Mutation, 0, len(doomed))
 	for _, rid := range doomed {
-		if err := tbl.Delete(rid); err != nil {
-			return nil, err
-		}
+		muts = append(muts, db.Mutation{Kind: db.MutDelete, RID: rid})
+	}
+	if err := e.DB.ApplyDML(s.Table, muts); err != nil {
+		return nil, err
 	}
 	return &Result{Affected: len(doomed)}, nil
 }

@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client is a thin genalgd session: one TCP connection, strictly
+// alternating request/response. Safe for concurrent use; requests are
+// serialized on the connection.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	nextID uint64
+	// Banner is the server identification returned by hello.
+	Banner string
+}
+
+// Result is the decoded outcome of a statement.
+type Result struct {
+	Cols     []string
+	Rows     [][]any
+	Affected int
+	Plan     string
+}
+
+// ErrDraining reports the server refusing new statements during shutdown.
+type ErrDraining struct{ msg string }
+
+func (e *ErrDraining) Error() string { return e.msg }
+
+// Dial connects to a genalgd server and performs the hello exchange.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, br: bufio.NewReader(conn)}
+	resp, err := c.roundTrip(&Request{Op: OpHello})
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: hello: %w", err)
+	}
+	c.Banner = resp.Server
+	return c, nil
+}
+
+// Exec runs one SQL statement on the server.
+func (c *Client) Exec(sql string) (*Result, error) {
+	resp, err := c.roundTrip(&Request{Op: OpExec, SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	return result(resp), nil
+}
+
+// Prepare parses sql server-side, returning a statement handle.
+func (c *Client) Prepare(sql string) (uint64, error) {
+	resp, err := c.roundTrip(&Request{Op: OpPrepare, SQL: sql})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Stmt, nil
+}
+
+// ExecPrepared runs a prepared statement by handle.
+func (c *Client) ExecPrepared(stmt uint64) (*Result, error) {
+	resp, err := c.roundTrip(&Request{Op: OpExecPrepared, Stmt: stmt})
+	if err != nil {
+		return nil, err
+	}
+	return result(resp), nil
+}
+
+// CloseStmt drops a prepared statement.
+func (c *Client) CloseStmt(stmt uint64) error {
+	_, err := c.roundTrip(&Request{Op: OpCloseStmt, Stmt: stmt})
+	return err
+}
+
+// Ping round-trips a no-op.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&Request{Op: OpPing})
+	return err
+}
+
+// Close sends quit and closes the connection.
+func (c *Client) Close() error {
+	_, _ = c.roundTrip(&Request{Op: OpQuit})
+	return c.conn.Close()
+}
+
+func result(resp *Response) *Result {
+	return &Result{Cols: resp.Cols, Rows: resp.Rows, Affected: resp.Affected, Plan: resp.Plan}
+}
+
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req.ID = c.nextID
+	if err := WriteMessage(c.conn, req); err != nil {
+		return nil, err
+	}
+	payload, err := ReadFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := decodeResponse(payload)
+	if err != nil {
+		return nil, err
+	}
+	// Server errors surface before the ID sanity check: rejections sent
+	// before any request was read (connection limit) carry ID 0.
+	if resp.Error != "" {
+		if resp.Draining {
+			return nil, &ErrDraining{msg: resp.Error}
+		}
+		return nil, fmt.Errorf("%s", resp.Error)
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("wire: response id %d for request %d", resp.ID, req.ID)
+	}
+	return resp, nil
+}
+
+// decodeResponse unmarshals with json.Number so int64 row values survive
+// the trip (plain Unmarshal would flatten them to float64), then rewrites
+// numbers to int64 where exact.
+func decodeResponse(payload []byte) (*Response, error) {
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.UseNumber()
+	var resp Response
+	if err := dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("wire: bad response frame: %w", err)
+	}
+	for _, row := range resp.Rows {
+		for i, v := range row {
+			if num, ok := v.(json.Number); ok {
+				row[i] = numberValue(num)
+			}
+		}
+	}
+	return &resp, nil
+}
+
+func numberValue(num json.Number) any {
+	s := num.String()
+	if !strings.ContainsAny(s, ".eE") {
+		if iv, err := num.Int64(); err == nil {
+			return iv
+		}
+	}
+	if fv, err := num.Float64(); err == nil {
+		return fv
+	}
+	return s
+}

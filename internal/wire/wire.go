@@ -1,0 +1,126 @@
+// Package wire defines genalgd's client/server protocol: length-prefixed
+// JSON frames over a TCP stream.
+//
+// A frame is a 4-byte big-endian payload length followed by that many
+// bytes of JSON. Requests and responses alternate strictly — one request
+// per frame, one response frame per request, in order — so the protocol
+// needs no correlation machinery beyond an echo'd request ID (kept as a
+// sanity check and for log lines).
+//
+// Operations:
+//
+//	hello          open a session; the response carries the server banner
+//	exec           run one SQL statement, returning columns/rows/affected
+//	prepare        parse a statement and cache it server-side; returns an id
+//	exec_prepared  run a previously prepared statement by id
+//	close_stmt     drop a prepared statement
+//	ping           round-trip no-op (liveness, idle-keepalive)
+//	quit           orderly session close; the server responds, then hangs up
+//
+// Values cross the wire in JSON's vocabulary: ints and floats as numbers
+// (the client decodes with json.Number so int64 survives), strings and
+// bools natively, NULL as null, and bytes/opaque genomic values as their
+// rendered string form (the wire is a presentation boundary, not a
+// storage format).
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a frame payload; a peer announcing more is broken (or
+// hostile) and the connection is dropped rather than buffered.
+const MaxFrame = 16 << 20
+
+// Protocol op codes.
+const (
+	OpHello        = "hello"
+	OpExec         = "exec"
+	OpPrepare      = "prepare"
+	OpExecPrepared = "exec_prepared"
+	OpCloseStmt    = "close_stmt"
+	OpPing         = "ping"
+	OpQuit         = "quit"
+)
+
+// Request is one client frame.
+type Request struct {
+	ID  uint64 `json:"id"`
+	Op  string `json:"op"`
+	SQL string `json:"sql,omitempty"`
+	// Stmt addresses a prepared statement (exec_prepared, close_stmt).
+	Stmt uint64 `json:"stmt,omitempty"`
+}
+
+// Response is one server frame.
+type Response struct {
+	ID    uint64 `json:"id"`
+	Error string `json:"error,omitempty"`
+	// Draining marks an error as the server refusing new work during
+	// shutdown (retryable elsewhere), as opposed to a statement failure.
+	Draining bool `json:"draining,omitempty"`
+	// Server is the banner returned by hello.
+	Server string `json:"server,omitempty"`
+	// Stmt is the prepared-statement id returned by prepare.
+	Stmt     uint64   `json:"stmt,omitempty"`
+	Cols     []string `json:"cols,omitempty"`
+	Rows     [][]any  `json:"rows,omitempty"`
+	Affected int      `json:"affected,omitempty"`
+	Plan     string   `json:"plan,omitempty"`
+}
+
+// WriteFrame writes one length-prefixed payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed payload.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: peer announced %d-byte frame (limit %d)", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// WriteMessage JSON-encodes v as one frame.
+func WriteMessage(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, payload)
+}
+
+// ReadRequest reads and decodes one request frame.
+func ReadRequest(r io.Reader) (*Request, error) {
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	var req Request
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, fmt.Errorf("wire: bad request frame: %w", err)
+	}
+	return &req, nil
+}

@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("{}"), []byte(`{"op":"exec","sql":"SELECT 1"}`), {}}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame round-trip: got %q want %q", got, want)
+		}
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("oversized frame announcement accepted")
+	}
+}
+
+func TestReadFrameTornPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	torn := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(torn)); err == nil {
+		t.Fatal("torn frame read as complete")
+	} else if err != io.ErrUnexpectedEOF {
+		// io.ReadFull reports the tear; any error is acceptable but it
+		// must not be nil. Document the usual one.
+		t.Logf("torn frame error: %v", err)
+	}
+}
+
+func TestNumberValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want any
+	}{
+		{"42", int64(42)},
+		{"-9007199254740993", int64(-9007199254740993)}, // beyond float53
+		{"3.25", 3.25},
+		{"1e3", float64(1000)},
+	}
+	for _, c := range cases {
+		resp, err := decodeResponse([]byte(`{"id":1,"rows":[[` + c.in + `]]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Rows[0][0]; got != c.want {
+			t.Fatalf("numberValue(%s) = %v (%T), want %v (%T)", c.in, got, got, c.want, c.want)
+		}
+	}
+}
