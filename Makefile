@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check lint lint-analyzers ci check bench bench-smoke smoke smoke-obs smoke-trace smoke-genalgd fuzz-short check-baselines update-baselines fuzz-sql-short fuzz-sql
+.PHONY: all build test race vet fmt fmt-check lint lint-analyzers ci check bench bench-smoke smoke smoke-obs smoke-trace smoke-genalgd smoke-loadgen fuzz-short check-baselines update-baselines fuzz-sql-short fuzz-sql
 
 all: check
 
@@ -38,7 +38,7 @@ lint-analyzers: bin/genalgvet
 
 # ci is exactly what the GitHub Actions test job runs; `make ci` locally
 # reproduces it.
-ci: lint lint-analyzers build test race check-baselines smoke-genalgd
+ci: lint lint-analyzers build test race check-baselines smoke-genalgd smoke-loadgen
 
 # check is the verification gate: lint clean, everything builds, and the
 # full test suite passes under the race detector.
@@ -91,6 +91,14 @@ smoke-trace:
 # statement survived (WAL recovery), then a clean SIGTERM drain.
 smoke-genalgd:
 	./scripts/smoke_genalgd.sh
+
+# smoke-loadgen drives the population-scale load generator against a live
+# genalgd: an open-loop four-scenario mix gated on p95/p99 and
+# error/timeout SLOs with a schema-versioned BENCH_e18.json snapshot,
+# then a kill -9 chaos run gated on measured recovery time. Set
+# BENCH_DIR to keep the snapshot (CI uploads it as an artifact).
+smoke-loadgen:
+	./scripts/smoke_loadgen.sh
 
 # fuzz-short runs the sources parser fuzzer briefly (CI budget).
 fuzz-short:

@@ -5,7 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
+
+	"genalg/internal/benchmeta"
 )
 
 // benchJSONDir is where -bench-json writes machine-readable snapshots
@@ -23,13 +24,13 @@ type BenchResult struct {
 // BenchSnapshot is the machine-readable record of one benchtab experiment
 // run, committed as BENCH_<experiment>.json so the perf trajectory is
 // tracked per change rather than only printed. Timings are host-dependent;
-// the speedup columns are the comparable signal.
+// the speedup columns are the comparable signal. The embedded
+// benchmeta.Stamp (schema_version, commit, unix_time, host shape) makes
+// trajectory entries comparable across PRs.
 type BenchSnapshot struct {
+	benchmeta.Stamp
 	Experiment string        `json:"experiment"`
 	Quick      bool          `json:"quick"`
-	GoOS       string        `json:"goos"`
-	GoArch     string        `json:"goarch"`
-	MaxProcs   int           `json:"gomaxprocs"`
 	Results    []BenchResult `json:"results"`
 }
 
@@ -40,11 +41,9 @@ func writeBenchJSON(exp string, results []BenchResult) error {
 		return nil
 	}
 	snap := BenchSnapshot{
+		Stamp:      benchmeta.NewStamp(),
 		Experiment: exp,
 		Quick:      quick,
-		GoOS:       runtime.GOOS,
-		GoArch:     runtime.GOARCH,
-		MaxProcs:   runtime.GOMAXPROCS(0),
 		Results:    results,
 	}
 	buf, err := json.MarshalIndent(snap, "", "  ")

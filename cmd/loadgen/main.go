@@ -1,0 +1,106 @@
+// Command loadgen drives a running genalgd with a population-scale
+// open-loop workload mix and asserts per-scenario SLOs. Exit status is
+// non-zero when any SLO (latency percentile, error/timeout ratio, or
+// chaos recovery bound) is violated, so CI can gate on it directly.
+//
+// Usage:
+//
+//	genalgd -addr 127.0.0.1:7544 -data /tmp/d &
+//	loadgen -addr 127.0.0.1:7544 -duration 10 -bench-json .
+//
+// Without -config the built-in five-scenario default mix runs; a JSON
+// config selects its own mix, rates, fixture shape, and SLOs. The
+// -rate-scale flag scales every configured rate, which is how the CI
+// smoke run shrinks the full mix without a second config file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"genalg/internal/loadgen"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:7544", "genalgd address to load")
+		configPath    = flag.String("config", "", "JSON load config (default: built-in five-scenario mix)")
+		duration      = flag.Float64("duration", 0, "override run duration in seconds")
+		rateScale     = flag.Float64("rate-scale", 1, "multiply every scenario rate by this factor")
+		seed          = flag.Int64("seed", 0, "override workload seed (0 keeps the config's)")
+		skipSetup     = flag.Bool("skip-setup", false, "assume the fixture is already loaded")
+		benchDir      = flag.String("bench-json", "", "directory to write the BENCH_e18.json snapshot into")
+		serverMetrics = flag.String("server-metrics", "", "genalgd obs HTTP base URL to scrape server-side op latency from")
+		chaos         = flag.String("chaos", "", "chaos expectation override: kill or latency")
+		recoverySLO   = flag.Float64("recovery-slo", 0, "recovery SLO seconds for -chaos kill")
+		latencyMS     = flag.Int("latency-ms", 50, "injected delay upper bound for -chaos latency")
+	)
+	flag.Parse()
+	if err := run(*addr, *configPath, *duration, *rateScale, *seed, *skipSetup,
+		*benchDir, *serverMetrics, *chaos, *recoverySLO, *latencyMS); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, configPath string, duration, rateScale float64, seed int64, skipSetup bool,
+	benchDir, serverMetrics, chaos string, recoverySLO float64, latencyMS int) error {
+	cfg := loadgen.DefaultConfig()
+	if configPath != "" {
+		var err error
+		if cfg, err = loadgen.Load(configPath); err != nil {
+			return err
+		}
+	}
+	if duration > 0 {
+		cfg.DurationSeconds = duration
+	}
+	if rateScale != 1 {
+		cfg.ScaleRates(rateScale)
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if skipSetup {
+		cfg.Setup.Skip = true
+	}
+	if chaos != "" {
+		cfg.Chaos = &loadgen.ChaosConfig{Kind: chaos, RecoverySLOSeconds: recoverySLO, LatencyMS: latencyMS}
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	r := loadgen.NewRunner(cfg, addr)
+	r.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if err := r.Setup(); err != nil {
+		return err
+	}
+	rep, err := r.Run()
+	if err != nil {
+		return err
+	}
+	if serverMetrics != "" {
+		if err := rep.ScrapeServerOps(serverMetrics); err != nil {
+			// Server metrics are enrichment, not a gate — report and go on.
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+		}
+	}
+	if err := rep.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if benchDir != "" {
+		path, err := rep.WriteSnapshot(benchDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", path)
+	}
+	if !rep.OK {
+		return fmt.Errorf("SLO violations (see report above)")
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+// Package benchmeta stamps the repository's machine-readable benchmark
+// snapshots (BENCH_*.json) with the header every emitter shares: a schema
+// version, the commit the run measured, the run's wall-clock time, and
+// the host shape. Two snapshots are comparable exactly when their schema
+// versions match, so the perf trajectory across PRs can be diffed by
+// machine instead of eyeballed.
+package benchmeta
+
+import (
+	"os/exec"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SchemaVersion is the current BENCH_*.json header layout. Bump it when a
+// field changes meaning; trajectory tooling must never compare snapshots
+// across versions silently.
+//
+// Version history:
+//
+//	1 — implicit (PR 6): experiment/quick/goos/goarch/gomaxprocs/results,
+//	    no version field.
+//	2 — adds schema_version, commit, unix_time.
+const SchemaVersion = 2
+
+// Stamp is the shared snapshot header. Embed it first so the version and
+// provenance fields lead the emitted JSON.
+type Stamp struct {
+	SchemaVersion int    `json:"schema_version"`
+	Commit        string `json:"commit"`
+	UnixTime      int64  `json:"unix_time"`
+	GoOS          string `json:"goos"`
+	GoArch        string `json:"goarch"`
+	MaxProcs      int    `json:"gomaxprocs"`
+}
+
+// NewStamp fills a Stamp for a run finishing now.
+func NewStamp() Stamp {
+	return Stamp{
+		SchemaVersion: SchemaVersion,
+		Commit:        Commit(),
+		UnixTime:      time.Now().Unix(),
+		GoOS:          runtime.GOOS,
+		GoArch:        runtime.GOARCH,
+		MaxProcs:      runtime.GOMAXPROCS(0),
+	}
+}
+
+var (
+	commitOnce sync.Once
+	commitVal  string
+)
+
+// Commit returns the short hash of the working tree's HEAD, or "unknown"
+// outside a git checkout (or without git on PATH). The value is cached:
+// one exec per process.
+func Commit() string {
+	commitOnce.Do(func() {
+		out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+		commitVal = strings.TrimSpace(string(out))
+		if err != nil || commitVal == "" {
+			commitVal = "unknown"
+		}
+	})
+	return commitVal
+}

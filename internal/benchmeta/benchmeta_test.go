@@ -1,0 +1,47 @@
+package benchmeta
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewStampFields(t *testing.T) {
+	before := time.Now().Unix()
+	s := NewStamp()
+	if s.SchemaVersion != SchemaVersion {
+		t.Fatalf("SchemaVersion = %d, want %d", s.SchemaVersion, SchemaVersion)
+	}
+	if s.Commit == "" {
+		t.Fatal("Commit is empty; want a hash or \"unknown\"")
+	}
+	if s.UnixTime < before {
+		t.Fatalf("UnixTime = %d, before the call at %d", s.UnixTime, before)
+	}
+	if s.GoOS == "" || s.GoArch == "" || s.MaxProcs < 1 {
+		t.Fatalf("host fields unset: %+v", s)
+	}
+}
+
+func TestStampLeadsEmbeddedJSON(t *testing.T) {
+	// Emitters embed Stamp first so schema_version is the snapshot's
+	// leading field — the property trajectory tooling keys on.
+	doc := struct {
+		Stamp
+		Experiment string `json:"experiment"`
+	}{NewStamp(), "e0"}
+	buf, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(buf), `{"schema_version":`) {
+		t.Fatalf("snapshot JSON does not lead with schema_version: %s", buf)
+	}
+}
+
+func TestCommitCached(t *testing.T) {
+	if a, b := Commit(), Commit(); a != b {
+		t.Fatalf("Commit not stable: %q then %q", a, b)
+	}
+}

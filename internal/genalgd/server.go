@@ -74,6 +74,13 @@ type Server struct {
 	errs       *obs.Counter
 	rejected   *obs.Counter
 	drainHist  *obs.Histogram
+
+	// Per-op service-time histograms (execution + response rendering, not
+	// the wire write), so server-side percentiles can be compared against
+	// client-observed latency in load reports.
+	opExec    *obs.Histogram
+	opPrepare *obs.Histogram
+	opPing    *obs.Histogram
 }
 
 // New builds a server around cfg.
@@ -101,6 +108,9 @@ func New(cfg Config) (*Server, error) {
 		errs:       reg.Counter("genalgd.errors"),
 		rejected:   reg.Counter("genalgd.sessions.rejected"),
 		drainHist:  reg.Histogram("genalgd.drain.seconds"),
+		opExec:     reg.Histogram("genalgd.op.exec.seconds"),
+		opPrepare:  reg.Histogram("genalgd.op.prepare.seconds"),
+		opPing:     reg.Histogram("genalgd.op.ping.seconds"),
 	}, nil
 }
 
@@ -209,7 +219,9 @@ func (s *Server) handle(conn net.Conn) {
 			})
 			return
 		}
+		start := time.Now()
 		resp, quit := s.dispatch(sess, req)
+		s.observeOp(req.Op, time.Since(start).Seconds())
 		err = wire.WriteMessage(conn, resp)
 		s.endWork()
 		if err != nil || quit {
@@ -237,6 +249,21 @@ func (s *Server) endWork() {
 	if s.inflight == 0 && s.drainDone != nil {
 		close(s.drainDone)
 		s.drainDone = nil
+	}
+}
+
+// observeOp records one request's service time into the per-op histogram.
+// Statement execution (direct and prepared) shares one series; prepare
+// covers parse+cache; ping covers the liveness no-ops (hello included).
+// Session-control ops (quit, close_stmt, unknown) are not timed.
+func (s *Server) observeOp(op string, seconds float64) {
+	switch op {
+	case wire.OpExec, wire.OpExecPrepared:
+		s.opExec.Observe(seconds)
+	case wire.OpPrepare:
+		s.opPrepare.Observe(seconds)
+	case wire.OpPing, wire.OpHello:
+		s.opPing.Observe(seconds)
 	}
 }
 

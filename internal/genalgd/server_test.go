@@ -311,3 +311,41 @@ func TestConcurrentSessionsOverWire(t *testing.T) {
 		t.Fatalf("lost writes over the wire: %d rows, want %d", len(res.Rows), sessions*perSess)
 	}
 }
+
+func TestPerOpLatencyHistograms(t *testing.T) {
+	reg := obs.New()
+	_, addr := startServer(t, Config{Registry: reg})
+	c := dial(t, addr)
+	defer c.Close()
+
+	if _, err := c.Exec("CREATE TABLE ops (n int NOT NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("INSERT INTO ops (n) VALUES (1), (2)"); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := c.Prepare("SELECT n FROM ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecPrepared(stmt); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// exec: CREATE + INSERT + exec_prepared; prepare: 1; ping: hello + ping.
+	if got := reg.Histogram("genalgd.op.exec.seconds").Count(); got != 3 {
+		t.Errorf("exec histogram count = %d, want 3", got)
+	}
+	if got := reg.Histogram("genalgd.op.prepare.seconds").Count(); got != 1 {
+		t.Errorf("prepare histogram count = %d, want 1", got)
+	}
+	if got := reg.Histogram("genalgd.op.ping.seconds").Count(); got != 2 {
+		t.Errorf("ping histogram count = %d, want 2", got)
+	}
+	if sum := reg.Histogram("genalgd.op.exec.seconds").Sum(); sum <= 0 {
+		t.Errorf("exec histogram sum = %v, want > 0", sum)
+	}
+}

@@ -1,0 +1,156 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"genalg/internal/wire"
+)
+
+// chaosState tracks a run's fault expectation.
+//
+// For kill chaos it watches the request stream (plus a dedicated prober)
+// for the outage window: the first transport-level failure opens it, the
+// first subsequent success closes it, and the difference is the measured
+// recovery time asserted against the SLO. Scenario failures inside the
+// window are booked as outage errors, not SLO errors — the recovery SLO
+// owns the outage; the per-scenario error budgets own steady state.
+//
+// For latency chaos it injects a seeded client-side delay before requests
+// in the internal/faultsrc idiom: deterministic from the seed, drawn per
+// request under a lock.
+type chaosState struct {
+	cfg *ChaosConfig
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	outageStart time.Time
+	recoveredAt time.Time
+}
+
+func newChaosState(cfg *ChaosConfig, seed int64) *chaosState {
+	if cfg == nil {
+		return nil
+	}
+	return &chaosState{cfg: cfg, rng: rand.New(rand.NewSource(seed ^ 0x63686173))} // "chas"
+}
+
+// injectDelay returns the injected pre-request delay (zero unless latency
+// chaos selects this request).
+func (c *chaosState) injectDelay() time.Duration {
+	if c == nil || c.cfg.Kind != ChaosLatency {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng.Float64() >= c.cfg.LatencyRatio {
+		return 0
+	}
+	half := time.Duration(c.cfg.LatencyMS) * time.Millisecond / 2
+	return half + time.Duration(c.rng.Int63n(int64(half)+1))
+}
+
+// noteError classifies a request failure. It returns true when the error
+// lands in the outage window (kill chaos, transport-level) and must not
+// count against the scenario's error budget.
+func (c *chaosState) noteError(err error, at time.Time) bool {
+	if c == nil || c.cfg.Kind != ChaosKill || !wire.IsTransport(err) {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.outageStart.IsZero() {
+		c.outageStart = at
+	}
+	// Transport errors after recovery reopen the window (a second crash);
+	// recovery keeps the first measured value.
+	return c.recoveredAt.IsZero() || at.Before(c.recoveredAt)
+}
+
+// noteSuccess closes the outage window at the first success after it
+// opened.
+func (c *chaosState) noteSuccess(at time.Time) {
+	if c == nil || c.cfg.Kind != ChaosKill {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.outageStart.IsZero() && c.recoveredAt.IsZero() {
+		c.recoveredAt = at
+	}
+}
+
+// probe hammers addr with cheap pings every interval until stop closes,
+// so recovery is measured at probe resolution rather than scenario
+// arrival spacing.
+func (c *chaosState) probe(addr string, interval time.Duration, stop <-chan struct{}) {
+	if c == nil || c.cfg.Kind != ChaosKill {
+		return
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			cl, err := wire.Dial(addr, interval)
+			now := time.Now()
+			if err != nil {
+				c.noteError(err, now)
+				continue
+			}
+			c.noteSuccess(now)
+			cl.Close()
+		}
+	}
+}
+
+// report summarises the chaos outcome; ok is false when the expectation
+// was not met.
+func (c *chaosState) report() *ChaosReport {
+	if c == nil {
+		return nil
+	}
+	r := &ChaosReport{Kind: c.cfg.Kind}
+	switch c.cfg.Kind {
+	case ChaosLatency:
+		r.OK = true
+		r.Verdict = "injected client-side latency (SLOs absorb it or fail above)"
+	case ChaosKill:
+		c.mu.Lock()
+		start, rec := c.outageStart, c.recoveredAt
+		c.mu.Unlock()
+		r.RecoverySLOSeconds = c.cfg.RecoverySLOSeconds
+		switch {
+		case start.IsZero():
+			r.Verdict = "expected a daemon outage mid-run, never observed one"
+		case rec.IsZero():
+			r.OutageObserved = true
+			r.Verdict = "daemon never recovered before the run ended"
+		default:
+			r.OutageObserved = true
+			r.Recovered = true
+			r.RecoverySeconds = rec.Sub(start).Seconds()
+			if r.RecoverySeconds <= c.cfg.RecoverySLOSeconds {
+				r.OK = true
+				r.Verdict = "recovered within SLO"
+			} else {
+				r.Verdict = "recovery exceeded SLO"
+			}
+		}
+	}
+	return r
+}
+
+// ChaosReport is the chaos section of a run report.
+type ChaosReport struct {
+	Kind               string  `json:"kind"`
+	OutageObserved     bool    `json:"outage_observed,omitempty"`
+	Recovered          bool    `json:"recovered,omitempty"`
+	RecoverySeconds    float64 `json:"recovery_seconds,omitempty"`
+	RecoverySLOSeconds float64 `json:"recovery_slo_seconds,omitempty"`
+	OK                 bool    `json:"ok"`
+	Verdict            string  `json:"verdict"`
+}

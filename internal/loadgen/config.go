@@ -1,0 +1,276 @@
+// Package loadgen is the population-scale workload simulator for genalgd:
+// an open-loop load generator that drives the daemon over the wire
+// protocol with a config-selected mix of scenarios — BiQL-style dashboard
+// aggregates, k-mer containment searches, point lookups, DML/ETL bursts,
+// and slow analytical scans — each with its own Poisson arrival rate,
+// per-request deadline, client-side latency histogram, and declarative
+// SLO assertions (p50/p95/p99 bounds plus error/timeout ratios) that fail
+// the run with a readable report.
+//
+// Open loop means arrivals are scheduled by the configured rate, not by
+// completions: a slow server does not throttle the offered load, it
+// grows the in-flight set until requests time out or the backlog cap
+// sheds them — the honest way to measure a service under population-scale
+// traffic (closed-loop drivers hide overload by slowing down with the
+// victim).
+//
+// Chaos: a run can declare a chaos expectation. "kill" expects the daemon
+// to vanish mid-run (the smoke script kill -9s and restarts it) and
+// measures time-to-recovery — first transport failure to first subsequent
+// success — against a recovery SLO, while excluding outage-window errors
+// from the per-scenario error budgets. "latency" injects seeded random
+// client-side wire delay in the internal/faultsrc idiom (deterministic
+// per seed) to measure SLO headroom under degraded networks.
+//
+// Every run can emit a schema-versioned BENCH_e18.json snapshot (see
+// internal/benchmeta) so the daemon's performance trajectory is recorded
+// per commit, not asserted from memory.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Scenario kinds.
+const (
+	KindDashboard    = "dashboard"     // BiQL-style grouped aggregates
+	KindKmerSearch   = "kmer_search"   // contains() over the genomic index
+	KindPointLookup  = "point_lookup"  // B-tree point reads
+	KindDMLBurst     = "dml_burst"     // insert bursts (ETL refresh shape)
+	KindAnalyticScan = "analytic_scan" // join + full-scan aggregates
+)
+
+// Chaos kinds.
+const (
+	ChaosKill    = "kill"    // daemon killed and restarted mid-run (externally)
+	ChaosLatency = "latency" // seeded client-side wire delay injection
+)
+
+var validKinds = map[string]bool{
+	KindDashboard: true, KindKmerSearch: true, KindPointLookup: true,
+	KindDMLBurst: true, KindAnalyticScan: true,
+}
+
+// Config is one load run: fixture shape, client bounds, scenario mix,
+// and an optional chaos expectation. The zero value is not runnable; use
+// DefaultConfig or Load and let Validate fill defaults.
+type Config struct {
+	// Seed drives every random draw (fixture content, arrival spacing,
+	// statement choice, chaos injection); the same seed and config
+	// reproduce the same offered workload.
+	Seed int64 `json:"seed"`
+	// DurationSeconds is how long arrivals are generated.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Connections bounds the client connection pool (default 32).
+	Connections int `json:"connections"`
+	// MaxInflight caps concurrently outstanding requests across all
+	// scenarios (default 8×Connections). Arrivals past the cap are shed
+	// and counted as dropped — overload is recorded, not queued forever.
+	MaxInflight int `json:"max_inflight"`
+	// Setup shapes the seeded fixture tables.
+	Setup SetupConfig `json:"setup"`
+	// Scenarios is the concurrent mix; every entry runs for the whole
+	// duration at its own rate.
+	Scenarios []ScenarioConfig `json:"scenarios"`
+	// Chaos, when set, declares the run's fault expectation.
+	Chaos *ChaosConfig `json:"chaos,omitempty"`
+}
+
+// SetupConfig shapes the lg_* fixture the scenarios query.
+type SetupConfig struct {
+	// Skip reuses a previously seeded daemon (the fixture statements are
+	// still generated — deterministically from Seed — so the statement
+	// generators know the real ids, patterns, and groups).
+	Skip bool `json:"skip,omitempty"`
+	// Fragments is the lg_frags row count (default 200).
+	Fragments int `json:"fragments"`
+	// Reads is the lg_reads row count (default 2×Fragments).
+	Reads int `json:"reads"`
+	// Groups is the lg_groups row count (default 10).
+	Groups int `json:"groups"`
+	// KmerK is the genomic index k (default 8).
+	KmerK int `json:"kmer_k"`
+}
+
+// ScenarioConfig is one workload stream.
+type ScenarioConfig struct {
+	// Name labels the scenario in reports and metrics; defaults to Kind.
+	Name string `json:"name"`
+	// Kind selects the statement generator (Kind* constants).
+	Kind string `json:"kind"`
+	// Rate is the open-loop arrival rate in requests/second.
+	Rate float64 `json:"rate"`
+	// TimeoutMS bounds each request (default 2000). Expiry counts as a
+	// timeout and discards the connection.
+	TimeoutMS int `json:"timeout_ms"`
+	// SLO is asserted after the run.
+	SLO SLOConfig `json:"slo"`
+}
+
+// Timeout returns the per-request deadline.
+func (s ScenarioConfig) Timeout() time.Duration {
+	return time.Duration(s.TimeoutMS) * time.Millisecond
+}
+
+// SLOConfig is one scenario's service-level objective. Zero fields are
+// unchecked, so a smoke config can relax exactly the bounds it means to.
+type SLOConfig struct {
+	// P50MS/P95MS/P99MS bound the client-observed latency percentiles,
+	// in milliseconds.
+	P50MS float64 `json:"p50_ms,omitempty"`
+	P95MS float64 `json:"p95_ms,omitempty"`
+	P99MS float64 `json:"p99_ms,omitempty"`
+	// MaxErrorRatio bounds (errors+dropped)/requests; timeouts are
+	// budgeted separately. Outage-window errors under a kill chaos are
+	// excluded (the recovery SLO owns them).
+	MaxErrorRatio float64 `json:"max_error_ratio,omitempty"`
+	// MaxTimeoutRatio bounds timeouts/requests.
+	MaxTimeoutRatio float64 `json:"max_timeout_ratio,omitempty"`
+}
+
+// ChaosConfig declares a run's fault expectation.
+type ChaosConfig struct {
+	// Kind is ChaosKill or ChaosLatency.
+	Kind string `json:"kind"`
+	// RecoverySLOSeconds bounds measured time-to-recovery for kill runs;
+	// the run fails if the daemon never dies, never recovers, or takes
+	// longer than this.
+	RecoverySLOSeconds float64 `json:"recovery_slo_seconds,omitempty"`
+	// LatencyMS is the injected delay upper bound for latency runs; each
+	// injected request sleeps uniform [LatencyMS/2, LatencyMS].
+	LatencyMS int `json:"latency_ms,omitempty"`
+	// LatencyRatio is the per-request injection probability (default 1).
+	LatencyRatio float64 `json:"latency_ratio,omitempty"`
+}
+
+// DefaultConfig is the standard five-scenario mix at moderate rates: the
+// committed E18 baseline shape. Rates total ~220 req/s.
+func DefaultConfig() *Config {
+	cfg := &Config{
+		Seed:            1,
+		DurationSeconds: 10,
+		Scenarios: []ScenarioConfig{
+			{Kind: KindPointLookup, Rate: 80, SLO: SLOConfig{P50MS: 50, P95MS: 150, P99MS: 400, MaxErrorRatio: 0.01, MaxTimeoutRatio: 0.01}},
+			{Kind: KindKmerSearch, Rate: 40, SLO: SLOConfig{P50MS: 80, P95MS: 250, P99MS: 600, MaxErrorRatio: 0.01, MaxTimeoutRatio: 0.01}},
+			{Kind: KindDashboard, Rate: 60, SLO: SLOConfig{P50MS: 100, P95MS: 300, P99MS: 800, MaxErrorRatio: 0.01, MaxTimeoutRatio: 0.01}},
+			{Kind: KindDMLBurst, Rate: 30, SLO: SLOConfig{P50MS: 100, P95MS: 400, P99MS: 1000, MaxErrorRatio: 0.01, MaxTimeoutRatio: 0.01}},
+			{Kind: KindAnalyticScan, Rate: 10, TimeoutMS: 5000, SLO: SLOConfig{P95MS: 1500, P99MS: 3000, MaxErrorRatio: 0.01, MaxTimeoutRatio: 0.01}},
+		},
+	}
+	if err := cfg.Validate(); err != nil {
+		panic("loadgen: default config invalid: " + err.Error())
+	}
+	return cfg
+}
+
+// Load reads and validates a JSON config file.
+func Load(path string) (*Config, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(buf)
+}
+
+// Parse decodes and validates a JSON config.
+func Parse(buf []byte) (*Config, error) {
+	var cfg Config
+	if err := json.Unmarshal(buf, &cfg); err != nil {
+		return nil, fmt.Errorf("loadgen: bad config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// Validate fills defaults and rejects unrunnable configs.
+func (c *Config) Validate() error {
+	if c.DurationSeconds <= 0 {
+		return fmt.Errorf("loadgen: duration_seconds must be positive")
+	}
+	if len(c.Scenarios) == 0 {
+		return fmt.Errorf("loadgen: config needs at least one scenario")
+	}
+	if c.Connections == 0 {
+		c.Connections = 32
+	}
+	if c.Connections < 1 {
+		return fmt.Errorf("loadgen: connections must be positive")
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 8 * c.Connections
+	}
+	if c.MaxInflight < c.Connections {
+		return fmt.Errorf("loadgen: max_inflight (%d) below connections (%d)", c.MaxInflight, c.Connections)
+	}
+	if c.Setup.Fragments == 0 {
+		c.Setup.Fragments = 200
+	}
+	if c.Setup.Reads == 0 {
+		c.Setup.Reads = 2 * c.Setup.Fragments
+	}
+	if c.Setup.Groups == 0 {
+		c.Setup.Groups = 10
+	}
+	if c.Setup.KmerK == 0 {
+		c.Setup.KmerK = 8
+	}
+	if c.Setup.Fragments < 1 || c.Setup.Reads < 1 || c.Setup.Groups < 1 || c.Setup.KmerK < 4 {
+		return fmt.Errorf("loadgen: setup sizes must be positive (kmer_k >= 4)")
+	}
+	names := map[string]bool{}
+	for i := range c.Scenarios {
+		s := &c.Scenarios[i]
+		if !validKinds[s.Kind] {
+			return fmt.Errorf("loadgen: scenario %d: unknown kind %q", i, s.Kind)
+		}
+		if s.Name == "" {
+			s.Name = s.Kind
+		}
+		if names[s.Name] {
+			return fmt.Errorf("loadgen: duplicate scenario name %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.Rate <= 0 {
+			return fmt.Errorf("loadgen: scenario %q: rate must be positive", s.Name)
+		}
+		if s.TimeoutMS == 0 {
+			s.TimeoutMS = 2000
+		}
+		if s.TimeoutMS < 0 {
+			return fmt.Errorf("loadgen: scenario %q: timeout_ms must be positive", s.Name)
+		}
+	}
+	if c.Chaos != nil {
+		switch c.Chaos.Kind {
+		case ChaosKill:
+			if c.Chaos.RecoverySLOSeconds <= 0 {
+				c.Chaos.RecoverySLOSeconds = 15
+			}
+		case ChaosLatency:
+			if c.Chaos.LatencyMS <= 0 {
+				return fmt.Errorf("loadgen: latency chaos needs latency_ms")
+			}
+			if c.Chaos.LatencyRatio == 0 {
+				c.Chaos.LatencyRatio = 1
+			}
+			if c.Chaos.LatencyRatio < 0 || c.Chaos.LatencyRatio > 1 {
+				return fmt.Errorf("loadgen: latency_ratio must be in (0, 1]")
+			}
+		default:
+			return fmt.Errorf("loadgen: unknown chaos kind %q", c.Chaos.Kind)
+		}
+	}
+	return nil
+}
+
+// ScaleRates multiplies every scenario rate by f — the smoke-scale knob.
+func (c *Config) ScaleRates(f float64) {
+	for i := range c.Scenarios {
+		c.Scenarios[i].Rate *= f
+	}
+}

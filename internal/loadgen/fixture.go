@@ -1,0 +1,121 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Fixture is the seeded dataset the scenarios query: three related tables
+// (DNA fragments with a genomic index, reads, groups) plus an append-only
+// events table the DML scenario writes into. Generation is deterministic
+// from (Seed, SetupConfig), so a run with Setup.Skip still knows the real
+// ids, sequence patterns, and group keys without touching the daemon.
+type Fixture struct {
+	cfg SetupConfig
+	// DDL+DML statements that build the dataset, in order.
+	Statements []string
+	// Patterns are substrings of real fragment sequences, long enough for
+	// the genomic index (k+8), for contains() searches that hit rows.
+	Patterns []string
+	// IDs are the fragment ids for point lookups.
+	IDs []string
+	// Sources are the distinct lg_frags.src values dashboards group by.
+	Sources []string
+}
+
+var fixtureSources = []string{"genbank", "embl", "ddbj", "pdb"}
+
+// NewFixture generates the deterministic fixture for cfg.
+func NewFixture(seed int64, cfg SetupConfig) *Fixture {
+	r := rand.New(rand.NewSource(seed ^ 0x6c6f6164)) // "load"
+	letters := []byte("ACGT")
+	randSeq := func(n int) string {
+		var sb strings.Builder
+		sb.Grow(n)
+		for i := 0; i < n; i++ {
+			sb.WriteByte(letters[r.Intn(4)])
+		}
+		return sb.String()
+	}
+
+	f := &Fixture{cfg: cfg, Sources: fixtureSources}
+	add := func(s string) { f.Statements = append(f.Statements, s) }
+
+	add(`CREATE TABLE lg_frags (id string NOT NULL, src string, quality float, flen int, fragment dna)`)
+	add(`CREATE INDEX ON lg_frags (id)`)
+	add(fmt.Sprintf(`CREATE GENOMIC INDEX ON lg_frags (fragment) USING %d`, cfg.KmerK))
+
+	patEvery := cfg.Fragments/16 + 1
+	var rows []string
+	flush := func(table string) {
+		if len(rows) > 0 {
+			add(fmt.Sprintf("INSERT INTO %s VALUES %s", table, strings.Join(rows, ", ")))
+			rows = nil
+		}
+	}
+	for i := 0; i < cfg.Fragments; i++ {
+		id := fmt.Sprintf("LF%05d", i)
+		flen := 80 + (i%9)*20
+		seq := randSeq(flen)
+		if i%patEvery == 0 {
+			patLen := cfg.KmerK + 8
+			start := r.Intn(flen - patLen)
+			f.Patterns = append(f.Patterns, seq[start:start+patLen])
+		}
+		f.IDs = append(f.IDs, id)
+		rows = append(rows, fmt.Sprintf(`('%s', '%s', %0.3f, %d, dna('%s', '%s'))`,
+			id, fixtureSources[i%len(fixtureSources)], r.Float64(), flen, id, seq))
+		if len(rows) == 16 {
+			flush("lg_frags")
+		}
+	}
+	flush("lg_frags")
+
+	add(`CREATE TABLE lg_reads (rid int NOT NULL, frag_id string, score float, grp int)`)
+	add(`CREATE INDEX ON lg_reads (frag_id)`)
+	for i := 0; i < cfg.Reads; i++ {
+		rows = append(rows, fmt.Sprintf(`(%d, '%s', %0.3f, %d)`,
+			i, f.IDs[r.Intn(len(f.IDs))], r.Float64()*10, r.Intn(cfg.Groups)))
+		if len(rows) == 32 {
+			flush("lg_reads")
+		}
+	}
+	flush("lg_reads")
+
+	add(`CREATE TABLE lg_groups (grp int NOT NULL, label string, weight float)`)
+	add(`CREATE INDEX ON lg_groups (grp)`)
+	for g := 0; g < cfg.Groups; g++ {
+		rows = append(rows, fmt.Sprintf(`(%d, 'G%02d', %0.2f)`, g, g, 0.5+r.Float64()))
+		if len(rows) == 32 {
+			flush("lg_groups")
+		}
+	}
+	flush("lg_groups")
+
+	add(`CREATE TABLE lg_events (eid int NOT NULL, scenario string, val float)`)
+	// Feed the planner measured statistics so scenario queries run on the
+	// same access paths a warmed production daemon would choose.
+	add(`ANALYZE lg_frags`)
+	add(`ANALYZE lg_reads`)
+	add(`ANALYZE lg_groups`)
+	return f
+}
+
+// Apply runs the fixture statements through exec (a wire client's Exec,
+// or an engine's, in tests).
+func (f *Fixture) Apply(exec func(sql string) error) error {
+	for _, s := range f.Statements {
+		if err := exec(s); err != nil {
+			return fmt.Errorf("loadgen: fixture statement %q: %w", truncSQL(s), err)
+		}
+	}
+	return nil
+}
+
+func truncSQL(s string) string {
+	if len(s) > 60 {
+		return s[:57] + "..."
+	}
+	return s
+}

@@ -1,0 +1,415 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"genalg/internal/adapter"
+	"genalg/internal/db"
+	"genalg/internal/genalgd"
+	"genalg/internal/genops"
+	"genalg/internal/obs"
+	"genalg/internal/sqlang"
+)
+
+func TestConfigParseDefaults(t *testing.T) {
+	cfg, err := Parse([]byte(`{
+		"duration_seconds": 2,
+		"scenarios": [
+			{"kind": "point_lookup", "rate": 10},
+			{"kind": "dashboard", "rate": 5, "timeout_ms": 500}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Connections != 32 || cfg.MaxInflight != 256 {
+		t.Fatalf("pool defaults = %d/%d, want 32/256", cfg.Connections, cfg.MaxInflight)
+	}
+	if cfg.Setup.Fragments != 200 || cfg.Setup.Reads != 400 || cfg.Setup.Groups != 10 || cfg.Setup.KmerK != 8 {
+		t.Fatalf("setup defaults = %+v", cfg.Setup)
+	}
+	if cfg.Scenarios[0].Name != "point_lookup" {
+		t.Fatalf("name default = %q, want kind", cfg.Scenarios[0].Name)
+	}
+	if cfg.Scenarios[0].TimeoutMS != 2000 || cfg.Scenarios[1].TimeoutMS != 500 {
+		t.Fatalf("timeouts = %d/%d", cfg.Scenarios[0].TimeoutMS, cfg.Scenarios[1].TimeoutMS)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	bad := []string{
+		`{"duration_seconds": 0, "scenarios": [{"kind": "dashboard", "rate": 1}]}`,
+		`{"duration_seconds": 1, "scenarios": []}`,
+		`{"duration_seconds": 1, "scenarios": [{"kind": "nope", "rate": 1}]}`,
+		`{"duration_seconds": 1, "scenarios": [{"kind": "dashboard", "rate": 0}]}`,
+		`{"duration_seconds": 1, "scenarios": [{"kind": "dashboard", "rate": 1}, {"kind": "dashboard", "rate": 1}]}`,
+		`{"duration_seconds": 1, "scenarios": [{"kind": "dashboard", "rate": 1}], "chaos": {"kind": "weird"}}`,
+		`{"duration_seconds": 1, "scenarios": [{"kind": "dashboard", "rate": 1}], "chaos": {"kind": "latency"}}`,
+	}
+	for _, src := range bad {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("Parse(%s) = nil error, want rejection", src)
+		}
+	}
+}
+
+func TestDefaultConfigCoversAllKinds(t *testing.T) {
+	cfg := DefaultConfig()
+	seen := map[string]bool{}
+	for _, s := range cfg.Scenarios {
+		seen[s.Kind] = true
+	}
+	for kind := range validKinds {
+		if !seen[kind] {
+			t.Errorf("default config missing kind %q", kind)
+		}
+	}
+}
+
+func TestFixtureDeterministicAndParsable(t *testing.T) {
+	cfg := SetupConfig{Fragments: 40, Reads: 80, Groups: 5, KmerK: 6}
+	a, b := NewFixture(7, cfg), NewFixture(7, cfg)
+	if len(a.Statements) != len(b.Statements) {
+		t.Fatalf("statement counts differ: %d vs %d", len(a.Statements), len(b.Statements))
+	}
+	for i := range a.Statements {
+		if a.Statements[i] != b.Statements[i] {
+			t.Fatalf("statement %d differs between same-seed fixtures", i)
+		}
+	}
+	if len(a.IDs) != 40 || len(a.Patterns) == 0 {
+		t.Fatalf("ids=%d patterns=%d", len(a.IDs), len(a.Patterns))
+	}
+	for _, s := range a.Statements {
+		if _, err := sqlang.Parse(s); err != nil {
+			t.Fatalf("fixture statement does not parse: %v\n%s", err, s)
+		}
+	}
+	if c := NewFixture(8, cfg); c.Statements[3] == a.Statements[3] {
+		t.Fatal("different seeds produced identical fragment rows")
+	}
+}
+
+func TestStatementGeneratorsDeterministicAndParsable(t *testing.T) {
+	fix := NewFixture(3, SetupConfig{Fragments: 30, Reads: 60, Groups: 4, KmerK: 6})
+	for _, kind := range []string{KindPointLookup, KindKmerSearch, KindDashboard, KindDMLBurst, KindAnalyticScan} {
+		sc := ScenarioConfig{Name: kind, Kind: kind}
+		var idA, idB atomic.Int64
+		a := newStmtGen(sc, fix, 11, &idA)
+		b := newStmtGen(sc, fix, 11, &idB)
+		for i := 0; i < 25; i++ {
+			sa, sb := a.Next(), b.Next()
+			if sa != sb {
+				t.Fatalf("%s: same-seed generators diverged at %d:\n%s\n%s", kind, i, sa, sb)
+			}
+			if _, err := sqlang.Parse(sa); err != nil {
+				t.Fatalf("%s statement does not parse: %v\n%s", kind, err, sa)
+			}
+		}
+	}
+}
+
+func TestEvalSLO(t *testing.T) {
+	sr := &ScenarioReport{
+		Requests: 1000, OK: 980, Errors: 5, Timeouts: 5, Dropped: 10,
+		P50MS: 12, P95MS: 80, P99MS: 240,
+	}
+	checks, ok := evalSLO(SLOConfig{P50MS: 50, P95MS: 100, P99MS: 300, MaxErrorRatio: 0.02, MaxTimeoutRatio: 0.01}, sr)
+	if !ok {
+		t.Fatalf("want pass, got %+v", checks)
+	}
+	if len(checks) != 5 {
+		t.Fatalf("got %d checks, want 5", len(checks))
+	}
+
+	// p95 over budget fails only that check.
+	checks, ok = evalSLO(SLOConfig{P95MS: 50, MaxErrorRatio: 0.5}, sr)
+	if ok {
+		t.Fatal("want failure on p95")
+	}
+	var failed []string
+	for _, c := range checks {
+		if !c.OK {
+			failed = append(failed, c.Name)
+		}
+	}
+	if len(failed) != 1 || failed[0] != "p95_ms" {
+		t.Fatalf("failed checks = %v, want [p95_ms]", failed)
+	}
+
+	// Zero fields are unchecked.
+	checks, ok = evalSLO(SLOConfig{}, sr)
+	if !ok || len(checks) != 0 {
+		t.Fatalf("empty SLO: ok=%v checks=%v", ok, checks)
+	}
+
+	// A scenario with zero completed requests cannot pass.
+	if _, ok := evalSLO(SLOConfig{}, &ScenarioReport{Requests: 10}); ok {
+		t.Fatal("zero completions must fail")
+	}
+}
+
+func TestParseServerOps(t *testing.T) {
+	src := `{
+		"counters": {"genalgd.sessions.total": 3},
+		"histograms": {
+			"genalgd.op.exec.seconds": {
+				"count": 4, "sum": 0.2,
+				"buckets": [{"le": 0.01, "n": 2}, {"le": 0.1, "n": 2}, {"le": "+Inf", "n": 0}]
+			},
+			"loadgen.scenario.x.seconds": {"count": 1, "sum": 1, "buckets": [{"le": "+Inf", "n": 1}]}
+		}
+	}`
+	ops, err := parseServerOps(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 {
+		t.Fatalf("ops = %v, want only the genalgd.op.* series", ops)
+	}
+	ex := ops["exec"]
+	if ex.Count != 4 {
+		t.Fatalf("exec count = %d", ex.Count)
+	}
+	if ex.P50MS <= 0 || ex.P50MS > 10 || ex.P99MS > 100 {
+		t.Fatalf("exec quantiles = %+v", ex)
+	}
+}
+
+// smallConfig is an e2e mix sized for CI: three scenario kinds, low
+// rates, generous SLOs (the assertion under test is plumbing, not the
+// container's latency).
+func smallConfig(seed int64) *Config {
+	cfg := &Config{
+		Seed:            seed,
+		DurationSeconds: 1.5,
+		Connections:     4,
+		Setup:           SetupConfig{Fragments: 30, Reads: 60, Groups: 4, KmerK: 6},
+		Scenarios: []ScenarioConfig{
+			{Kind: KindPointLookup, Rate: 30, SLO: SLOConfig{P95MS: 1500, MaxErrorRatio: 0.05}},
+			{Kind: KindDashboard, Rate: 15, SLO: SLOConfig{P95MS: 1500, MaxErrorRatio: 0.05}},
+			{Kind: KindDMLBurst, Rate: 10, SLO: SLOConfig{P95MS: 1500, MaxErrorRatio: 0.05}},
+		},
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	srv, ln := newDaemon(t, nil)
+	addr := ln.Addr().String()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		<-serveDone
+	})
+	return addr
+}
+
+func newDaemon(t *testing.T, fixture *Fixture) (*genalgd.Server, net.Listener) {
+	t.Helper()
+	d, err := db.OpenMemory(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adapter.Install(d, genops.NewKernel()); err != nil {
+		t.Fatal(err)
+	}
+	eng := sqlang.NewEngine(d)
+	if fixture != nil {
+		if err := fixture.Apply(func(sql string) error {
+			_, err := eng.Exec(sql)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := genalgd.New(genalgd.Config{Engine: eng, Registry: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, ln
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e load run")
+	}
+	addr := startDaemon(t)
+	cfg := smallConfig(42)
+	r := NewRunner(cfg, addr)
+	r.Logf = t.Logf
+	if err := r.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("report:\n%s", buf.String())
+	if !rep.OK {
+		t.Fatalf("run failed SLOs:\n%s", buf.String())
+	}
+	if len(rep.Scenarios) != 3 {
+		t.Fatalf("got %d scenario reports", len(rep.Scenarios))
+	}
+	for _, s := range rep.Scenarios {
+		if s.Requests == 0 || s.OK == 0 {
+			t.Fatalf("scenario %s saw no traffic: %+v", s.Name, s)
+		}
+		if s.P95MS <= 0 {
+			t.Fatalf("scenario %s has empty latency histogram", s.Name)
+		}
+	}
+
+	// Snapshot: schema-versioned, stamped, loads back.
+	dir := t.TempDir()
+	path, err := rep.WriteSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_e18.json" {
+		t.Fatalf("snapshot path = %s", path)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, []byte("{\n  \"schema_version\":")) {
+		t.Fatalf("snapshot does not lead with schema_version:\n%.120s", raw)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion == 0 || back.Experiment != "e18" || !back.OK {
+		t.Fatalf("snapshot round-trip: version=%d experiment=%q ok=%v",
+			back.SchemaVersion, back.Experiment, back.OK)
+	}
+}
+
+func TestRunChaosKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e chaos run")
+	}
+	srv, ln := newDaemon(t, nil)
+	addr := ln.Addr().String()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	cfg := smallConfig(43)
+	cfg.DurationSeconds = 3
+	cfg.Chaos = &ChaosConfig{Kind: ChaosKill, RecoverySLOSeconds: 2}
+	for i := range cfg.Scenarios {
+		// The outage inflates tail latency; this test gates on recovery.
+		cfg.Scenarios[i].SLO = SLOConfig{MaxErrorRatio: 0.05}
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRunner(cfg, addr)
+	r.Logf = t.Logf
+	if err := r.Setup(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-run: hard-stop the daemon (connections die like a kill -9), then
+	// bring a fresh one up on the same address with the fixture re-applied
+	// — the crash-restart shape the smoke script exercises for real.
+	type restart struct {
+		srv *genalgd.Server
+		err error
+	}
+	restartDone := make(chan restart, 1)
+	go func() {
+		time.Sleep(800 * time.Millisecond)
+		srv.Close()
+		<-serveDone
+		time.Sleep(300 * time.Millisecond)
+		srv2, err := newDaemonOnAddr(addr, r.Fixture())
+		restartDone <- restart{srv2, err}
+	}()
+
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-restartDone
+	if res.err != nil {
+		t.Fatalf("restart: %v", res.err)
+	}
+	defer res.srv.Close()
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	t.Logf("report:\n%s", buf.String())
+
+	c := rep.Chaos
+	if c == nil {
+		t.Fatal("no chaos report")
+	}
+	if !c.OutageObserved || !c.Recovered {
+		t.Fatalf("chaos = %+v, want observed+recovered", c)
+	}
+	if c.RecoverySeconds <= 0 || c.RecoverySeconds > c.RecoverySLOSeconds {
+		t.Fatalf("recovery %.2fs outside (0, %.2fs]", c.RecoverySeconds, c.RecoverySLOSeconds)
+	}
+	if !rep.OK {
+		t.Fatalf("run failed:\n%s", buf.String())
+	}
+}
+
+// newDaemonOnAddr rebuilds a seeded daemon on a fixed address (the chaos
+// restart path; retries briefly while the old socket drains).
+func newDaemonOnAddr(addr string, fixture *Fixture) (*genalgd.Server, error) {
+	d, err := db.OpenMemory(512)
+	if err != nil {
+		return nil, err
+	}
+	if err := adapter.Install(d, genops.NewKernel()); err != nil {
+		return nil, err
+	}
+	eng := sqlang.NewEngine(d)
+	if err := fixture.Apply(func(sql string) error {
+		_, err := eng.Exec(sql)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	srv, err := genalgd.New(genalgd.Config{Engine: eng, Registry: obs.New()})
+	if err != nil {
+		return nil, err
+	}
+	var ln net.Listener
+	for i := 0; i < 40; i++ {
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln)
+	return srv, nil
+}

@@ -1,0 +1,98 @@
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"genalg/internal/wire"
+)
+
+// pool is a bounded set of wire clients. Acquire blocks while all
+// Connections slots are busy (in-flight backpressure is the MaxInflight
+// cap upstream, not the pool), dials lazily, and discards broken
+// connections on release — the next acquire redials.
+type pool struct {
+	addr        string
+	dialTimeout time.Duration
+
+	slots chan struct{}
+	mu    sync.Mutex
+	idle  []*wire.Client
+	done  bool
+}
+
+func newPool(addr string, size int, dialTimeout time.Duration) *pool {
+	p := &pool{addr: addr, dialTimeout: dialTimeout, slots: make(chan struct{}, size)}
+	for i := 0; i < size; i++ {
+		p.slots <- struct{}{}
+	}
+	return p
+}
+
+// acquire returns a healthy client, dialing if no idle one exists, or an
+// error after deadline (slot wait + dial are both bounded by it).
+func (p *pool) acquire(deadline time.Time) (*wire.Client, error) {
+	wait := time.Until(deadline)
+	if wait <= 0 {
+		return nil, fmt.Errorf("loadgen: pool acquire deadline passed")
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-p.slots:
+	case <-timer.C:
+		return nil, &acquireTimeoutError{}
+	}
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	c, err := wire.Dial(p.addr, p.dialTimeout)
+	if err != nil {
+		p.slots <- struct{}{}
+		return nil, err
+	}
+	return c, nil
+}
+
+// release returns a client to the pool; broken ones are closed instead.
+func (p *pool) release(c *wire.Client, broken bool) {
+	if broken || c.Broken() != nil {
+		c.Close()
+		c = nil
+	}
+	p.mu.Lock()
+	if c != nil && !p.done {
+		c.SetTimeout(0)
+		p.idle = append(p.idle, c)
+	} else if c != nil {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.slots <- struct{}{}
+}
+
+// close drops every idle connection; in-flight ones close on release.
+func (p *pool) close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.done = true
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}
+
+// acquireTimeoutError marks a pool-wait expiry; it satisfies net.Error's
+// Timeout contract so wire.IsTimeout classifies it with request timeouts.
+type acquireTimeoutError struct{}
+
+func (*acquireTimeoutError) Error() string   { return "loadgen: timed out waiting for a connection" }
+func (*acquireTimeoutError) Timeout() bool   { return true }
+func (*acquireTimeoutError) Temporary() bool { return true }

@@ -1,0 +1,329 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"genalg/internal/benchmeta"
+)
+
+// SLOCheck is one asserted bound.
+type SLOCheck struct {
+	Name   string  `json:"name"`
+	Limit  float64 `json:"limit"`
+	Actual float64 `json:"actual"`
+	OK     bool    `json:"ok"`
+}
+
+// ScenarioReport is one scenario's measured outcome.
+type ScenarioReport struct {
+	Name     string  `json:"name"`
+	Kind     string  `json:"kind"`
+	RateWant float64 `json:"rate_offered"`
+	RateGot  float64 `json:"rate_achieved"`
+
+	Requests int64 `json:"requests"`
+	OK       int64 `json:"ok"`
+	Errors   int64 `json:"errors"`
+	Timeouts int64 `json:"timeouts"`
+	Dropped  int64 `json:"dropped"`
+	// OutageErrors are transport failures inside a kill-chaos outage
+	// window; excluded from the error budget (the recovery SLO owns them).
+	OutageErrors int64 `json:"outage_errors,omitempty"`
+
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+
+	SLO   []SLOCheck `json:"slo"`
+	SLOOK bool       `json:"slo_ok"`
+}
+
+// Report is one run's full outcome.
+type Report struct {
+	benchmeta.Stamp
+	Experiment      string              `json:"experiment"`
+	Config          *Config             `json:"config"`
+	DurationSeconds float64             `json:"duration_seconds"`
+	Scenarios       []ScenarioReport    `json:"scenarios"`
+	Chaos           *ChaosReport        `json:"chaos,omitempty"`
+	Server          map[string]OpTiming `json:"server_ops,omitempty"`
+	OK              bool                `json:"ok"`
+}
+
+// OpTiming is a server-side genalgd.op.*.seconds histogram summary,
+// scraped from the daemon's /metrics.json so server-side service time and
+// client-observed latency can be compared in one report.
+type OpTiming struct {
+	Count int64   `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// buildReport evaluates counters, histograms, and SLOs after a run.
+func (r *Runner) buildReport(elapsed time.Duration) *Report {
+	rep := &Report{
+		Stamp:           benchmeta.NewStamp(),
+		Experiment:      "e18",
+		Config:          r.cfg,
+		DurationSeconds: elapsed.Seconds(),
+		Chaos:           r.chaos.report(),
+		OK:              true,
+	}
+	for _, s := range r.scenarios {
+		sr := ScenarioReport{
+			Name:         s.cfg.Name,
+			Kind:         s.cfg.Kind,
+			RateWant:     s.cfg.Rate,
+			Requests:     s.requests.Value(),
+			Errors:       s.errors.Value(),
+			Timeouts:     s.timeouts.Value(),
+			Dropped:      s.dropped.Value(),
+			OutageErrors: s.outage.Value(),
+			OK:           s.lat.Count(),
+			P50MS:        s.lat.Quantile(0.50) * 1000,
+			P95MS:        s.lat.Quantile(0.95) * 1000,
+			P99MS:        s.lat.Quantile(0.99) * 1000,
+			MeanMS:       s.lat.Mean() * 1000,
+		}
+		if elapsed > 0 {
+			sr.RateGot = float64(sr.OK) / elapsed.Seconds()
+		}
+		sr.SLO, sr.SLOOK = evalSLO(s.cfg.SLO, &sr)
+		if !sr.SLOOK {
+			rep.OK = false
+		}
+		rep.Scenarios = append(rep.Scenarios, sr)
+	}
+	if rep.Chaos != nil && !rep.Chaos.OK {
+		rep.OK = false
+	}
+	return rep
+}
+
+// evalSLO asserts cfg's non-zero bounds against the measured scenario.
+func evalSLO(cfg SLOConfig, sr *ScenarioReport) ([]SLOCheck, bool) {
+	var checks []SLOCheck
+	ok := true
+	add := func(name string, limit, actual float64, pass bool) {
+		checks = append(checks, SLOCheck{Name: name, Limit: limit, Actual: actual, OK: pass})
+		if !pass {
+			ok = false
+		}
+	}
+	if cfg.P50MS > 0 {
+		add("p50_ms", cfg.P50MS, round2(sr.P50MS), sr.P50MS <= cfg.P50MS)
+	}
+	if cfg.P95MS > 0 {
+		add("p95_ms", cfg.P95MS, round2(sr.P95MS), sr.P95MS <= cfg.P95MS)
+	}
+	if cfg.P99MS > 0 {
+		add("p99_ms", cfg.P99MS, round2(sr.P99MS), sr.P99MS <= cfg.P99MS)
+	}
+	denom := float64(sr.Requests)
+	if denom == 0 {
+		denom = 1
+	}
+	if cfg.MaxErrorRatio > 0 {
+		ratio := float64(sr.Errors+sr.Dropped) / denom
+		add("error_ratio", cfg.MaxErrorRatio, round4(ratio), ratio <= cfg.MaxErrorRatio)
+	}
+	if cfg.MaxTimeoutRatio > 0 {
+		ratio := float64(sr.Timeouts) / denom
+		add("timeout_ratio", cfg.MaxTimeoutRatio, round4(ratio), ratio <= cfg.MaxTimeoutRatio)
+	}
+	// A scenario that never completed a request cannot claim its latency
+	// SLOs from an empty histogram.
+	if sr.OK == 0 {
+		add("completed_requests", 1, 0, false)
+	}
+	return checks, ok
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+func round4(v float64) float64 { return math.Round(v*10000) / 10000 }
+
+// WriteText renders the human-readable run report.
+func (rep *Report) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "loadgen run: %d scenarios, %.1fs, commit %s\n",
+		len(rep.Scenarios), rep.DurationSeconds, rep.Commit)
+	fmt.Fprintf(w, "%-16s %-14s %9s %8s %7s %7s %7s %9s %9s %9s  %s\n",
+		"scenario", "kind", "offered/s", "ok/s", "err", "tmo", "drop", "p50ms", "p95ms", "p99ms", "slo")
+	for i := range rep.Scenarios {
+		s := &rep.Scenarios[i]
+		verdict := "PASS"
+		if !s.SLOOK {
+			verdict = "FAIL"
+			for _, c := range s.SLO {
+				if !c.OK {
+					verdict += fmt.Sprintf(" %s=%.4g>%.4g", c.Name, c.Actual, c.Limit)
+				}
+			}
+		}
+		fmt.Fprintf(w, "%-16s %-14s %9.1f %8.1f %7d %7d %7d %9.2f %9.2f %9.2f  %s\n",
+			s.Name, s.Kind, s.RateWant, s.RateGot, s.Errors, s.Timeouts, s.Dropped,
+			s.P50MS, s.P95MS, s.P99MS, verdict)
+		if s.OutageErrors > 0 {
+			fmt.Fprintf(w, "%-16s   (%d outage errors excluded from the error budget)\n", "", s.OutageErrors)
+		}
+	}
+	if rep.Chaos != nil {
+		c := rep.Chaos
+		verdict := "FAIL"
+		if c.OK {
+			verdict = "PASS"
+		}
+		fmt.Fprintf(w, "chaos %-10s %s: %s", c.Kind, verdict, c.Verdict)
+		if c.Recovered {
+			fmt.Fprintf(w, " (recovered in %.2fs, SLO %.2fs)", c.RecoverySeconds, c.RecoverySLOSeconds)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(rep.Server) > 0 {
+		fmt.Fprintf(w, "server-side op latency (genalgd.op.*.seconds):\n")
+		ops := make([]string, 0, len(rep.Server))
+		for op := range rep.Server {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			t := rep.Server[op]
+			fmt.Fprintf(w, "  %-10s count=%-8d p50=%.2fms p95=%.2fms p99=%.2fms\n",
+				op, t.Count, t.P50MS, t.P95MS, t.P99MS)
+		}
+	}
+	overall := "OK: all SLOs met"
+	if !rep.OK {
+		overall = "FAILED: SLO violations above"
+	}
+	_, err := fmt.Fprintln(w, overall)
+	return err
+}
+
+// WriteJSON writes the schema-versioned snapshot (BENCH_e18.json body).
+func (rep *Report) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(buf, '\n'))
+	return err
+}
+
+// WriteSnapshot persists the snapshot as BENCH_e18.json under dir.
+func (rep *Report) WriteSnapshot(dir string) (string, error) {
+	path := filepath.Join(dir, "BENCH_e18.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// ScrapeServerOps fetches the daemon's /metrics.json from an obs HTTP
+// server and folds the genalgd.op.*.seconds histograms into the report,
+// so client-observed and server-side percentiles sit side by side.
+func (rep *Report) ScrapeServerOps(baseURL string) error {
+	url := strings.TrimRight(baseURL, "/") + "/metrics.json"
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("loadgen: scrape %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: scrape %s: HTTP %d", url, resp.StatusCode)
+	}
+	ops, err := parseServerOps(resp.Body)
+	if err != nil {
+		return err
+	}
+	rep.Server = ops
+	return nil
+}
+
+// parseServerOps decodes obs.WriteJSON output and summarises the
+// genalgd.op.<op>.seconds histograms.
+func parseServerOps(r io.Reader) (map[string]OpTiming, error) {
+	var doc struct {
+		Histograms map[string]struct {
+			Count   int64 `json:"count"`
+			Buckets []struct {
+				Le any   `json:"le"`
+				N  int64 `json:"n"`
+			} `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("loadgen: bad metrics.json: %w", err)
+	}
+	ops := map[string]OpTiming{}
+	for name, h := range doc.Histograms {
+		const prefix, suffix = "genalgd.op.", ".seconds"
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		op := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+		bounds := make([]float64, 0, len(h.Buckets))
+		counts := make([]int64, 0, len(h.Buckets))
+		for _, b := range h.Buckets {
+			le := math.Inf(1)
+			if f, ok := b.Le.(float64); ok {
+				le = f
+			}
+			bounds = append(bounds, le)
+			counts = append(counts, b.N)
+		}
+		q := func(p float64) float64 { return bucketQuantile(bounds, counts, h.Count, p) * 1000 }
+		ops[op] = OpTiming{Count: h.Count, P50MS: round2(q(0.50)), P95MS: round2(q(0.95)), P99MS: round2(q(0.99))}
+	}
+	return ops, nil
+}
+
+// bucketQuantile mirrors obs's interpolation over decoded snapshot
+// buckets (per-bucket counts, +Inf last).
+func bucketQuantile(bounds []float64, counts []int64, n int64, q float64) float64 {
+	if n == 0 || len(bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(n)
+	lastFinite := 0.0
+	for _, b := range bounds {
+		if !math.IsInf(b, 1) {
+			lastFinite = b
+		}
+	}
+	lo := 0.0
+	var cum int64
+	for i, b := range bounds {
+		prev := cum
+		cum += counts[i]
+		if float64(cum) >= rank {
+			if math.IsInf(b, 1) {
+				return lastFinite
+			}
+			if counts[i] == 0 {
+				return b
+			}
+			return lo + (b-lo)*(rank-float64(prev))/float64(counts[i])
+		}
+		if !math.IsInf(b, 1) {
+			lo = b
+		}
+	}
+	return lastFinite
+}

@@ -1,0 +1,232 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"genalg/internal/obs"
+	"genalg/internal/wire"
+)
+
+// latencyBuckets resolves sub-millisecond to multi-second client-observed
+// latencies (seconds); finer than obs.DurationBuckets so p95/p99
+// interpolation stays honest at SLO scale.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// scenarioState is one running workload stream: its statement generator
+// and its slice of the private metrics registry.
+type scenarioState struct {
+	cfg ScenarioConfig
+	gen *stmtGen
+
+	lat      *obs.Histogram
+	requests *obs.Counter
+	errors   *obs.Counter
+	timeouts *obs.Counter
+	dropped  *obs.Counter
+	outage   *obs.Counter
+}
+
+// Runner drives one configured load run against a genalgd address.
+type Runner struct {
+	cfg  *Config
+	addr string
+
+	// Registry receives the run's client-side metrics; a fresh private
+	// registry per run (scenario series would collide across runs in the
+	// process-wide default).
+	reg *obs.Registry
+
+	pool      *pool
+	chaos     *chaosState
+	inflight  chan struct{}
+	scenarios []*scenarioState
+	fixture   *Fixture
+	eventID   atomic.Int64
+
+	// Logf, when set, receives progress lines (cmd/loadgen points it at
+	// stderr; tests capture it).
+	Logf func(format string, args ...any)
+}
+
+// NewRunner validates nothing — cfg must already be Validated.
+func NewRunner(cfg *Config, addr string) *Runner {
+	r := &Runner{
+		cfg:      cfg,
+		addr:     addr,
+		reg:      obs.New(),
+		chaos:    newChaosState(cfg.Chaos, cfg.Seed),
+		inflight: make(chan struct{}, cfg.MaxInflight),
+	}
+	fix := NewFixture(cfg.Seed, cfg.Setup)
+	for i, sc := range cfg.Scenarios {
+		name := metricSegment(sc.Name)
+		r.scenarios = append(r.scenarios, &scenarioState{
+			cfg:      sc,
+			gen:      newStmtGen(sc, fix, cfg.Seed+int64(i)*7919, &r.eventID),
+			lat:      r.reg.Histogram(obs.Join("loadgen.scenario", name, "seconds"), latencyBuckets...),
+			requests: r.reg.Counter(obs.Join("loadgen.scenario", name, "requests")),
+			errors:   r.reg.Counter(obs.Join("loadgen.scenario", name, "errors")),
+			timeouts: r.reg.Counter(obs.Join("loadgen.scenario", name, "timeouts")),
+			dropped:  r.reg.Counter(obs.Join("loadgen.scenario", name, "dropped")),
+			outage:   r.reg.Counter(obs.Join("loadgen.scenario", name, "outage_errors")),
+		})
+	}
+	r.fixture = fix
+	return r
+}
+
+// fixture is kept for Setup and tests.
+func (r *Runner) Fixture() *Fixture { return r.fixture }
+
+// Registry exposes the run's private metrics registry (reports, tests).
+func (r *Runner) Registry() *obs.Registry { return r.reg }
+
+// Setup applies the fixture over one wire connection unless Setup.Skip.
+func (r *Runner) Setup() error {
+	if r.cfg.Setup.Skip {
+		return nil
+	}
+	c, err := wire.Dial(r.addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("loadgen: setup dial: %w", err)
+	}
+	defer c.Close()
+	c.SetTimeout(30 * time.Second)
+	return r.fixture.Apply(func(sql string) error {
+		_, err := c.Exec(sql)
+		return err
+	})
+}
+
+// Run generates open-loop load for the configured duration and returns
+// the evaluated report. Setup must have been applied (or skipped).
+func (r *Runner) Run() (*Report, error) {
+	r.pool = newPool(r.addr, r.cfg.Connections, 2*time.Second)
+	defer r.pool.close()
+
+	stop := make(chan struct{})
+	if r.chaos != nil {
+		go r.chaos.probe(r.addr, 25*time.Millisecond, stop)
+	}
+
+	start := time.Now()
+	end := start.Add(time.Duration(r.cfg.DurationSeconds * float64(time.Second)))
+	var wg sync.WaitGroup
+	for i, s := range r.scenarios {
+		wg.Add(1)
+		go func(i int, s *scenarioState) {
+			defer wg.Done()
+			r.arrivalLoop(s, rand.New(rand.NewSource(r.cfg.Seed+int64(i)*104729)), end, &wg)
+		}(i, s)
+	}
+	wg.Wait()
+	close(stop)
+	elapsed := time.Since(start)
+	r.logf("loadgen: run complete in %v", elapsed.Round(time.Millisecond))
+	return r.buildReport(elapsed), nil
+}
+
+// arrivalLoop schedules Poisson arrivals for one scenario until end.
+// Requests run in their own goroutines (registered on wg) so a slow
+// server never throttles the offered rate — the open-loop contract.
+func (r *Runner) arrivalLoop(s *scenarioState, rng *rand.Rand, end time.Time, wg *sync.WaitGroup) {
+	next := time.Now()
+	for {
+		// Exponential inter-arrival with mean 1/rate.
+		next = next.Add(time.Duration(rng.ExpFloat64() / s.cfg.Rate * float64(time.Second)))
+		if next.After(end) {
+			return
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		s.requests.Inc()
+		select {
+		case r.inflight <- struct{}{}:
+		default:
+			// Backlog cap reached: shed, and record that we shed.
+			s.dropped.Inc()
+			continue
+		}
+		wg.Add(1)
+		scheduled := next
+		go func() {
+			defer wg.Done()
+			defer func() { <-r.inflight }()
+			r.oneRequest(s, scheduled)
+		}()
+	}
+}
+
+// oneRequest executes one arrival: acquire a connection, run the
+// scenario's next statement under its deadline, classify the outcome.
+// Latency is measured from the scheduled arrival, so connection-wait and
+// backlog delay count — what a real client would see.
+func (r *Runner) oneRequest(s *scenarioState, scheduled time.Time) {
+	if d := r.chaos.injectDelay(); d > 0 {
+		time.Sleep(d)
+	}
+	deadline := scheduled.Add(s.cfg.Timeout())
+	c, err := r.pool.acquire(deadline)
+	if err != nil {
+		r.classify(s, err, time.Now())
+		return
+	}
+	c.SetTimeout(time.Until(deadline))
+	_, err = c.Exec(s.gen.Next())
+	now := time.Now()
+	r.pool.release(c, err != nil && wire.IsTransport(err))
+	if err != nil {
+		r.classify(s, err, now)
+		return
+	}
+	r.chaos.noteSuccess(now)
+	s.lat.Observe(now.Sub(scheduled).Seconds())
+}
+
+// classify books one failed request into the scenario's counters.
+func (r *Runner) classify(s *scenarioState, err error, at time.Time) {
+	if r.chaos.noteError(err, at) {
+		s.outage.Inc()
+		return
+	}
+	if wire.IsTimeout(err) {
+		s.timeouts.Inc()
+		return
+	}
+	s.errors.Inc()
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// metricSegment sanitises a scenario name into a metric-name segment:
+// lowercase letters, digits, and underscores, never empty.
+func metricSegment(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		ch := name[i]
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= '0' && ch <= '9', ch == '_':
+			out = append(out, ch)
+		case ch >= 'A' && ch <= 'Z':
+			out = append(out, ch+('a'-'A'))
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 || !(out[0] >= 'a' && out[0] <= 'z') {
+		out = append([]byte("s_"), out...)
+	}
+	return string(out)
+}

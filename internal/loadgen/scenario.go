@@ -1,0 +1,76 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// stmtGen produces the statement stream for one scenario. Draws are
+// seeded per scenario, so the offered workload is reproducible; Next is
+// called from request goroutines and locks around the RNG.
+type stmtGen struct {
+	kind string
+	name string
+	fix  *Fixture
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// eventID numbers dml_burst inserts; shared across scenarios so ids
+	// stay distinct when several DML streams run at once.
+	eventID *atomic.Int64
+}
+
+func newStmtGen(s ScenarioConfig, fix *Fixture, seed int64, eventID *atomic.Int64) *stmtGen {
+	return &stmtGen{
+		kind:    s.Kind,
+		name:    s.Name,
+		fix:     fix,
+		rng:     rand.New(rand.NewSource(seed)),
+		eventID: eventID,
+	}
+}
+
+// Next returns the scenario's next statement.
+func (g *stmtGen) Next() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch g.kind {
+	case KindPointLookup:
+		id := g.fix.IDs[g.rng.Intn(len(g.fix.IDs))]
+		return fmt.Sprintf(`SELECT id, src, quality, flen FROM lg_frags WHERE id = '%s'`, id)
+
+	case KindKmerSearch:
+		pat := g.fix.Patterns[g.rng.Intn(len(g.fix.Patterns))]
+		return fmt.Sprintf(`SELECT id FROM lg_frags WHERE contains(fragment, '%s')`, pat)
+
+	case KindDashboard:
+		// The BiQL dashboard tiles: grouped aggregates over sources,
+		// groups, and the live event stream.
+		switch g.rng.Intn(3) {
+		case 0:
+			return `SELECT src, COUNT(*), AVG(quality) FROM lg_frags GROUP BY src`
+		case 1:
+			return `SELECT grp, COUNT(*), AVG(score) FROM lg_reads GROUP BY grp ORDER BY grp LIMIT 10`
+		default:
+			return `SELECT COUNT(*) FROM lg_events`
+		}
+
+	case KindDMLBurst:
+		n := g.eventID.Add(1)
+		return fmt.Sprintf(`INSERT INTO lg_events VALUES (%d, '%s', %0.3f)`,
+			n, g.name, g.rng.Float64())
+
+	case KindAnalyticScan:
+		// Deliberately heavy: a join + aggregate over the fact table, or
+		// a UDF full scan the genomic index cannot help with.
+		if g.rng.Intn(2) == 0 {
+			return `SELECT lg_groups.label, COUNT(*), AVG(lg_reads.score) FROM lg_reads JOIN lg_groups ON lg_reads.grp = lg_groups.grp GROUP BY lg_groups.label`
+		}
+		return fmt.Sprintf(`SELECT COUNT(*) FROM lg_frags WHERE gccontent(fragment) > %0.2f`,
+			0.3+g.rng.Float64()*0.2)
+	}
+	panic("loadgen: unreachable kind " + g.kind) // Validate rejects unknown kinds
+}

@@ -163,3 +163,66 @@ func TestJoin(t *testing.T) {
 		t.Fatalf("Join = %q", got)
 	}
 }
+
+// TestHistogramQuantileEdgeCases pins the estimator's behaviour at the
+// boundaries loadgen's percentile reporting leans on: empty histograms,
+// q=0/q=1, out-of-range q, and observations past the last finite bound.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	r := New()
+
+	empty := r.Histogram("t.empty.seconds", 1, 10)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// One bucket layout {1, 10, +Inf}; 10 observations all in (1, 10].
+	h := r.Histogram("t.mid.seconds", 1, 10)
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	// q=0 has rank 0, satisfied by the empty first bucket: its upper
+	// bound is the estimate.
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1 (first bucket bound)", got)
+	}
+	// q=1 lands at the top of the occupied bucket.
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("Quantile(1) = %v, want 10", got)
+	}
+	// Median interpolates linearly inside (1, 10].
+	if got := h.Quantile(0.5); got <= 1 || got > 10 {
+		t.Errorf("Quantile(0.5) = %v, want within (1, 10]", got)
+	}
+	// Out-of-range q clamps rather than extrapolating.
+	if got, want := h.Quantile(-3), h.Quantile(0); got != want {
+		t.Errorf("Quantile(-3) = %v, want clamp to Quantile(0) = %v", got, want)
+	}
+	if got, want := h.Quantile(7), h.Quantile(1); got != want {
+		t.Errorf("Quantile(7) = %v, want clamp to Quantile(1) = %v", got, want)
+	}
+
+	// All observations beyond the last finite bound: every quantile is
+	// clamped to that bound — the layout cannot resolve the tail, and the
+	// estimator must say so consistently rather than invent values.
+	over := r.Histogram("t.over.seconds", 1, 10)
+	for i := 0; i < 4; i++ {
+		over.Observe(1e6)
+	}
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := over.Quantile(q); got != 10 {
+			t.Errorf("overflow-only Quantile(%v) = %v, want 10 (last finite bound)", q, got)
+		}
+	}
+
+	// The snapshot-side estimator agrees with the live one.
+	for _, m := range r.Snapshot() {
+		if m.Name != "t.over.seconds" {
+			continue
+		}
+		if got := m.Quantile(0.99); got != 10 {
+			t.Errorf("snapshot Quantile(0.99) = %v, want 10", got)
+		}
+	}
+}

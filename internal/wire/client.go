@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -14,11 +16,19 @@ import (
 // Client is a thin genalgd session: one TCP connection, strictly
 // alternating request/response. Safe for concurrent use; requests are
 // serialized on the connection.
+//
+// Deadlines: SetTimeout bounds every subsequent round trip. Because the
+// protocol is strictly alternating, a transport failure (timeout
+// included) leaves an unconsumed response in flight, so the connection
+// cannot be reused: the client marks itself broken and every later call
+// fails with a *BrokenError wrapping the original cause. Callers redial.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	br     *bufio.Reader
-	nextID uint64
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	nextID  uint64
+	timeout time.Duration
+	broken  error
 	// Banner is the server identification returned by hello.
 	Banner string
 }
@@ -36,19 +46,56 @@ type ErrDraining struct{ msg string }
 
 func (e *ErrDraining) Error() string { return e.msg }
 
+// BrokenError reports a client whose connection is no longer usable: an
+// earlier round trip failed at the transport level (timeout, reset, EOF),
+// leaving the request/response alternation out of step. Cause is the
+// failure that broke it.
+type BrokenError struct{ Cause error }
+
+func (e *BrokenError) Error() string { return fmt.Sprintf("wire: connection broken: %v", e.Cause) }
+
+// Unwrap exposes the breaking failure to errors.Is/As.
+func (e *BrokenError) Unwrap() error { return e.Cause }
+
+// IsTimeout reports whether err is (or was caused by) a request deadline
+// expiring — the per-request timeout set with SetTimeout, or a dial
+// timeout.
+func IsTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// IsTransport reports whether err is a connection-level failure (dial
+// refusal, timeout, reset, EOF, or a previously broken client) rather
+// than a statement error the server answered with. Load drivers use this
+// split to tell an unreachable daemon from a rejected statement.
+func IsTransport(err error) bool {
+	if err == nil {
+		return false
+	}
+	var be *BrokenError
+	var ne net.Error
+	var oe *net.OpError
+	return errors.As(err, &be) || errors.As(err, &ne) || errors.As(err, &oe) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed)
+}
+
 // Dial connects to a genalgd server and performs the hello exchange.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, br: bufio.NewReader(conn)}
+	// The hello exchange is bounded by the dial timeout too — an accepted
+	// connection whose greeting never arrives should not hang the caller.
+	c := &Client{conn: conn, br: bufio.NewReader(conn), timeout: timeout}
 	resp, err := c.roundTrip(&Request{Op: OpHello})
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("wire: hello: %w", err)
 	}
 	c.Banner = resp.Server
+	c.SetTimeout(0)
 	return c, nil
 }
 
@@ -91,9 +138,37 @@ func (c *Client) Ping() error {
 	return err
 }
 
-// Close sends quit and closes the connection.
+// SetTimeout bounds each subsequent round trip (write + read) by d; zero
+// restores blocking reads. A round trip that exceeds the deadline fails
+// with a timeout error (IsTimeout) and breaks the client — the stalled
+// response could still arrive and desynchronise the frame stream, so the
+// connection must be redialed.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
+// Broken returns the transport failure that poisoned this client, or nil
+// while it is still usable.
+func (c *Client) Broken() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+// Close sends quit (when the connection is still healthy) and closes it.
+// The goodbye exchange is bounded by a short deadline of its own — a
+// wedged server must not hang Close.
 func (c *Client) Close() error {
-	_, _ = c.roundTrip(&Request{Op: OpQuit})
+	if c.Broken() == nil {
+		c.mu.Lock()
+		if c.timeout <= 0 || c.timeout > time.Second {
+			c.timeout = time.Second
+		}
+		c.mu.Unlock()
+		_, _ = c.roundTrip(&Request{Op: OpQuit})
+	}
 	return c.conn.Close()
 }
 
@@ -104,13 +179,29 @@ func result(resp *Response) *Result {
 func (c *Client) roundTrip(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken != nil {
+		return nil, &BrokenError{Cause: c.broken}
+	}
+	var deadline time.Time
+	if c.timeout > 0 {
+		deadline = time.Now().Add(c.timeout)
+	}
+	//genalgvet:ignore lockio c.mu is the request serializer: the strictly alternating protocol requires the deadline set, write, and read to happen as one critical section per round trip
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		c.broken = err
+		return nil, err
+	}
 	c.nextID++
 	req.ID = c.nextID
 	if err := WriteMessage(c.conn, req); err != nil {
+		c.broken = err
 		return nil, err
 	}
 	payload, err := ReadFrame(c.br)
 	if err != nil {
+		// The response (if any) is now unrecoverable: a late frame would
+		// answer this request while the next call expects its own.
+		c.broken = err
 		return nil, err
 	}
 	resp, err := decodeResponse(payload)

@@ -3,8 +3,11 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
+	"net"
 	"testing"
+	"time"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -46,6 +49,127 @@ func TestReadFrameTornPayload(t *testing.T) {
 		// io.ReadFull reports the tear; any error is acceptable but it
 		// must not be nil. Document the usual one.
 		t.Logf("torn frame error: %v", err)
+	}
+}
+
+// stallServer accepts connections, answers the hello, then reads requests
+// and never responds — the wedged-daemon shape the client deadline exists
+// for. Returns the listen address.
+func stallServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				req, err := ReadRequest(conn)
+				if err != nil || req.Op != OpHello {
+					return
+				}
+				if err := WriteMessage(conn, &Response{ID: req.ID, Server: "stall/1"}); err != nil {
+					return
+				}
+				for {
+					if _, err := ReadRequest(conn); err != nil {
+						return
+					}
+					// Swallow the request; the response never comes.
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestClientTimeoutBreaksConnection(t *testing.T) {
+	addr := stallServer(t)
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.SetTimeout(50 * time.Millisecond)
+	start := time.Now()
+	_, err = c.Exec("SELECT 1")
+	if err == nil {
+		t.Fatal("Exec against a stalled server succeeded")
+	}
+	if !IsTimeout(err) {
+		t.Fatalf("stalled Exec error %v is not a timeout", err)
+	}
+	if !IsTransport(err) {
+		t.Fatalf("timeout error %v not classified as transport", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, want ~50ms", elapsed)
+	}
+
+	// The alternation is out of step: the client must refuse reuse.
+	if c.Broken() == nil {
+		t.Fatal("client not marked broken after timeout")
+	}
+	_, err = c.Exec("SELECT 1")
+	var be *BrokenError
+	if !errors.As(err, &be) {
+		t.Fatalf("Exec on broken client = %v, want *BrokenError", err)
+	}
+	if !IsTimeout(err) {
+		t.Fatalf("broken error %v should unwrap to the original timeout", err)
+	}
+
+	// A fresh dial to the same server works (the hello still answers).
+	c2, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("redial after timeout: %v", err)
+	}
+	c2.Close()
+}
+
+func TestClientTimeoutClearsForFastResponses(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			req, err := ReadRequest(conn)
+			if err != nil {
+				return
+			}
+			if err := WriteMessage(conn, &Response{ID: req.ID, Server: "fast/1"}); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(250 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if err := c.Ping(); err != nil {
+			t.Fatalf("ping %d under timeout: %v", i, err)
+		}
+	}
+	c.SetTimeout(0)
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after clearing timeout: %v", err)
 	}
 }
 

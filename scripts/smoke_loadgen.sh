@@ -1,0 +1,135 @@
+#!/bin/sh
+# smoke_loadgen.sh drives the population-scale load generator end to end:
+#   1. start genalgd (durable dir, obs HTTP on) and run a short open-loop
+#      mix of four scenario kinds against it with relaxed smoke SLOs,
+#      asserting p95/p99 latency and error/timeout budgets, scraping the
+#      daemon's per-op histograms, and emitting a schema-versioned
+#      BENCH_e18.json snapshot;
+#   2. re-run with a kill chaos expectation: kill -9 the daemon mid-load,
+#      restart it on the same durable directory (WAL recovery restores the
+#      fixture), and require loadgen to measure a recovery time under the
+#      SLO.
+# Run from the repository root: ./scripts/smoke_loadgen.sh (or make smoke-loadgen).
+set -eu
+
+GO=${GO:-go}
+PORT=${PORT:-19948}
+OBS_PORT=${OBS_PORT:-19949}
+ADDR=127.0.0.1:$PORT
+OBS_ADDR=127.0.0.1:$OBS_PORT
+# BENCH_DIR: where the smoke run's BENCH_e18.json lands (CI uploads it).
+BENCH_DIR=${BENCH_DIR:-}
+TMP=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+	[ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "smoke-loadgen: $1"
+	[ -f "$TMP/daemon.log" ] && sed 's/^/  daemon: /' "$TMP/daemon.log"
+	[ -f "$TMP/load1.out" ] && sed 's/^/  load1: /' "$TMP/load1.out"
+	[ -f "$TMP/load2.out" ] && sed 's/^/  load2: /' "$TMP/load2.out"
+	exit 1
+}
+
+echo "smoke-loadgen: building binaries"
+$GO build -o "$TMP/genalgd" ./cmd/genalgd
+$GO build -o "$TMP/genalgsh" ./cmd/genalgsh
+$GO build -o "$TMP/loadgen" ./cmd/loadgen
+
+start_daemon() {
+	"$TMP/genalgd" -addr "$ADDR" -data "$TMP/data" -obs-addr "$OBS_ADDR" \
+		-group-window 200us "$@" >>"$TMP/daemon.log" 2>&1 &
+	DAEMON_PID=$!
+	i=0
+	while ! printf '\\ping\n' | "$TMP/genalgsh" -connect "$ADDR" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ $i -gt 100 ] && fail "daemon did not come up on $ADDR"
+		kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon exited during startup"
+		sleep 0.1
+	done
+}
+
+# Smoke config: four concurrent scenario kinds at CI-scale rates. The SLO
+# bounds are deliberately loose — a loaded CI runner is not a latency
+# reference — but they are real gates: p95/p99 and error/timeout ratios
+# all fail the run if violated.
+cat >"$TMP/smoke.json" <<'EOF'
+{
+  "seed": 20260807,
+  "duration_seconds": 5,
+  "connections": 8,
+  "setup": {"fragments": 60, "reads": 120, "groups": 6, "kmer_k": 6},
+  "scenarios": [
+    {"kind": "point_lookup", "rate": 25,
+     "slo": {"p95_ms": 1000, "p99_ms": 1900, "max_error_ratio": 0.02, "max_timeout_ratio": 0.02}},
+    {"kind": "kmer_search", "rate": 10,
+     "slo": {"p95_ms": 1200, "p99_ms": 1900, "max_error_ratio": 0.02, "max_timeout_ratio": 0.02}},
+    {"kind": "dashboard", "rate": 12,
+     "slo": {"p95_ms": 1200, "p99_ms": 1900, "max_error_ratio": 0.02, "max_timeout_ratio": 0.02}},
+    {"kind": "dml_burst", "rate": 8,
+     "slo": {"p95_ms": 1200, "p99_ms": 1900, "max_error_ratio": 0.02, "max_timeout_ratio": 0.02}}
+  ]
+}
+EOF
+
+# Chaos config: same fixture (skipped — the durable daemon already holds
+# it), one kill expectation, gates on recovery time and error budget.
+cat >"$TMP/chaos.json" <<'EOF'
+{
+  "seed": 20260807,
+  "duration_seconds": 8,
+  "connections": 8,
+  "setup": {"skip": true, "fragments": 60, "reads": 120, "groups": 6, "kmer_k": 6},
+  "scenarios": [
+    {"kind": "point_lookup", "rate": 15, "slo": {"max_error_ratio": 0.05}},
+    {"kind": "dashboard", "rate": 8, "slo": {"max_error_ratio": 0.05}},
+    {"kind": "dml_burst", "rate": 5, "slo": {"max_error_ratio": 0.05}}
+  ],
+  "chaos": {"kind": "kill", "recovery_slo_seconds": 10}
+}
+EOF
+
+# 1. Steady-state SLO run with a BENCH snapshot.
+start_daemon
+echo "smoke-loadgen: steady-state run (4 scenarios, 5s)"
+"$TMP/loadgen" -addr "$ADDR" -config "$TMP/smoke.json" \
+	-server-metrics "http://$OBS_ADDR" -bench-json "$TMP" >"$TMP/load1.out" 2>&1 \
+	|| fail "steady-state run failed its SLOs"
+sed 's/^/  /' "$TMP/load1.out"
+grep -q 'OK: all SLOs met' "$TMP/load1.out" || fail "report did not declare SLOs met"
+grep -q 'server-side op latency' "$TMP/load1.out" || fail "server metrics scrape missing from report"
+[ -f "$TMP/BENCH_e18.json" ] || fail "BENCH_e18.json not written"
+head -2 "$TMP/BENCH_e18.json" | grep -q '"schema_version"' || fail "snapshot is not schema-versioned"
+grep -q '"experiment": "e18"' "$TMP/BENCH_e18.json" || fail "snapshot missing experiment tag"
+if [ -n "$BENCH_DIR" ]; then
+	mkdir -p "$BENCH_DIR"
+	cp "$TMP/BENCH_e18.json" "$BENCH_DIR/BENCH_e18.json"
+	echo "smoke-loadgen: snapshot copied to $BENCH_DIR/BENCH_e18.json"
+fi
+
+# 2. Chaos: kill -9 mid-load, restart on the same durable dir, require
+# measured recovery under the SLO.
+echo "smoke-loadgen: chaos run (kill -9 mid-load, 10s recovery SLO)"
+"$TMP/loadgen" -addr "$ADDR" -config "$TMP/chaos.json" >"$TMP/load2.out" 2>&1 &
+LOAD_PID=$!
+sleep 2
+kill -0 "$LOAD_PID" 2>/dev/null || { wait "$LOAD_PID" || true; fail "loadgen exited before the kill"; }
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+sleep 1
+start_daemon
+grep -q 'recovered .* transactions' "$TMP/daemon.log" || fail "restart did not report WAL recovery"
+wait "$LOAD_PID" && st=0 || st=$?
+sed 's/^/  /' "$TMP/load2.out"
+[ "$st" -eq 0 ] || fail "chaos run exited $st"
+grep -q 'recovered within SLO' "$TMP/load2.out" || fail "recovery SLO verdict missing"
+
+# Daemon survived both runs and still answers.
+printf '\\ping\n' | "$TMP/genalgsh" -connect "$ADDR" >/dev/null || fail "daemon unhealthy after chaos"
+
+echo "smoke-loadgen: ok"
