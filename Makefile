@@ -27,14 +27,19 @@ fmt-check:
 lint: fmt-check vet
 
 # lint-analyzers runs the project's own go/analysis suite (pin/unpin
-# balance, span lifecycle, context threading, lock-held I/O, metric
-# naming, error classification) over the whole tree, tests included,
-# via the go vet -vettool driver. See internal/analysis/.
+# balance, span lifecycle, context threading, lock-held I/O, WAL
+# durability, lock ordering, goroutine shutdown, network deadlines,
+# deterministic replay, metric naming, error classification) over the
+# whole tree, tests included, via the go vet -vettool driver, then
+# audits //genalgvet:ignore directives for staleness in standalone mode
+# (the vettool protocol has no way to pass tool flags through cmd/go).
+# See internal/analysis/.
 bin/genalgvet: $(shell find cmd/genalgvet internal/analysis -name '*.go' -not -path '*/testdata/*')
 	$(GO) build -o bin/genalgvet ./cmd/genalgvet
 
 lint-analyzers: bin/genalgvet
 	$(GO) vet -vettool=$(CURDIR)/bin/genalgvet ./...
+	./bin/genalgvet -audit-ignores ./...
 
 # ci is exactly what the GitHub Actions test job runs; `make ci` locally
 # reproduces it.

@@ -1,0 +1,99 @@
+// Command benchdiff compares two BENCH_*.json snapshots (the trajectory
+// differ of ROADMAP item 5): it decodes both through internal/benchmeta,
+// refuses to compare across schema versions, and flags per-scenario
+// p95/p99 tail-latency growth and error-ratio increases beyond the
+// configured thresholds.
+//
+// Usage:
+//
+//	benchdiff [flags] OLD.json NEW.json
+//
+// Exit status: 0 when every scenario is within bounds, 1 on at least one
+// regression, 2 on an operational error (unreadable file, schema
+// mismatch). Typical CI use diffs the committed BENCH_e18.json against
+// the snapshot a fresh smoke-loadgen run just wrote.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"genalg/internal/benchmeta"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	def := benchmeta.DefaultDiffOptions()
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	p95 := fs.Float64("p95", def.MaxP95Growth, "allowed multiplicative p95 growth (1.25 = 25% worse)")
+	p99 := fs.Float64("p99", def.MaxP99Growth, "allowed multiplicative p99 growth")
+	slack := fs.Float64("slack-ms", def.SlackMs, "absolute latency slack in ms, exempting noise on tiny baselines")
+	errDelta := fs.Float64("max-error-delta", def.MaxErrorDelta, "allowed absolute increase in error ratio (errors+timeouts over requests)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldSnap, err := benchmeta.ReadSnapshot(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	newSnap, err := benchmeta.ReadSnapshot(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	opt := benchmeta.DiffOptions{MaxP95Growth: *p95, MaxP99Growth: *p99, SlackMs: *slack, MaxErrorDelta: *errDelta}
+	regs, err := benchmeta.Diff(oldSnap, newSnap, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	fmt.Printf("benchdiff: %s %s (%s) vs %s (%s)\n",
+		newSnap.Experiment, fs.Arg(0), describe(oldSnap), fs.Arg(1), describe(newSnap))
+	printTable(oldSnap, newSnap)
+	if len(regs) == 0 {
+		fmt.Println("benchdiff: ok — no regressions beyond thresholds")
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Println("benchdiff: REGRESSION:", r)
+	}
+	return 1
+}
+
+func describe(s benchmeta.Snapshot) string {
+	return fmt.Sprintf("commit %s", s.Commit)
+}
+
+// printTable renders the side-by-side per-scenario comparison, so the CI
+// log shows the whole trajectory and not just the verdicts.
+func printTable(oldSnap, newSnap benchmeta.Snapshot) {
+	oldByName := map[string]benchmeta.ScenarioStat{}
+	for _, s := range oldSnap.Scenarios {
+		oldByName[s.Name] = s
+	}
+	fmt.Printf("  %-16s %12s %12s %12s %12s %10s %10s\n",
+		"scenario", "p95 old", "p95 new", "p99 old", "p99 new", "err old", "err new")
+	for _, n := range newSnap.Scenarios {
+		o, ok := oldByName[n.Name]
+		if !ok {
+			fmt.Printf("  %-16s %12s %12.2f %12s %12.2f %10s %10.4f\n",
+				n.Name, "-", n.P95ms, "-", n.P99ms, "-", n.ErrorRatio())
+			continue
+		}
+		fmt.Printf("  %-16s %12.2f %12.2f %12.2f %12.2f %10.4f %10.4f\n",
+			n.Name, o.P95ms, n.P95ms, o.P99ms, n.P99ms, o.ErrorRatio(), n.ErrorRatio())
+	}
+}

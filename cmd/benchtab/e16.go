@@ -37,6 +37,7 @@ func e16CostBasedExecution() error {
 		return err
 	}
 	for i := 0; i < nGenes; i++ {
+		//genalgvet:ignore durability benchmark fixture on db.OpenMemory: there is no WAL to bypass, and seeding through ApplyDML would time the statement machinery instead of the planner under test
 		if _, err := genes.Insert(db.Row{fmt.Sprintf("G%03d", i), fmt.Sprintf("org%d", i%10)}); err != nil {
 			return err
 		}
@@ -54,6 +55,7 @@ func e16CostBasedExecution() error {
 	}
 	for i := 0; i < nFrags; i++ {
 		row := db.Row{fmt.Sprintf("F%04d", i), fmt.Sprintf("G%03d", i%nGenes), float64(i%100) / 100}
+		//genalgvet:ignore durability benchmark fixture on db.OpenMemory: no WAL to bypass (see the genes seed above)
 		if _, err := frags.Insert(row); err != nil {
 			return err
 		}

@@ -7,12 +7,22 @@
 //     drives the tool through its unitchecker protocol (-V=full probe,
 //     -flags probe, then one JSON config file per package).
 //
+// Both modes are interprocedural: per-function pathflow summaries (and
+// the other fact domains) flow across package boundaries — bottom-up
+// over the in-process import graph in standalone mode, and through the
+// vetx facts files cmd/go caches per package in vettool mode (cmd/go
+// runs the tool with VetxOnly=true over dependencies first, and hands
+// dependents the resulting files via PackageVetx).
+//
 // In both modes //genalgvet:ignore directives suppress findings, and a
-// malformed or unknown directive is itself a finding. Exit status: 0
+// malformed or unknown directive is itself a finding; -audit-ignores
+// additionally fails on directives that no longer suppress anything.
+// -json emits findings as a JSON array for CI artifacts. Exit status: 0
 // clean, 1 findings, 2 operational error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,9 +36,11 @@ import (
 func main() {
 	args := os.Args[1:]
 
-	// cmd/go's tool-identity probe: must print one line and exit 0.
+	// cmd/go's tool-identity probe: must print one line and exit 0. The
+	// version participates in cmd/go's action cache key, so bump it when
+	// the fact encoding changes incompatibly.
 	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "-V") {
-		fmt.Println("genalgvet version 1 (genalg static-analysis suite)")
+		fmt.Println("genalgvet version 2 (genalg static-analysis suite, interprocedural)")
 		return
 	}
 	// cmd/go's flag-discovery probe: we accept no tool-specific flags.
@@ -39,8 +51,10 @@ func main() {
 
 	fs := flag.NewFlagSet("genalgvet", flag.ExitOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout (standalone mode)")
+	audit := fs.Bool("audit-ignores", false, "also fail on //genalgvet:ignore directives that suppress nothing")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: genalgvet [-list] [packages]\n   or: go vet -vettool=$(command -v genalgvet) [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: genalgvet [-list] [-json] [-audit-ignores] [packages]\n   or: go vet -vettool=$(command -v genalgvet) [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -57,69 +71,144 @@ func main() {
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		os.Exit(vettoolMode(rest[0]))
 	}
-	os.Exit(standaloneMode(rest))
+	os.Exit(standaloneMode(rest, *jsonOut, *audit))
 }
 
-// standaloneMode loads patterns (default ./...) and reports findings.
-func standaloneMode(patterns []string) int {
+// finding is the -json output shape for one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// standaloneMode loads patterns (default ./...), computes facts bottom-up
+// over the target import graph, and reports findings.
+func standaloneMode(patterns []string, jsonOut, audit bool) int {
 	pkgs, err := load.Packages(".", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "genalgvet: %v\n", err)
 		return 2
 	}
+	if err := load.ComputeFacts(pkgs, analysis.Computers(passes.All())); err != nil {
+		fmt.Fprintf(os.Stderr, "genalgvet: %v\n", err)
+		return 2
+	}
 	exit := 0
+	var all []finding
 	for _, pkg := range pkgs {
-		if analyzePackage(pkg, os.Stdout) > 0 {
+		diags, err := runPackage(pkg, audit)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genalgvet: %v\n", err)
+			return 2
+		}
+		if len(diags) > 0 {
 			exit = 1
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if jsonOut {
+				all = append(all, finding{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Analyzer: d.Analyzer, Message: d.Message,
+				})
+			} else {
+				fmt.Fprintf(os.Stdout, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+			}
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []finding{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintf(os.Stderr, "genalgvet: %v\n", err)
+			return 2
 		}
 	}
 	return exit
 }
 
 // vettoolMode analyzes the single package a `go vet` invocation
-// describes. Findings go to stderr in the file:line:col format cmd/go
-// relays to the user.
+// describes, reading dependency facts from the files cmd/go cached and
+// writing this package's transitive facts for dependents. Findings go to
+// stderr in the file:line:col format cmd/go relays to the user.
 func vettoolMode(cfgPath string) int {
 	cfg, err := load.ReadUnitConfig(cfgPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "genalgvet: %v\n", err)
 		return 2
 	}
-	// cmd/go caches and propagates the facts file; this suite does not
-	// use facts but the file must exist.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintf(os.Stderr, "genalgvet: %v\n", err)
-			return 2
+	// Facts are only worth computing for this module's packages; for the
+	// standard library (vetted in VetxOnly mode as a dependency) an empty
+	// facts file keeps the protocol happy without parsing anything.
+	if !strings.HasPrefix(cfg.ImportPath, "genalg") {
+		if code := writeFacts(cfg, analysis.NewFactSet()); code != 0 {
+			return code
 		}
-	}
-	if cfg.VetxOnly {
 		return 0
 	}
 	pkg, err := load.UnitPackage(cfg)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			_ = writeFacts(cfg, analysis.NewFactSet())
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "genalgvet: %v\n", err)
 		return 2
 	}
-	if analyzePackage(pkg, os.Stderr) > 0 {
+	facts, err := analysis.ComputeFacts(pkg.Package, load.ImportedFacts(cfg), analysis.Computers(passes.All()))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genalgvet: %v\n", err)
+		return 2
+	}
+	pkg.Facts = facts
+	if code := writeFacts(cfg, facts); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	diags, err := runPackage(pkg, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genalgvet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
 		return 2
 	}
 	return 0
 }
 
-func analyzePackage(pkg *load.Package, out *os.File) int {
-	diags, err := analysis.Run(pkg.Package, passes.All())
+func writeFacts(cfg *load.UnitConfig, facts *analysis.FactSet) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	data, err := facts.Encode()
+	if err == nil {
+		err = os.WriteFile(cfg.VetxOutput, data, 0o666)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "genalgvet: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
-	diags = analysis.FilterIgnored(pkg.Package, diags, passes.Known())
-	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
-		fmt.Fprintf(out, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	return 0
+}
+
+func runPackage(pkg *load.Package, audit bool) ([]analysis.Diagnostic, error) {
+	diags, err := analysis.Run(pkg.Package, passes.All())
+	if err != nil {
+		return nil, err
 	}
-	return len(diags)
+	if audit {
+		return analysis.AuditIgnored(pkg.Package, diags, passes.Known()), nil
+	}
+	return analysis.FilterIgnored(pkg.Package, diags, passes.Known()), nil
 }

@@ -7,9 +7,13 @@
 // go/types; analyzers written against this package read exactly like
 // stock vet passes and could be ported to x/tools by changing imports.
 //
-// The framework deliberately omits facts and analyzer dependencies: every
-// genalgvet analyzer is single-package, and cross-package knowledge
-// arrives through types (export data), not through fact propagation.
+// Cross-package knowledge arrives two ways: through types (export data)
+// and, since genalgvet v2, through a facts side-channel (FactSet): an
+// analyzer may declare FactComputers whose per-package output — e.g.
+// pathflow's per-function release summaries — is serialized into the
+// vetx file cmd/go caches per package and fed back to every dependent,
+// making the path-sensitive checks interprocedural. Analyzer-to-analyzer
+// result dependencies (x/tools' Requires) remain deliberately absent.
 package analysis
 
 import (
@@ -31,6 +35,10 @@ type Analyzer struct {
 	// pass.Reportf; the error return is for operational failures only
 	// (a failing analyzer aborts the run, a finding does not).
 	Run func(*Pass) error
+	// Facts lists the fact domains this analyzer consumes; the driver
+	// computes them per package (bottom-up over the import graph) and
+	// exposes the merged result as Pass.Facts.
+	Facts []*FactComputer
 }
 
 // Pass carries one package's worth of inputs to an Analyzer.
@@ -40,6 +48,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts carries the package's fact set (imports' facts merged with
+	// locally computed ones). Nil when the driver computed no facts; the
+	// FactSet accessors are nil-safe, so analyzers read it unguarded and
+	// degrade to intraprocedural behaviour.
+	Facts *FactSet
 
 	report func(Diagnostic)
 }
@@ -66,6 +79,9 @@ type Package struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts is the package's fact set (see ComputeFacts); nil is valid
+	// and means "no interprocedural knowledge".
+	Facts *FactSet
 }
 
 // NewInfo allocates a types.Info with every map analyzers consume.
@@ -94,6 +110,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Pkg,
 			TypesInfo: pkg.TypesInfo,
+			Facts:     pkg.Facts,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {

@@ -138,11 +138,47 @@ func Load(t *testing.T, testdataDir, path string) *analysis.Package {
 	}
 }
 
-// Run loads the fixture package and checks the analyzers' diagnostics
-// against its // want annotations.
+// computeFactsLocked derives the analyzers' facts for the fixture
+// package at path, recursing into sibling fixture imports first so
+// cross-package summaries work exactly as they do in the real drivers.
+// shared.mu must be held.
+func computeFactsLocked(root, path string, computers []*analysis.FactComputer) (*analysis.FactSet, error) {
+	fp := loadFixtureLocked(root, path)
+	if fp.err != nil {
+		return nil, fp.err
+	}
+	imported := analysis.NewFactSet()
+	for _, dep := range fp.pkg.Imports() {
+		if !dirExists(filepath.Join(root, dep.Path())) {
+			continue // stdlib import: no facts
+		}
+		dfs, err := computeFactsLocked(root, dep.Path(), computers)
+		if err != nil {
+			return nil, err
+		}
+		imported.Merge(dfs)
+	}
+	pkg := &analysis.Package{Fset: shared.fset, Files: fp.files, Pkg: fp.pkg, TypesInfo: fp.info}
+	return analysis.ComputeFacts(pkg, imported, computers)
+}
+
+// Run loads the fixture package, computes the analyzers' facts (so
+// interprocedural checks see summaries for the fixture and its sibling
+// imports), and checks the diagnostics against its // want annotations.
 func Run(t *testing.T, testdataDir, path string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
 	pkg := Load(t, testdataDir, path)
+	if computers := analysis.Computers(analyzers); len(computers) > 0 {
+		shared.mu.Lock()
+		root, err := filepath.Abs(filepath.Join(testdataDir, "src"))
+		if err == nil {
+			pkg.Facts, err = computeFactsLocked(root, path, computers)
+		}
+		shared.mu.Unlock()
+		if err != nil {
+			t.Fatalf("computing facts for %s: %v", path, err)
+		}
+	}
 	diags, err := analysis.Run(pkg, analyzers)
 	if err != nil {
 		t.Fatalf("running analyzers on %s: %v", path, err)

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"genalg/internal/analysis/pathflow"
+)
+
+// FactSet is the cross-package side-channel: per-domain maps of opaque
+// JSON entries keyed by fully qualified function (or lock, or whatever
+// the domain chooses) names. In vettool mode one FactSet is serialized
+// per package into the file cmd/go names in VetxOutput and read back for
+// every import through PackageVetx — the same channel x/tools facts use.
+// Entries are transitive: a package's exported set contains its imports'
+// entries merged with its own, so readers never chase the import graph.
+type FactSet struct {
+	domains map[string]map[string]json.RawMessage
+
+	pathflowOnce bool
+	pathflow     *pathflow.Summaries
+}
+
+// factFile is the on-disk JSON shape.
+type factFile struct {
+	Version int                                   `json:"genalgvet_facts"`
+	Domains map[string]map[string]json.RawMessage `json:"domains,omitempty"`
+}
+
+// factVersion guards the vetx encoding; bump on incompatible change (the
+// CI cache key covers this source, so stale files never cross versions).
+const factVersion = 1
+
+// NewFactSet returns an empty set.
+func NewFactSet() *FactSet {
+	return &FactSet{domains: map[string]map[string]json.RawMessage{}}
+}
+
+// DecodeFactSet parses a serialized FactSet. Empty input (including the
+// zero-byte files pre-facts genalgvet versions wrote) decodes to an
+// empty set rather than an error.
+func DecodeFactSet(data []byte) (*FactSet, error) {
+	fs := NewFactSet()
+	if len(data) == 0 {
+		return fs, nil
+	}
+	var file factFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, fmt.Errorf("decoding facts: %w", err)
+	}
+	if file.Version != factVersion {
+		// Older or newer writer: treat as no facts, never as corruption.
+		return fs, nil
+	}
+	for domain, entries := range file.Domains {
+		fs.domains[domain] = entries
+	}
+	return fs, nil
+}
+
+// Encode serializes the set for the vetx file.
+func (fs *FactSet) Encode() ([]byte, error) {
+	return json.Marshal(factFile{Version: factVersion, Domains: fs.domains})
+}
+
+// Domain returns the entries recorded under name (nil-safe; may be nil).
+func (fs *FactSet) Domain(name string) map[string]json.RawMessage {
+	if fs == nil {
+		return nil
+	}
+	return fs.domains[name]
+}
+
+// SetDomain replaces the entries recorded under name.
+func (fs *FactSet) SetDomain(name string, entries map[string]json.RawMessage) {
+	fs.domains[name] = entries
+}
+
+// Merge unions other's entries into fs (other wins on key collisions —
+// collisions only happen for identical fully-qualified names, which
+// denote the same declaration).
+func (fs *FactSet) Merge(other *FactSet) {
+	if other == nil {
+		return
+	}
+	for domain, entries := range other.domains {
+		dst := fs.domains[domain]
+		if dst == nil {
+			dst = map[string]json.RawMessage{}
+			fs.domains[domain] = dst
+		}
+		for k, v := range entries {
+			dst[k] = v
+		}
+	}
+}
+
+// Domains lists the populated domain names, sorted (for tests).
+func (fs *FactSet) Domains() []string {
+	if fs == nil {
+		return nil
+	}
+	var out []string
+	for name := range fs.domains {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pathflow decodes (once) and returns the pathflow summaries carried in
+// the set. Nil-safe: with no facts it returns nil, and a nil *Summaries
+// looks up nothing — analyzers degrade to PR-5 intraprocedural behaviour.
+func (fs *FactSet) Pathflow() *pathflow.Summaries {
+	if fs == nil {
+		return nil
+	}
+	if !fs.pathflowOnce {
+		fs.pathflowOnce = true
+		if entries := fs.domains["pathflow"]; entries != nil {
+			sums, err := pathflow.DecodeEntries(entries)
+			if err == nil {
+				fs.pathflow = sums
+			}
+		}
+	}
+	return fs.pathflow
+}
+
+// FactComputer derives one domain's entries for a package. Compute
+// receives the merged facts of the package's imports and returns the
+// full transitive entry map to record (imports' entries plus local
+// ones); the driver stores it under Domain.
+type FactComputer struct {
+	Domain  string
+	Compute func(pkg *Package, imported *FactSet) (map[string]json.RawMessage, error)
+}
+
+// PathflowFacts computes per-function release/escape summaries; the
+// pinunpin, spanend, and durability analyzers consume them.
+var PathflowFacts = &FactComputer{
+	Domain: "pathflow",
+	Compute: func(pkg *Package, imported *FactSet) (map[string]json.RawMessage, error) {
+		sums := pathflow.ComputeSummaries(pkg.Files, pkg.TypesInfo, imported.Pathflow())
+		return sums.EncodeEntries()
+	},
+}
+
+// Computers collects the analyzers' fact computers, deduplicated by
+// domain (analyzers share computers; pinunpin and spanend both declare
+// PathflowFacts).
+func Computers(analyzers []*Analyzer) []*FactComputer {
+	var out []*FactComputer
+	seen := map[string]bool{}
+	for _, a := range analyzers {
+		for _, c := range a.Facts {
+			if c != nil && !seen[c.Domain] {
+				seen[c.Domain] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// ComputeFacts runs computers over pkg with the imports' merged facts
+// and returns the package's own transitive set: imported entries plus
+// everything computed locally. Attach the result to Package.Facts before
+// Run, and serialize it for dependents in vettool mode.
+func ComputeFacts(pkg *Package, imported *FactSet, computers []*FactComputer) (*FactSet, error) {
+	out := NewFactSet()
+	out.Merge(imported)
+	for _, c := range computers {
+		entries, err := c.Compute(pkg, imported)
+		if err != nil {
+			return nil, fmt.Errorf("computing %s facts for %s: %w", c.Domain, pkg.Pkg.Path(), err)
+		}
+		out.SetDomain(c.Domain, entries)
+	}
+	return out, nil
+}

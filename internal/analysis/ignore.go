@@ -22,6 +22,7 @@ type ignoreDirective struct {
 	line      int
 	analyzers []string // lowercase names, or ["all"]
 	hasReason bool
+	used      bool // suppressed at least one diagnostic this run
 }
 
 // parseIgnores collects every //genalgvet:ignore directive in the files.
@@ -66,17 +67,32 @@ func (d ignoreDirective) matches(analyzer string) bool {
 // missing reason. known maps valid analyzer names; pass nil to skip name
 // validation.
 func FilterIgnored(pkg *Package, diags []Diagnostic, known map[string]bool) []Diagnostic {
+	return filterIgnored(pkg, diags, known, false)
+}
+
+// AuditIgnored is FilterIgnored plus staleness checking: every
+// well-formed directive that suppressed no diagnostic in this run is
+// itself reported, so suppressions cannot outlive the code (or the
+// analyzer bug) they were written for. This is what `genalgvet
+// -audit-ignores` runs.
+func AuditIgnored(pkg *Package, diags []Diagnostic, known map[string]bool) []Diagnostic {
+	return filterIgnored(pkg, diags, known, true)
+}
+
+func filterIgnored(pkg *Package, diags []Diagnostic, known map[string]bool, audit bool) []Diagnostic {
 	directives := parseIgnores(pkg.Fset, pkg.Files)
 	if len(directives) == 0 {
 		return diags
 	}
-	byLine := map[string][]ignoreDirective{} // "file:line" -> directives
+	byLine := map[string][]*ignoreDirective{} // "file:line" -> directives
 	lineKey := func(pos token.Pos) string {
 		p := pkg.Fset.Position(pos)
 		return p.Filename + ":" + strconv.Itoa(p.Line)
 	}
 	var kept []Diagnostic
-	for _, d := range directives {
+	var wellFormed []*ignoreDirective
+	for i := range directives {
+		d := &directives[i]
 		switch {
 		case len(d.analyzers) == 0:
 			kept = append(kept, Diagnostic{
@@ -112,6 +128,7 @@ func FilterIgnored(pkg *Package, diags []Diagnostic, known map[string]bool) []Di
 		}
 		key := lineKey(d.pos)
 		byLine[key] = append(byLine[key], d)
+		wellFormed = append(wellFormed, d)
 	}
 	for _, diag := range diags {
 		p := pkg.Fset.Position(diag.Pos)
@@ -120,11 +137,24 @@ func FilterIgnored(pkg *Package, diags []Diagnostic, known map[string]bool) []Di
 			for _, d := range byLine[p.Filename+":"+strconv.Itoa(line)] {
 				if d.matches(diag.Analyzer) {
 					suppressed = true
+					d.used = true
 				}
 			}
 		}
 		if !suppressed {
 			kept = append(kept, diag)
+		}
+	}
+	if audit {
+		for _, d := range wellFormed {
+			if !d.used {
+				kept = append(kept, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "genalgvet",
+					Message: "stale ignore: directive for " + strings.Join(d.analyzers, ",") +
+						" suppresses no diagnostic (the flagged code changed or the check did); remove it",
+				})
+			}
 		}
 	}
 	return kept

@@ -32,6 +32,7 @@ type listPkg struct {
 	Dir        string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	Export     string
 	Standard   bool
 	DepOnly    bool
@@ -42,6 +43,9 @@ type listPkg struct {
 type Package struct {
 	ImportPath string
 	Dir        string
+	// Imports lists the package's direct imports (for bottom-up fact
+	// computation; see ComputeFacts).
+	Imports []string
 	*analysis.Package
 }
 
@@ -54,7 +58,7 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 	}
 	args := append([]string{
 		"list", "-deps", "-export",
-		"-json=ImportPath,Dir,GoFiles,CgoFiles,Export,Standard,DepOnly,Error",
+		"-json=ImportPath,Dir,GoFiles,CgoFiles,Imports,Export,Standard,DepOnly,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -119,6 +123,7 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 		pkgs = append(pkgs, &Package{
 			ImportPath: t.ImportPath,
 			Dir:        t.Dir,
+			Imports:    t.Imports,
 			Package: &analysis.Package{
 				Fset:      fset,
 				Files:     files,
@@ -128,4 +133,51 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 		})
 	}
 	return pkgs, nil
+}
+
+// ComputeFacts fills each target package's Facts, walking the targets'
+// import graph bottom-up so a package sees its dependencies' summaries
+// (standalone-mode counterpart of the vetx files cmd/go shuttles
+// between vettool invocations). Dependencies outside the target set —
+// the standard library, mainly — contribute no facts, which the
+// analyzers treat conservatively.
+func ComputeFacts(pkgs []*Package, computers []*analysis.FactComputer) error {
+	if len(computers) == 0 {
+		return nil
+	}
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	done := map[string]bool{}
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		if done[p.ImportPath] {
+			return nil
+		}
+		done[p.ImportPath] = true
+		imported := analysis.NewFactSet()
+		for _, dep := range p.Imports {
+			dp, ok := byPath[dep]
+			if !ok {
+				continue
+			}
+			if err := visit(dp); err != nil {
+				return err
+			}
+			imported.Merge(dp.Facts)
+		}
+		facts, err := analysis.ComputeFacts(p.Package, imported, computers)
+		if err != nil {
+			return err
+		}
+		p.Facts = facts
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -28,6 +28,7 @@ type UnitConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -44,6 +45,26 @@ func ReadUnitConfig(path string) (*UnitConfig, error) {
 		return nil, fmt.Errorf("parsing %s: %w", path, err)
 	}
 	return cfg, nil
+}
+
+// ImportedFacts reads and merges the fact files cmd/go recorded for the
+// unit's dependencies (PackageVetx). Missing or empty files — a
+// dependency vetted by an older tool, or one that exports no facts —
+// contribute nothing rather than failing the run.
+func ImportedFacts(cfg *UnitConfig) *analysis.FactSet {
+	merged := analysis.NewFactSet()
+	for _, path := range cfg.PackageVetx {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		fs, err := analysis.DecodeFactSet(data)
+		if err != nil {
+			continue
+		}
+		merged.Merge(fs)
+	}
+	return merged
 }
 
 // UnitPackage parses and type-checks the single package described by

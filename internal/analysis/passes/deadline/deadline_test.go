@@ -1,0 +1,12 @@
+package deadline_test
+
+import (
+	"testing"
+
+	"genalg/internal/analysis/atest"
+	"genalg/internal/analysis/passes/deadline"
+)
+
+func TestDeadline(t *testing.T) {
+	atest.Run(t, "testdata", "a", deadline.Analyzer)
+}

@@ -1,0 +1,11 @@
+// Package wire stubs the protocol layer for deadline fixtures.
+package wire
+
+import "io"
+
+type Request struct{ ID uint64 }
+
+func ReadRequest(r io.Reader) (*Request, error) { return nil, nil }
+func ReadFrame(r io.Reader) ([]byte, error)     { return nil, nil }
+func WriteMessage(w io.Writer, v any) error     { return nil }
+func WriteFrame(w io.Writer, b []byte) error    { return nil }

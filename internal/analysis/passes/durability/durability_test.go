@@ -1,0 +1,20 @@
+package durability_test
+
+import (
+	"testing"
+
+	"genalg/internal/analysis/atest"
+	"genalg/internal/analysis/passes/durability"
+)
+
+// TestDurabilityWAL covers the AppendTxn→WaitDurable obligation
+// (including interprocedural discharge through summarized helpers) and
+// the ApplyDML routing rule.
+func TestDurabilityWAL(t *testing.T) {
+	atest.Run(t, "testdata", "a", durability.Analyzer)
+}
+
+// TestDurabilityDaemon covers the genalgd ack-window rule.
+func TestDurabilityDaemon(t *testing.T) {
+	atest.Run(t, "testdata", "genalgd", durability.Analyzer)
+}

@@ -1,0 +1,23 @@
+// Package db stubs tables for durability fixtures. Because this package
+// IS db, its own direct mutations are exempt — ApplyDML has to call
+// Insert somehow.
+package db
+
+type Row struct{}
+
+// Table mimics genalg/internal/db.Table.
+type Table struct{}
+
+func (t *Table) Insert(r Row) error      { return nil }
+func (t *Table) Delete(key string) error { return nil }
+
+// DB mimics genalg/internal/db.DB.
+type DB struct{ T *Table }
+
+// ApplyDML is the sanctioned mutation path.
+func (d *DB) ApplyDML(stmt string) error {
+	if err := d.T.Insert(Row{}); err != nil {
+		return err
+	}
+	return d.T.Delete("k")
+}

@@ -1,0 +1,62 @@
+// Package genalgd holds fixtures for the daemon ack-window invariant:
+// result responses are written between beginWork and endWork and never
+// from a spawned goroutine; error/refusal responses are exempt.
+package genalgd
+
+import (
+	"io"
+
+	"wire"
+)
+
+type server struct{}
+
+func (s *server) beginWork() bool { return true }
+func (s *server) endWork()        {}
+
+// Ack inside the inflight window: clean.
+func (s *server) handleOK(w io.Writer, id uint64) {
+	if !s.beginWork() {
+		return
+	}
+	resp := &wire.Response{ID: id, Result: "ok"}
+	_ = wire.WriteMessage(w, resp)
+	s.endWork()
+}
+
+// Refusals are not acks: clean anywhere.
+func (s *server) refuse(w io.Writer, id uint64) {
+	_ = wire.WriteMessage(w, &wire.Response{ID: id, Error: "draining", Draining: true})
+}
+
+// Refusing from the admission goroutine is fine too: clean.
+func (s *server) asyncRefuse(w io.Writer, id uint64) {
+	go func() {
+		_ = wire.WriteMessage(w, &wire.Response{ID: id, Error: "over capacity"})
+	}()
+}
+
+// A result ack from a spawned goroutine escapes the drain window.
+func (s *server) asyncAck(w io.Writer, id uint64) {
+	if !s.beginWork() {
+		return
+	}
+	defer s.endWork()
+	go func() {
+		_ = wire.WriteMessage(w, &wire.Response{ID: id, Result: "ok"}) // want `wire response written from a spawned goroutine`
+	}()
+}
+
+// A result ack after endWork races the drain.
+func (s *server) lateAck(w io.Writer, id uint64) {
+	if !s.beginWork() {
+		return
+	}
+	s.endWork()
+	_ = wire.WriteMessage(w, &wire.Response{ID: id, Result: "ok"}) // want `wire response written outside the beginWork/endWork inflight window`
+}
+
+// A result ack with no window at all.
+func (s *server) bareAck(w io.Writer, id uint64) {
+	_ = wire.WriteMessage(w, &wire.Response{ID: id, Result: "ok"}) // want `wire response written outside the beginWork/endWork inflight window`
+}

@@ -1,0 +1,17 @@
+// Package wal stubs the write-ahead log for durability fixtures.
+package wal
+
+// Log mimics genalg/internal/wal.Log.
+type Log struct{}
+
+func (l *Log) AppendTxn(frames [][]byte) (int64, error) { return 0, nil }
+func (l *Log) WaitDurable(lsn int64) error              { return nil }
+
+// SyncTo waits for lsn (nil log means logging is disabled and there is
+// nothing to wait for); summarized as Waits=[1].
+func SyncTo(l *Log, lsn int64) error {
+	if l == nil {
+		return nil
+	}
+	return l.WaitDurable(lsn)
+}

@@ -1,0 +1,14 @@
+// Package wire stubs the protocol layer for durability fixtures.
+package wire
+
+import "io"
+
+// Response mimics genalg/internal/wire.Response.
+type Response struct {
+	ID       uint64
+	Result   string
+	Error    string
+	Draining bool
+}
+
+func WriteMessage(w io.Writer, v any) error { return nil }

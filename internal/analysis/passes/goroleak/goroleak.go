@@ -1,0 +1,138 @@
+// Package goroleak defines the genalgvet analyzer that flags goroutines
+// with no shutdown path. The daemon stack leans on long-lived goroutines
+// (accept loops, chaos probes, worker pools); each one must be stoppable
+// or the process accumulates them across reload/drain cycles and "go
+// test -race" times out waiting for them.
+//
+// The check is deliberately narrow to stay precise: a `go` statement
+// whose body (a function literal, or a same-package function — other
+// bodies are invisible here) contains a bare `for { ... }` loop with no
+// exit or cancellation point is reported. Exit points are a return, a
+// break, a select, or a channel receive anywhere in the loop outside
+// nested function literals; loops with conditions and `range` loops
+// terminate (or end when their channel closes) and are exempt. Test
+// files are exempt.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"genalg/internal/analysis"
+)
+
+// Analyzer is the goroleak check.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "check that spawned goroutines have a shutdown path\n\n" +
+		"A goroutine body with a bare for-loop containing no return, break, select, or channel receive " +
+		"can never be stopped: it leaks across drain/reload cycles.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Same-package function bodies, for `go worker()` launches.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(pass.TypesInfo, g, decls)
+			if body == nil {
+				return true
+			}
+			if pos, leaks := foreverLoop(body); leaks {
+				pass.Reportf(pos, "goroutine loops forever with no exit path (no return, break, select, or channel receive): it cannot be shut down and leaks across drain cycles")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goBody resolves the body the go statement runs: a literal's body, or
+// the body of a same-package function. nil when invisible.
+func goBody(info *types.Info, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	default:
+		if fn := analysis.CalleeFunc(info, g.Call); fn != nil {
+			if fd, ok := decls[fn]; ok {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// foreverLoop finds a bare `for {}` in body (outside nested function
+// literals) whose own body has no exit or cancellation point.
+func foreverLoop(body *ast.BlockStmt) (token.Pos, bool) {
+	var found token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found.IsValid() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Init == nil && n.Cond == nil && n.Post == nil && !hasExit(n.Body) {
+				found = n.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return found, found.IsValid()
+}
+
+// hasExit reports whether the loop body contains a return, break,
+// select, or channel receive outside nested function literals.
+func hasExit(body *ast.BlockStmt) bool {
+	exits := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if exits {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt, *ast.SelectStmt:
+			exits = true
+			return false
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				exits = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW { // channel receive: blocks until signaled/closed
+				exits = true
+				return false
+			}
+		case *ast.RangeStmt:
+			// range over a channel inside the loop is a cancellation point
+			// too; other ranges just iterate.
+		}
+		return true
+	})
+	return exits
+}

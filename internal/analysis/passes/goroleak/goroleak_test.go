@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"genalg/internal/analysis/atest"
+	"genalg/internal/analysis/passes/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	atest.Run(t, "testdata", "a", goroleak.Analyzer)
+}

@@ -1,0 +1,97 @@
+// Package a holds goroleak fixtures.
+package a
+
+func work()      {}
+func cond() bool { return false }
+
+// spinner can never be stopped.
+func spinner() {
+	go func() {
+		for { // want `goroutine loops forever with no exit path`
+			work()
+		}
+	}()
+}
+
+// A select inside the loop is a cancellation point: clean.
+func selectLoop(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// A channel receive paces (and can release) the loop: clean.
+func recvLoop(tick chan struct{}) {
+	go func() {
+		for {
+			<-tick
+			work()
+		}
+	}()
+}
+
+// A conditional return is an exit path: clean.
+func returnLoop() {
+	go func() {
+		for {
+			if cond() {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+// Ranging over a channel ends when it closes: clean.
+func rangeLoop(jobs chan int) {
+	go func() {
+		for range jobs {
+			work()
+		}
+	}()
+}
+
+// Straight-line goroutines terminate on their own: clean.
+func oneShot(done chan<- struct{}) {
+	go func() {
+		work()
+		done <- struct{}{}
+	}()
+}
+
+// worker is launched by name; its body is visible in-package.
+func worker() {
+	for { // want `goroutine loops forever with no exit path`
+		work()
+	}
+}
+
+func launch() {
+	go worker()
+}
+
+// A return inside a nested function literal does not exit this loop.
+func nestedLit() {
+	go func() {
+		for { // want `goroutine loops forever with no exit path`
+			f := func() { return }
+			f()
+		}
+	}()
+}
+
+// Bounded loops terminate: clean.
+func bounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"genalg/internal/analysis/atest"
+	"genalg/internal/analysis/passes/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	atest.Run(t, "testdata", "a", lockorder.Analyzer)
+}

@@ -1,0 +1,118 @@
+// Package a holds lockorder fixtures: acquisition-order cycles
+// (including one side discovered only through the merged edge graph),
+// re-entrant acquisition directly and through a helper, and locks held
+// across durability waits and peer network I/O — directly, through a
+// same-package helper, and through a cross-package helper via facts.
+package a
+
+import (
+	"net"
+	"sync"
+
+	"wal"
+)
+
+type catalog struct{ mu sync.Mutex }
+type heap struct{ mu sync.Mutex }
+type index struct{ mu sync.Mutex }
+
+// Consistent nesting order everywhere: clean.
+func lockOne(c *catalog, ix *index) {
+	c.mu.Lock()
+	ix.mu.Lock()
+	ix.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func lockTwo(c *catalog, ix *index) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+}
+
+// Opposite orders in lockAB and lockBA: both acquisition sites complete
+// a cycle in the merged graph, so both are reported.
+func lockAB(c *catalog, h *heap) {
+	c.mu.Lock()
+	h.mu.Lock() // want `lock-order cycle: acquiring a\.heap\.mu while holding a\.catalog\.mu`
+	h.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func lockBA(c *catalog, h *heap) {
+	h.mu.Lock()
+	c.mu.Lock() // want `lock-order cycle: acquiring a\.catalog\.mu while holding a\.heap\.mu`
+	c.mu.Unlock()
+	h.mu.Unlock()
+}
+
+// sync.Mutex is not re-entrant.
+func double(c *catalog) {
+	c.mu.Lock()
+	c.mu.Lock() // want `re-acquiring c\.mu while it is already held`
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func lockIt(c *catalog) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+// Re-entry through a helper is caught via the helper's summary.
+func viaHelper(c *catalog) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lockIt(c) // want `call to lockIt acquires a\.catalog\.mu while it is already held`
+}
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	w  *wal.Log
+}
+
+// A durability wait under the lock starves every competing acquirer.
+func ackUnderLock(s *store, lsn int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.WaitDurable(lsn) // want `call to Log\.WaitDurable \(durability wait\) while s\.mu is held`
+}
+
+// Releasing first: clean.
+func ackOutsideLock(s *store, lsn int64) error {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.w.WaitDurable(lsn)
+}
+
+func flushLocal(w *wal.Log, lsn int64) error { return w.WaitDurable(lsn) }
+
+// The wait is reached through a same-package helper's summary.
+func ackViaHelper(s *store, lsn int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return flushLocal(s.w, lsn) // want `call to flushLocal \(reaches durability wait\) while s\.mu is held`
+}
+
+// ... and through a cross-package helper via imported facts. A read
+// lock counts: readers still deadlock against writers.
+func ackViaCross(s *store, lsn int64) error {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return wal.Flush(s.w, lsn) // want `call to Flush \(reaches durability wait\) while s\.rw is held`
+}
+
+type conn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// A stalled peer holds the lock hostage.
+func send(c *conn, b []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.c.Write(b) // want `call to Conn\.Write \(peer network I/O\) while c\.mu is held`
+	return err
+}

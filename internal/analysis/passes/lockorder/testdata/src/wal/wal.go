@@ -1,0 +1,13 @@
+// Package wal stubs the write-ahead log for lockorder fixtures.
+package wal
+
+// Log mimics genalg/internal/wal.Log.
+type Log struct{}
+
+func (l *Log) AppendTxn(frames [][]byte) (int64, error) { return 0, nil }
+func (l *Log) WaitDurable(lsn int64) error              { return nil }
+func (l *Log) Sync() error                              { return nil }
+
+// Flush waits for lsn; callers holding a lock inherit the block through
+// the lockorder facts.
+func Flush(l *Log, lsn int64) error { return l.WaitDurable(lsn) }

@@ -1,19 +1,26 @@
 // Package passes registers every genalgvet analyzer. The project checks
 // encode invariants from earlier PRs (pin/unpin discipline, span
 // lifecycle, context threading, lock hygiene, metric naming, boundary
-// error classification); the stock-lite checks reimplement the useful
-// core of vet passes this offline build cannot import from x/tools.
+// error classification, WAL durability, lock ordering, goroutine
+// shutdown, network deadlines, deterministic replay); the stock-lite
+// checks reimplement the useful core of vet passes this offline build
+// cannot import from x/tools.
 package passes
 
 import (
 	"genalg/internal/analysis"
 	"genalg/internal/analysis/passes/copylocks"
 	"genalg/internal/analysis/passes/ctxpass"
+	"genalg/internal/analysis/passes/deadline"
+	"genalg/internal/analysis/passes/durability"
 	"genalg/internal/analysis/passes/errclass"
+	"genalg/internal/analysis/passes/goroleak"
 	"genalg/internal/analysis/passes/lockio"
+	"genalg/internal/analysis/passes/lockorder"
 	"genalg/internal/analysis/passes/metricname"
 	"genalg/internal/analysis/passes/nilness"
 	"genalg/internal/analysis/passes/pinunpin"
+	"genalg/internal/analysis/passes/seededrand"
 	"genalg/internal/analysis/passes/spanend"
 	"genalg/internal/analysis/passes/unusedresult"
 )
@@ -25,6 +32,11 @@ func All() []*analysis.Analyzer {
 		spanend.Analyzer,
 		ctxpass.Analyzer,
 		lockio.Analyzer,
+		durability.Analyzer,
+		lockorder.Analyzer,
+		goroleak.Analyzer,
+		deadline.Analyzer,
+		seededrand.Analyzer,
 		metricname.Analyzer,
 		errclass.Analyzer,
 		copylocks.Analyzer,

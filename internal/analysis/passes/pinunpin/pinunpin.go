@@ -21,10 +21,12 @@ var Analyzer = &analysis.Analyzer{
 	Name: "pinunpin",
 	Doc: "check that every BufferPool.Pin/Allocate is matched by an Unpin of the same page on all paths\n\n" +
 		"A pin leak permanently occupies a buffer-pool frame; enough of them exhaust the pool. " +
-		"The release may be direct, deferred, or performed by a spawned goroutine; paths where " +
+		"The release may be direct, deferred, performed by a spawned goroutine, or delegated to a " +
+		"helper whose pathflow summary proves it calls Unpin(pool, id) on every path; paths where " +
 		"the acquisition itself failed (guarded by `if err != nil` on the acquisition's error) are exempt; " +
 		"returning or storing the pinned page hands ownership to the caller and discharges the check.",
-	Run: run,
+	Run:   run,
+	Facts: []*analysis.FactComputer{analysis.PathflowFacts},
 }
 
 func run(pass *analysis.Pass) error {
@@ -107,18 +109,30 @@ func checkAcquire(pass *analysis.Pass, s *ast.AssignStmt, stack []ast.Node) {
 	if fn == nil {
 		return
 	}
+	sums := pass.Facts.Pathflow()
 	ob := &pathflow.Obligation{
 		Info: pass.TypesInfo,
 		Releases: func(rel *ast.CallExpr) bool {
-			if !analysis.IsMethodCall(pass.TypesInfo, rel, "storage", "BufferPool", "Unpin") {
-				return false
+			if analysis.IsMethodCall(pass.TypesInfo, rel, "storage", "BufferPool", "Unpin") {
+				rsel, ok := ast.Unparen(rel.Fun).(*ast.SelectorExpr)
+				if !ok || len(rel.Args) < 1 {
+					return false
+				}
+				return types.ExprString(rsel.X) == recvStr &&
+					types.ExprString(rel.Args[0]) == keyStr
 			}
-			rsel, ok := ast.Unparen(rel.Fun).(*ast.SelectorExpr)
-			if !ok || len(rel.Args) < 1 {
-				return false
+			// A helper summarized as unpinning (pool, id) parameter pair
+			// releases on the caller's behalf: releaseHelper(bp, id).
+			if sum, ok := sums.LookupCall(pass.TypesInfo, rel); ok {
+				for _, pr := range sum.Pins {
+					if pr[0] < len(rel.Args) && pr[1] < len(rel.Args) &&
+						types.ExprString(rel.Args[pr[0]]) == recvStr &&
+						types.ExprString(rel.Args[pr[1]]) == keyStr {
+						return true
+					}
+				}
 			}
-			return types.ExprString(rsel.X) == recvStr &&
-				types.ExprString(rel.Args[0]) == keyStr
+			return false
 		},
 		Escapes: func(n ast.Node) bool {
 			return escapesThrough(pass.TypesInfo, n, pageObj, keyObj)

@@ -14,3 +14,11 @@ func TestPinUnpin(t *testing.T) {
 func TestPinUnpinClean(t *testing.T) {
 	atest.Run(t, "testdata", "clean", pinunpin.Analyzer)
 }
+
+// TestPinUnpinInterproc pins the summary-based upgrade: releases through
+// same-package helpers, helper chains, and cross-package helpers are
+// clean (the PR-5 engine flagged all of them), while conditional,
+// recursive, and indirect "releases" stay flagged.
+func TestPinUnpinInterproc(t *testing.T) {
+	atest.Run(t, "testdata", "interproc", pinunpin.Analyzer)
+}

@@ -1,0 +1,17 @@
+// Package helpers holds cross-package release helpers: their pathflow
+// summaries must cross the fixture package boundary for the importing
+// fixture to come up clean.
+package helpers
+
+import "storage"
+
+// Release unpins id on every path, discharging the caller's obligation.
+func Release(bp *storage.BufferPool, id storage.PageID) {
+	_ = bp.Unpin(id, true)
+}
+
+// ReleaseVia discharges through a second hop, exercising the in-package
+// fixpoint before export.
+func ReleaseVia(bp *storage.BufferPool, id storage.PageID) {
+	Release(bp, id)
+}

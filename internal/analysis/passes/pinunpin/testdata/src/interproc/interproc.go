@@ -1,0 +1,133 @@
+// Fixtures for interprocedural pin release: helpers whose pathflow
+// summary proves they Unpin discharge the caller's obligation. The clean
+// functions here are exactly the shapes the PR-5 intraprocedural engine
+// flagged as false positives (a page ID passed to a call was never
+// treated as a release or an escape).
+package interproc
+
+import (
+	"helpers"
+	"storage"
+)
+
+// release unpins on every path; its summary carries the (pool, id) pair.
+func release(bp *storage.BufferPool, id storage.PageID) {
+	_ = bp.Unpin(id, true)
+}
+
+// releaseChained discharges through release, resolved by the in-package
+// fixpoint.
+func releaseChained(bp *storage.BufferPool, id storage.PageID) {
+	release(bp, id)
+}
+
+// maybeRelease unpins only on one path: no summary credit.
+func maybeRelease(bp *storage.BufferPool, id storage.PageID, ok bool) {
+	if ok {
+		_ = bp.Unpin(id, false)
+	}
+}
+
+// recursiveRelease "releases" only via recursion: there is no base-case
+// Unpin, so the fixpoint never credits it.
+func recursiveRelease(bp *storage.BufferPool, id storage.PageID) {
+	recursiveRelease(bp, id)
+}
+
+// Same-package helper release: clean under the summary-aware engine.
+func samePackageHelper(bp *storage.BufferPool, id storage.PageID) error {
+	pg, err := bp.Pin(id)
+	if err != nil {
+		return err
+	}
+	_ = pg.Data
+	release(bp, id)
+	return nil
+}
+
+// Helper-chain release: clean via fixpoint iteration.
+func chainedHelper(bp *storage.BufferPool, id storage.PageID) error {
+	pg, err := bp.Pin(id)
+	if err != nil {
+		return err
+	}
+	_ = pg.Data
+	releaseChained(bp, id)
+	return nil
+}
+
+// Cross-package helper release: clean via the facts side-channel.
+func crossPackageHelper(bp *storage.BufferPool, id storage.PageID) error {
+	pg, err := bp.Pin(id)
+	if err != nil {
+		return err
+	}
+	_ = pg.Data
+	helpers.Release(bp, id)
+	return nil
+}
+
+// Cross-package two-hop release: the imported summary already folded the
+// dependency's own fixpoint.
+func crossPackageChained(bp *storage.BufferPool, id storage.PageID) error {
+	pg, err := bp.Pin(id)
+	if err != nil {
+		return err
+	}
+	_ = pg.Data
+	helpers.ReleaseVia(bp, id)
+	return nil
+}
+
+// A conditional release in the helper must not be credited.
+func conditionalHelper(bp *storage.BufferPool, id storage.PageID, ok bool) error {
+	pg, err := bp.Pin(id) // want `pinned page is not released`
+	if err != nil {
+		return err
+	}
+	_ = pg.Data
+	maybeRelease(bp, id, ok)
+	return nil
+}
+
+// A recursive "release" must not be credited.
+func recursionCaller(bp *storage.BufferPool, id storage.PageID) error {
+	pg, err := bp.Pin(id) // want `pinned page is not released`
+	if err != nil {
+		return err
+	}
+	_ = pg.Data
+	recursiveRelease(bp, id)
+	return nil
+}
+
+// An unknown (indirect) callee must not be credited, even if it would
+// release at run time.
+func unknownCallee(bp *storage.BufferPool, id storage.PageID, f func(*storage.BufferPool, storage.PageID)) error {
+	pg, err := bp.Pin(id) // want `pinned page is not released`
+	if err != nil {
+		return err
+	}
+	_ = pg.Data
+	f(bp, id)
+	return nil
+}
+
+// runRelease invokes its callback: an indirect call, so runRelease's own
+// summary earns no release credit.
+func runRelease(f func(storage.PageID, bool) error, id storage.PageID) {
+	_ = f(id, true)
+}
+
+// A method value passed as a callback releases only through an indirect
+// call at run time; the summary engine stays conservative and still
+// flags the pin.
+func methodValueCallback(bp *storage.BufferPool, id storage.PageID) error {
+	pg, err := bp.Pin(id) // want `pinned page is not released`
+	if err != nil {
+		return err
+	}
+	_ = pg.Data
+	runRelease(bp.Unpin, id)
+	return nil
+}

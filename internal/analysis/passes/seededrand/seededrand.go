@@ -1,0 +1,125 @@
+// Package seededrand defines the genalgvet analyzer that keeps the
+// deterministic subsystems deterministic. The load generator, fault
+// source, and SQL regression generator all promise byte-identical
+// replays given the same config seed (that is what makes a chaos failure
+// or a fuzz crash reproducible); one call to the global math/rand source
+// or a wall-clock-derived seed silently breaks the promise.
+//
+// In packages loadgen, faultsrc, and regress (non-test files without
+// build tags — tagged files are measurement-only builds and exempt):
+//
+//   - calls to math/rand's package-level functions (Intn, Int63, Perm,
+//     Shuffle, Seed, ...) are reported: draw from the run's seeded
+//     *rand.Rand instead;
+//   - rand.NewSource/Seed fed from time.Now is reported: the seed must
+//     come from the run config, not the wall clock.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"genalg/internal/analysis"
+)
+
+// Analyzer is the seededrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "check that deterministic packages (loadgen, faultsrc, regress) never draw from the global math/rand or seed from the wall clock\n\n" +
+		"Deterministic replay of chaos runs and fuzz cases requires every random draw to flow from " +
+		"the config seed through an explicit *rand.Rand.",
+	Run: run,
+}
+
+// deterministicPkgs are the packages under the replay contract.
+var deterministicPkgs = []string{"loadgen", "faultsrc", "regress"}
+
+// globalFns are math/rand package-level functions backed by the global
+// source. New/NewSource/NewZipf take explicit sources and are fine.
+var globalFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+func run(pass *analysis.Pass) error {
+	deterministic := false
+	for _, name := range deterministicPkgs {
+		if analysis.PkgIs(pass.Pkg.Path(), name) {
+			deterministic = true
+		}
+	}
+	if !deterministic {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") || hasBuildTag(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || !isMathRand(fn.Pkg().Path()) {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil { // methods on an explicit *Rand are fine
+				return true
+			}
+			switch {
+			case globalFns[fn.Name()]:
+				pass.Reportf(call.Pos(), "rand.%s draws from the global math/rand source: deterministic replay requires the run's seeded *rand.Rand", fn.Name())
+			case (fn.Name() == "NewSource" || fn.Name() == "Seed") && containsTimeNow(pass, call):
+				pass.Reportf(call.Pos(), "seeding from the wall clock defeats deterministic replay: take the seed from the run config")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isMathRand(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// containsTimeNow reports whether any argument subtree calls time.Now.
+func containsTimeNow(pass *analysis.Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if c, ok := n.(*ast.CallExpr); ok {
+				if fn := analysis.CalleeFunc(pass.TypesInfo, c); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// hasBuildTag reports whether the file carries a //go:build constraint
+// (measurement-only builds are exempt from the replay contract).
+func hasBuildTag(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		if cg.Pos() >= file.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//go:build") || strings.HasPrefix(c.Text, "// +build") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"genalg/internal/analysis/atest"
+	"genalg/internal/analysis/passes/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	atest.Run(t, "testdata", "loadgen", seededrand.Analyzer)
+}
+
+// TestSeededRandScope pins that packages outside the contract are never
+// flagged.
+func TestSeededRandScope(t *testing.T) {
+	atest.Run(t, "testdata", "other", seededrand.Analyzer)
+}

@@ -1,0 +1,9 @@
+//go:build benchjitter
+
+// Measurement-only build: the replay contract does not apply here, so
+// the global source is tolerated.
+package loadgen
+
+import "math/rand"
+
+func jitter(n int) int { return rand.Intn(n) }

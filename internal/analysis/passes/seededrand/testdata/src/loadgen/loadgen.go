@@ -1,0 +1,32 @@
+// Package loadgen (fixture) is under the deterministic-replay contract.
+package loadgen
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Drawing from the global source breaks replay.
+func pickGlobal(n int) int {
+	return rand.Intn(n) // want `rand\.Intn draws from the global math/rand source`
+}
+
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the global math/rand source`
+}
+
+// Wall-clock seeds defeat replay even with an explicit source.
+func clockSource() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeding from the wall clock defeats deterministic replay`
+}
+
+// The sanctioned pattern: explicit source from a config seed.
+func seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// Measuring elapsed time is not randomness: clean.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,7 @@
+// Package other is outside the deterministic-replay contract: the
+// analyzer must not fire here.
+package other
+
+import "math/rand"
+
+func roll(n int) int { return rand.Intn(n) }

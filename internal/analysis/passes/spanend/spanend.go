@@ -24,9 +24,12 @@ var Analyzer = &analysis.Analyzer{
 	Name: "spanend",
 	Doc: "check that trace.Start spans, obs.StartSpan spans, and Registry.Timer stop funcs are ended on all paths\n\n" +
 		"A span left open never reaches the trace ring and skews duration metrics. Ending may be direct, " +
-		"deferred (including `defer func() { sp.EndSpan(err) }()`), or delegated by passing/returning/storing " +
-		"the span.",
-	Run: run,
+		"deferred (including `defer func() { sp.EndSpan(err) }()`), delegated to a helper whose pathflow " +
+		"summary proves it ends or absorbs the span (including a method value like sp.End passed as a " +
+		"callback), or discharged by returning/storing the span. Passing the span to a summarized callee " +
+		"that neither ends nor keeps it does NOT discharge the obligation.",
+	Run:   run,
+	Facts: []*analysis.FactComputer{analysis.PathflowFacts},
 }
 
 // endMethods are the Span methods that retire a span.
@@ -89,21 +92,43 @@ func checkAcquire(pass *analysis.Pass, s *ast.AssignStmt, stack []ast.Node) {
 	}
 
 	isTimer := name == "Registry.Timer"
+	sums := pass.Facts.Pathflow()
 	ob := &pathflow.Obligation{
 		Info: pass.TypesInfo,
 		Releases: func(rel *ast.CallExpr) bool {
 			if isTimer {
 				// done() — calling the stop func.
-				return identIs(pass.TypesInfo, rel.Fun, spanObj)
+				if identIs(pass.TypesInfo, rel.Fun, spanObj) {
+					return true
+				}
+			} else if sel, ok := ast.Unparen(rel.Fun).(*ast.SelectorExpr); ok &&
+				endMethods[sel.Sel.Name] && identIs(pass.TypesInfo, sel.X, spanObj) {
+				return true
 			}
-			sel, ok := ast.Unparen(rel.Fun).(*ast.SelectorExpr)
-			if !ok || !endMethods[sel.Sel.Name] {
+			// Interprocedural: a callee summarized as ending/keeping the
+			// span parameter, invoking the stop-func parameter, or calling
+			// a method value like sp.End passed as a callback.
+			sum, ok := sums.LookupCall(pass.TypesInfo, rel)
+			if !ok {
 				return false
 			}
-			return identIs(pass.TypesInfo, sel.X, spanObj)
+			for i, arg := range rel.Args {
+				if identIs(pass.TypesInfo, arg, spanObj) {
+					if isTimer && hasIdx(sum.Calls, i) {
+						return true
+					}
+					if !isTimer && (hasIdx(sum.Spans, i) || hasIdx(sum.SpanEscapes, i)) {
+						return true
+					}
+				}
+				if !isTimer && hasIdx(sum.Calls, i) && isEndMethodValue(pass.TypesInfo, arg, spanObj) {
+					return true
+				}
+			}
+			return false
 		},
 		Escapes: func(n ast.Node) bool {
-			return escapesThrough(pass.TypesInfo, n, spanObj, isTimer)
+			return escapesThrough(pass.TypesInfo, sums, n, spanObj, isTimer)
 		},
 	}
 	leak, ok := ob.Check(fn, s)
@@ -133,9 +158,12 @@ func lhsObj(info *types.Info, e ast.Expr) types.Object {
 	return info.Uses[id]
 }
 
-// escapesThrough: returning, storing, aliasing, or passing the span to
-// another function hands the End obligation onward.
-func escapesThrough(info *types.Info, n ast.Node, spanObj types.Object, isTimer bool) bool {
+// escapesThrough: returning, storing, or aliasing the span hands the End
+// obligation onward, as does passing it to a callee the summaries know
+// nothing about. A callee WITH a pathflow summary escapes the span only
+// if the summary says it ends or keeps that parameter — a helper that
+// merely reads the span (logs its name, say) leaves the obligation here.
+func escapesThrough(info *types.Info, sums *pathflow.Summaries, n ast.Node, spanObj types.Object, isTimer bool) bool {
 	switch n := n.(type) {
 	case *ast.ReturnStmt:
 		for _, r := range n.Results {
@@ -164,8 +192,16 @@ func escapesThrough(info *types.Info, n ast.Node, spanObj types.Object, isTimer 
 				if isTimer && identIs(info, m.Fun, spanObj) {
 					return true // the release itself, not an escape
 				}
-				for _, arg := range m.Args {
-					if identIs(info, arg, spanObj) {
+				sum, known := sums.LookupCall(info, m)
+				for i, arg := range m.Args {
+					if !identIs(info, arg, spanObj) {
+						continue
+					}
+					if !known {
+						escaped = true
+					} else if isTimer && hasIdx(sum.Calls, i) {
+						escaped = true
+					} else if !isTimer && (hasIdx(sum.Spans, i) || hasIdx(sum.SpanEscapes, i)) {
 						escaped = true
 					}
 				}
@@ -175,6 +211,22 @@ func escapesThrough(info *types.Info, n ast.Node, spanObj types.Object, isTimer 
 		return escaped
 	}
 	return false
+}
+
+func hasIdx(list []int, i int) bool {
+	for _, v := range list {
+		if v == i {
+			return true
+		}
+	}
+	return false
+}
+
+// isEndMethodValue reports whether e is a method value sp.End / sp.EndOK
+// / sp.EndSpan on the tracked span.
+func isEndMethodValue(info *types.Info, e ast.Expr, spanObj types.Object) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	return ok && endMethods[sel.Sel.Name] && identIs(info, sel.X, spanObj)
 }
 
 func identIs(info *types.Info, e ast.Expr, obj types.Object) bool {

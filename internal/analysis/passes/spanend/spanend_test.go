@@ -10,3 +10,11 @@ import (
 func TestSpanEnd(t *testing.T) {
 	atest.Run(t, "testdata", "a", spanend.Analyzer)
 }
+
+// TestSpanEndInterproc pins the summary-based upgrade: helper ends
+// (same- and cross-package), ownership transfer to a keeper, and method
+// values passed as callbacks are clean, while spans handed to read-only
+// helpers are now flagged.
+func TestSpanEndInterproc(t *testing.T) {
+	atest.Run(t, "testdata", "interproc", spanend.Analyzer)
+}

@@ -1,0 +1,90 @@
+// Fixtures for interprocedural span termination. Two upgrades over the
+// PR-5 engine are pinned here: a method value like sp.EndOK passed to a
+// callback runner now counts as an end (the old engine saw neither a
+// release nor an ident escape and flagged it), and passing a span to a
+// summarized helper that merely READS it no longer discharges the
+// obligation (the old engine treated every call argument as an escape).
+package interproc
+
+import (
+	"context"
+	"spanhelp"
+	"time"
+	"trace"
+)
+
+var sink *trace.Span
+
+// finish ends the span on every path; summarized as Spans=[0].
+func finish(sp *trace.Span, err error) {
+	if err != nil {
+		sp.EndSpan(err)
+		return
+	}
+	sp.EndOK()
+}
+
+// keep stores the span; summarized as SpanEscapes=[0].
+func keep(sp *trace.Span) {
+	sink = sp
+}
+
+// inspect neither ends nor keeps the span: empty summary.
+func inspect(sp *trace.Span) {
+	sp.Eventf("seen")
+}
+
+// runWith invokes its callback on every path; summarized as Calls=[0].
+func runWith(f func()) {
+	f()
+}
+
+// runStop invokes a timer stop func on every path.
+func runStop(f func() time.Duration) {
+	_ = f()
+}
+
+// Same-package helper ends the span: clean.
+func samePackageFinish(ctx context.Context, err error) {
+	_, sp := trace.Start(ctx, "same")
+	finish(sp, err)
+}
+
+// Cross-package helper ends the span: clean via imported facts.
+func crossPackageFinish(ctx context.Context, err error) {
+	_, sp := trace.Start(ctx, "cross")
+	spanhelp.Finish(sp, err)
+}
+
+// Handing the span to a keeper transfers the obligation: clean.
+func handedToKeeper(ctx context.Context) {
+	_, sp := trace.Start(ctx, "keep")
+	keep(sp)
+}
+
+// Method value passed as a callback: the runner's Calls summary plus the
+// end-method value proves the span ends. The PR-5 engine flagged this.
+func methodValueCallback(ctx context.Context) {
+	_, sp := trace.Start(ctx, "cb")
+	runWith(sp.EndOK)
+}
+
+// A span passed to a read-only helper is NOT discharged (tightened: the
+// old engine let any call argument count as an escape).
+func passedToReader(ctx context.Context) {
+	_, sp := trace.Start(ctx, "read") // want `not ended`
+	inspect(sp)
+}
+
+// Same tightening across packages.
+func passedToCrossReader(ctx context.Context) {
+	_, sp := trace.Start(ctx, "readx") // want `not ended`
+	spanhelp.Inspect(sp)
+}
+
+// An unknown (indirect) callee still counts as an escape: someone got
+// the span, and the analysis cannot see what they do with it.
+func passedToUnknown(ctx context.Context, f func(*trace.Span)) {
+	_, sp := trace.Start(ctx, "unk")
+	f(sp)
+}

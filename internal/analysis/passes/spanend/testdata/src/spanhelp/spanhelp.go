@@ -1,0 +1,20 @@
+// Package spanhelp holds cross-package span helpers whose summaries
+// travel through the facts side-channel.
+package spanhelp
+
+import "trace"
+
+// Finish ends the span on every path.
+func Finish(sp *trace.Span, err error) {
+	if err != nil {
+		sp.EndSpan(err)
+		return
+	}
+	sp.EndOK()
+}
+
+// Inspect only reads the span: it neither ends nor keeps it, so the
+// caller's obligation stays with the caller.
+func Inspect(sp *trace.Span) {
+	sp.Eventf("inspected")
+}

@@ -1,0 +1,140 @@
+package benchmeta
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Snapshot is the generic shape of a BENCH_*.json file as far as the
+// trajectory differ cares: the shared Stamp header plus per-scenario
+// latency and error statistics. Emitters write richer documents (config,
+// SLO verdicts, mean latency); everything the differ does not compare is
+// simply not decoded.
+type Snapshot struct {
+	Stamp
+	Experiment string         `json:"experiment"`
+	Scenarios  []ScenarioStat `json:"scenarios"`
+}
+
+// ScenarioStat is one scenario's measured outcome in a snapshot.
+type ScenarioStat struct {
+	Name     string  `json:"name"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	Timeouts int64   `json:"timeouts"`
+	P95ms    float64 `json:"p95_ms"`
+	P99ms    float64 `json:"p99_ms"`
+}
+
+// ErrorRatio is the scenario's failed fraction: errors and timeouts both
+// count, because a client cannot tell a refused statement from a lost one.
+func (s ScenarioStat) ErrorRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Errors+s.Timeouts) / float64(s.Requests)
+}
+
+// ReadSnapshot loads and decodes one BENCH_*.json file.
+func ReadSnapshot(path string) (Snapshot, error) {
+	var snap Snapshot
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return snap, fmt.Errorf("benchmeta: decoding %s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// DiffOptions bounds how much worse the new snapshot may be before a
+// metric counts as a regression.
+type DiffOptions struct {
+	// MaxP95Growth and MaxP99Growth are multiplicative ceilings on tail
+	// latency: new may be at most old*factor. 1.25 allows 25% growth.
+	MaxP95Growth float64
+	MaxP99Growth float64
+	// SlackMs exempts absolute moves smaller than this many milliseconds,
+	// so single-digit-millisecond baselines are not failed on scheduler
+	// noise that a ratio threshold would amplify.
+	SlackMs float64
+	// MaxErrorDelta is the allowed absolute increase in the error ratio
+	// (errors+timeouts over requests).
+	MaxErrorDelta float64
+}
+
+// DefaultDiffOptions matches the CI gate: 25% tail-latency growth with a
+// millisecond of absolute slack, and half a percent more failures.
+func DefaultDiffOptions() DiffOptions {
+	return DiffOptions{MaxP95Growth: 1.25, MaxP99Growth: 1.25, SlackMs: 1.0, MaxErrorDelta: 0.005}
+}
+
+// Regression is one metric of one scenario that got worse than the
+// options allow. Old and New are the compared values; Limit is the
+// largest New that would have passed.
+type Regression struct {
+	Scenario string  `json:"scenario"`
+	Metric   string  `json:"metric"`
+	Old      float64 `json:"old"`
+	New      float64 `json:"new"`
+	Limit    float64 `json:"limit"`
+}
+
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: scenario missing from the new snapshot", r.Scenario)
+	}
+	return fmt.Sprintf("%s: %s %.3g -> %.3g (limit %.3g)", r.Scenario, r.Metric, r.Old, r.New, r.Limit)
+}
+
+// Diff compares two snapshots scenario by scenario and returns every
+// regression. Snapshots with different schema versions are not
+// comparable — fields may have changed meaning — so Diff refuses them
+// with an error rather than producing a silently wrong verdict.
+// Scenarios present only in the new snapshot are ignored (coverage
+// growth is not a regression); scenarios that disappeared are reported,
+// because a trajectory with a vanished workload proves nothing.
+func Diff(oldSnap, newSnap Snapshot, opt DiffOptions) ([]Regression, error) {
+	if oldSnap.SchemaVersion != newSnap.SchemaVersion {
+		return nil, fmt.Errorf("benchmeta: snapshots are not comparable: schema version %d vs %d",
+			oldSnap.SchemaVersion, newSnap.SchemaVersion)
+	}
+	if oldSnap.Experiment != newSnap.Experiment {
+		return nil, fmt.Errorf("benchmeta: snapshots measure different experiments: %q vs %q",
+			oldSnap.Experiment, newSnap.Experiment)
+	}
+	newByName := make(map[string]ScenarioStat, len(newSnap.Scenarios))
+	for _, s := range newSnap.Scenarios {
+		newByName[s.Name] = s
+	}
+	var regs []Regression
+	for _, oldS := range oldSnap.Scenarios {
+		newS, ok := newByName[oldS.Name]
+		if !ok {
+			regs = append(regs, Regression{Scenario: oldS.Name, Metric: "missing"})
+			continue
+		}
+		regs = append(regs, latencyRegression(oldS.Name, "p95_ms", oldS.P95ms, newS.P95ms, opt.MaxP95Growth, opt.SlackMs)...)
+		regs = append(regs, latencyRegression(oldS.Name, "p99_ms", oldS.P99ms, newS.P99ms, opt.MaxP99Growth, opt.SlackMs)...)
+		oldRatio, newRatio := oldS.ErrorRatio(), newS.ErrorRatio()
+		if limit := oldRatio + opt.MaxErrorDelta; newRatio > limit {
+			regs = append(regs, Regression{
+				Scenario: oldS.Name, Metric: "error_ratio", Old: oldRatio, New: newRatio, Limit: limit,
+			})
+		}
+	}
+	return regs, nil
+}
+
+func latencyRegression(scenario, metric string, oldMs, newMs, growth, slackMs float64) []Regression {
+	if growth <= 0 {
+		return nil
+	}
+	limit := oldMs*growth + slackMs
+	if newMs <= limit {
+		return nil
+	}
+	return []Regression{{Scenario: scenario, Metric: metric, Old: oldMs, New: newMs, Limit: limit}}
+}

@@ -1,0 +1,151 @@
+package benchmeta
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func snap(version int, scenarios ...ScenarioStat) Snapshot {
+	return Snapshot{
+		Stamp:      Stamp{SchemaVersion: version},
+		Experiment: "e18",
+		Scenarios:  scenarios,
+	}
+}
+
+func stat(name string, p95, p99 float64, requests, errors, timeouts int64) ScenarioStat {
+	return ScenarioStat{Name: name, P95ms: p95, P99ms: p99, Requests: requests, Errors: errors, Timeouts: timeouts}
+}
+
+func TestDiffSchemaVersionMismatch(t *testing.T) {
+	_, err := Diff(snap(1), snap(2), DefaultDiffOptions())
+	if err == nil {
+		t.Fatal("want an error comparing snapshots with different schema versions")
+	}
+}
+
+func TestDiffExperimentMismatch(t *testing.T) {
+	a, b := snap(2), snap(2)
+	b.Experiment = "e12"
+	if _, err := Diff(a, b, DefaultDiffOptions()); err == nil {
+		t.Fatal("want an error comparing snapshots of different experiments")
+	}
+}
+
+func TestDiffCleanWithinThresholds(t *testing.T) {
+	oldS := snap(2, stat("point_lookup", 100, 200, 1000, 2, 0))
+	// 20% worse p95, p99 improved, same error ratio: all within bounds.
+	newS := snap(2, stat("point_lookup", 120, 180, 1000, 2, 0))
+	regs, err := Diff(oldS, newS, DefaultDiffOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("want no regressions, got %v", regs)
+	}
+}
+
+func TestDiffFlagsTailLatency(t *testing.T) {
+	oldS := snap(2, stat("scan", 100, 200, 1000, 0, 0))
+	newS := snap(2, stat("scan", 140, 300, 1000, 0, 0))
+	regs, err := Diff(oldS, newS, DefaultDiffOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("want p95 and p99 regressions, got %v", regs)
+	}
+	if regs[0].Metric != "p95_ms" || regs[1].Metric != "p99_ms" {
+		t.Fatalf("want p95_ms then p99_ms, got %v", regs)
+	}
+}
+
+// TestDiffSlackAbsorbsNoise pins that tiny absolute moves on a
+// single-digit-millisecond baseline do not fail the ratio gate.
+func TestDiffSlackAbsorbsNoise(t *testing.T) {
+	oldS := snap(2, stat("point_lookup", 1.0, 2.0, 1000, 0, 0))
+	newS := snap(2, stat("point_lookup", 1.9, 2.9, 1000, 0, 0))
+	regs, err := Diff(oldS, newS, DefaultDiffOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("want slack to absorb sub-millisecond noise, got %v", regs)
+	}
+}
+
+func TestDiffFlagsErrorRatio(t *testing.T) {
+	oldS := snap(2, stat("dml_burst", 100, 200, 1000, 0, 0))
+	// 2% failures (errors + timeouts both count) against a clean baseline.
+	newS := snap(2, stat("dml_burst", 100, 200, 1000, 12, 8))
+	regs, err := Diff(oldS, newS, DefaultDiffOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "error_ratio" {
+		t.Fatalf("want one error_ratio regression, got %v", regs)
+	}
+}
+
+func TestDiffFlagsMissingScenario(t *testing.T) {
+	oldS := snap(2, stat("kmer_search", 100, 200, 1000, 0, 0))
+	newS := snap(2)
+	regs, err := Diff(oldS, newS, DefaultDiffOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Fatalf("want the vanished scenario flagged, got %v", regs)
+	}
+}
+
+func TestDiffIgnoresNewScenarios(t *testing.T) {
+	oldS := snap(2, stat("scan", 100, 200, 1000, 0, 0))
+	newS := snap(2, stat("scan", 100, 200, 1000, 0, 0), stat("etl_ingest", 900, 1800, 100, 50, 0))
+	regs, err := Diff(oldS, newS, DefaultDiffOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("coverage growth is not a regression, got %v", regs)
+	}
+}
+
+// TestReadSnapshot round-trips a snapshot through the on-disk JSON shape,
+// including fields the differ does not decode.
+func TestReadSnapshot(t *testing.T) {
+	doc := map[string]any{
+		"schema_version": 2,
+		"commit":         "abc1234",
+		"experiment":     "e18",
+		"config":         map[string]any{"seed": 1},
+		"scenarios": []map[string]any{{
+			"name": "point_lookup", "requests": 10, "errors": 1, "timeouts": 2,
+			"p50_ms": 1.0, "p95_ms": 2.5, "p99_ms": 4.0, "slo_ok": true,
+		}},
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_e18.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != 2 || got.Experiment != "e18" || len(got.Scenarios) != 1 {
+		t.Fatalf("bad decode: %+v", got)
+	}
+	s := got.Scenarios[0]
+	if s.Name != "point_lookup" || s.P95ms != 2.5 || s.Errors != 1 || s.Timeouts != 2 {
+		t.Fatalf("bad scenario decode: %+v", s)
+	}
+	if want := 0.3; s.ErrorRatio() != want {
+		t.Fatalf("ErrorRatio = %v, want %v", s.ErrorRatio(), want)
+	}
+}

@@ -178,17 +178,27 @@ func (d *DB) ApplyDML(table string, muts []Mutation) error {
 	if d.wal != nil {
 		lsn, err = d.wal.AppendTxn(prep.walRecords(table))
 		if err != nil {
-			err = errors.Join(err, tbl.revertDML(prep))
+			rerr := tbl.revertDML(prep)
 			d.dmlMu.Unlock()
-			return err
+			return errors.Join(err, rerr)
 		}
 	}
 	d.dmlMu.Unlock()
+	if err := d.waitDurable(lsn); err != nil {
+		return err
+	}
 	if d.wal != nil {
-		if err := d.wal.WaitDurable(lsn); err != nil {
-			return err
-		}
 		d.maybeCheckpoint()
 	}
 	return nil
+}
+
+// waitDurable blocks until lsn is fsynced. On a non-durable engine there
+// is nothing to wait for: acknowledging immediately is correct because no
+// log exists to lag behind the in-memory state.
+func (d *DB) waitDurable(lsn int64) error {
+	if d.wal == nil {
+		return nil
+	}
+	return d.wal.WaitDurable(lsn)
 }

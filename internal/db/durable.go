@@ -121,6 +121,7 @@ func (d *DB) CreateTableDurable(s Schema) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("db: encoding schema of %s: %w", s.Table, err)
 	}
+	//genalgvet:ignore lockorder dmlMu is the engine's statement lock, not a data mutex: DDL must be logged and fsynced inside it so no DML statement can interleave with a half-durable schema change
 	if err := d.logDDL(wal.Record{Type: wal.RecCreateTable, Table: s.Table, Data: payload}); err != nil {
 		// The table exists in memory but can never be durable; surface the
 		// failure rather than silently diverging from the log.
@@ -161,6 +162,7 @@ func (d *DB) createIndexOn(table, col string, genomic bool, k int) error {
 	if err != nil {
 		return err
 	}
+	//genalgvet:ignore lockorder dmlMu is the engine's statement lock: the index DDL record must be durable before any DML statement can observe (and log against) the new index
 	return d.logDDL(wal.Record{Type: wal.RecCreateIndex, Table: table, Data: payload})
 }
 
@@ -274,6 +276,7 @@ func (d *DB) CheckpointWAL() error {
 	}
 	d.dmlMu.Lock()
 	defer d.dmlMu.Unlock()
+	//genalgvet:ignore lockorder the checkpoint rewrite holds the DML writer lock for the duration by design: the compacted log must be a consistent statement-boundary snapshot
 	return d.checkpointLocked()
 }
 

@@ -44,6 +44,10 @@ type Config struct {
 	MaxConns int
 	// IdleTimeout closes sessions with no request activity; 0 selects 5m.
 	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write; 0 selects 10s. A client
+	// that stops reading mid-response would otherwise pin the session
+	// goroutine (and, during drain, the whole shutdown) forever.
+	WriteTimeout time.Duration
 	// Registry receives the daemon's metrics; nil selects obs.Default.
 	Registry *obs.Registry
 }
@@ -93,6 +97,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.IdleTimeout == 0 {
 		cfg.IdleTimeout = 5 * time.Minute
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 10 * time.Second
 	}
 	reg := cfg.Registry
 	if reg == nil {
@@ -209,6 +216,11 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		s.frames.Inc()
+		// Every write below answers this request; arm the write deadline
+		// once so a client that stops reading cannot pin the session.
+		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+			return
+		}
 		// The inflight window spans execution AND the response write:
 		// once a statement runs, its acknowledgement is part of the work
 		// drain waits for. beginWork refuses atomically with the

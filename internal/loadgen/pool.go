@@ -66,14 +66,20 @@ func (p *pool) release(c *wire.Client, broken bool) {
 		c.Close()
 		c = nil
 	}
+	var closeLate *wire.Client
 	p.mu.Lock()
 	if c != nil && !p.done {
 		c.SetTimeout(0)
 		p.idle = append(p.idle, c)
 	} else if c != nil {
-		c.Close()
+		// Closing touches the socket; do it after releasing the pool
+		// lock so a slow peer cannot stall concurrent acquire/release.
+		closeLate = c
 	}
 	p.mu.Unlock()
+	if closeLate != nil {
+		closeLate.Close()
+	}
 	p.slots <- struct{}{}
 }
 

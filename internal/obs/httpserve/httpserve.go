@@ -14,6 +14,7 @@ import (
 	"net/http/pprof"
 	"sort"
 	"sync"
+	"time"
 
 	"genalg/internal/obs"
 	"genalg/internal/trace"
@@ -128,7 +129,12 @@ func Start(addr string, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewMux(opts)}
+	srv := &http.Server{
+		Handler: NewMux(opts),
+		// A slowloris client holding headers open would pin a goroutine
+		// per connection on what is a sidecar endpoint; bound it.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	s := &Server{ln: ln, srv: srv, done: make(chan struct{})}
 	go func() {
 		defer close(s.done)

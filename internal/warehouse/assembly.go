@@ -100,16 +100,16 @@ func (w *Warehouse) AssembleGenomes(genesPerChromosome int) (AssemblyStats, erro
 		}); err != nil {
 			return AssemblyStats{}, err
 		}
+		muts := make([]db.Mutation, 0, len(rids))
 		for _, rid := range rids {
-			if err := tbl.Delete(rid); err != nil {
-				return AssemblyStats{}, err
-			}
+			muts = append(muts, db.Mutation{Kind: db.MutDelete, RID: rid})
+		}
+		if err := w.DB.ApplyDML(tname, muts); err != nil {
+			return AssemblyStats{}, err
 		}
 	}
 
 	spacer := seq.MustNucSeq(seq.AlphaDNA, interGeneSpacer)
-	chromTbl, _ := w.DB.Table(TableChromosomes)
-	genomeTbl, _ := w.DB.Table(TableGenomes)
 	stats := AssemblyStats{Organisms: len(byOrganism)}
 	orgs := make([]string, 0, len(byOrganism))
 	for org := range byOrganism {
@@ -130,7 +130,9 @@ func (w *Warehouse) AssembleGenomes(genesPerChromosome int) (AssemblyStats, erro
 			if err != nil {
 				return stats, err
 			}
-			_, err = chromTbl.Insert(db.Row{chrom.ID, org, int64(len(chrom.Loci)), chrom})
+			err = w.DB.ApplyDML(TableChromosomes, []db.Mutation{{
+				Kind: db.MutInsert, Row: db.Row{chrom.ID, org, int64(len(chrom.Loci)), chrom},
+			}})
 			if err != nil {
 				return stats, err
 			}
@@ -143,7 +145,10 @@ func (w *Warehouse) AssembleGenomes(genesPerChromosome int) (AssemblyStats, erro
 			Organism:      org,
 			ChromosomeIDs: chromIDs,
 		}
-		if _, err := genomeTbl.Insert(db.Row{genome.ID, org, genome}); err != nil {
+		err := w.DB.ApplyDML(TableGenomes, []db.Mutation{{
+			Kind: db.MutInsert, Row: db.Row{genome.ID, org, genome},
+		}})
+		if err != nil {
 			return stats, err
 		}
 	}

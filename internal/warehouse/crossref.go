@@ -56,16 +56,17 @@ func (w *Warehouse) InitialLoadMatched(repos []*sources.Repo, opts etl.MatchOpti
 	if err := w.EnsureCrossRefTable(); err != nil {
 		return istats, mstats, err
 	}
-	tbl, _ := w.DB.Table(TableCrossRefs)
 	accessions := make([]string, 0, len(xref))
 	for acc := range xref {
 		accessions = append(accessions, acc)
 	}
 	sort.Strings(accessions)
+	muts := make([]db.Mutation, 0, len(accessions))
 	for _, acc := range accessions {
-		if _, err := tbl.Insert(db.Row{acc, xref[acc]}); err != nil {
-			return istats, mstats, err
-		}
+		muts = append(muts, db.Mutation{Kind: db.MutInsert, Row: db.Row{acc, xref[acc]}})
+	}
+	if err := w.DB.ApplyDML(TableCrossRefs, muts); err != nil {
+		return istats, mstats, err
 	}
 	return istats, mstats, nil
 }

@@ -353,10 +353,12 @@ func (w *Warehouse) FullReload(repos []*sources.Repo) error {
 		if err != nil {
 			return err
 		}
+		muts := make([]db.Mutation, 0, len(rids))
 		for _, rid := range rids {
-			if err := tbl.Delete(rid); err != nil {
-				return err
-			}
+			muts = append(muts, db.Mutation{Kind: db.MutDelete, RID: rid})
+		}
+		if err := w.DB.ApplyDML(pair, muts); err != nil {
+			return err
 		}
 	}
 	_, err := w.InitialLoad(repos)

@@ -38,12 +38,12 @@ type QuarantinedRecord struct {
 
 // quarantine lands one bad record in the quarantine table.
 func (w *Warehouse) quarantine(q QuarantinedRecord) error {
-	tbl, ok := w.DB.Table(TableQuarantine)
-	if !ok {
+	if _, ok := w.DB.Table(TableQuarantine); !ok {
 		return fmt.Errorf("warehouse: quarantine table missing")
 	}
-	_, err := tbl.Insert(db.Row{q.ID, q.Source, q.Stage, q.Reason, q.Payload, q.Tick})
-	return err
+	return w.DB.ApplyDML(TableQuarantine, []db.Mutation{{
+		Kind: db.MutInsert, Row: db.Row{q.ID, q.Source, q.Stage, q.Reason, q.Payload, q.Tick},
+	}})
 }
 
 // QuarantineCount returns the number of quarantined records.

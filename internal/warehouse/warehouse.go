@@ -327,21 +327,19 @@ func (w *Warehouse) loadIntegrated(ig etl.Integrated) error {
 	if err != nil {
 		return err
 	}
-	tbl, _ := w.DB.Table(main)
-	_, err = tbl.Insert(db.Row{
+	err = w.DB.ApplyDML(main, []db.Mutation{{Kind: db.MutInsert, Row: db.Row{
 		ig.ID, ig.Organism, ig.Description, strings.Join(ig.Sources, "+"),
 		int64(ig.Version), ig.Quality, ig.Value.Confidence(), int64(len(ig.Sources)), v,
-	})
+	}}})
 	if err != nil {
 		return err
 	}
-	at, _ := w.DB.Table(altsTable)
-	for _, alt := range ig.Value.Alternatives() {
-		if _, err := at.Insert(db.Row{ig.ID, alt.Provenance, alt.Confidence, alt.Value}); err != nil {
-			return err
-		}
+	alts := ig.Value.Alternatives()
+	muts := make([]db.Mutation, 0, len(alts))
+	for _, alt := range alts {
+		muts = append(muts, db.Mutation{Kind: db.MutInsert, Row: db.Row{ig.ID, alt.Provenance, alt.Confidence, alt.Value}})
 	}
-	return nil
+	return w.DB.ApplyDML(altsTable, muts)
 }
 
 // Load performs the initial (or full re-) load of integrated entities into
@@ -365,10 +363,14 @@ func (w *Warehouse) deleteEntity(id string) error {
 			if err != nil {
 				return err
 			}
+			muts := make([]db.Mutation, 0, len(rids))
 			for _, rid := range rids {
-				if err := tbl.Delete(rid); err != nil {
-					return err
-				}
+				muts = append(muts, db.Mutation{Kind: db.MutDelete, RID: rid})
+			}
+			// One statement per table: the entity's rows vanish atomically
+			// for readers and as one WAL transaction on durable engines.
+			if err := w.DB.ApplyDML(tname, muts); err != nil {
+				return err
 			}
 		}
 	}
@@ -391,7 +393,6 @@ func (w *Warehouse) CountPublic() int {
 // the public space; the archive holds packed copies with a logical
 // timestamp.
 func (w *Warehouse) ArchiveSource(source string, tick int64) (int, error) {
-	arch, _ := w.DB.Table(TableArchive)
 	archived := 0
 	for _, spec := range []struct {
 		table string
@@ -415,12 +416,14 @@ func (w *Warehouse) ArchiveSource(source string, tick int64) (int, error) {
 		if scanErr != nil {
 			return archived, scanErr
 		}
+		muts := make([]db.Mutation, 0, len(rows))
 		for _, pr := range rows {
-			if _, err := arch.Insert(db.Row{pr.id, source, tick, pr.payload}); err != nil {
-				return archived, err
-			}
-			archived++
+			muts = append(muts, db.Mutation{Kind: db.MutInsert, Row: db.Row{pr.id, source, tick, pr.payload}})
 		}
+		if err := w.DB.ApplyDML(TableArchive, muts); err != nil {
+			return archived, err
+		}
+		archived += len(rows)
 	}
 	return archived, nil
 }

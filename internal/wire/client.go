@@ -193,10 +193,12 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	}
 	c.nextID++
 	req.ID = c.nextID
+	//genalgvet:ignore lockorder c.mu is the request serializer, held across the round trip by design: one in-flight request per client, bounded by the deadline armed above
 	if err := WriteMessage(c.conn, req); err != nil {
 		c.broken = err
 		return nil, err
 	}
+	//genalgvet:ignore lockorder c.mu is the request serializer: the read half of the round trip runs under the same deadline-bounded critical section
 	payload, err := ReadFrame(c.br)
 	if err != nil {
 		// The response (if any) is now unrecoverable: a late frame would
